@@ -1,0 +1,23 @@
+# Convenience targets for the repro repository.
+
+.PHONY: install test bench experiments figures examples all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiments
+
+figures:
+	python -m repro figures --outdir figures/
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; python $$ex; done
+
+all: test bench experiments

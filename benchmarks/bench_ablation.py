@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Methodological ablations.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ablation(benchmark, experiment_report):
+    experiment_report(benchmark, "ablation")

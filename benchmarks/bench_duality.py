@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Duality: live versus stored workload role reversal.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_duality(benchmark, experiment_report):
+    experiment_report(benchmark, "duality")

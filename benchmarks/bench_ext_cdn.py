@@ -1,0 +1,9 @@
+"""Benchmark: extension experiment 'ext_cdn'.
+
+Prints the measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ext_cdn(benchmark, experiment_report):
+    experiment_report(benchmark, "ext_cdn", rounds=1)

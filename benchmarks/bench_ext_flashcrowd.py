@@ -1,0 +1,9 @@
+"""Benchmark: extension experiment 'ext_flashcrowd'.
+
+Prints the measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ext_flashcrowd(benchmark, experiment_report):
+    experiment_report(benchmark, "ext_flashcrowd", rounds=1)

@@ -1,0 +1,9 @@
+"""Benchmark: extension experiment 'ext_multicast'.
+
+Prints the measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ext_multicast(benchmark, experiment_report):
+    experiment_report(benchmark, "ext_multicast", rounds=1)

@@ -1,0 +1,9 @@
+"""Benchmark: extension experiment 'ext_qos'.
+
+Prints the measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ext_qos(benchmark, experiment_report):
+    experiment_report(benchmark, "ext_qos", rounds=1)

@@ -1,0 +1,9 @@
+"""Benchmark: extension experiment 'ext_userdriven'.
+
+Prints the measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ext_userdriven(benchmark, experiment_report):
+    experiment_report(benchmark, "ext_userdriven", rounds=1)

@@ -1,0 +1,9 @@
+"""Benchmark: extension experiment 'ext_vbr'.
+
+Prints the measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_ext_vbr(benchmark, experiment_report):
+    experiment_report(benchmark, "ext_vbr", rounds=1)

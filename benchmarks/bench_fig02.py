@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 2: client diversity over ASes and countries.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig02(benchmark, experiment_report):
+    experiment_report(benchmark, "fig02")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 3: marginal distribution of active clients.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig03(benchmark, experiment_report):
+    experiment_report(benchmark, "fig03")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 4: temporal behaviour of active clients.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig04(benchmark, experiment_report):
+    experiment_report(benchmark, "fig04")

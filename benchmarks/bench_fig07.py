@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7: client interest profile (Zipf fits).
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig07(benchmark, experiment_report):
+    experiment_report(benchmark, "fig07")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8: autocorrelation of the active-client count.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig08(benchmark, experiment_report):
+    experiment_report(benchmark, "fig08")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 9: session count versus timeout T_o.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig09(benchmark, experiment_report):
+    experiment_report(benchmark, "fig09")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 10: session ON time versus starting hour.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig10(benchmark, experiment_report):
+    experiment_report(benchmark, "fig10")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 12: session OFF time marginal (exponential).
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig12(benchmark, experiment_report):
+    experiment_report(benchmark, "fig12")

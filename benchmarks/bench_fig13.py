@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 13: transfers per session (Zipf).
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig13(benchmark, experiment_report):
+    experiment_report(benchmark, "fig13")

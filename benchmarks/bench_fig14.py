@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 14: intra-session transfer interarrivals (lognormal).
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig14(benchmark, experiment_report):
+    experiment_report(benchmark, "fig14")

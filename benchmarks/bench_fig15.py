@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 15: concurrent transfer marginal.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig15(benchmark, experiment_report):
+    experiment_report(benchmark, "fig15")

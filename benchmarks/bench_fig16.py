@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 16: temporal behaviour of concurrent transfers.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig16(benchmark, experiment_report):
+    experiment_report(benchmark, "fig16")

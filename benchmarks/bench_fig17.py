@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 17: transfer interarrival two-regime tail.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig17(benchmark, experiment_report):
+    experiment_report(benchmark, "fig17")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 19: transfer length marginal (lognormal).
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_fig19(benchmark, experiment_report):
+    experiment_report(benchmark, "fig19")

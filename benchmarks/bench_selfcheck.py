@@ -1,0 +1,9 @@
+"""Benchmark: regenerate GISMO-live round trip self-check.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_selfcheck(benchmark, experiment_report):
+    experiment_report(benchmark, "selfcheck")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1: basic statistics of the trace.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_table1(benchmark, experiment_report):
+    experiment_report(benchmark, "table1")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2: generative-model variables recovered by calibration.
+
+Prints the paper-vs-measured rows and asserts the qualitative shape; see
+benchmarks/conftest.py for the harness.
+"""
+
+
+def bench_table2(benchmark, experiment_report):
+    experiment_report(benchmark, "table2")

@@ -1,0 +1,56 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every ``bench_<id>`` target regenerates one table or figure of the paper:
+it times the experiment's analysis (the shared scenario simulation is
+warmed up outside the timed region), prints the paper-vs-measured rows,
+and asserts the qualitative shape checks — so the benchmark suite doubles
+as the reproduction's regression harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_context, render_experiment, run_experiment
+
+#: Experiments that need the paper-rate scenario context warmed.
+_PAPER_RATE = {"fig17", "fig18"}
+
+
+@pytest.fixture(scope="session")
+def warm_default_context():
+    """Simulate + characterize the default scenario once, untimed."""
+    ctx = get_context("default")
+    ctx.characterization
+    ctx.calibration
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def warm_paper_rate_context():
+    """Simulate + characterize the paper-rate scenario once, untimed."""
+    ctx = get_context("paper-rate")
+    ctx.characterization
+    return ctx
+
+
+@pytest.fixture
+def experiment_report(request, warm_default_context):
+    """Return a runner that benchmarks one experiment and reports it."""
+
+    def run(benchmark, name: str, *, rounds: int = 3) -> None:
+        if name in _PAPER_RATE:
+            request.getfixturevalue("warm_paper_rate_context")
+        experiment = benchmark.pedantic(run_experiment, args=(name,),
+                                        rounds=rounds, iterations=1)
+        text = render_experiment(experiment)
+        print()
+        print(text)
+        failing = [desc for desc, ok in experiment.checks if not ok]
+        assert not failing, f"{name} shape checks failed: {failing}"
+
+    return run

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Capacity planning for a live streaming server.
+
+The paper's motivating argument (Section 1): for *stored* content an
+overloaded server can reject requests and users come back later; for *live*
+content a rejection denies the live moment outright.  Accurate workload
+characterization therefore feeds capacity planning directly.
+
+This example generates a live workload with GISMO-live, measures its peak
+concurrent-transfer demand, then sweeps admission-control limits through
+the event-driven replay server, printing the fraction of live requests a
+given provisioning level would deny — and when those denials happen (they
+concentrate exactly at the moments users most want to watch).
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import LiveWorkloadGenerator, LiveWorkloadModel
+from repro.simulation.replay import demand_peak, provisioning_sweep
+from repro.units import HOUR
+
+
+def main() -> None:
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.08,
+                                             n_clients=30_000)
+    workload = LiveWorkloadGenerator(model).generate(days=7, seed=7)
+    trace = workload.trace
+    peak = demand_peak(trace)
+
+    print(f"workload: {trace.n_transfers} transfers over 7 days, "
+          f"peak demand {peak} concurrent transfers")
+    print()
+    print(f"{'capacity':>10} {'% of peak':>10} {'denied':>10} "
+          f"{'denial rate':>12}")
+
+    limits = [max(int(peak * f), 1)
+              for f in (0.25, 0.50, 0.75, 0.90, 1.00)]
+    sweep = provisioning_sweep(trace, limits)
+    for limit, result in sweep:
+        print(f"{limit:>10} {limit / peak:>9.0%} "
+              f"{result.n_rejected:>10} {result.rejection_rate:>11.2%}")
+
+    # Where do the denials land?  Fold rejected-request times by hour.
+    _, half = sweep[1]
+    if half.rejected_times:
+        hours = (np.asarray(half.rejected_times) % (24 * HOUR)
+                 / HOUR).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        top = np.argsort(counts)[::-1][:3]
+        print()
+        print("at 50% of peak capacity, denials concentrate at hours "
+              + ", ".join(f"{h:02d}:00 ({counts[h]})" for h in sorted(top)))
+        print("-> exactly prime time: the audience is denied the live "
+              "moments it came for, which is why admission control is not "
+              "viable for live content (Section 1).")
+
+
+if __name__ == "__main__":
+    main()

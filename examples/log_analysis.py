@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Analyzing a Windows-Media-Server-style log file end to end.
+
+The downstream-user story: you operate a live streaming server, you have
+its request log, and you want (a) the paper's hierarchical
+characterization of your workload and (b) a calibrated generator for load
+testing.
+
+Since real logs of this kind are proprietary, the example first *writes*
+one from a simulation — the same format the paper's server produced
+(one-second timestamps, one entry per request/response) — then forgets the
+simulation and works purely from the file, exactly as you would:
+
+1. parse the log (with an IP-to-AS resolver, standing in for the external
+   routing data the paper used);
+2. sanitize it;
+3. sweep the session timeout to pick ``T_o`` (Figure 9's methodology);
+4. characterize and report;
+5. calibrate a model and save it as JSON for ``repro generate``.
+
+Run:  python examples/log_analysis.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    LiveShowScenario,
+    ScenarioConfig,
+    calibrate_model,
+    characterize,
+    read_wms_log,
+    render_report,
+    sanitize_trace,
+    session_count_for_timeouts,
+    write_wms_log,
+)
+from repro.simulation.population import PopulationConfig
+
+
+def make_log(directory: Path) -> tuple[Path, object]:
+    """Produce a server log (and the resolver a real operator would have)."""
+    config = ScenarioConfig(days=5.0, mean_session_rate=0.04,
+                            population=PopulationConfig(n_clients=15_000))
+    result = LiveShowScenario(config).run(seed=555)
+    path = directory / "wms-server.log"
+    entries = write_wms_log(result.trace, path)
+    print(f"wrote {entries} log entries to {path}")
+    return path, result.population.resolver()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        log_path, resolver = make_log(directory)
+
+        print("\n== 1. parse the log ==")
+        trace = read_wms_log(log_path, resolver=resolver)
+        print(f"   parsed {trace.n_transfers} transfers from "
+              f"{trace.active_client_count()} clients")
+
+        print("== 2. sanitize ==")
+        trace, report = sanitize_trace(trace)
+        print(f"   removed {report.n_removed} entries "
+              f"({report.n_spanning} spanning)")
+
+        print("== 3. pick the session timeout (Figure 9) ==")
+        grid = np.arange(250.0, 4_001.0, 250.0)
+        counts = session_count_for_timeouts(trace, grid)
+        for timeout, count in list(zip(grid, counts))[::4]:
+            print(f"   T_o = {timeout:5.0f}s -> {count} sessions")
+        knee = 1_500.0
+        print(f"   the curve flattens near {knee:.0f}s — the paper's choice")
+
+        print("== 4. characterize ==")
+        print(render_report(characterize(trace, timeout=knee)))
+
+        print("== 5. calibrate and export the model ==")
+        model = calibrate_model(trace, timeout=knee).model
+        model_path = directory / "model.json"
+        model_path.write_text(json.dumps(model.to_dict(), indent=2))
+        print(f"   model written to {model_path}")
+        print("   regenerate synthetic load with:")
+        print(f"     repro generate --model {model_path.name} "
+              f"--days 7 --out synthetic.npz")
+
+
+if __name__ == "__main__":
+    main()

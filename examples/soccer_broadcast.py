@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Parameterizing GISMO-live for a different application: a soccer match.
+
+Section 6 of the paper notes that live-media characteristics "are likely to
+depend heavily on the application at hand — e.g., the periodicity observed
+in our reality TV application is likely to be very different from that
+observed in (say) live feeds associated with a soccer game", and that the
+generative processes are easily adjusted.  This example does exactly that:
+
+* the arrival-rate profile is not diurnal but *event-driven* — a huge ramp
+  before kickoff, sustained load through each half, a dip at halftime, and
+  an exodus at the final whistle;
+* viewers are much stickier (they stay for the half), so the transfer
+  length lognormal is shifted up;
+* sessions hold fewer transfers (one feed; nothing to flip between).
+
+The example generates match-day workloads, characterizes them with the very
+same pipeline, and contrasts the fitted variables against the reality-show
+defaults.
+
+Run:  python examples/soccer_broadcast.py
+"""
+
+import numpy as np
+
+from repro import LiveWorkloadGenerator, LiveWorkloadModel, characterize
+from repro.distributions import DiurnalProfile
+from repro.units import HOUR, MINUTE
+
+
+def soccer_rate_profile(mean_rate: float) -> DiurnalProfile:
+    """Arrival-rate shape of a 21:00 kickoff match day, in 5-minute bins.
+
+    One "day" of the profile is a match day; generating N days yields N
+    match days (a group stage, say).
+    """
+    bins_per_day = 24 * 12  # 5-minute resolution
+    shape = np.full(bins_per_day, 0.02)  # trickle all day
+
+    def slot(hhmm: float) -> int:
+        return int(hhmm * 12)
+
+    # Pre-match ramp from 20:15, surging at kickoff 21:00.
+    shape[slot(20.25):slot(21.0)] = np.linspace(0.2, 3.0,
+                                                slot(21.0) - slot(20.25))
+    # First half 21:00-21:45: arrivals keep pouring in (latecomers).
+    shape[slot(21.0):slot(21.75)] = 2.0
+    # Halftime 21:45-22:00: small re-join bump at the restart.
+    shape[slot(21.75):slot(22.0)] = 0.8
+    # Second half 22:00-22:45, tense finish boosts late arrivals.
+    shape[slot(22.0):slot(22.75)] = 2.4
+    # Final whistle: the audience leaves; almost no new arrivals.
+    shape[slot(22.75):slot(23.25)] = 0.1
+    return DiurnalProfile(shape).scaled_to_mean(mean_rate)
+
+
+def soccer_model(mean_rate: float = 0.08) -> LiveWorkloadModel:
+    """A GISMO-live model tuned for match coverage."""
+    return LiveWorkloadModel(
+        arrival_profile=soccer_rate_profile(mean_rate),
+        n_clients=40_000,
+        interest_alpha=0.35,        # broader audience, less skew
+        transfers_alpha=3.2,        # almost everyone sticks to one transfer
+        gap_log_mu=5.5,             # rare rejoins, spaced widely
+        gap_log_sigma=1.0,
+        length_log_mu=6.9,          # median ~17 min, halves are ~45 min
+        length_log_sigma=1.0,
+        n_feeds=1,
+        feed_switch_prob=0.0,
+        feed_preference=(1.0,),
+    )
+
+
+def main() -> None:
+    matches = soccer_model()
+    reality = LiveWorkloadModel.paper_defaults(mean_session_rate=0.08,
+                                               n_clients=40_000)
+
+    print("generating 7 match days and 7 reality-show days...")
+    soccer = LiveWorkloadGenerator(matches).generate(days=7, seed=10)
+    show = LiveWorkloadGenerator(reality).generate(days=7, seed=10)
+
+    soccer_char = characterize(soccer.trace)
+    show_char = characterize(show.trace)
+
+    def peak_to_mean(char) -> float:
+        samples = char.client.concurrency_samples
+        return float(samples.max() / max(samples.mean(), 1e-9))
+
+    print()
+    print(f"{'':<38}{'soccer':>12}{'reality show':>14}")
+    print(f"{'sessions':<38}{soccer_char.summary.n_sessions:>12}"
+          f"{show_char.summary.n_sessions:>14}")
+    print(f"{'peak/mean concurrency':<38}{peak_to_mean(soccer_char):>12.1f}"
+          f"{peak_to_mean(show_char):>14.1f}")
+    print(f"{'median transfer length (s)':<38}"
+          f"{np.median(soccer.trace.duration):>12.0f}"
+          f"{np.median(show.trace.duration):>14.0f}")
+    print(f"{'transfers per session (fit alpha)':<38}"
+          f"{soccer_char.session.transfers_fit.alpha:>12.2f}"
+          f"{show_char.session.transfers_fit.alpha:>14.2f}")
+    print(f"{'ON-time variance explained by hour':<38}"
+          f"{soccer_char.session.on_by_hour.variance_explained:>12.2%}"
+          f"{show_char.session.on_by_hour.variance_explained:>14.2%}")
+    print()
+    print("the soccer workload is far burstier (kickoff surge) and far")
+    print("stickier (whole halves watched) — the same pipeline quantifies")
+    print("both, which is the point of the Section 6 generative framework.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validating a synthetic workload generator against its source.
+
+Synthetic workloads are only useful if they match the source in the
+dimensions that matter.  This example holds two generators to the paper's
+standard using :func:`repro.core.validate.compare_workloads`:
+
+* **GISMO-live**, calibrated from a simulated measurement — should pass;
+* the **stored-media baseline** — the classic pre-live GISMO model, which
+  must *fail* against a live workload (that failure is the paper's
+  central argument for live-specific generation).
+
+Bootstrap confidence intervals (``repro.distributions.fitting.bootstrap_ci``)
+are attached to the headline parameters, showing how tight the
+calibration actually is.
+
+Run:  python examples/validate_generator.py
+"""
+
+from repro import (
+    LiveShowScenario,
+    LiveWorkloadGenerator,
+    ScenarioConfig,
+    calibrate_model,
+    sanitize_trace,
+)
+from repro.baselines.stored_media import StoredMediaConfig, StoredMediaGenerator
+from repro.core.validate import compare_workloads
+from repro.distributions import fit_lognormal
+from repro.distributions.fitting import bootstrap_ci
+from repro.simulation.population import PopulationConfig
+from repro.units import log_display_time
+
+
+def main() -> None:
+    print("== measuring the source workload ==")
+    config = ScenarioConfig(days=7.0, mean_session_rate=0.05,
+                            population=PopulationConfig(n_clients=20_000))
+    measured, _ = sanitize_trace(LiveShowScenario(config).run(seed=404).trace)
+    calibration = calibrate_model(measured)
+    model = calibration.model
+
+    lengths = log_display_time(measured.duration)
+    mu_ci = bootstrap_ci(lengths, lambda s: fit_lognormal(s).mu,
+                         n_resamples=100, seed=1)
+    sigma_ci = bootstrap_ci(lengths, lambda s: fit_lognormal(s).sigma,
+                            n_resamples=100, seed=2)
+    print(f"   transfer-length mu    = {mu_ci.point:.4f} "
+          f"[{mu_ci.lower:.4f}, {mu_ci.upper:.4f}] (95% bootstrap)")
+    print(f"   transfer-length sigma = {sigma_ci.point:.4f} "
+          f"[{sigma_ci.lower:.4f}, {sigma_ci.upper:.4f}]")
+
+    print("\n== candidate 1: GISMO-live, calibrated from the source ==")
+    synthetic = LiveWorkloadGenerator(model).generate(days=7, seed=405)
+    report = compare_workloads(measured, synthetic.trace)
+    print("\n".join(report.summary_lines()))
+    verdict = report.within(rtol=0.25, ks_max=0.1, corr_min=0.85)
+    print(f"   verdict: {'FAITHFUL' if verdict else 'NOT FAITHFUL'}")
+
+    print("\n== candidate 2: stored-media GISMO (the pre-live model) ==")
+    stored = StoredMediaGenerator(StoredMediaConfig(
+        n_clients=20_000, request_rate=0.08)).generate(days=7, seed=406)
+    report = compare_workloads(measured, stored.trace)
+    print("\n".join(report.summary_lines()))
+    verdict = report.within(rtol=0.25, ks_max=0.1, corr_min=0.85)
+    print(f"   verdict: {'FAITHFUL' if verdict else 'NOT FAITHFUL'}")
+    print("\nthe stored-media model fails on exactly the axes the paper "
+          "identified:\nclient-interest skew, diurnal arrivals, and "
+          "stickiness-driven lengths.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: Anything accepted where an array of floats is expected.
+ArrayLike = Union[Sequence[float], npt.NDArray[np.floating]]
+
+#: A one-dimensional float array (the normalized internal representation).
+FloatArray = npt.NDArray[np.float64]
+
+#: A one-dimensional integer array.
+IntArray = npt.NDArray[np.int64]
+
+#: Seconds since the start of the trace.  All trace timestamps are relative.
+Seconds = float
+
+#: A seed acceptable by :func:`numpy.random.default_rng`.
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def as_float_array(values: ArrayLike, *, name: str = "values") -> FloatArray:
+    """Convert ``values`` to a 1-D float64 array, validating dimensionality.
+
+    Parameters
+    ----------
+    values:
+        Input sequence or array.
+    name:
+        Name used in error messages.
+
+    Raises
+    ------
+    ValueError
+        If the input is not one-dimensional.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,52 @@
+"""Binning helpers shared by the analysis modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray
+from ..errors import AnalysisError
+
+
+def linear_bins(lo: float, hi: float, width: float) -> FloatArray:
+    """Equal-width bin edges covering ``[lo, hi]``.
+
+    The final edge is placed at or beyond ``hi`` so the last (possibly
+    partial) bin is always included.
+    """
+    if width <= 0:
+        raise AnalysisError(f"bin width must be positive, got {width}")
+    if hi < lo:
+        raise AnalysisError(f"hi ({hi}) must not precede lo ({lo})")
+    n = max(int(np.ceil((hi - lo) / width)), 1)
+    return lo + width * np.arange(n + 1, dtype=np.float64)
+
+
+def log_bins(lo: float, hi: float, n_bins: int) -> FloatArray:
+    """Logarithmically spaced bin edges covering ``[lo, hi]``.
+
+    Used for the paper's log-scale frequency panels, where equal-width bins
+    would starve the tail.
+    """
+    if not (0 < lo < hi):
+        raise AnalysisError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    if n_bins < 1:
+        raise AnalysisError(f"n_bins must be positive, got {n_bins}")
+    return np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+
+
+def logspaced_indices(n: int, n_points: int) -> IntArray:
+    """Distinct, log-spaced indices into an array of length ``n``.
+
+    Returns at most ``n_points`` strictly increasing indices starting at 0,
+    spanning the full range.  Used to thin rank-frequency curves before
+    plotting or regression so each decade carries similar weight.
+    """
+    if n < 1:
+        raise AnalysisError(f"n must be positive, got {n}")
+    if n_points < 1:
+        raise AnalysisError(f"n_points must be positive, got {n_points}")
+    if n <= n_points:
+        return np.arange(n, dtype=np.int64)
+    raw = np.logspace(0.0, np.log10(n), n_points)
+    return np.unique(raw.astype(np.int64)) - 1

@@ -1,0 +1,94 @@
+"""Conditional means and correlation-strength measures.
+
+Section 4.2 of the paper asks whether the high variability of session ON
+times is a temporal artifact (like client interarrivals) or fundamental to
+live-content interaction, by plotting mean session length against session
+starting hour (Figure 10) and observing only a weak relationship.  The
+tools here quantify that judgment: per-bin conditional means plus the
+fraction of variance the binning explains (the correlation ratio).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, as_float_array
+from ..errors import AnalysisError
+from ..units import DAY
+
+
+def pearson_r(x: ArrayLike, y: ArrayLike) -> float:
+    """Pearson correlation coefficient between two equal-length samples."""
+    xa = as_float_array(x, name="x")
+    ya = as_float_array(y, name="y")
+    if xa.size != ya.size:
+        raise AnalysisError(f"length mismatch ({xa.size} != {ya.size})")
+    if xa.size < 2:
+        raise AnalysisError("pearson_r requires at least two points")
+    xc, yc = xa - xa.mean(), ya - ya.mean()
+    denom = float(np.sqrt(np.dot(xc, xc) * np.dot(yc, yc)))
+    if denom == 0:
+        raise AnalysisError("pearson_r undefined for a constant sample")
+    return float(np.dot(xc, yc) / denom)
+
+
+def binned_conditional_mean(times: ArrayLike, values: ArrayLike, *,
+                            period: float = DAY, n_bins: int = 24
+                            ) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """Mean of ``values`` conditioned on the phase bin of ``times``.
+
+    Folds ``times`` modulo ``period`` into ``n_bins`` equal bins and
+    averages the associated values per bin — Figure 10 with the defaults
+    (hour-of-day bins).
+
+    Returns
+    -------
+    (bin_centers, means, counts)
+        Bin centers in seconds-of-period, per-bin means (NaN where empty),
+        and per-bin sample counts.
+    """
+    t = as_float_array(times, name="times")
+    v = as_float_array(values, name="values")
+    if t.size != v.size:
+        raise AnalysisError(f"length mismatch ({t.size} != {v.size})")
+    if period <= 0 or n_bins < 1:
+        raise AnalysisError("period and n_bins must be positive")
+    width = period / n_bins
+    idx = np.minimum((np.mod(t, period) / width).astype(np.int64), n_bins - 1)
+    sums = np.bincount(idx, weights=v, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
+    means = np.full(n_bins, np.nan)
+    present = counts > 0
+    means[present] = sums[present] / counts[present]
+    centers = (np.arange(n_bins) + 0.5) * width
+    return centers, means, counts.astype(np.float64)
+
+
+def variance_explained_by_bins(times: ArrayLike, values: ArrayLike, *,
+                               period: float = DAY, n_bins: int = 24) -> float:
+    """Correlation ratio (eta squared) of ``values`` given the phase bin.
+
+    The fraction of the total variance of ``values`` explained by the
+    per-bin means: 0 means the binning carries no information (Figure 10's
+    "fairly weak correlation"), 1 means values are a function of the bin.
+    """
+    t = as_float_array(times, name="times")
+    v = as_float_array(values, name="values")
+    if t.size != v.size:
+        raise AnalysisError(f"length mismatch ({t.size} != {v.size})")
+    if v.size < 2:
+        raise AnalysisError("need at least two observations")
+    total_var = float(np.var(v))
+    if total_var == 0:
+        raise AnalysisError("variance ratio undefined for constant values")
+    width = period / n_bins
+    idx = np.minimum((np.mod(t, period) / width).astype(np.int64), n_bins - 1)
+    sums = np.bincount(idx, weights=v, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
+    present = counts > 0
+    means = np.zeros(n_bins)
+    means[present] = sums[present] / counts[present]
+    grand_mean = float(v.mean())
+    between = float(np.dot(counts[present],
+                           (means[present] - grand_mean) ** 2)) / v.size
+    return between / total_var

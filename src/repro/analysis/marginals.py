@@ -1,0 +1,158 @@
+"""Marginal distribution views: the paper's three-panel figures.
+
+Nearly every figure in the paper presents a variable through the same three
+panels: a frequency histogram (log-log), the cumulative distribution
+``P[X <= x]``, and the complementary distribution ``P[X >= x]`` on log axes.
+:class:`Marginal` packages a sample so all three are computed once and read
+off cheaply, including the paper's ``floor(t)+1`` display convention for
+time measurements (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, as_float_array
+from ..errors import AnalysisError
+from ..units import log_display_time
+from .binning import log_bins
+
+
+class Marginal:
+    """Empirical marginal distribution of a one-dimensional sample.
+
+    Parameters
+    ----------
+    values:
+        The sample; non-finite entries are rejected.
+    display_time:
+        When True, values are transformed with the paper's ``floor(t)+1``
+        convention before analysis, as done for all time measurements shown
+        on logarithmic axes.
+    """
+
+    def __init__(self, values: ArrayLike, *, display_time: bool = False) -> None:
+        arr = as_float_array(values, name="values")
+        if arr.size == 0:
+            raise AnalysisError("marginal requires a non-empty sample")
+        if not np.all(np.isfinite(arr)):
+            raise AnalysisError("marginal sample must be finite")
+        if display_time:
+            arr = log_display_time(arr)
+        self._sorted = np.sort(arr)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return int(self._sorted.size)
+
+    @property
+    def values(self) -> FloatArray:
+        """The sorted sample (copy)."""
+        return self._sorted.copy()
+
+    @cached_property
+    def _unique(self) -> tuple[FloatArray, FloatArray]:
+        support, counts = np.unique(self._sorted, return_counts=True)
+        return support, counts.astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self._sorted.mean())
+
+    def median(self) -> float:
+        """Sample median."""
+        return float(np.median(self._sorted))
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(self._sorted.std())
+
+    def percentile(self, q: float) -> float:
+        """Sample percentile at level ``q`` in [0, 100]."""
+        return float(np.percentile(self._sorted, q))
+
+    def coefficient_of_variation(self) -> float:
+        """Std over mean — the paper's shorthand for 'highly variable'."""
+        mean = self.mean()
+        if mean == 0:
+            raise AnalysisError("coefficient of variation undefined for zero mean")
+        return self.std() / mean
+
+    # ------------------------------------------------------------------
+    # The three panels
+    # ------------------------------------------------------------------
+    def frequency(self) -> tuple[FloatArray, FloatArray]:
+        """Exact frequency panel: ``(support, fraction of sample)``."""
+        support, counts = self._unique
+        return support.copy(), counts / self.n
+
+    def cdf(self) -> tuple[FloatArray, FloatArray]:
+        """Cumulative panel: ``(support, P[X <= support])``."""
+        support, counts = self._unique
+        return support.copy(), np.cumsum(counts) / self.n
+
+    def ccdf(self, *, strict: bool = False) -> tuple[FloatArray, FloatArray]:
+        """Complementary panel.
+
+        With ``strict=False`` (default) returns ``P[X >= x]`` as the paper's
+        CCDF panels are labelled; ``strict=True`` returns ``P[X > x]``.
+        Every returned probability is positive, making the panel safe to
+        draw on a log axis (``strict=True`` drops the final support point,
+        whose strict CCDF is zero).
+        """
+        support, counts = self._unique
+        cumulative = np.cumsum(counts)
+        if strict:
+            ccdf = 1.0 - cumulative / self.n
+            return support[:-1].copy(), ccdf[:-1]
+        below = np.concatenate(([0.0], cumulative[:-1]))
+        return support.copy(), 1.0 - below / self.n
+
+    def log_binned_frequency(self, n_bins: int = 60
+                             ) -> tuple[FloatArray, FloatArray]:
+        """Frequency panel smoothed over log-spaced bins.
+
+        Returns bin centers (geometric) and the fraction of the sample per
+        bin.  Requires a strictly positive sample.
+        """
+        if float(self._sorted[0]) <= 0:
+            raise AnalysisError(
+                "log-binned frequency requires positive values; "
+                "construct the Marginal with display_time=True for times")
+        lo, hi = float(self._sorted[0]), float(self._sorted[-1])
+        if lo == hi:
+            return np.asarray([lo]), np.asarray([1.0])
+        edges = log_bins(lo, hi * (1 + 1e-12), n_bins)
+        counts, _ = np.histogram(self._sorted, bins=edges)
+        centers = np.sqrt(edges[:-1] * edges[1:])
+        return centers, counts / self.n
+
+    def sample_quantiles(self, probs: ArrayLike) -> FloatArray:
+        """Empirical quantiles at the given probability levels."""
+        return np.quantile(self._sorted, as_float_array(probs, name="probs"))
+
+
+def binned_frequency(values: ArrayLike, edges: ArrayLike
+                     ) -> tuple[FloatArray, FloatArray]:
+    """Histogram fractions over explicit bin edges.
+
+    Returns ``(bin_centers, fraction_of_sample)`` with arithmetic centers;
+    values outside the edges are ignored.
+    """
+    arr = as_float_array(values, name="values")
+    edge_arr = as_float_array(edges, name="edges")
+    if edge_arr.size < 2:
+        raise AnalysisError("need at least two bin edges")
+    counts, _ = np.histogram(arr, bins=edge_arr)
+    centers = 0.5 * (edge_arr[:-1] + edge_arr[1:])
+    total = arr.size if arr.size else 1
+    return centers, counts / total

@@ -1,0 +1,112 @@
+"""Self-similarity (Hurst parameter) estimation.
+
+Section 5.3 of the paper connects transfer-length variability to traffic
+self-similarity via Crovella and Bestavros [14]: heavy-tailed transfer
+durations induce long-range dependence in the aggregate traffic.  These
+estimators quantify that on count or rate series:
+
+* :func:`hurst_aggregate_variance` — the aggregated-variance method: block
+  means at aggregation level ``m`` have variance ~ ``m^(2H-2)``;
+* :func:`hurst_rescaled_range` — the classic R/S statistic, ~ ``n^H``.
+
+Both are regression estimators; they are also the validation tools for the
+fGn generator in :mod:`repro.distributions.selfsimilar`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import ArrayLike, as_float_array
+from ..errors import AnalysisError
+
+
+def _log_regression_slope(x: np.ndarray, y: np.ndarray) -> float:
+    lx, ly = np.log(x), np.log(y)
+    lx -= lx.mean()
+    denom = float(np.dot(lx, lx))
+    if denom == 0:
+        raise AnalysisError("degenerate regression in Hurst estimation")
+    return float(np.dot(lx, ly - ly.mean()) / denom)
+
+
+def hurst_aggregate_variance(series: ArrayLike, *,
+                             min_block: int = 4,
+                             n_scales: int = 12) -> float:
+    """Aggregated-variance Hurst estimate of a stationary series.
+
+    The series is averaged over non-overlapping blocks of log-spaced sizes
+    ``m``; the sample variance of the block means is regressed against
+    ``m`` in log-log space, and ``H = 1 + slope / 2``.
+
+    Parameters
+    ----------
+    series:
+        The (stationary) series; at least ``16 * min_block`` points.
+    min_block:
+        Smallest aggregation level.
+    n_scales:
+        Number of log-spaced aggregation levels.
+    """
+    arr = as_float_array(series, name="series")
+    if arr.size < 16 * min_block:
+        raise AnalysisError(
+            f"series too short for aggregate-variance estimation "
+            f"({arr.size} points)")
+    max_block = arr.size // 16
+    if max_block <= min_block:
+        raise AnalysisError("series too short for the requested min_block")
+    blocks = np.unique(np.logspace(np.log10(min_block),
+                                   np.log10(max_block),
+                                   n_scales).astype(np.int64))
+    variances = []
+    sizes = []
+    for m in blocks:
+        n_blocks = arr.size // m
+        means = arr[:n_blocks * m].reshape(n_blocks, m).mean(axis=1)
+        v = float(means.var())
+        if v > 0:
+            variances.append(v)
+            sizes.append(float(m))
+    if len(sizes) < 3:
+        raise AnalysisError("not enough usable aggregation levels")
+    slope = _log_regression_slope(np.asarray(sizes), np.asarray(variances))
+    return 1.0 + slope / 2.0
+
+
+def hurst_rescaled_range(series: ArrayLike, *, min_window: int = 16,
+                         n_scales: int = 10) -> float:
+    """Rescaled-range (R/S) Hurst estimate.
+
+    For log-spaced window sizes ``w``, the series is split into windows;
+    each window's range of mean-adjusted cumulative sums is divided by its
+    standard deviation, and the average R/S statistic is regressed against
+    ``w``: the slope is ``H``.
+    """
+    arr = as_float_array(series, name="series")
+    if arr.size < 4 * min_window:
+        raise AnalysisError(
+            f"series too short for R/S estimation ({arr.size} points)")
+    max_window = arr.size // 4
+    if max_window <= min_window:
+        raise AnalysisError("series too short for the requested min_window")
+    windows = np.unique(np.logspace(np.log10(min_window),
+                                    np.log10(max_window),
+                                    n_scales).astype(np.int64))
+    sizes, stats = [], []
+    for w in windows:
+        n_windows = arr.size // w
+        chunks = arr[:n_windows * w].reshape(n_windows, w)
+        adjusted = chunks - chunks.mean(axis=1, keepdims=True)
+        cumulative = np.cumsum(adjusted, axis=1)
+        ranges = cumulative.max(axis=1) - cumulative.min(axis=1)
+        stds = chunks.std(axis=1)
+        valid = stds > 0
+        if valid.any():
+            rs = float(np.mean(ranges[valid] / stds[valid]))
+            if rs > 0:
+                sizes.append(float(w))
+                stats.append(rs)
+    if len(sizes) < 3:
+        raise AnalysisError("not enough usable window sizes")
+    return _log_regression_slope(np.asarray(sizes), np.asarray(stats))

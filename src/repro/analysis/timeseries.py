@@ -1,0 +1,97 @@
+"""Time-series helpers: regular binning and periodic folding.
+
+Figures 4, 16, and 18 of the paper show the same variable three ways: over
+the entire trace in 15-minute bins, folded modulo one week, and folded
+modulo one day.  :func:`binned_series` produces the first view and
+:func:`fold_series` the other two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, as_float_array
+from ..errors import AnalysisError
+
+#: Day labels used by the experiments' folded-week output (day 0 = Sunday,
+#: matching the scenario convention that the trace starts on a Sunday).
+DAY_LABELS: tuple[str, ...] = ("Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat")
+
+
+def binned_series(event_times: ArrayLike, *, extent: float,
+                  bin_width: float) -> FloatArray:
+    """Event counts per regular bin over ``[0, extent)``.
+
+    Events outside the window raise; use this for arrival counts, not
+    interval concurrency (see :mod:`repro.analysis.concurrency` for that).
+    """
+    if extent <= 0:
+        raise AnalysisError(f"extent must be positive, got {extent}")
+    if bin_width <= 0:
+        raise AnalysisError(f"bin_width must be positive, got {bin_width}")
+    times = as_float_array(event_times, name="event_times")
+    if times.size and (times.min() < 0 or times.max() >= extent):
+        raise AnalysisError("event times must lie within [0, extent)")
+    n_bins = int(np.ceil(extent / bin_width))
+    counts, _ = np.histogram(times, bins=n_bins, range=(0.0, extent))
+    return counts.astype(np.float64)
+
+
+def binned_mean_of_events(event_times: ArrayLike, values: ArrayLike, *,
+                          extent: float, bin_width: float) -> FloatArray:
+    """Mean of ``values`` over the events falling in each regular bin.
+
+    Bins with no events yield NaN (the paper's figures simply have no point
+    there).  Used, e.g., for the mean transfer interarrival per 15-minute
+    bin of Figure 18.
+    """
+    times = as_float_array(event_times, name="event_times")
+    vals = as_float_array(values, name="values")
+    if times.size != vals.size:
+        raise AnalysisError(
+            f"event_times and values must have equal length "
+            f"({times.size} != {vals.size})")
+    if extent <= 0 or bin_width <= 0:
+        raise AnalysisError("extent and bin_width must be positive")
+    if times.size and (times.min() < 0 or times.max() >= extent):
+        raise AnalysisError("event times must lie within [0, extent)")
+    n_bins = int(np.ceil(extent / bin_width))
+    idx = np.minimum((times / bin_width).astype(np.int64), n_bins - 1)
+    sums = np.bincount(idx, weights=vals, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
+    out = np.full(n_bins, np.nan)
+    present = counts > 0
+    out[present] = sums[present] / counts[present]
+    return out
+
+
+def fold_series(series: ArrayLike, *, bin_width: float,
+                period: float) -> FloatArray:
+    """Fold a regular series modulo ``period`` and average per phase bin.
+
+    ``series`` holds one value per consecutive ``bin_width`` window starting
+    at time zero.  The result has ``period / bin_width`` entries, each the
+    mean of the input values whose windows share that phase.  NaN input
+    values are ignored (phases observed only as NaN stay NaN).
+
+    ``period`` must be an integer multiple of ``bin_width``.
+    """
+    arr = as_float_array(series, name="series")
+    if bin_width <= 0 or period <= 0:
+        raise AnalysisError("bin_width and period must be positive")
+    ratio = period / bin_width
+    n_phase = int(round(ratio))
+    if abs(ratio - n_phase) > 1e-9 or n_phase < 1:
+        raise AnalysisError(
+            f"period ({period}) must be an integer multiple of "
+            f"bin_width ({bin_width})")
+    if arr.size == 0:
+        return np.full(n_phase, np.nan)
+    phase = np.arange(arr.size) % n_phase
+    valid = ~np.isnan(arr)
+    sums = np.bincount(phase[valid], weights=arr[valid], minlength=n_phase)
+    counts = np.bincount(phase[valid], minlength=n_phase)
+    out = np.full(n_phase, np.nan)
+    present = counts > 0
+    out[present] = sums[present] / counts[present]
+    return out

@@ -1,0 +1,126 @@
+"""Segmented array operations.
+
+The workload generators produce *per-session* quantities (transfer counts)
+and *per-transfer* quantities (durations, interarrival gaps) and need to
+combine them without Python-level loops over hundreds of thousands of
+sessions.  These helpers implement the required segmented primitives: a
+cumulative sum that restarts at each segment boundary, and expansion of
+per-segment values to per-element ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._typing import FloatArray, IntArray
+
+
+def segment_starts(lengths: np.ndarray) -> IntArray:
+    """Start index of each segment in the flattened element array.
+
+    ``lengths`` holds the element count of each segment; the result has the
+    same length, with ``result[0] == 0``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.ndim != 1:
+        raise ValueError("lengths must be one-dimensional")
+    if lengths.size and lengths.min() < 0:
+        raise ValueError("segment lengths must be non-negative")
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    if lengths.size > 1:
+        np.cumsum(lengths[:-1], out=starts[1:])
+    return starts
+
+
+def expand_by_segment(per_segment: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Repeat each per-segment value by its segment length.
+
+    Equivalent to ``np.repeat(per_segment, lengths)`` with shape checking.
+    """
+    per_segment = np.asarray(per_segment)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if per_segment.shape[0] != lengths.size:
+        raise ValueError(
+            f"per_segment has {per_segment.shape[0]} entries, "
+            f"expected {lengths.size}")
+    return np.repeat(per_segment, lengths)
+
+
+def segmented_cumsum(values: np.ndarray, lengths: np.ndarray, *,
+                     exclusive: bool = False) -> FloatArray:
+    """Cumulative sum restarting at every segment boundary.
+
+    Parameters
+    ----------
+    values:
+        Flattened per-element values; total length must equal
+        ``lengths.sum()``.
+    lengths:
+        Element count per segment (non-negative; zeros allowed).
+    exclusive:
+        When True each element gets the sum of the *preceding* elements in
+        its segment (first element of each segment is 0); when False the sum
+        includes the element itself.
+
+    Examples
+    --------
+    >>> segmented_cumsum([1, 2, 3, 4, 5], [2, 3]).tolist()
+    [1.0, 3.0, 3.0, 7.0, 12.0]
+    >>> segmented_cumsum([1, 2, 3, 4, 5], [2, 3], exclusive=True).tolist()
+    [0.0, 1.0, 0.0, 3.0, 7.0]
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    lens = np.asarray(lengths, dtype=np.int64)
+    if vals.ndim != 1 or lens.ndim != 1:
+        raise ValueError("values and lengths must be one-dimensional")
+    if lens.size and lens.min() < 0:
+        raise ValueError("segment lengths must be non-negative")
+    total = int(lens.sum()) if lens.size else 0
+    if vals.size != total:
+        raise ValueError(
+            f"values length ({vals.size}) must equal lengths.sum() ({total})")
+    if vals.size == 0:
+        return np.empty(0)
+    running = np.cumsum(vals)
+    nonempty = lens > 0
+    starts = segment_starts(lens)[nonempty]
+    # Total accumulated before each (non-empty) segment begins.
+    base_per_segment = running[starts] - vals[starts]
+    base = np.repeat(base_per_segment, lens[nonempty])
+    inclusive = running - base
+    if exclusive:
+        return inclusive - vals
+    return inclusive
+
+
+def alternate_on_switch(switch: np.ndarray, lengths: np.ndarray, *,
+                        first_value: np.ndarray, n_choices: int = 2) -> IntArray:
+    """Track a per-segment state that flips between ``n_choices`` values.
+
+    Models feed selection within a session: each segment (session) starts in
+    state ``first_value[segment]``; whenever ``switch`` is True the state
+    advances by one modulo ``n_choices``.  Vectorized via a segmented
+    cumulative sum of switch indicators.
+
+    Parameters
+    ----------
+    switch:
+        Boolean per-element array; the first element of every segment is
+        ignored (a session's first transfer uses the starting feed).
+    lengths:
+        Element count per segment.
+    first_value:
+        Starting state per segment, each in ``[0, n_choices)``.
+    n_choices:
+        Number of distinct states (live feeds).
+    """
+    if n_choices < 1:
+        raise ValueError("n_choices must be positive")
+    sw = np.asarray(switch, dtype=np.float64).copy()
+    lens = np.asarray(lengths, dtype=np.int64)
+    starts = segment_starts(lens)[lens > 0]
+    if sw.size:
+        sw[starts] = 0.0
+    flips = segmented_cumsum(sw, lens)
+    base = expand_by_segment(np.asarray(first_value, dtype=np.int64), lens)
+    return ((base + flips.astype(np.int64)) % n_choices).astype(np.int64)

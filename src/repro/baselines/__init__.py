@@ -1,0 +1,31 @@
+"""Baseline workload models the paper contrasts against.
+
+* :mod:`~repro.baselines.stored_media` — a classic (pre-live) GISMO-style
+  stored-media workload: user-driven accesses to a catalogue of
+  pre-recorded objects with Zipf object popularity.  Used to exhibit the
+  paper's central *duality*: stored access is user driven with Zipf object
+  popularity; live access is object driven with Zipf client interest
+  (Sections 3.5 and 8).
+* :mod:`~repro.baselines.stationary_poisson` — the single-rate Poisson
+  client arrival model of prior stored-media studies (Almeida et al. [3]),
+  which the paper shows is inadequate for live workloads without the
+  piecewise-stationary extension (Section 3.4).
+* :mod:`~repro.baselines.renewal` — the *user-driven* alternative
+  generative model (the paper's footnote 13): per-client stationary
+  Poisson visiting, everything else matched — the controlled counterpart
+  that fails on exactly the object-driven axes.
+"""
+
+from .renewal import RenewalConfig, UserDrivenRenewalGenerator
+from .stationary_poisson import StationaryPoissonBaseline, interarrival_ks_comparison
+from .stored_media import StoredMediaConfig, StoredMediaGenerator, StoredMediaWorkload
+
+__all__ = [
+    "RenewalConfig",
+    "StationaryPoissonBaseline",
+    "StoredMediaConfig",
+    "StoredMediaGenerator",
+    "StoredMediaWorkload",
+    "UserDrivenRenewalGenerator",
+    "interarrival_ks_comparison",
+]

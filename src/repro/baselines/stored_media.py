@@ -1,0 +1,180 @@
+"""Stored-media workload baseline: the pre-live GISMO model.
+
+Accesses to *stored* streaming objects (news clips, trailers, lectures) are
+user driven: each request is a user choosing an object, with the classic
+findings of the stored-media literature the paper surveys (Section 7):
+
+* Zipf-like *object popularity* (Chesire et al. [11]);
+* small objects with a heavy-tailed size distribution;
+* frequent partial accesses — early stoppage of transfers
+  (Acharya and Smith [2] report nearly half);
+* approximately stationary Poisson session arrivals within observation
+  periods (Almeida et al. [3]).
+
+The generator emits the same :class:`~repro.trace.store.Trace` type as the
+live generator, so identical analysis code runs on both — which is exactly
+how the duality experiment contrasts them: fit a Zipf over *objects* and
+over *clients* in each workload and watch the roles swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray, SeedLike
+from ..errors import ConfigError, GenerationError
+from ..rng import make_rng, spawn
+from ..trace.store import ClientTable, Trace
+from ..units import DAY
+from ..distributions.lognormal import LognormalDistribution
+from ..distributions.zipf import ZipfLaw
+
+
+@dataclass(frozen=True)
+class StoredMediaConfig:
+    """Parameters of the stored-media baseline workload.
+
+    Attributes
+    ----------
+    n_objects:
+        Catalogue size (distinct pre-recorded clips).
+    popularity_alpha:
+        Zipf exponent of object popularity (stored-media studies report
+        Zipf-like popularity; 0.73 is a typical web value).
+    n_clients:
+        Client population size.  Clients choose objects; their own request
+        counts are *not* Zipf-skewed by construction — that is the point
+        of the duality.
+    request_rate:
+        Stationary Poisson request rate (requests per second).
+    size_log_mu, size_log_sigma:
+        Lognormal parameters of object durations in seconds (mostly small
+        clips with a heavy tail).
+    partial_access_prob:
+        Probability a request stops early (the paper's related work:
+        nearly half of stored-video requests are partial).
+    partial_fraction_lo, partial_fraction_hi:
+        Uniform range of the fraction watched on a partial access.
+    encoding_rate_bps:
+        Constant encoding rate used to fill the bandwidth column.
+    """
+
+    n_objects: int = 1_000
+    popularity_alpha: float = 0.73
+    n_clients: int = 5_000
+    request_rate: float = 0.05
+    size_log_mu: float = 4.5    # median ~90 s clips
+    size_log_sigma: float = 1.2
+    partial_access_prob: float = 0.5
+    partial_fraction_lo: float = 0.05
+    partial_fraction_hi: float = 0.8
+    encoding_rate_bps: float = 250_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1 or self.n_clients < 1:
+            raise ConfigError("n_objects and n_clients must be positive")
+        if self.popularity_alpha < 0:
+            raise ConfigError("popularity_alpha must be non-negative")
+        if self.request_rate <= 0:
+            raise ConfigError("request_rate must be positive")
+        if self.size_log_sigma <= 0:
+            raise ConfigError("size_log_sigma must be positive")
+        if not 0.0 <= self.partial_access_prob <= 1.0:
+            raise ConfigError("partial_access_prob must be in [0, 1]")
+        if not (0.0 < self.partial_fraction_lo
+                <= self.partial_fraction_hi <= 1.0):
+            raise ConfigError(
+                "need 0 < partial_fraction_lo <= partial_fraction_hi <= 1")
+        if self.encoding_rate_bps <= 0:
+            raise ConfigError("encoding_rate_bps must be positive")
+
+
+@dataclass(frozen=True)
+class StoredMediaWorkload:
+    """A generated stored-media workload plus its catalogue ground truth.
+
+    Attributes
+    ----------
+    trace:
+        The workload as a trace (``object_id`` indexes the catalogue).
+    object_sizes:
+        Full duration of each catalogue object, in seconds.
+    """
+
+    trace: Trace
+    object_sizes: FloatArray = field(repr=False)
+
+    def object_request_counts(self) -> IntArray:
+        """Requests per catalogue object (the popularity profile)."""
+        return np.bincount(self.trace.object_id,
+                           minlength=self.object_sizes.size).astype(np.int64)
+
+
+def _stored_client_table(n_clients: int) -> ClientTable:
+    ids = [f"stored-{i:06d}" for i in range(n_clients)]
+    ips = [f"172.16.{(i >> 8) & 255}.{i & 255}" for i in range(n_clients)]
+    return ClientTable(player_ids=ids, ips=ips,
+                       as_numbers=np.zeros(n_clients, dtype=np.int64),
+                       countries=[""] * n_clients)
+
+
+class StoredMediaGenerator:
+    """Generates stored-media (user-driven) workloads.
+
+    Parameters
+    ----------
+    config:
+        Baseline parameters; see :class:`StoredMediaConfig`.
+    """
+
+    def __init__(self, config: StoredMediaConfig | None = None) -> None:
+        self.config = config or StoredMediaConfig()
+
+    def generate(self, days: float,
+                 seed: SeedLike = None) -> StoredMediaWorkload:
+        """Generate a stored-media workload spanning ``days`` days.
+
+        Requests arrive by a stationary Poisson process; each picks a
+        client uniformly (user-driven: no planted client skew) and an
+        object by Zipf popularity; the transfer length is the object's
+        full duration or a partial prefix.
+        """
+        if days <= 0:
+            raise GenerationError(f"days must be positive, got {days}")
+        cfg = self.config
+        rng = make_rng(seed)
+        (arrival_rng, size_rng, client_rng, object_rng,
+         partial_rng) = spawn(rng, 5)
+        duration = days * DAY
+
+        object_sizes = LognormalDistribution(
+            cfg.size_log_mu, cfg.size_log_sigma).sample(
+                cfg.n_objects, size_rng)
+
+        n_requests = int(arrival_rng.poisson(cfg.request_rate * duration))
+        starts = np.sort(arrival_rng.random(n_requests) * duration)
+
+        clients = client_rng.integers(0, cfg.n_clients, size=n_requests)
+        objects = ZipfLaw(cfg.popularity_alpha, cfg.n_objects).sample(
+            n_requests, object_rng) - 1
+
+        lengths = object_sizes[objects].copy()
+        partial = partial_rng.random(n_requests) < cfg.partial_access_prob
+        fractions = partial_rng.uniform(cfg.partial_fraction_lo,
+                                        cfg.partial_fraction_hi,
+                                        size=n_requests)
+        lengths[partial] *= fractions[partial]
+        lengths = np.minimum(lengths, duration - starts)
+
+        trace = Trace(
+            clients=_stored_client_table(cfg.n_clients),
+            client_index=clients,
+            object_id=objects,
+            start=starts,
+            duration=lengths,
+            bandwidth_bps=np.full(n_requests, cfg.encoding_rate_bps),
+            extent=duration,
+        )
+        return StoredMediaWorkload(trace=trace, object_sizes=object_sizes)

@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+Subcommands mirror the library's three faces plus the experiment harness:
+
+* ``repro simulate`` — run the live-show scenario, write a trace.
+* ``repro characterize`` — three-layer characterization report of a trace.
+* ``repro calibrate`` — fit the Table 2 model from a trace, write JSON.
+* ``repro generate`` — GISMO-live synthesis from a model (or defaults).
+* ``repro replay`` — replay a trace against the server with admission
+  control.
+* ``repro experiments`` — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.calibrate import calibrate_model
+from .core.characterize import characterize
+from .core.gismo import LiveWorkloadGenerator
+from .core.model import LiveWorkloadModel
+from .core.report import render_report
+from .simulation.population import PopulationConfig
+from .simulation.replay import replay_trace
+from .simulation.scenario import LiveShowScenario, ScenarioConfig
+from .simulation.server import ServerConfig
+from .trace.sanitize import sanitize_trace
+from .trace.store import Trace
+from .trace.wms_log import write_wms_log
+from .units import DEFAULT_SESSION_TIMEOUT
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Hierarchical Characterization of a "
+                    "Live Streaming Media Workload' (IMC 2002)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate",
+                         help="simulate the live-show world into a trace")
+    sim.add_argument("--days", type=float, default=28.0,
+                     help="trace length in days (default: 28)")
+    sim.add_argument("--rate", type=float, default=0.05,
+                     help="mean session arrival rate per second "
+                          "(default: 0.05; the paper's trace: ~0.62)")
+    sim.add_argument("--clients", type=int, default=50_000,
+                     help="population size (default: 50000)")
+    sim.add_argument("--seed", type=int, default=None, help="random seed")
+    sim.add_argument("--out", type=Path, required=True,
+                     help="output .npz trace path")
+    sim.add_argument("--wms-log", type=Path, default=None,
+                     help="also write a Windows-Media-Server-style log")
+
+    cha = sub.add_parser("characterize",
+                         help="three-layer characterization of a trace")
+    cha.add_argument("trace", type=Path, help=".npz trace path")
+    cha.add_argument("--timeout", type=float,
+                     default=DEFAULT_SESSION_TIMEOUT,
+                     help="session timeout T_o in seconds (default: 1500)")
+    cha.add_argument("--no-sanitize", action="store_true",
+                     help="skip the Section 2.4 sanitization pass")
+
+    cal = sub.add_parser("calibrate",
+                         help="fit the Table 2 generative model from a trace")
+    cal.add_argument("trace", type=Path, help=".npz trace path")
+    cal.add_argument("--timeout", type=float,
+                     default=DEFAULT_SESSION_TIMEOUT,
+                     help="session timeout T_o in seconds (default: 1500)")
+    cal.add_argument("--out", type=Path, required=True,
+                     help="output model JSON path")
+
+    gen = sub.add_parser("generate",
+                         help="GISMO-live synthetic workload generation")
+    gen.add_argument("--model", type=Path, default=None,
+                     help="model JSON (default: the paper's Table 2 "
+                          "parameters)")
+    gen.add_argument("--days", type=float, default=7.0,
+                     help="workload length in days (default: 7)")
+    gen.add_argument("--rate", type=float, default=0.05,
+                     help="mean session rate when using default model")
+    gen.add_argument("--seed", type=int, default=None, help="random seed")
+    gen.add_argument("--out", type=Path, required=True,
+                     help="output .npz trace path")
+
+    rep = sub.add_parser("replay",
+                         help="replay a trace against the unicast server")
+    rep.add_argument("trace", type=Path, help=".npz trace path")
+    rep.add_argument("--max-concurrent", type=int, default=None,
+                     help="admission-control limit (default: unlimited)")
+
+    exp = sub.add_parser("experiments",
+                         help="regenerate the paper's tables and figures")
+    exp.add_argument("ids", nargs="*",
+                     help="experiment ids to run (default: all)")
+    exp.add_argument("--out", type=Path, default=None,
+                     help="also write the rendered output to this file")
+
+    figs = sub.add_parser("figures",
+                          help="export figure data (.dat + gnuplot scripts)")
+    figs.add_argument("ids", nargs="*",
+                      help="experiment ids to export (default: all)")
+    figs.add_argument("--outdir", type=Path, required=True,
+                      help="directory for the exported files")
+
+    val = sub.add_parser("validate",
+                         help="compare two traces through the calibration "
+                              "lens (generator fidelity)")
+    val.add_argument("reference", type=Path,
+                     help=".npz trace being imitated")
+    val.add_argument("candidate", type=Path, help=".npz trace under test")
+    val.add_argument("--rtol", type=float, default=0.2,
+                     help="max relative error per Table 2 parameter")
+    val.add_argument("--ks-max", type=float, default=0.1,
+                     help="max two-sample KS on transfer lengths")
+    val.add_argument("--corr-min", type=float, default=0.9,
+                     help="min diurnal-profile correlation")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        days=args.days, mean_session_rate=args.rate,
+        population=PopulationConfig(n_clients=args.clients))
+    result = LiveShowScenario(config).run(args.seed)
+    result.trace.save_npz(args.out)
+    print(f"wrote {result.trace.n_transfers} transfers "
+          f"({result.n_sessions} sessions, "
+          f"{result.trace.n_clients} clients) to {args.out}")
+    if args.wms_log is not None:
+        entries = write_wms_log(result.trace, args.wms_log)
+        print(f"wrote {entries} log entries to {args.wms_log}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    trace = Trace.load_npz(args.trace)
+    if not args.no_sanitize:
+        trace, report = sanitize_trace(trace)
+        if report.n_removed:
+            print(f"sanitization removed {report.n_removed} entries "
+                  f"({report.n_spanning} spanning, "
+                  f"{report.n_out_of_window} out of window, "
+                  f"{report.n_degenerate} degenerate)")
+    print(render_report(characterize(trace, timeout=args.timeout)))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    trace = Trace.load_npz(args.trace)
+    trace, _ = sanitize_trace(trace)
+    result = calibrate_model(trace, timeout=args.timeout)
+    args.out.write_text(json.dumps(result.model.to_dict(), indent=2))
+    print(f"wrote model to {args.out}")
+    print(f"  interest alpha        {result.model.interest_alpha:.4f}")
+    print(f"  transfers/session     {result.model.transfers_alpha:.4f}")
+    print(f"  gap lognormal         mu={result.model.gap_log_mu:.3f} "
+          f"sigma={result.model.gap_log_sigma:.3f}")
+    print(f"  length lognormal      mu={result.model.length_log_mu:.3f} "
+          f"sigma={result.model.length_log_sigma:.3f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model is not None:
+        model = LiveWorkloadModel.from_dict(
+            json.loads(args.model.read_text()))
+    else:
+        model = LiveWorkloadModel.paper_defaults(
+            mean_session_rate=args.rate)
+    workload = LiveWorkloadGenerator(model).generate(args.days, args.seed)
+    workload.trace.save_npz(args.out)
+    print(f"generated {workload.trace.n_transfers} transfers in "
+          f"{workload.n_sessions} sessions over {args.days} days "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = Trace.load_npz(args.trace)
+    config = ServerConfig(max_concurrent=args.max_concurrent)
+    result = replay_trace(trace, config=config)
+    print(f"requests:          {result.n_requests}")
+    print(f"served:            {result.n_served}")
+    print(f"rejected:          {result.n_rejected} "
+          f"({result.rejection_rate * 100:.2f}%)")
+    print(f"peak concurrency:  {result.peak_concurrency}")
+    print(f"bytes served:      {result.bytes_served:.3e}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import ALL_EXPERIMENTS, run_all, summary_line
+
+    names = tuple(args.ids) if args.ids else ALL_EXPERIMENTS
+    chunks: list[str] = []
+
+    def echo(text: str) -> None:
+        chunks.append(text)
+        print(text)
+
+    results = run_all(names, echo=echo)
+    summary = summary_line(results)
+    chunks.append(summary)
+    print(summary)
+    if args.out is not None:
+        args.out.write_text("\n".join(chunks) + "\n")
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments.export import export_all
+    from .experiments.runner import ALL_EXPERIMENTS
+
+    names = tuple(args.ids) if args.ids else ALL_EXPERIMENTS
+    exported = export_all(args.outdir, names)
+    total = sum(len(files) for files in exported.values())
+    print(f"exported {total} files for {len(exported)} experiments "
+          f"to {args.outdir}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .core.validate import compare_workloads
+
+    reference = Trace.load_npz(args.reference)
+    candidate = Trace.load_npz(args.candidate)
+    report = compare_workloads(reference, candidate)
+    print(f"comparing {args.candidate} against {args.reference}:")
+    for line in report.summary_lines():
+        print(line)
+    ok = report.within(rtol=args.rtol, ks_max=args.ks_max,
+                       corr_min=args.corr_min)
+    print("verdict:", "FAITHFUL" if ok else "NOT FAITHFUL",
+          f"(rtol={args.rtol}, ks_max={args.ks_max}, "
+          f"corr_min={args.corr_min})")
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "characterize": _cmd_characterize,
+    "calibrate": _cmd_calibrate,
+    "generate": _cmd_generate,
+    "replay": _cmd_replay,
+    "experiments": _cmd_experiments,
+    "figures": _cmd_figures,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

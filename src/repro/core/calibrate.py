@@ -1,0 +1,189 @@
+"""Model calibration: fit a :class:`LiveWorkloadModel` from a trace.
+
+This closes the paper's loop: Sections 3-5 characterize the trace, Table 2
+retains the subset of variables needed for synthesis, and Section 6 feeds
+them to GISMO.  :func:`calibrate_model` performs the Table 2 extraction
+directly — sessionize, fit each retained distribution, assemble the model —
+so a downstream user can go from *any* live-media trace to a matching
+synthetic generator in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FittingError
+from ..trace.store import Trace
+from ..units import DAY, DEFAULT_SESSION_TIMEOUT, FIFTEEN_MINUTES, log_display_time
+from ..distributions.exponential import ExponentialDistribution
+from ..distributions.fitting import (
+    DiurnalFit,
+    ZipfFit,
+    fit_diurnal_profile,
+    fit_exponential,
+    fit_lognormal,
+    fit_zipf_pmf,
+    fit_zipf_rank,
+)
+from ..distributions.lognormal import LognormalDistribution
+from .model import LiveWorkloadModel
+from .sessionizer import Sessions, sessionize
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A fitted model plus the individual fits it was assembled from.
+
+    Attributes
+    ----------
+    model:
+        The assembled :class:`LiveWorkloadModel`.
+    diurnal_fit:
+        Arrival-rate profile fit (Table 2: mean client arrival rate).
+    interest_fit:
+        Sessions-per-client Zipf fit (Table 2: client interest profile).
+    transfers_fit:
+        Transfers-per-session Zipf fit.
+    gap_fit:
+        Intra-session interarrival lognormal fit.
+    length_fit:
+        Transfer-length lognormal fit.
+    session_on_fit:
+        Session ON lognormal fit (characterized but *not* retained by
+        Table 2 — it is implied by the other variables).
+    session_off_fit:
+        Session OFF exponential fit (likewise redundant in the generative
+        model; ``None`` when no client has two sessions).
+    """
+
+    model: LiveWorkloadModel
+    diurnal_fit: DiurnalFit
+    interest_fit: ZipfFit
+    transfers_fit: ZipfFit
+    gap_fit: LognormalDistribution
+    length_fit: LognormalDistribution
+    session_on_fit: LognormalDistribution
+    session_off_fit: ExponentialDistribution | None
+
+
+def calibrate_model(trace: Trace, *,
+                    timeout: float = DEFAULT_SESSION_TIMEOUT,
+                    sessions: Sessions | None = None,
+                    arrival_window: float = FIFTEEN_MINUTES,
+                    diurnal_bins: int = 96,
+                    arrival_period: str = "day",
+                    include_bandwidth: bool = True) -> CalibrationResult:
+    """Fit the Table 2 generative model from ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        A sanitized trace.
+    timeout:
+        Session timeout ``T_o`` used for sessionization.
+    sessions:
+        Optionally pass a precomputed sessionization (must match
+        ``timeout``).
+    arrival_window:
+        Stationarity window of the resulting arrival process.
+    diurnal_bins:
+        Bins per *day* of the fitted arrival profile (scaled by seven
+        when fitting a weekly profile).
+    arrival_period:
+        ``"day"`` fits the Table 2 daily profile; ``"week"`` fits a
+        weekly profile instead, which additionally captures day-of-week
+        structure and one-off weekly events (see the flash-crowd
+        experiment for why that matters for planning).
+    include_bandwidth:
+        Carry the trace's empirical bandwidth distribution into the model
+        (only transfers with positive recorded bandwidth contribute).
+
+    Raises
+    ------
+    FittingError
+        If the trace is too small to fit any retained variable.
+    """
+    if arrival_period not in ("day", "week"):
+        raise FittingError(
+            f"arrival_period must be 'day' or 'week', got {arrival_period!r}")
+    if sessions is None:
+        sessions = sessionize(trace, timeout)
+    elif sessions.timeout != timeout:
+        raise FittingError(
+            f"provided sessions used timeout {sessions.timeout}, "
+            f"expected {timeout}")
+
+    arrivals = sessions.arrival_times()
+    in_window = arrivals[(arrivals >= 0) & (arrivals < trace.extent)]
+    if arrival_period == "week":
+        period, n_bins = 7 * DAY, 7 * diurnal_bins
+        if trace.extent < period:
+            raise FittingError(
+                "a weekly arrival profile needs at least one week of trace")
+    else:
+        period, n_bins = DAY, diurnal_bins
+    diurnal = fit_diurnal_profile(in_window, trace.extent, period=period,
+                                  n_bins=n_bins,
+                                  allow_partial_coverage=True)
+
+    counts = sessions.sessions_per_client()
+    interest = fit_zipf_rank(counts[counts > 0])
+
+    tps = sessions.transfers_per_session
+    if np.unique(tps).size < 2:
+        raise FittingError(
+            "cannot fit transfers-per-session: all sessions have the same "
+            "transfer count")
+    transfers_fit = fit_zipf_pmf(tps)
+
+    intra = sessions.intra_session_interarrivals()
+    if intra.size < 2:
+        raise FittingError(
+            "cannot fit intra-session interarrivals: need sessions with "
+            "at least two transfers")
+    gap_fit = fit_lognormal(log_display_time(np.maximum(intra, 0.0)))
+
+    length_fit = fit_lognormal(log_display_time(trace.duration))
+
+    session_on_fit = fit_lognormal(log_display_time(sessions.on_times()))
+    off_times = sessions.off_times()
+    session_off_fit = (fit_exponential(off_times)
+                       if off_times.size >= 2 else None)
+
+    n_clients = int(np.unique(trace.client_index).size)
+    # Feed ids are indices, so the feed count is max id + 1 (some ids may
+    # never appear in a sparse catalogue).
+    n_feeds = int(trace.object_id.max()) + 1 if len(trace) else 1
+    feed_counts = np.bincount(trace.object_id, minlength=n_feeds
+                              ).astype(np.float64)
+    feed_counts[feed_counts <= 0] = 1.0  # feeds never observed get a floor
+    model = LiveWorkloadModel(
+        arrival_profile=diurnal.profile,
+        arrival_window=arrival_window,
+        n_clients=max(n_clients, 1),
+        interest_alpha=max(interest.alpha, 0.0),
+        transfers_alpha=max(transfers_fit.alpha, 1.000001),
+        gap_log_mu=gap_fit.mu,
+        gap_log_sigma=gap_fit.sigma,
+        length_log_mu=length_fit.mu,
+        length_log_sigma=length_fit.sigma,
+        n_feeds=n_feeds,
+        feed_preference=tuple(feed_counts / feed_counts.sum()),
+    )
+    if include_bandwidth:
+        positive = trace.bandwidth_bps[trace.bandwidth_bps > 0]
+        if positive.size:
+            model = model.with_bandwidth(positive)
+
+    return CalibrationResult(
+        model=model,
+        diurnal_fit=diurnal,
+        interest_fit=interest,
+        transfers_fit=transfers_fit,
+        gap_fit=gap_fit,
+        length_fit=length_fit,
+        session_on_fit=session_on_fit,
+        session_off_fit=session_off_fit,
+    )

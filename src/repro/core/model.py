@@ -1,0 +1,240 @@
+"""The generative model for live media workloads (Table 2).
+
+Section 6 of the paper distills the characterization into the minimal
+variable set needed to synthesize live workloads:
+
+=============================  =====================  ======================
+Variable                       Distribution           Paper's parameters
+=============================  =====================  ======================
+Mean client arrival rate f(t)  Periodic over 24 h     Figure 4
+Client arrival process         Piecewise Poisson      rate = f(t)
+Client interest profile        Zipf                   alpha = 0.4704
+Transfers per session          Zipf                   alpha = 2.7042
+Intra-session interarrivals    Lognormal              mu 4.900, sigma 1.321
+Transfer length                Lognormal              mu 4.384, sigma 1.427
+=============================  =====================  ======================
+
+:class:`LiveWorkloadModel` is that table as a value object, plus the
+auxiliary knobs a usable generator needs (population size, feed count,
+optional bandwidth distribution).  It can be written by hand, built from
+the paper's defaults (:meth:`LiveWorkloadModel.paper_defaults`), or fitted
+from a trace (:func:`repro.core.calibrate.calibrate_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import DAY, FIFTEEN_MINUTES
+from ..distributions.diurnal import REALITY_SHOW_HOURLY_SHAPE, DiurnalProfile
+from ..distributions.empirical import EmpiricalDistribution
+from ..distributions.lognormal import LognormalDistribution
+from ..distributions.piecewise_poisson import PiecewiseStationaryPoissonProcess
+from ..distributions.zipf import ZetaDistribution, ZipfLaw
+from ..simulation.viewer import SessionBehavior
+
+#: Number of quantiles kept when serializing an empirical bandwidth model.
+_BANDWIDTH_QUANTILES = 512
+
+
+@dataclass(frozen=True)
+class LiveWorkloadModel:
+    """Parameter set of the live-media generative model.
+
+    Attributes
+    ----------
+    arrival_profile:
+        Periodic mean arrival-rate profile ``f(t)`` (sessions per second).
+        Table 2 fixes the period at one day; a one-week period is also
+        accepted — the event-aware extension that lets the model carry
+        weekly events such as a finale (the daily profile structurally
+        averages them away; see the ``ext_flashcrowd`` experiment).
+    arrival_window:
+        Stationarity window of the piecewise Poisson process (the paper:
+        15 minutes).
+    n_clients:
+        Size of the client population sessions are attributed to.
+    interest_alpha:
+        Zipf exponent of the client interest profile.
+    transfers_alpha, transfers_k_max:
+        Zipf exponent (and truncation) of transfers per session.
+    gap_log_mu, gap_log_sigma:
+        Lognormal parameters of intra-session transfer interarrivals.
+    length_log_mu, length_log_sigma:
+        Lognormal parameters of transfer lengths.
+    n_feeds, feed_switch_prob, feed_preference:
+        Live-object structure (two feeds in the paper's trace).
+    bandwidth_quantiles:
+        Optional empirical bandwidth distribution, stored as evenly spaced
+        quantiles; ``None`` generates zero-bandwidth workloads.
+    """
+
+    arrival_profile: DiurnalProfile
+    arrival_window: float = FIFTEEN_MINUTES
+    n_clients: int = 50_000
+    interest_alpha: float = 0.4704
+    transfers_alpha: float = 2.70417
+    transfers_k_max: int = 10_000
+    gap_log_mu: float = 4.89991
+    gap_log_sigma: float = 1.32074
+    length_log_mu: float = 4.383921
+    length_log_sigma: float = 1.427247
+    n_feeds: int = 2
+    feed_switch_prob: float = 0.25
+    feed_preference: tuple[float, ...] = (0.6, 0.4)
+    bandwidth_quantiles: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        period = self.arrival_profile.period
+        if abs(period - DAY) > 1e-6 and abs(period - 7 * DAY) > 1e-6:
+            raise ConfigError(
+                "the model's arrival profile must have a one-day period "
+                "(Table 2: periodic over p = 24 hours) or a one-week "
+                "period (the event-aware extension; see the flash-crowd "
+                "experiment)")
+        if self.n_clients < 1:
+            raise ConfigError(f"n_clients must be positive, got {self.n_clients}")
+        if self.arrival_window <= 0:
+            raise ConfigError("arrival_window must be positive")
+        # Delegate the remaining validation to the component constructors.
+        self.behavior()
+        self.interest_law()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_defaults(cls, *, mean_session_rate: float = 0.05,
+                       n_clients: int = 50_000) -> "LiveWorkloadModel":
+        """The paper's Table 2 parameters with the default diurnal shape.
+
+        Parameters
+        ----------
+        mean_session_rate:
+            Time-averaged session arrival rate (the paper's trace: ~0.62/s;
+            scale to taste).
+        n_clients:
+            Population size for the interest profile.
+        """
+        profile = DiurnalProfile(
+            np.asarray(REALITY_SHOW_HOURLY_SHAPE, dtype=np.float64),
+            period=DAY).scaled_to_mean(mean_session_rate)
+        return cls(arrival_profile=profile, n_clients=n_clients)
+
+    # ------------------------------------------------------------------
+    # Component views
+    # ------------------------------------------------------------------
+    def arrival_process(self) -> PiecewiseStationaryPoissonProcess:
+        """The client arrival process keyed to ``arrival_profile``."""
+        return PiecewiseStationaryPoissonProcess(
+            self.arrival_profile, window=self.arrival_window)
+
+    def interest_law(self) -> ZipfLaw:
+        """The client interest profile over the population."""
+        return ZipfLaw(self.interest_alpha, self.n_clients)
+
+    def behavior(self) -> SessionBehavior:
+        """Session behaviour parameters as consumed by the generator."""
+        return SessionBehavior(
+            transfers_alpha=self.transfers_alpha,
+            transfers_k_max=self.transfers_k_max,
+            gap_log_mu=self.gap_log_mu,
+            gap_log_sigma=self.gap_log_sigma,
+            length_log_mu=self.length_log_mu,
+            length_log_sigma=self.length_log_sigma,
+            n_feeds=self.n_feeds,
+            feed_switch_prob=self.feed_switch_prob,
+            feed_preference=self.feed_preference,
+        )
+
+    def transfers_per_session_law(self) -> ZetaDistribution:
+        """The transfers-per-session distribution."""
+        return self.behavior().transfers_per_session_law()
+
+    def gap_law(self) -> LognormalDistribution:
+        """The intra-session transfer-interarrival distribution."""
+        return self.behavior().gap_law()
+
+    def length_law(self) -> LognormalDistribution:
+        """The transfer-length distribution."""
+        return self.behavior().length_law()
+
+    def bandwidth_law(self) -> EmpiricalDistribution | None:
+        """The empirical bandwidth distribution, if calibrated."""
+        if self.bandwidth_quantiles is None:
+            return None
+        return EmpiricalDistribution(np.asarray(self.bandwidth_quantiles))
+
+    def expected_sessions(self, days: float) -> float:
+        """Expected session count over ``days`` days."""
+        if days < 0:
+            raise ConfigError("days must be non-negative")
+        return self.arrival_profile.expected_count(days * DAY)
+
+    def with_bandwidth(self, bandwidths) -> "LiveWorkloadModel":
+        """Return a copy carrying an empirical bandwidth distribution."""
+        sample = np.asarray(bandwidths, dtype=np.float64)
+        if sample.size == 0:
+            raise ConfigError("bandwidth sample must be non-empty")
+        probs = (np.arange(_BANDWIDTH_QUANTILES) + 0.5) / _BANDWIDTH_QUANTILES
+        quantiles = tuple(float(q) for q in np.quantile(sample, probs))
+        return replace(self, bandwidth_quantiles=quantiles)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "arrival_profile_bin_rates": [
+                float(r) for r in self.arrival_profile.bin_rates],
+            "arrival_profile_period": self.arrival_profile.period,
+            "arrival_window": self.arrival_window,
+            "n_clients": self.n_clients,
+            "interest_alpha": self.interest_alpha,
+            "transfers_alpha": self.transfers_alpha,
+            "transfers_k_max": self.transfers_k_max,
+            "gap_log_mu": self.gap_log_mu,
+            "gap_log_sigma": self.gap_log_sigma,
+            "length_log_mu": self.length_log_mu,
+            "length_log_sigma": self.length_log_sigma,
+            "n_feeds": self.n_feeds,
+            "feed_switch_prob": self.feed_switch_prob,
+            "feed_preference": list(self.feed_preference),
+            "bandwidth_quantiles": (
+                None if self.bandwidth_quantiles is None
+                else list(self.bandwidth_quantiles)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LiveWorkloadModel":
+        """Reconstruct a model serialized by :meth:`to_dict`."""
+        try:
+            profile = DiurnalProfile(
+                data["arrival_profile_bin_rates"],
+                period=float(data.get("arrival_profile_period", DAY)))
+            bandwidth = data.get("bandwidth_quantiles")
+            return cls(
+                arrival_profile=profile,
+                arrival_window=float(data["arrival_window"]),
+                n_clients=int(data["n_clients"]),
+                interest_alpha=float(data["interest_alpha"]),
+                transfers_alpha=float(data["transfers_alpha"]),
+                transfers_k_max=int(data["transfers_k_max"]),
+                gap_log_mu=float(data["gap_log_mu"]),
+                gap_log_sigma=float(data["gap_log_sigma"]),
+                length_log_mu=float(data["length_log_mu"]),
+                length_log_sigma=float(data["length_log_sigma"]),
+                n_feeds=int(data["n_feeds"]),
+                feed_switch_prob=float(data["feed_switch_prob"]),
+                feed_preference=tuple(float(w)
+                                      for w in data["feed_preference"]),
+                bandwidth_quantiles=(None if bandwidth is None
+                                     else tuple(float(q) for q in bandwidth)),
+            )
+        except KeyError as exc:
+            raise ConfigError(f"model dictionary missing key: {exc}") from exc

@@ -1,0 +1,158 @@
+"""Transfer-layer characterization (Section 5 of the paper).
+
+Covers: the number of concurrent transfers (Figures 15, 16), transfer
+interarrival times with their two-regime heavy tail (Figures 17, 18),
+transfer lengths — client stickiness — with their lognormal fit
+(Figure 19), and the bimodal transfer bandwidth (Figure 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import FloatArray
+from ..analysis.concurrency import mean_concurrency_bins, sampled_concurrency
+from ..errors import FittingError
+from ..analysis.timeseries import binned_mean_of_events, fold_series
+from ..trace.store import Trace
+from ..units import DAY, FIFTEEN_MINUTES, MINUTE, WEEK, log_display_time
+from ..distributions.fitting import (
+    TwoRegimeTailFit,
+    fit_lognormal,
+    fit_two_regime_tail,
+)
+from ..distributions.goodness import GoodnessOfFit, evaluate_fit
+from ..distributions.lognormal import LognormalDistribution
+
+#: Bandwidths below this many bits/second count as congestion bound — well
+#: under the slowest access tier once protocol efficiency is accounted for.
+CONGESTION_BOUND_THRESHOLD_BPS = 24_000.0
+
+
+@dataclass(frozen=True)
+class TransferLayerCharacterization:
+    """All transfer-layer measurements and fits.
+
+    Attributes
+    ----------
+    concurrency_samples, concurrency_step:
+        Concurrent-transfer counts sampled on a regular grid (Figure 15).
+    concurrency_bins, weekly_fold, daily_fold:
+        Mean concurrent transfers per 15-minute bin and its periodic folds
+        (Figure 16).
+    interarrivals:
+        Transfer interarrival times ``a(j)`` across all clients
+        (Figure 17).
+    interarrival_tail:
+        Two-regime tail fit of the interarrivals (the paper: index ~2.8 up
+        to ~100 s, ~1 beyond).
+    interarrival_bins, interarrival_weekly, interarrival_daily:
+        Mean interarrival per 15-minute bin and folds (Figure 18).
+    lengths:
+        Transfer lengths ``l(j)`` (Figure 19).
+    length_fit:
+        Lognormal fit (the paper: mu 4.383921, sigma 1.427247).
+    length_gof:
+        KS goodness of the length fit.
+    bandwidths:
+        Per-transfer average bandwidth in bits/second (Figure 20).
+    congestion_bound_fraction:
+        Fraction of transfers below
+        :data:`CONGESTION_BOUND_THRESHOLD_BPS` (the paper: ~10%).
+    """
+
+    concurrency_samples: FloatArray = field(repr=False)
+    concurrency_step: float = field(repr=False, default=MINUTE)
+    concurrency_bins: FloatArray = field(repr=False, default=None)
+    weekly_fold: FloatArray = field(repr=False, default=None)
+    daily_fold: FloatArray = field(repr=False, default=None)
+    interarrivals: FloatArray = field(repr=False, default=None)
+    interarrival_tail: TwoRegimeTailFit | None = None
+    interarrival_bins: FloatArray = field(repr=False, default=None)
+    interarrival_weekly: FloatArray = field(repr=False, default=None)
+    interarrival_daily: FloatArray = field(repr=False, default=None)
+    lengths: FloatArray = field(repr=False, default=None)
+    length_fit: LognormalDistribution = None
+    length_gof: GoodnessOfFit = None
+    bandwidths: FloatArray = field(repr=False, default=None)
+    congestion_bound_fraction: float = 0.0
+
+
+def characterize_transfer_layer(trace: Trace, *,
+                                concurrency_step: float = MINUTE,
+                                bin_width: float = FIFTEEN_MINUTES,
+                                tail_breakpoint: float = 100.0
+                                ) -> TransferLayerCharacterization:
+    """Run the full Section 5 characterization over a trace.
+
+    Parameters
+    ----------
+    trace:
+        The sanitized trace (transfers sorted by start time).
+    concurrency_step:
+        Sampling period of the concurrent-transfer samples.
+    bin_width:
+        Aggregation bin for the temporal profiles (the paper: 15 minutes).
+    tail_breakpoint:
+        Crossover point separating the two interarrival tail regimes
+        (the paper reads 100 s off Figure 17).
+    """
+    extent = trace.extent
+    starts = trace.start
+    ends = np.minimum(trace.end, extent)
+
+    samples = sampled_concurrency(starts, ends, extent=extent,
+                                  step=concurrency_step)
+    bins = mean_concurrency_bins(starts, ends, extent=extent,
+                                 bin_width=bin_width)
+    weekly = fold_series(bins, bin_width=bin_width, period=WEEK)
+    daily = fold_series(bins, bin_width=bin_width, period=DAY)
+
+    interarrivals = np.diff(starts) if starts.size >= 2 else np.empty(0)
+    tail = None
+    if interarrivals.size >= 100:
+        display = log_display_time(interarrivals)
+        try:
+            tail = fit_two_regime_tail(display, breakpoint=tail_breakpoint)
+        except FittingError:
+            # No observations beyond the breakpoint: the trace's rate never
+            # dropped low enough to produce a far-tail regime.
+            tail = None
+
+    if interarrivals.size:
+        ia_bins = binned_mean_of_events(
+            starts[1:], interarrivals, extent=extent, bin_width=bin_width)
+        ia_weekly = fold_series(ia_bins, bin_width=bin_width, period=WEEK)
+        ia_daily = fold_series(ia_bins, bin_width=bin_width, period=DAY)
+    else:
+        ia_bins = ia_weekly = ia_daily = np.empty(0)
+
+    lengths = trace.duration
+    length_display = log_display_time(lengths)
+    length_fit = fit_lognormal(length_display)
+    length_gof = evaluate_fit(length_display, length_fit)
+
+    bandwidths = trace.bandwidth_bps
+    served = bandwidths[bandwidths > 0]
+    congestion_fraction = (float(np.mean(
+        served < CONGESTION_BOUND_THRESHOLD_BPS)) if served.size else 0.0)
+
+    return TransferLayerCharacterization(
+        concurrency_samples=samples,
+        concurrency_step=concurrency_step,
+        concurrency_bins=bins,
+        weekly_fold=weekly,
+        daily_fold=daily,
+        interarrivals=interarrivals,
+        interarrival_tail=tail,
+        interarrival_bins=ia_bins,
+        interarrival_weekly=ia_weekly,
+        interarrival_daily=ia_daily,
+        lengths=lengths,
+        length_fit=length_fit,
+        length_gof=length_gof,
+        bandwidths=bandwidths,
+        congestion_bound_fraction=congestion_fraction,
+    )

@@ -1,0 +1,141 @@
+"""Workload fidelity validation: how close are two traces, statistically?
+
+The question every synthetic-workload user must answer is whether the
+generator's output matches the source workload *in the dimensions that
+matter*.  :func:`compare_workloads` runs the paper's calibration on both
+traces and reports, per retained Table 2 variable, the relative
+disagreement — plus two distributional distances the scalar parameters do
+not capture (a two-sample KS on transfer lengths, and the correlation of
+the diurnal arrival profiles).
+
+This is the machinery behind the ``selfcheck`` experiment, exposed as a
+public API so downstream generators can be held to the same standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.store import Trace
+from ..units import DEFAULT_SESSION_TIMEOUT, log_display_time
+from ..distributions.goodness import ks_two_sample
+from .calibrate import calibrate_model
+
+#: The Table 2 scalar parameters compared, as model attribute names.
+COMPARED_PARAMETERS: tuple[str, ...] = (
+    "interest_alpha",
+    "transfers_alpha",
+    "gap_log_mu",
+    "gap_log_sigma",
+    "length_log_mu",
+    "length_log_sigma",
+)
+
+
+@dataclass(frozen=True)
+class ParameterComparison:
+    """One Table 2 variable measured on both traces."""
+
+    name: str
+    value_a: float
+    value_b: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|a - b| / |a|`` (relative to the reference trace)."""
+        if self.value_a == 0:
+            return float("inf") if self.value_b != 0 else 0.0
+        return abs(self.value_a - self.value_b) / abs(self.value_a)
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """The result of :func:`compare_workloads`.
+
+    Attributes
+    ----------
+    parameters:
+        Per-variable comparison of the calibrated Table 2 parameters.
+    length_ks:
+        Two-sample KS distance between the transfer-length marginals
+        (after the ``floor(t)+1`` display convention).
+    diurnal_correlation:
+        Pearson correlation of the two fitted daily arrival profiles.
+    """
+
+    parameters: tuple[ParameterComparison, ...]
+    length_ks: float
+    diurnal_correlation: float
+
+    def worst_parameter(self) -> ParameterComparison:
+        """The Table 2 variable with the largest relative error."""
+        return max(self.parameters, key=lambda p: p.relative_error)
+
+    def within(self, *, rtol: float = 0.2, ks_max: float = 0.1,
+               corr_min: float = 0.9) -> bool:
+        """Whether trace B reproduces trace A within the given tolerances.
+
+        Parameters
+        ----------
+        rtol:
+            Maximum relative error on every Table 2 parameter.
+        ks_max:
+            Maximum two-sample KS distance on transfer lengths.
+        corr_min:
+            Minimum diurnal-profile correlation.
+        """
+        return (all(p.relative_error <= rtol for p in self.parameters)
+                and self.length_ks <= ks_max
+                and self.diurnal_correlation >= corr_min)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary, one line per metric."""
+        lines = [f"  {p.name:<24} {p.value_a:>10.4f} vs {p.value_b:>10.4f} "
+                 f"({p.relative_error * 100:5.1f}% off)"
+                 for p in self.parameters]
+        lines.append(f"  {'transfer-length KS':<24} {self.length_ks:>10.4f}")
+        lines.append(f"  {'diurnal correlation':<24} "
+                     f"{self.diurnal_correlation:>10.4f}")
+        return lines
+
+
+def compare_workloads(reference: Trace, candidate: Trace, *,
+                      timeout: float = DEFAULT_SESSION_TIMEOUT
+                      ) -> FidelityReport:
+    """Compare two traces through the paper's calibration lens.
+
+    Parameters
+    ----------
+    reference:
+        The trace being imitated (e.g. a measured workload).
+    candidate:
+        The trace under test (e.g. a generator's output).
+    timeout:
+        Session timeout used for both calibrations.
+    """
+    model_a = calibrate_model(reference, timeout=timeout,
+                              include_bandwidth=False).model
+    model_b = calibrate_model(candidate, timeout=timeout,
+                              include_bandwidth=False).model
+
+    parameters = tuple(
+        ParameterComparison(name=name,
+                            value_a=float(getattr(model_a, name)),
+                            value_b=float(getattr(model_b, name)))
+        for name in COMPARED_PARAMETERS)
+
+    length_ks = ks_two_sample(log_display_time(reference.duration),
+                              log_display_time(candidate.duration))
+
+    rates_a = model_a.arrival_profile.bin_rates
+    rates_b = model_b.arrival_profile.bin_rates
+    n = min(rates_a.size, rates_b.size)
+    if n >= 2 and rates_a[:n].std() > 0 and rates_b[:n].std() > 0:
+        correlation = float(np.corrcoef(rates_a[:n], rates_b[:n])[0, 1])
+    else:
+        correlation = 0.0
+
+    return FidelityReport(parameters=parameters, length_ks=length_ks,
+                          diurnal_correlation=correlation)

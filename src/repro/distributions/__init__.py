@@ -1,0 +1,84 @@
+"""Parametric and empirical distributions used by the workload model.
+
+The paper's generative model (Table 2) is built from a small set of
+distribution families: Zipf laws for client interest and transfers per
+session, lognormals for session ON times / transfer lengths / intra-session
+interarrivals, an exponential for session OFF times, and a non-stationary
+(piecewise-stationary) Poisson process for client arrivals.  This subpackage
+implements those families with a uniform sampling/CDF interface, plus the
+fitting routines the characterization pipeline uses to recover their
+parameters from traces.
+"""
+
+from .base import ContinuousDistribution, DiscreteDistribution, Distribution
+from .diurnal import DiurnalProfile, WeeklyProfile
+from .empirical import EmpiricalDistribution
+from .exponential import ExponentialDistribution
+from .fitting import (
+    DiurnalFit,
+    TailFit,
+    TwoRegimeTailFit,
+    ZipfFit,
+    fit_diurnal_profile,
+    fit_exponential,
+    fit_lognormal,
+    fit_tail_index,
+    fit_two_regime_tail,
+    fit_zipf_mle,
+    fit_zipf_pmf,
+    fit_zipf_rank,
+    hill_estimator,
+)
+from .goodness import (
+    GoodnessOfFit,
+    evaluate_fit,
+    ks_distance,
+    ks_statistic_table,
+    ks_two_sample,
+    qq_points,
+)
+from .lognormal import LognormalDistribution
+from .mixture import CategoricalChoice, MixtureDistribution
+from .pareto import ParetoDistribution, TwoRegimePareto
+from .piecewise_poisson import PiecewiseStationaryPoissonProcess
+from .selfsimilar import FractionalGaussianNoise, fgn_autocovariance
+from .zipf import ZetaDistribution, ZipfLaw
+
+__all__ = [
+    "CategoricalChoice",
+    "ContinuousDistribution",
+    "DiscreteDistribution",
+    "Distribution",
+    "DiurnalFit",
+    "DiurnalProfile",
+    "EmpiricalDistribution",
+    "ExponentialDistribution",
+    "FractionalGaussianNoise",
+    "GoodnessOfFit",
+    "LognormalDistribution",
+    "MixtureDistribution",
+    "ParetoDistribution",
+    "PiecewiseStationaryPoissonProcess",
+    "TailFit",
+    "TwoRegimePareto",
+    "TwoRegimeTailFit",
+    "WeeklyProfile",
+    "ZetaDistribution",
+    "ZipfFit",
+    "ZipfLaw",
+    "fgn_autocovariance",
+    "fit_diurnal_profile",
+    "fit_exponential",
+    "fit_lognormal",
+    "fit_tail_index",
+    "fit_two_regime_tail",
+    "fit_zipf_mle",
+    "fit_zipf_pmf",
+    "fit_zipf_rank",
+    "evaluate_fit",
+    "hill_estimator",
+    "ks_distance",
+    "ks_statistic_table",
+    "ks_two_sample",
+    "qq_points",
+]

@@ -1,0 +1,91 @@
+"""Common distribution interface.
+
+Every distribution exposes ``sample``, ``cdf``, ``ccdf``, ``mean`` and a
+``params`` mapping; continuous families add ``pdf`` and discrete ones add
+``pmf``.  Sampling always goes through an explicit
+:class:`numpy.random.Generator` so workload generation is reproducible
+end to end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, IntArray, SeedLike, as_float_array
+from ..rng import make_rng
+
+
+class Distribution(ABC):
+    """Abstract base for all distributions in :mod:`repro.distributions`."""
+
+    @abstractmethod
+    def sample(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``n`` independent samples.
+
+        Parameters
+        ----------
+        n:
+            Number of samples; must be non-negative.
+        seed:
+            Seed or generator; see :func:`repro.rng.make_rng`.
+        """
+
+    @abstractmethod
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        """Evaluate ``P[X <= x]`` elementwise."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Return the distribution mean (may be ``inf`` for heavy tails)."""
+
+    @abstractmethod
+    def params(self) -> dict[str, float]:
+        """Return the defining parameters as a flat mapping."""
+
+    def ccdf(self, x: ArrayLike) -> FloatArray:
+        """Evaluate ``P[X > x]`` elementwise."""
+        return 1.0 - self.cdf(x)
+
+    def _check_n(self, n: int) -> int:
+        if n < 0:
+            raise ValueError(f"sample size must be non-negative, got {n}")
+        return int(n)
+
+    def _rng(self, seed: SeedLike) -> np.random.Generator:
+        return make_rng(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v:.6g}" for k, v in self.params().items())
+        return f"{type(self).__name__}({inner})"
+
+
+class ContinuousDistribution(Distribution):
+    """A distribution over the (non-negative) reals."""
+
+    @abstractmethod
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        """Evaluate the probability density elementwise."""
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _as_array(x: ArrayLike) -> FloatArray:
+        return as_float_array(x, name="x")
+
+
+class DiscreteDistribution(Distribution):
+    """A distribution over the positive integers."""
+
+    @abstractmethod
+    def pmf(self, k: ArrayLike) -> FloatArray:
+        """Evaluate the probability mass elementwise."""
+
+    def sample(self, n: int, seed: SeedLike = None) -> IntArray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _as_array(k: ArrayLike) -> FloatArray:
+        return as_float_array(k, name="k")

@@ -1,0 +1,220 @@
+"""Periodic rate profiles (diurnal and weekly patterns).
+
+The paper finds that the client arrival process is non-stationary with a
+strongly periodic mean: diurnal patterns dominate (Figure 4 right, Figure 8)
+with a quiet window between roughly 4 am and 11 am, and a weaker weekly
+modulation (weekends slightly busier).  The generative model of Section 6
+keys a piecewise-stationary Poisson process to exactly such a periodic mean
+rate profile.
+
+:class:`DiurnalProfile` is a piecewise-constant periodic rate function;
+:class:`WeeklyProfile` composes a diurnal shape with day-of-week multipliers.
+Both expose ``rate(t)`` (vectorized) and ``period``, the interface consumed
+by :class:`repro.distributions.piecewise_poisson.PiecewiseStationaryPoissonProcess`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, as_float_array
+from ..errors import DistributionError
+from ..units import DAY, WEEK
+
+#: Relative hourly arrival-rate shape of the reality-show audience, indexed
+#: by hour of day.  Captures the paper's observations: a deep quiet window
+#: from 4 am to 11 am, a midday ramp, and a prime-time evening peak.
+REALITY_SHOW_HOURLY_SHAPE: tuple[float, ...] = (
+    0.55, 0.40, 0.30, 0.22,  # 00-03: late night decline
+    0.10, 0.07, 0.06, 0.07,  # 04-07: quiet window
+    0.09, 0.13, 0.20, 0.35,  # 08-11: morning ramp-up starts late
+    0.50, 0.55, 0.50, 0.48,  # 12-15: midday plateau
+    0.50, 0.55, 0.65, 0.80,  # 16-19: evening build-up
+    0.92, 1.00, 0.95, 0.75,  # 20-23: prime-time peak
+)
+
+#: Relative day-of-week multipliers (index 0 = Sunday).  Weekends are
+#: slightly busier, as in Figure 4 (center).
+REALITY_SHOW_WEEKDAY_SHAPE: tuple[float, ...] = (
+    1.15, 0.95, 0.95, 0.95, 0.95, 1.00, 1.20,
+)
+
+#: A deeper-trough variant of the hourly shape whose overnight rate briefly
+#: plunges to a fraction of a percent of the peak.  The paper explains the
+#: far tail of transfer interarrivals (Figure 17, index ~1 beyond 100 s) as
+#: the contribution of "unpopular time intervals"; reproducing that tail
+#: requires intervals whose arrival rate approaches zero.  Combine with
+#: :func:`repro.simulation.show.nightly_maintenance_outages` for the full
+#: two-regime structure.
+DEEP_NIGHT_HOURLY_SHAPE: tuple[float, ...] = (
+    0.50, 0.30, 0.18, 0.12,        # 00-03: late-night decline
+    0.10, 0.002, 0.0008, 0.0015,   # 04-07: plunge to a near-dead window
+    0.10, 0.15, 0.25, 0.35,        # 08-11: recovery
+    0.50, 0.55, 0.50, 0.48,        # 12-15
+    0.50, 0.55, 0.65, 0.80,        # 16-19
+    0.92, 1.00, 0.95, 0.70,        # 20-23: prime time
+)
+
+
+class DiurnalProfile:
+    """Piecewise-constant periodic rate function.
+
+    The period is divided into ``len(bin_rates)`` equal-width bins; the rate
+    at time ``t`` is the rate of the bin containing ``t mod period``.
+
+    Parameters
+    ----------
+    bin_rates:
+        Non-negative rate value per bin (events per second).
+    period:
+        Period length in seconds (default: one day).
+    """
+
+    def __init__(self, bin_rates: ArrayLike, period: float = DAY) -> None:
+        rates = as_float_array(bin_rates, name="bin_rates")
+        if rates.size == 0:
+            raise DistributionError("profile requires at least one bin")
+        if np.any(rates < 0) or not np.all(np.isfinite(rates)):
+            raise DistributionError("bin rates must be non-negative and finite")
+        if not period > 0:
+            raise DistributionError(f"period must be positive, got {period}")
+        self._rates = rates.copy()
+        self.period = float(period)
+        self.bin_width = self.period / rates.size
+
+    @classmethod
+    def constant(cls, rate: float, period: float = DAY) -> "DiurnalProfile":
+        """Build a flat (stationary) profile with the given rate."""
+        return cls([rate], period=period)
+
+    @classmethod
+    def reality_show(cls, mean_rate: float, *,
+                     period: float = DAY) -> "DiurnalProfile":
+        """Build the default reality-show diurnal shape scaled to ``mean_rate``.
+
+        Parameters
+        ----------
+        mean_rate:
+            Desired time-averaged arrival rate in events per second.
+        period:
+            Period to stretch the 24-slot hourly shape over (default 1 day).
+        """
+        shape = np.asarray(REALITY_SHOW_HOURLY_SHAPE, dtype=np.float64)
+        profile = cls(shape, period=period)
+        return profile.scaled_to_mean(mean_rate)
+
+    @property
+    def n_bins(self) -> int:
+        """Number of piecewise-constant bins in one period."""
+        return int(self._rates.size)
+
+    @property
+    def bin_rates(self) -> FloatArray:
+        """Per-bin rates (copy)."""
+        return self._rates.copy()
+
+    def rate(self, t: ArrayLike) -> FloatArray:
+        """Evaluate the rate at times ``t`` (seconds), vectorized."""
+        arr = as_float_array(t, name="t")
+        phase = np.mod(arr, self.period)
+        idx = np.minimum((phase / self.bin_width).astype(np.int64),
+                         self._rates.size - 1)
+        return self._rates[idx]
+
+    def mean_rate(self) -> float:
+        """Time-averaged rate over one period."""
+        return float(self._rates.mean())
+
+    def max_rate(self) -> float:
+        """Peak rate over one period (useful for thinning)."""
+        return float(self._rates.max())
+
+    def scaled_to_mean(self, mean_rate: float) -> "DiurnalProfile":
+        """Return a copy rescaled so the time-averaged rate is ``mean_rate``."""
+        if not mean_rate >= 0:
+            raise DistributionError(f"mean_rate must be non-negative, got {mean_rate}")
+        current = self.mean_rate()
+        if current == 0:
+            raise DistributionError("cannot rescale an all-zero profile")
+        return DiurnalProfile(self._rates * (mean_rate / current), period=self.period)
+
+    def expected_count(self, duration: float) -> float:
+        """Expected number of events in ``[0, duration)``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        full_periods, remainder = divmod(duration, self.period)
+        count = full_periods * self._rates.sum() * self.bin_width
+        # Partial period: full bins plus a fraction of the straddled bin.
+        full_bins = int(remainder // self.bin_width)
+        count += self._rates[:full_bins].sum() * self.bin_width
+        frac = remainder - full_bins * self.bin_width
+        if frac > 0 and full_bins < self._rates.size:
+            count += self._rates[full_bins] * frac
+        return float(count)
+
+
+class WeeklyProfile:
+    """Diurnal shape modulated by day-of-week multipliers.
+
+    ``rate(t) = daily.rate(t) * day_weights[day_of_week(t)]`` with day 0
+    being the day containing ``t = 0`` (conventionally a Sunday in this
+    library's scenarios, matching the paper's figures which start on a
+    Sunday).
+
+    Parameters
+    ----------
+    daily:
+        The within-day profile; its period must be one day.
+    day_weights:
+        Seven non-negative multipliers.
+    """
+
+    def __init__(self, daily: DiurnalProfile, day_weights: ArrayLike) -> None:
+        weights = as_float_array(day_weights, name="day_weights")
+        if weights.size != 7:
+            raise DistributionError(
+                f"day_weights must have exactly 7 entries, got {weights.size}")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise DistributionError("day weights must be non-negative and finite")
+        if abs(daily.period - DAY) > 1e-9:
+            raise DistributionError(
+                "the daily profile of a WeeklyProfile must have a one-day period")
+        self.daily = daily
+        self._day_weights = weights.copy()
+        self.period = WEEK
+
+    @classmethod
+    def reality_show(cls, mean_rate: float) -> "WeeklyProfile":
+        """Default weekly reality-show audience profile scaled to ``mean_rate``."""
+        daily = DiurnalProfile(
+            np.asarray(REALITY_SHOW_HOURLY_SHAPE, dtype=np.float64), period=DAY)
+        profile = cls(daily, REALITY_SHOW_WEEKDAY_SHAPE)
+        return profile.scaled_to_mean(mean_rate)
+
+    @property
+    def day_weights(self) -> FloatArray:
+        """The seven day-of-week multipliers (copy)."""
+        return self._day_weights.copy()
+
+    def rate(self, t: ArrayLike) -> FloatArray:
+        """Evaluate the rate at times ``t`` (seconds), vectorized."""
+        arr = as_float_array(t, name="t")
+        day_idx = (np.mod(arr, WEEK) // DAY).astype(np.int64)
+        return self.daily.rate(arr) * self._day_weights[day_idx]
+
+    def mean_rate(self) -> float:
+        """Time-averaged rate over one week."""
+        return self.daily.mean_rate() * float(self._day_weights.mean())
+
+    def max_rate(self) -> float:
+        """Peak rate over one week."""
+        return self.daily.max_rate() * float(self._day_weights.max())
+
+    def scaled_to_mean(self, mean_rate: float) -> "WeeklyProfile":
+        """Return a copy rescaled so the weekly mean rate is ``mean_rate``."""
+        current = self.mean_rate()
+        if current == 0:
+            raise DistributionError("cannot rescale an all-zero profile")
+        scale = mean_rate / current
+        daily = DiurnalProfile(self.daily.bin_rates * scale, period=self.daily.period)
+        return WeeklyProfile(daily, self._day_weights)

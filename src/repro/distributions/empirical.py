@@ -1,0 +1,78 @@
+"""Empirical distribution built from observed samples.
+
+Used wherever the generative model keeps an observed marginal rather than a
+parametric fit — e.g. the transfer-bandwidth distribution of Figure 20 can be
+carried into GISMO-live as an empirical distribution when the parametric
+bimodal mixture is not wanted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, SeedLike, as_float_array
+from ..errors import DistributionError
+from .base import ContinuousDistribution
+
+
+class EmpiricalDistribution(ContinuousDistribution):
+    """Distribution defined by a finite sample (resampling / ECDF).
+
+    ``sample`` draws with replacement from the stored values; ``cdf`` is the
+    right-continuous empirical CDF.
+
+    Parameters
+    ----------
+    values:
+        Observed sample; must be non-empty and finite.
+    """
+
+    def __init__(self, values: ArrayLike) -> None:
+        arr = as_float_array(values, name="values")
+        if arr.size == 0:
+            raise DistributionError("empirical distribution requires a non-empty sample")
+        if not np.all(np.isfinite(arr)):
+            raise DistributionError("empirical sample must be finite")
+        self._sorted = np.sort(arr)
+
+    @property
+    def size(self) -> int:
+        """Number of stored sample points."""
+        return int(self._sorted.size)
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        idx = rng.integers(0, self._sorted.size, size=n)
+        return self._sorted[idx]
+
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        counts = np.searchsorted(self._sorted, arr, side="right")
+        return counts / self._sorted.size
+
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        """Approximate density via a histogram with Sturges binning.
+
+        The empirical distribution has no true density; this is provided for
+        diagnostic plotting only.
+        """
+        arr = self._as_array(x)
+        hist, edges = np.histogram(self._sorted, bins="sturges", density=True)
+        idx = np.clip(np.searchsorted(edges, arr, side="right") - 1, 0, len(hist) - 1)
+        out = hist[idx]
+        out[(arr < edges[0]) | (arr > edges[-1])] = 0.0
+        return out
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def quantile(self, q: ArrayLike) -> FloatArray:
+        """Return empirical quantiles for probabilities ``q`` in [0, 1]."""
+        return np.quantile(self._sorted, self._as_array(q))
+
+    def params(self) -> dict[str, float]:
+        return {"n": float(self._sorted.size),
+                "mean": float(self._sorted.mean()),
+                "min": float(self._sorted[0]),
+                "max": float(self._sorted[-1])}

@@ -1,0 +1,82 @@
+"""Lognormal distribution.
+
+The paper fits lognormals to three workload variables: session ON times
+(Figure 11, mu = 5.23553, sigma = 1.54432), intra-session transfer
+interarrivals (Figure 14, mu = 4.89991, sigma = 1.32074), and transfer
+lengths (Figure 19, mu = 4.383921, sigma = 1.427247).  Parameters are those
+of the underlying normal in natural-log space, matching the paper's
+convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf
+
+from .._typing import ArrayLike, FloatArray, SeedLike
+from ..errors import DistributionError
+from .base import ContinuousDistribution
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+class LognormalDistribution(ContinuousDistribution):
+    """Lognormal with log-space mean ``mu`` and log-space std ``sigma``.
+
+    ``X = exp(mu + sigma * Z)`` for standard normal ``Z``.
+
+    Parameters
+    ----------
+    mu:
+        Mean of ``log(X)``.
+    sigma:
+        Standard deviation of ``log(X)``; must be positive.
+    """
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if not math.isfinite(mu):
+            raise DistributionError(f"mu must be finite, got {mu}")
+        if not (sigma > 0 and math.isfinite(sigma)):
+            raise DistributionError(f"sigma must be positive and finite, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        return rng.lognormal(mean=self.mu, sigma=self.sigma, size=n)
+
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        pos = arr > 0
+        xp = arr[pos]
+        z = (np.log(xp) - self.mu) / self.sigma
+        out[pos] = np.exp(-0.5 * z * z) / (xp * self.sigma * _SQRT2PI)
+        return out
+
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        pos = arr > 0
+        z = (np.log(arr[pos]) - self.mu) / (self.sigma * _SQRT2)
+        out[pos] = 0.5 * (1.0 + erf(z))
+        return out
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def median(self) -> float:
+        """Return the distribution median ``exp(mu)``."""
+        return math.exp(self.mu)
+
+    def variance(self) -> float:
+        """Return the distribution variance."""
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    def params(self) -> dict[str, float]:
+        return {"mu": self.mu, "sigma": self.sigma}

@@ -1,0 +1,172 @@
+"""Finite mixtures and categorical choices.
+
+The transfer-bandwidth distribution of the paper (Figure 20) is explicitly
+bimodal: sharp client-bound spikes at the common access-link speeds (modem
+tiers, DSL, cable) plus a diffuse congestion-bound mode at low bandwidths
+covering roughly 10% of transfers.  :class:`MixtureDistribution` composes
+that shape from simpler components, and :class:`CategoricalChoice` models the
+discrete access-speed spikes themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, SeedLike, as_float_array
+from ..errors import DistributionError
+from ..rng import make_rng
+from .base import ContinuousDistribution, Distribution
+
+
+class CategoricalChoice(ContinuousDistribution):
+    """Distribution over a finite set of real values with given weights.
+
+    Despite living on a finite support this subclasses the continuous
+    interface: the values are real-valued magnitudes (e.g. link speeds in
+    bits/second), and the CDF is the usual right-continuous step function.
+
+    Parameters
+    ----------
+    values:
+        The support points.
+    weights:
+        Relative weights, same length as ``values``; normalized internally.
+    """
+
+    def __init__(self, values: ArrayLike, weights: ArrayLike) -> None:
+        vals = as_float_array(values, name="values")
+        wts = as_float_array(weights, name="weights")
+        if vals.size == 0:
+            raise DistributionError("CategoricalChoice requires at least one value")
+        if vals.size != wts.size:
+            raise DistributionError(
+                f"values and weights must have equal length "
+                f"({vals.size} != {wts.size})")
+        if np.any(wts < 0) or wts.sum() <= 0:
+            raise DistributionError("weights must be non-negative with positive sum")
+        order = np.argsort(vals)
+        self._values = vals[order]
+        self._probs = (wts / wts.sum())[order]
+        self._cdf = np.cumsum(self._probs)
+        self._cdf[-1] = 1.0
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        idx = np.searchsorted(self._cdf, rng.random(n), side="right")
+        return self._values[idx]
+
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        counts = np.searchsorted(self._values, arr, side="right")
+        out = np.zeros_like(arr)
+        nz = counts > 0
+        out[nz] = self._cdf[counts[nz] - 1]
+        return out
+
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        """Probability mass at exactly each support point (zero elsewhere)."""
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        idx = np.searchsorted(self._values, arr)
+        in_range = idx < self._values.size
+        exact = np.zeros_like(arr, dtype=bool)
+        exact[in_range] = self._values[idx[in_range]] == arr[in_range]
+        out[exact] = self._probs[idx[exact]]
+        return out
+
+    def mean(self) -> float:
+        return float(np.dot(self._values, self._probs))
+
+    def support(self) -> FloatArray:
+        """Return the sorted support points."""
+        return self._values.copy()
+
+    def params(self) -> dict[str, float]:
+        return {"n_values": float(self._values.size), "mean": self.mean()}
+
+
+class MixtureDistribution(ContinuousDistribution):
+    """Weighted mixture of component distributions.
+
+    Parameters
+    ----------
+    components:
+        The component distributions (anything implementing
+        :class:`~repro.distributions.base.Distribution`).
+    weights:
+        Relative mixture weights, one per component; normalized internally.
+    """
+
+    def __init__(self, components: Sequence[Distribution],
+                 weights: ArrayLike) -> None:
+        if len(components) == 0:
+            raise DistributionError("mixture requires at least one component")
+        wts = as_float_array(weights, name="weights")
+        if wts.size != len(components):
+            raise DistributionError(
+                f"need one weight per component "
+                f"({wts.size} != {len(components)})")
+        if np.any(wts < 0) or wts.sum() <= 0:
+            raise DistributionError("weights must be non-negative with positive sum")
+        self._components = list(components)
+        self._weights = wts / wts.sum()
+
+    @property
+    def components(self) -> list[Distribution]:
+        """The component distributions (shared, not copied)."""
+        return list(self._components)
+
+    @property
+    def weights(self) -> FloatArray:
+        """Normalized mixture weights."""
+        return self._weights.copy()
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        n = self._check_n(n)
+        rng = make_rng(seed)
+        counts = rng.multinomial(n, self._weights)
+        parts = [comp.sample(int(c), rng)
+                 for comp, c in zip(self._components, counts) if c]
+        if not parts:
+            return np.empty(0)
+        out = np.concatenate([np.asarray(p, dtype=np.float64) for p in parts])
+        rng.shuffle(out)
+        return out
+
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        for w, comp in zip(self._weights, self._components):
+            out += w * comp.cdf(arr)
+        return out
+
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        for w, comp in zip(self._weights, self._components):
+            pdf = getattr(comp, "pdf", None) or getattr(comp, "pmf")
+            out += w * pdf(arr)
+        return out
+
+    def mean(self) -> float:
+        return float(sum(w * comp.mean()
+                         for w, comp in zip(self._weights, self._components)))
+
+    def params(self) -> dict[str, float]:
+        out: dict[str, float] = {"n_components": float(len(self._components))}
+        for i, w in enumerate(self._weights):
+            out[f"weight_{i}"] = float(w)
+        return out
+
+
+def is_degenerate_weighting(weights: ArrayLike, *, tol: float = 1e-12) -> bool:
+    """Return True when all mixture mass sits on a single component."""
+    wts = as_float_array(weights, name="weights")
+    total = wts.sum()
+    if total <= 0:
+        return True
+    return bool(math.isclose(float(wts.max()) / float(total), 1.0, abs_tol=tol))

@@ -1,0 +1,170 @@
+"""Pareto and two-regime (broken power law) distributions.
+
+The transfer interarrival CCDF of the paper (Figure 17) shows two distinct
+tail regimes: an index of roughly 2.8 for interarrivals up to about 100
+seconds and roughly 1 beyond, which the paper attributes to the mixture of
+popular and unpopular time intervals.  :class:`TwoRegimePareto` models that
+shape directly and is used both as an analysis reference and to synthesize
+test data with a known broken tail.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, SeedLike
+from ..errors import DistributionError
+from .base import ContinuousDistribution
+
+
+class ParetoDistribution(ContinuousDistribution):
+    """Pareto (type I) distribution: ``P[X > x] = (xmin / x)^alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        Tail index; must be positive.  Mean is infinite for ``alpha <= 1``.
+    xmin:
+        Scale / lower bound of the support; must be positive.
+    """
+
+    def __init__(self, alpha: float, xmin: float = 1.0) -> None:
+        if not (alpha > 0 and math.isfinite(alpha)):
+            raise DistributionError(f"alpha must be positive and finite, got {alpha}")
+        if not (xmin > 0 and math.isfinite(xmin)):
+            raise DistributionError(f"xmin must be positive and finite, got {xmin}")
+        self.alpha = float(alpha)
+        self.xmin = float(xmin)
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        # Inverse transform: x = xmin * U^(-1/alpha).
+        u = rng.random(n)
+        return self.xmin * np.power(u, -1.0 / self.alpha)
+
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        sup = arr >= self.xmin
+        out[sup] = (self.alpha * self.xmin**self.alpha
+                    / np.power(arr[sup], self.alpha + 1.0))
+        return out
+
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        sup = arr >= self.xmin
+        out[sup] = 1.0 - np.power(self.xmin / arr[sup], self.alpha)
+        return out
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xmin / (self.alpha - 1.0)
+
+    def params(self) -> dict[str, float]:
+        return {"alpha": self.alpha, "xmin": self.xmin}
+
+
+class TwoRegimePareto(ContinuousDistribution):
+    """Broken power law: tail index ``alpha_body`` up to a breakpoint, then
+    ``alpha_tail`` beyond it.
+
+    The CCDF is::
+
+        P[X > x] = (xmin / x)^alpha_body                      for xmin <= x < xb
+        P[X > x] = (xmin / xb)^alpha_body * (xb / x)^alpha_tail  for x >= xb
+
+    which is continuous at the breakpoint ``xb`` by construction.
+
+    Parameters
+    ----------
+    alpha_body:
+        Tail index below the breakpoint (the paper measures about 2.8 for
+        transfer interarrivals under 100 s).
+    alpha_tail:
+        Tail index above the breakpoint (about 1 in the paper).
+    breakpoint:
+        The crossover abscissa ``xb``; must exceed ``xmin``.
+    xmin:
+        Lower bound of the support.
+    """
+
+    def __init__(self, alpha_body: float, alpha_tail: float,
+                 breakpoint: float, xmin: float = 1.0) -> None:
+        for name, value in (("alpha_body", alpha_body), ("alpha_tail", alpha_tail),
+                            ("breakpoint", breakpoint), ("xmin", xmin)):
+            if not (value > 0 and math.isfinite(value)):
+                raise DistributionError(f"{name} must be positive and finite, got {value}")
+        if breakpoint <= xmin:
+            raise DistributionError(
+                f"breakpoint ({breakpoint}) must exceed xmin ({xmin})")
+        self.alpha_body = float(alpha_body)
+        self.alpha_tail = float(alpha_tail)
+        self.breakpoint = float(breakpoint)
+        self.xmin = float(xmin)
+        # CCDF value at the breakpoint; the probability mass in the far tail.
+        self._tail_mass = (self.xmin / self.breakpoint) ** self.alpha_body
+
+    def ccdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.ones_like(arr)
+        body = (arr >= self.xmin) & (arr < self.breakpoint)
+        tail = arr >= self.breakpoint
+        out[body] = np.power(self.xmin / arr[body], self.alpha_body)
+        out[tail] = self._tail_mass * np.power(self.breakpoint / arr[tail],
+                                               self.alpha_tail)
+        return out
+
+    def cdf(self, x: ArrayLike) -> FloatArray:
+        return 1.0 - self.ccdf(x)
+
+    def pdf(self, x: ArrayLike) -> FloatArray:
+        arr = self._as_array(x)
+        out = np.zeros_like(arr)
+        body = (arr >= self.xmin) & (arr < self.breakpoint)
+        tail = arr >= self.breakpoint
+        out[body] = (self.alpha_body * self.xmin**self.alpha_body
+                     / np.power(arr[body], self.alpha_body + 1.0))
+        out[tail] = (self._tail_mass * self.alpha_tail
+                     * self.breakpoint**self.alpha_tail
+                     / np.power(arr[tail], self.alpha_tail + 1.0))
+        return out
+
+    def sample(self, n: int, seed: SeedLike = None) -> FloatArray:
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        u = rng.random(n)  # u plays the role of the CCDF value
+        out = np.empty(n)
+        in_tail = u < self._tail_mass
+        # Invert the body regime: u = (xmin/x)^alpha_body.
+        ub = u[~in_tail]
+        out[~in_tail] = self.xmin * np.power(ub, -1.0 / self.alpha_body)
+        # Invert the tail regime: u = tail_mass * (xb/x)^alpha_tail.
+        ut = u[in_tail] / self._tail_mass
+        out[in_tail] = self.breakpoint * np.power(ut, -1.0 / self.alpha_tail)
+        return out
+
+    def mean(self) -> float:
+        if self.alpha_tail <= 1.0:
+            return math.inf
+        # Body contribution: integral of x * pdf over [xmin, xb).
+        a, xm, xb = self.alpha_body, self.xmin, self.breakpoint
+        if a == 1.0:
+            body = xm * math.log(xb / xm)
+        else:
+            body = a * xm**a / (a - 1.0) * (xm ** (1.0 - a) - xb ** (1.0 - a))
+        at = self.alpha_tail
+        tail = self._tail_mass * at * xb / (at - 1.0)
+        return body + tail
+
+    def params(self) -> dict[str, float]:
+        return {
+            "alpha_body": self.alpha_body,
+            "alpha_tail": self.alpha_tail,
+            "breakpoint": self.breakpoint,
+            "xmin": self.xmin,
+        }

@@ -1,0 +1,182 @@
+"""Zipf laws: finite rank-frequency laws and the zeta distribution.
+
+The paper uses Zipf-like laws in two roles:
+
+* **Client interest profile** (Figure 7, Section 3.5): the frequency of
+  sessions (or transfers) commanded by the client of rank ``k`` is
+  proportional to ``k**-alpha`` with alpha = 0.4704 for sessions and
+  alpha = 0.7194 for transfers.  :class:`ZipfLaw` models this as a
+  categorical distribution over a *finite* population of ranks and is the
+  mechanism by which GISMO-live associates arrivals with client identities.
+
+* **Transfers per session** (Figure 13, Section 4.4): the number of
+  transfers in a session follows ``P[N = n]`` proportional to ``n**-alpha``
+  with alpha = 2.70417.  :class:`ZetaDistribution` models this as a discrete
+  power law on the positive integers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import zeta as riemann_zeta
+
+from .._typing import ArrayLike, FloatArray, IntArray, SeedLike
+from ..errors import DistributionError
+from .base import DiscreteDistribution
+
+
+class ZipfLaw(DiscreteDistribution):
+    """Finite Zipf rank-frequency law over ranks ``1..n_items``.
+
+    ``P[K = k]`` is proportional to ``k**-alpha``.  ``alpha`` may be any
+    non-negative value (``alpha = 0`` degenerates to uniform); there is no
+    convergence constraint because the support is finite.
+
+    Parameters
+    ----------
+    alpha:
+        Skew exponent; must be non-negative and finite.
+    n_items:
+        Size of the support (number of distinct ranks); must be positive.
+    """
+
+    def __init__(self, alpha: float, n_items: int) -> None:
+        if not (alpha >= 0 and math.isfinite(alpha)):
+            raise DistributionError(f"alpha must be non-negative and finite, got {alpha}")
+        if n_items < 1:
+            raise DistributionError(f"n_items must be positive, got {n_items}")
+        self.alpha = float(alpha)
+        self.n_items = int(n_items)
+        ranks = np.arange(1, self.n_items + 1, dtype=np.float64)
+        weights = np.power(ranks, -self.alpha)
+        self._probs = weights / weights.sum()
+        self._cdf = np.cumsum(self._probs)
+        # Guard against floating point drift at the top.
+        self._cdf[-1] = 1.0
+
+    def pmf(self, k: ArrayLike) -> FloatArray:
+        arr = self._as_array(k)
+        out = np.zeros_like(arr)
+        valid = (arr >= 1) & (arr <= self.n_items) & (arr == np.floor(arr))
+        idx = arr[valid].astype(np.int64) - 1
+        out[valid] = self._probs[idx]
+        return out
+
+    def cdf(self, k: ArrayLike) -> FloatArray:
+        arr = self._as_array(k)
+        out = np.zeros_like(arr)
+        floor_k = np.floor(arr).astype(np.int64)
+        above = floor_k >= self.n_items
+        out[above] = 1.0
+        mid = (floor_k >= 1) & ~above
+        out[mid] = self._cdf[floor_k[mid] - 1]
+        return out
+
+    def sample(self, n: int, seed: SeedLike = None) -> IntArray:
+        """Draw ``n`` ranks in ``1..n_items`` via inverse-CDF search."""
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        u = rng.random(n)
+        return (np.searchsorted(self._cdf, u, side="right") + 1).astype(np.int64)
+
+    def mean(self) -> float:
+        ranks = np.arange(1, self.n_items + 1, dtype=np.float64)
+        return float(np.dot(ranks, self._probs))
+
+    def probabilities(self) -> FloatArray:
+        """Return the full probability vector indexed by rank - 1."""
+        return self._probs.copy()
+
+    def params(self) -> dict[str, float]:
+        return {"alpha": self.alpha, "n_items": float(self.n_items)}
+
+
+class ZetaDistribution(DiscreteDistribution):
+    """Discrete power law on the positive integers, optionally truncated.
+
+    ``P[N = n]`` proportional to ``n**-alpha`` for ``1 <= n <= k_max``
+    (``k_max = None`` means untruncated, which requires ``alpha > 1`` for
+    normalizability).  Sampling is by inverse CDF over a precomputed table;
+    for the untruncated case the table is extended far enough that the
+    neglected tail mass is below ``1e-12``.
+
+    Parameters
+    ----------
+    alpha:
+        Power-law exponent.  Must exceed 1 when ``k_max`` is ``None``.
+    k_max:
+        Optional truncation point (inclusive).
+    """
+
+    #: Hard cap on the internal inverse-CDF table size.
+    _MAX_TABLE = 10_000_000
+
+    def __init__(self, alpha: float, k_max: int | None = None) -> None:
+        if not math.isfinite(alpha):
+            raise DistributionError(f"alpha must be finite, got {alpha}")
+        if k_max is None and alpha <= 1.0:
+            raise DistributionError(
+                f"untruncated zeta distribution requires alpha > 1, got {alpha}")
+        if k_max is not None and k_max < 1:
+            raise DistributionError(f"k_max must be positive, got {k_max}")
+        self.alpha = float(alpha)
+        self.k_max = None if k_max is None else int(k_max)
+        table_size = self._table_size()
+        support = np.arange(1, table_size + 1, dtype=np.float64)
+        weights = np.power(support, -self.alpha)
+        if self.k_max is None:
+            self._norm = float(riemann_zeta(self.alpha, 1))
+        else:
+            self._norm = float(weights.sum())
+        self._probs = weights / self._norm
+        self._cdf_table = np.cumsum(self._probs)
+
+    def _table_size(self) -> int:
+        if self.k_max is not None:
+            return min(self.k_max, self._MAX_TABLE)
+        # Choose k so that the neglected tail sum_{n>k} n^-alpha < 1e-12,
+        # bounded via the integral test: tail < k^(1-alpha) / (alpha-1).
+        k = (1e-12 * (self.alpha - 1.0)) ** (1.0 / (1.0 - self.alpha))
+        return int(min(max(k, 1024), self._MAX_TABLE))
+
+    def pmf(self, k: ArrayLike) -> FloatArray:
+        arr = self._as_array(k)
+        out = np.zeros_like(arr)
+        valid = (arr >= 1) & (arr == np.floor(arr))
+        if self.k_max is not None:
+            valid &= arr <= self.k_max
+        out[valid] = np.power(arr[valid], -self.alpha) / self._norm
+        return out
+
+    def cdf(self, k: ArrayLike) -> FloatArray:
+        arr = self._as_array(k)
+        out = np.zeros_like(arr)
+        floor_k = np.floor(arr).astype(np.int64)
+        table_len = len(self._cdf_table)
+        above = floor_k >= table_len
+        out[above] = self._cdf_table[-1] if self.k_max is None else 1.0
+        if self.k_max is not None:
+            out[floor_k >= self.k_max] = 1.0
+        mid = (floor_k >= 1) & ~above
+        out[mid] = self._cdf_table[floor_k[mid] - 1]
+        return out
+
+    def sample(self, n: int, seed: SeedLike = None) -> IntArray:
+        n = self._check_n(n)
+        rng = self._rng(seed)
+        u = rng.random(n) * self._cdf_table[-1]
+        return (np.searchsorted(self._cdf_table, u, side="right") + 1).astype(np.int64)
+
+    def mean(self) -> float:
+        if self.k_max is None and self.alpha <= 2.0:
+            return math.inf
+        support = np.arange(1, len(self._probs) + 1, dtype=np.float64)
+        return float(np.dot(support, self._probs))
+
+    def params(self) -> dict[str, float]:
+        out = {"alpha": self.alpha}
+        if self.k_max is not None:
+            out["k_max"] = float(self.k_max)
+        return out

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by library code derive from :class:`ReproError`, so a
+caller embedding the library can catch a single base class.  Subclasses are
+kept deliberately coarse: one per failure domain rather than one per call
+site.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class DistributionError(ReproError):
+    """A distribution was constructed with invalid parameters."""
+
+
+class FittingError(ReproError):
+    """A fitting routine could not produce a valid estimate.
+
+    Raised, for example, when the sample is empty, constant, or contains
+    values outside the support of the model being fitted.
+    """
+
+
+class TraceError(ReproError):
+    """A trace, log file, or record violates the trace data model."""
+
+
+class LogParseError(TraceError):
+    """A log line could not be parsed into a :class:`LogEntry`.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line number within the log stream, when known.
+    line:
+        The offending raw line, when known.
+    """
+
+    def __init__(self, message: str, *, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+        self.line = line
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot process."""
+
+
+class GenerationError(ReproError):
+    """The synthetic workload generator was asked for an impossible output."""

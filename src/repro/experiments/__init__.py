@@ -1,0 +1,21 @@
+"""Per-figure/table experiment harness.
+
+One module per artifact of the paper's evaluation (Tables 1-2,
+Figures 2-20) plus two synthesis experiments (``duality``, ``selfcheck``)
+and the design-choice ablations.  Every module exposes
+``run(ctx=None) -> Experiment``; :mod:`~repro.experiments.runner` executes
+them all and renders the paper-vs-measured comparison.
+"""
+
+from .common import Experiment, ExperimentContext, get_context, render_experiment
+from .runner import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Experiment",
+    "ExperimentContext",
+    "get_context",
+    "render_experiment",
+    "run_all",
+    "run_experiment",
+]

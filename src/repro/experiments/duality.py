@@ -1,0 +1,86 @@
+"""The live/stored duality — the paper's central conceptual claim.
+
+Access to *stored* objects is user driven: the Zipf skew lives on the
+object side (object popularity), while clients are interchangeable.
+Access to *live* objects is object driven: clients can only join or leave,
+so the Zipf skew migrates to the client side (the interest profile), while
+"object popularity" is trivial (two feeds).
+
+This experiment generates a stored-media baseline workload and compares
+both workloads with identical analysis code: fit a Zipf over object
+request counts and over client request counts in each, and compare the
+temporal signature (the live workload's diurnal ACF peak against the
+stored baseline's stationary arrivals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.autocorrelation import acf
+from ..analysis.concurrency import sampled_concurrency
+from ..baselines.stored_media import StoredMediaConfig, StoredMediaGenerator
+from ..distributions.fitting import fit_zipf_rank
+from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt, get_context
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Contrast the live workload against the stored-media baseline."""
+    ctx = ctx or get_context()
+    live = ctx.trace
+    client_live_fit = ctx.characterization.client.session_interest_fit
+
+    stored = StoredMediaGenerator(StoredMediaConfig()).generate(
+        days=7, seed=EXPERIMENT_SEED + 3)
+    st = stored.trace
+
+    # Object-side skew.
+    stored_obj_counts = stored.object_request_counts()
+    stored_obj_fit = fit_zipf_rank(stored_obj_counts[stored_obj_counts > 0])
+    live_object_share = np.bincount(live.object_id) / len(live)
+
+    # Client-side skew.
+    stored_client_counts = st.transfers_per_client()
+    stored_client_fit = fit_zipf_rank(
+        stored_client_counts[stored_client_counts > 0])
+
+    # Temporal signature: ACF of concurrency at one-minute samples.
+    live_acf = ctx.characterization.client.acf_values
+    step = ctx.characterization.client.concurrency_step
+    day_lag = int(round(86400 / step))
+    live_day_peak = float(live_acf[day_lag])
+    stored_samples = sampled_concurrency(st.start, st.end,
+                                         extent=st.extent, step=step)
+    stored_acf = acf(stored_samples, day_lag)
+    stored_day_peak = float(stored_acf[day_lag])
+
+    rows = [
+        ("stored: object popularity Zipf alpha", fmt(stored_obj_fit.alpha),
+         "strong skew (user-driven choice)"),
+        ("stored: client activity Zipf alpha", fmt(stored_client_fit.alpha),
+         "weak (clients interchangeable)"),
+        ("live: client interest Zipf alpha", fmt(client_live_fit.alpha),
+         "strong skew (0.47 in the paper)"),
+        ("live: object 'popularity'",
+         f"{live_object_share.round(2).tolist()}",
+         "trivial: two feeds"),
+        ("live ACF at one-day lag", fmt(live_day_peak), "pronounced"),
+        ("stored ACF at one-day lag", fmt(stored_day_peak),
+         "absent (stationary)"),
+    ]
+    checks = [
+        ("stored workload: object skew much stronger than client skew",
+         stored_obj_fit.alpha > 3 * max(stored_client_fit.alpha, 0.05)),
+        ("live workload: client skew is the dominant axis",
+         client_live_fit.alpha > 2 * stored_client_fit.alpha),
+        ("live workload alone shows the diurnal ACF peak",
+         live_day_peak > stored_day_peak + 0.3),
+    ]
+    return Experiment(
+        id="duality", title="Role reversal: live versus stored workloads",
+        paper_ref="Sections 3.5, 8 (duality claim)",
+        rows=rows,
+        checks=checks,
+        notes=["the stored baseline follows the classic GISMO model: Zipf "
+               "object popularity, uniform client choice, stationary "
+               "Poisson arrivals, ~50% partial plays"])

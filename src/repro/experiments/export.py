@@ -1,0 +1,99 @@
+"""Export regenerated figure data to plottable files.
+
+Each experiment carries its figure's data as named ``(x, y)`` series;
+:func:`export_all` writes them as two-column whitespace-separated ``.dat``
+files (the format the paper's own gnuplot figures were drawn from),
+together with an index and a ready-to-run gnuplot script per figure, so
+
+    repro figures --outdir figures/
+    cd figures && gnuplot fig07.gp
+
+reproduces the plots without any Python plotting dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .common import Experiment
+from .runner import ALL_EXPERIMENTS, run_experiment
+
+#: Series whose figures use logarithmic axes in the paper.
+_LOG_LOG_HINTS = ("ccdf", "rank_freq", "frequency", "as_")
+
+
+def _series_path(outdir: Path, experiment_id: str, name: str) -> Path:
+    return outdir / f"{experiment_id}_{name}.dat"
+
+
+def write_series(outdir: Path, experiment: Experiment) -> list[Path]:
+    """Write every data series of ``experiment`` as a ``.dat`` file."""
+    written = []
+    for name, (x, y) in experiment.series.items():
+        path = _series_path(outdir, experiment.id, name)
+        xa = np.asarray(x, dtype=np.float64)
+        ya = np.asarray(y, dtype=np.float64)
+        with path.open("w", encoding="ascii") as stream:
+            stream.write(f"# {experiment.title}\n")
+            stream.write(f"# reproduces: {experiment.paper_ref}\n")
+            stream.write(f"# series: {name}  ({xa.size} points)\n")
+            stream.write("# x y\n")
+            for xv, yv in zip(xa, ya):
+                if np.isnan(yv):
+                    continue
+                stream.write(f"{xv:.10g} {yv:.10g}\n")
+        written.append(path)
+    return written
+
+
+def write_gnuplot_script(outdir: Path, experiment: Experiment) -> Path | None:
+    """Write a gnuplot script plotting all of the experiment's series."""
+    if not experiment.series:
+        return None
+    path = outdir / f"{experiment.id}.gp"
+    log_scale = any(hint in name for name in experiment.series
+                    for hint in _LOG_LOG_HINTS)
+    lines = [
+        f"# {experiment.title}",
+        f"set title {experiment.title!r}",
+        f"set output '{experiment.id}.png'",
+        "set terminal png size 900,600",
+    ]
+    if log_scale:
+        lines.append("set logscale xy")
+    plot_parts = [
+        f"'{_series_path(outdir, experiment.id, name).name}' "
+        f"using 1:2 with linespoints title {name!r}"
+        for name in experiment.series]
+    lines.append("plot " + ", \\\n     ".join(plot_parts))
+    path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    return path
+
+
+def export_all(outdir: str | Path,
+               names: tuple[str, ...] = ALL_EXPERIMENTS) -> dict[str, list[Path]]:
+    """Run the listed experiments and export all their figure data.
+
+    Returns a mapping from experiment id to the files written.  An
+    ``index.txt`` summarizing the exports is written alongside.
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    exported: dict[str, list[Path]] = {}
+    index_lines = []
+    for name in names:
+        experiment = run_experiment(name)
+        files = write_series(out, experiment)
+        script = write_gnuplot_script(out, experiment)
+        if script is not None:
+            files.append(script)
+        exported[name] = files
+        index_lines.append(
+            f"{experiment.id}: {experiment.title} "
+            f"[{experiment.paper_ref}] -> "
+            + (", ".join(p.name for p in files) if files else "(no series)"))
+    (out / "index.txt").write_text("\n".join(index_lines) + "\n",
+                                   encoding="ascii")
+    return exported

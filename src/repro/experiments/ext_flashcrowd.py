@@ -1,0 +1,154 @@
+"""Extension — flash crowds and the cost of admission control.
+
+The paper opens with the January 1999 VictoriaSecret.com webcast, where a
+heavily advertised live event overwhelmed its delivery infrastructure
+(Section 1).  This experiment reproduces that failure mode inside the
+simulator: a finale-night event multiplies arrivals severalfold, the
+server is provisioned for an ordinary week, and the replay counts the
+live moments denied — then shows what capacity the GISMO-live planning
+API would have recommended.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.calibrate import calibrate_model
+from ..core.planning import required_capacity
+from ..simulation.population import PopulationConfig
+from ..simulation.replay import demand_peak, replay_trace
+from ..simulation.scenario import LiveShowScenario, ScenarioConfig
+from ..simulation.server import ServerConfig
+from ..simulation.show import ShowSchedule, ShowEvent, default_reality_show_events
+from ..trace.sanitize import sanitize_trace
+from ..units import HOUR
+from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt
+
+#: Arrival multiplier of the finale event.
+FINALE_BOOST = 6.0
+
+
+def _scenario(schedule: ShowSchedule) -> ScenarioConfig:
+    return ScenarioConfig(days=7.0, mean_session_rate=0.05,
+                          population=PopulationConfig(n_clients=20_000),
+                          schedule=schedule, inject_spanning_entries=0)
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Simulate a finale flash crowd against ordinary-week provisioning."""
+    ordinary = LiveShowScenario(
+        _scenario(ShowSchedule())).run(EXPERIMENT_SEED + 9)
+    ordinary_trace, _ = sanitize_trace(ordinary.trace)
+    ordinary_peak = demand_peak(ordinary_trace)
+
+    finale = ShowEvent("finale", day_of_week=6, start_hour=21.0,
+                       duration=3 * HOUR, arrival_boost=FINALE_BOOST,
+                       stickiness_boost=1.6)
+    crowd = LiveShowScenario(_scenario(ShowSchedule(
+        events=default_reality_show_events() + (finale,)))
+    ).run(EXPERIMENT_SEED + 9)
+    crowd_trace, _ = sanitize_trace(crowd.trace)
+    crowd_peak = demand_peak(crowd_trace)
+
+    # Provisioned for the ordinary week; hit by the finale crowd.
+    result = replay_trace(crowd_trace,
+                          config=ServerConfig(max_concurrent=ordinary_peak))
+    denial = result.rejection_rate
+    # When do the denials land?  (They should bracket the finale hours.)
+    denied_saturday_evening = 0.0
+    if result.rejected_times:
+        times = np.asarray(result.rejected_times)
+        in_finale = ((times % (7 * 24 * HOUR)) >= 6 * 24 * HOUR + 20 * HOUR)
+        denied_saturday_evening = float(np.mean(in_finale))
+
+    # Planning from the Table 2 model: its arrival profile is *daily*
+    # periodic, so a one-off Saturday surge is averaged across the week's
+    # seven days at that hour — the retained model structurally cannot
+    # represent weekly flash events.
+    daily_model = calibrate_model(crowd_trace).model
+    daily_plan = required_capacity(daily_model, days=7.0,
+                                   target_percentile=99.9, n_runs=2,
+                                   seed=EXPERIMENT_SEED + 10)
+
+    # Planning from a weekly-period profile captures the surge: fit the
+    # arrival rate over 672 fifteen-minute weekly bins, regenerate
+    # arrivals + sessions manually (GISMO with a weekly clock).
+    from ..core.sessionizer import sessionize
+    from ..distributions.fitting import fit_diurnal_profile
+    from ..distributions.piecewise_poisson import (
+        PiecewiseStationaryPoissonProcess,
+    )
+    from ..simulation.viewer import generate_sessions
+    from ..units import WEEK
+
+    sessions = sessionize(crowd_trace)
+    arrivals = sessions.arrival_times()
+    weekly_fit = fit_diurnal_profile(
+        arrivals[arrivals < crowd_trace.extent], crowd_trace.extent,
+        period=WEEK, n_bins=672)
+    synth_arrivals = PiecewiseStationaryPoissonProcess(
+        weekly_fit.profile).generate(7 * 24 * HOUR, EXPERIMENT_SEED + 11)
+    # The finale also makes viewers stickier; the event schedule is part
+    # of the planner's knowledge (the show's own programme), so its
+    # stickiness multiplier is applied to the regenerated transfers.
+    finale_schedule = ShowSchedule(
+        events=default_reality_show_events() + (finale,))
+    batch = generate_sessions(daily_model.behavior(), synth_arrivals,
+                              stickiness=finale_schedule.stickiness_multiplier,
+                              seed=EXPERIMENT_SEED + 12)
+    keep = batch.start < 7 * 24 * HOUR
+    from ..analysis.concurrency import sampled_concurrency
+    weekly_demand = sampled_concurrency(
+        batch.start[keep],
+        batch.start[keep] + np.minimum(batch.duration[keep],
+                                       7 * 24 * HOUR - batch.start[keep]),
+        extent=7 * 24 * HOUR, step=60.0)
+    weekly_capacity = int(np.ceil(np.percentile(weekly_demand, 99.9)))
+
+    # Fair reference: the same percentile of the *realized* demand (the
+    # absolute max is a single one-minute sample).
+    realized_demand = sampled_concurrency(
+        crowd_trace.start, np.minimum(crowd_trace.end, crowd_trace.extent),
+        extent=crowd_trace.extent, step=60.0)
+    realized_p999 = float(np.percentile(realized_demand, 99.9))
+
+    rows = [
+        ("ordinary-week peak demand", str(ordinary_peak), ""),
+        ("finale-week peak demand", str(crowd_peak),
+         f"~{FINALE_BOOST:.0f}x boost at the finale"),
+        ("denial rate at ordinary provisioning", fmt(denial),
+         "the VictoriaSecret failure mode"),
+        ("share of denials in the finale window",
+         fmt(denied_saturday_evening), "concentrated"),
+        ("capacity from the daily-periodic Table 2 model",
+         str(daily_plan.capacity), "misses the surge"),
+        ("capacity from a weekly-period profile",
+         str(weekly_capacity), "captures the surge"),
+        ("realized 99.9th-percentile demand", fmt(realized_p999), ""),
+        ("weekly-profile capacity / realized p99.9",
+         fmt(weekly_capacity / realized_p999), "near 1"),
+    ]
+    checks = [
+        ("the finale multiplies peak demand (>= 2x the ordinary week)",
+         crowd_peak >= 2 * ordinary_peak),
+        ("ordinary provisioning denies live requests during the finale",
+         denial > 0.01),
+        ("denials concentrate in the finale window (> 50%)",
+         denied_saturday_evening > 0.5),
+        ("the daily-periodic Table 2 model under-provisions for weekly "
+         "events (< 50% of the realized p99.9)",
+         daily_plan.capacity < 0.5 * realized_p999),
+        ("a weekly-period profile recovers the surge "
+         "(within 30% of the realized p99.9)",
+         0.7 * realized_p999 <= weekly_capacity <= 1.3 * realized_p999),
+    ]
+    return Experiment(
+        id="ext_flashcrowd",
+        title="Flash crowd versus admission control (extension)",
+        paper_ref="Section 1 (motivation: the 1999 webcast failure)",
+        rows=rows, checks=checks,
+        notes=["a structural finding: Table 2 retains a p = 24 h arrival "
+               "profile, which averages a one-off weekly surge across the "
+               "week and under-provisions by severalfold; planning for "
+               "event-driven live content needs the event in the model "
+               "(here, a weekly-period profile)"])

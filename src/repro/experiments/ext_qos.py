@@ -1,0 +1,100 @@
+"""Extension — QoS-sensitive abandonment (the paper's future work).
+
+Sections 1 and 8 raise, without measuring, the correlation between viewing
+time and delivered QoS: for stored media users abandon when quality drops
+(they can come back); for live media the paper conjectures the coupling is
+weaker, because the content cannot be revisited.
+
+The simulation exposes that coupling as a knob
+(``ScenarioConfig.qos_abandonment_factor``).  This experiment runs the
+world under the paper's implicit assumption (no coupling) and under a
+strong stored-media-like coupling, and shows what each does to the
+observable workload — i.e., what a measurement study *would have seen* in
+either regime:
+
+* the congested-vs-clean mean transfer-length ratio (the direct signature);
+* the fitted transfer-length lognormal (how much the headline Figure 19
+  fit would shift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.transfer_layer import CONGESTION_BOUND_THRESHOLD_BPS
+from ..units import log_display_time
+from ..distributions.fitting import fit_lognormal
+from ..simulation.population import PopulationConfig
+from ..simulation.scenario import LiveShowScenario, ScenarioConfig
+from ..trace.sanitize import sanitize_trace
+from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt
+
+#: The stored-media-like coupling strength used for the contrast run.
+STRONG_COUPLING = 0.35
+
+
+def _scenario(factor: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        days=7.0, mean_session_rate=0.05,
+        population=PopulationConfig(n_clients=20_000),
+        qos_abandonment_factor=factor,
+        inject_spanning_entries=0)
+
+
+def _observe(factor: float) -> dict[str, float]:
+    result = LiveShowScenario(_scenario(factor)).run(EXPERIMENT_SEED + 8)
+    trace, _ = sanitize_trace(result.trace)
+    congested = trace.bandwidth_bps < CONGESTION_BOUND_THRESHOLD_BPS
+    clean_mean = float(trace.duration[~congested].mean())
+    congested_mean = float(trace.duration[congested].mean())
+    fit = fit_lognormal(log_display_time(trace.duration))
+    return {
+        "ratio": congested_mean / clean_mean,
+        "mu": fit.mu,
+        "sigma": fit.sigma,
+        "congested_fraction": float(np.mean(congested)),
+    }
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Contrast the no-coupling and strong-coupling QoS regimes."""
+    weak = _observe(1.0)
+    strong = _observe(STRONG_COUPLING)
+
+    rows = [
+        ("congested/clean length ratio, no coupling", fmt(weak["ratio"]),
+         "~1 (the paper's live conjecture)"),
+        ("congested/clean length ratio, strong coupling",
+         fmt(strong["ratio"]), f"~{STRONG_COUPLING} (stored-media-like)"),
+        ("length lognormal mu, no coupling", fmt(weak["mu"]), "4.384"),
+        ("length lognormal mu, strong coupling", fmt(strong["mu"]),
+         "shifted down"),
+        ("length lognormal sigma, no coupling", fmt(weak["sigma"]), ""),
+        ("length lognormal sigma, strong coupling", fmt(strong["sigma"]),
+         ""),
+        ("congestion-bound fraction", fmt(weak["congested_fraction"]),
+         "~0.1 in both runs"),
+    ]
+    checks = [
+        ("no coupling leaves congested lengths unbiased (ratio in "
+         "[0.85, 1.15])", 0.85 <= weak["ratio"] <= 1.15),
+        ("strong coupling is clearly visible (ratio < 0.6)",
+         strong["ratio"] < 0.6),
+        ("headline length fit barely moves (mu shift < 0.2): a 10% "
+         "congested share cannot distort Figure 19",
+         abs(weak["mu"] - strong["mu"]) < 0.2),
+        ("sigma stable across regimes",
+         abs(weak["sigma"] - strong["sigma"]) < 0.15),
+    ]
+    return Experiment(
+        id="ext_qos",
+        title="QoS-sensitive abandonment (extension)",
+        paper_ref="Sections 1, 8 (stated future work)",
+        rows=rows, checks=checks,
+        notes=["conclusion: even if live viewers abandoned congested "
+               "streams as aggressively as stored-media viewers, the "
+               "aggregate length distribution the paper fits would be "
+               "nearly unchanged — the 10% congestion-bound share is too "
+               "small to carry the signal; per-transfer QoS joins are "
+               "required, which is presumably why the paper left it to "
+               "future work"])

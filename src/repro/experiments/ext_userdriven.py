@@ -1,0 +1,95 @@
+"""Extension — the user-driven alternative model, held against the trace.
+
+The paper's footnote 13 admits the chosen generative model "is not
+unique".  The natural alternative is the user-driven one stored-media
+studies assume: every client visits on its own stationary schedule.  This
+experiment builds that model with *everything matched* to the measured
+trace — same interest Zipf, same session internals, same total session
+rate — except the object-driven clock, then checks which characterization
+axes break:
+
+* object-driven axes (diurnal ACF peak, concurrency swing, interarrival
+  marginal) must fail;
+* user-side axes (interest skew, transfer-length fit, transfers per
+  session) must survive.
+
+That asymmetry is the paper's thesis, demonstrated generatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.autocorrelation import acf
+from ..analysis.concurrency import sampled_concurrency
+from ..baselines.renewal import RenewalConfig, UserDrivenRenewalGenerator
+from ..core.validate import compare_workloads
+from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt, get_context
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Generate the user-driven counterpart and compare axis by axis."""
+    ctx = ctx or get_context()
+    measured = ctx.trace
+    model = ctx.calibration.model
+
+    config = RenewalConfig(
+        n_clients=model.n_clients,
+        interest_alpha=model.interest_alpha,
+        mean_session_rate=ctx.sessions.n_sessions / measured.extent,
+        behavior=model.behavior(),
+    )
+    workload = UserDrivenRenewalGenerator(config).generate(
+        days=measured.extent / 86_400.0, seed=EXPERIMENT_SEED + 13)
+    candidate = workload.trace
+
+    report = compare_workloads(measured, candidate)
+    by_name = {p.name: p for p in report.parameters}
+
+    step = 60.0
+    day_lag = int(round(86_400.0 / step))
+    measured_acf = ctx.characterization.client.acf_values
+    cand_counts = sampled_concurrency(
+        candidate.start, np.minimum(candidate.end, candidate.extent),
+        extent=candidate.extent, step=step)
+    cand_acf = acf(cand_counts, day_lag)
+    measured_peak = float(measured_acf[day_lag])
+    candidate_peak = float(cand_acf[day_lag])
+
+    rows = [
+        ("interest alpha (measured vs user-driven)",
+         f"{fmt(by_name['interest_alpha'].value_a)} vs "
+         f"{fmt(by_name['interest_alpha'].value_b)}", "survives"),
+        ("length lognormal mu",
+         f"{fmt(by_name['length_log_mu'].value_a)} vs "
+         f"{fmt(by_name['length_log_mu'].value_b)}", "survives"),
+        ("transfers/session alpha",
+         f"{fmt(by_name['transfers_alpha'].value_a)} vs "
+         f"{fmt(by_name['transfers_alpha'].value_b)}", "survives"),
+        ("ACF at one day (measured)", fmt(measured_peak), "pronounced"),
+        ("ACF at one day (user-driven)", fmt(candidate_peak), "absent"),
+        ("diurnal profile correlation", fmt(report.diurnal_correlation),
+         "breaks (near 0)"),
+    ]
+    checks = [
+        ("user-side axes survive: interest alpha within 25%",
+         by_name["interest_alpha"].relative_error <= 0.25),
+        ("user-side axes survive: length mu within 10%",
+         by_name["length_log_mu"].relative_error <= 0.10),
+        ("user-side axes survive: transfers/session within 15%",
+         by_name["transfers_alpha"].relative_error <= 0.15),
+        ("object-driven axis breaks: the daily ACF peak vanishes",
+         candidate_peak < 0.2 and measured_peak > 0.5),
+        ("object-driven axis breaks: diurnal profiles decorrelate",
+         report.diurnal_correlation < 0.4),
+        ("the overall fidelity verdict is NOT FAITHFUL",
+         not report.within(rtol=0.25, ks_max=0.1, corr_min=0.85)),
+    ]
+    return Experiment(
+        id="ext_userdriven",
+        title="The user-driven alternative model (extension)",
+        paper_ref="Footnote 13 / Sections 1, 8 (object-driven thesis)",
+        rows=rows, checks=checks,
+        notes=["everything is matched except the clock: the axes that "
+               "break are exactly the object-driven ones, which is the "
+               "paper's central claim demonstrated generatively"])

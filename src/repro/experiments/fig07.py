@@ -1,0 +1,59 @@
+"""Figure 7 — the client interest profile.
+
+Log-log rank-frequency of per-client transfer counts (left, the paper fits
+Zipf alpha = 0.7194) and per-client session counts (right, alpha = 0.4704).
+The paper's reading: for live content the Zipf skew lives on the *client*
+side — the duality with stored-content object popularity.
+"""
+
+from __future__ import annotations
+
+
+from .. import paper
+from ..analysis.ranks import rank_frequency
+from .common import Experiment, ExperimentContext, fmt, get_context
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Regenerate the Figure 7 interest profiles and Zipf fits."""
+    ctx = ctx or get_context()
+    client = ctx.characterization.client
+    session_fit = client.session_interest_fit
+    transfer_fit = client.transfer_interest_fit
+
+    s_counts = client.sessions_per_client
+    t_counts = client.transfers_per_client
+    s_ranks, s_freq = rank_frequency(s_counts[s_counts > 0])
+    t_ranks, t_freq = rank_frequency(t_counts[t_counts > 0])
+
+    ref_sessions = paper.TABLE2["interest_alpha_sessions"].value
+    ref_transfers = paper.TABLE2["interest_alpha_transfers"].value
+
+    rows = [
+        ("sessions/client Zipf alpha", fmt(session_fit.alpha),
+         fmt(ref_sessions)),
+        ("sessions/client fit r^2", fmt(session_fit.r_squared), ""),
+        ("transfers/client Zipf alpha", fmt(transfer_fit.alpha),
+         fmt(ref_transfers)),
+        ("transfers/client fit r^2", fmt(transfer_fit.r_squared), ""),
+        ("most-interested client's sessions", str(int(s_counts.max())), ""),
+    ]
+    checks = [
+        ("sessions/client alpha near the paper's 0.47",
+         abs(session_fit.alpha - ref_sessions) <= 0.15 * ref_sessions),
+        ("transfers/client profile is steeper than sessions/client",
+         transfer_fit.alpha > session_fit.alpha),
+        ("both profiles are Zipf-like (r^2 > 0.85)",
+         session_fit.r_squared > 0.85 and transfer_fit.r_squared > 0.85),
+    ]
+    return Experiment(
+        id="fig07", title="Client interest profile (Zipf fits)",
+        paper_ref="Figure 7 / Section 3.5",
+        rows=rows,
+        series={"sessions_rank_freq": (s_ranks, s_freq),
+                "transfers_rank_freq": (t_ranks, t_freq)},
+        checks=checks,
+        notes=["the transfers/client exponent emerges from sessions x "
+               "transfers-per-session rather than being planted; it is "
+               "steeper than the session profile, as in the paper, though "
+               "not numerically pinned to 0.7194"])

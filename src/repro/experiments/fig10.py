@@ -1,0 +1,50 @@
+"""Figure 10 — session ON time versus session starting hour.
+
+The paper plots the mean session length against the hour the session
+started and finds only a weak relationship, concluding that ON-time
+variability is fundamental to live-content interaction rather than a
+temporal artifact (Section 4.2).  We quantify "weak" with the correlation
+ratio (fraction of ON-time variance explained by the starting hour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import HOUR
+from .common import Experiment, ExperimentContext, fmt, get_context
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Regenerate the Figure 10 conditional-mean profile."""
+    ctx = ctx or get_context()
+    profile = ctx.characterization.session.on_by_hour
+    hours = profile.centers / HOUR
+    means = profile.means
+
+    observed = means[~np.isnan(means)]
+    spread = (float(observed.max()) - float(observed.min())) / \
+        float(observed.mean())
+
+    rows = [
+        ("ON-time variance explained by hour",
+         fmt(profile.variance_explained), "weak (near zero)"),
+        ("mean ON time across hours (s)", fmt(float(observed.mean())), ""),
+        ("hourly mean spread / overall mean", fmt(spread), "moderate"),
+    ]
+    checks = [
+        ("hour of day explains under 5% of ON-time variance",
+         profile.variance_explained < 0.05),
+        ("every hour has sessions", bool(np.all(profile.counts > 0))),
+        ("hourly means stay within a factor of ~3 of each other",
+         float(observed.max()) < 3.5 * float(observed.min())),
+    ]
+    return Experiment(
+        id="fig10", title="Session ON time versus starting hour",
+        paper_ref="Figure 10 / Section 4.2",
+        rows=rows,
+        series={"on_time_by_hour": (hours, means)},
+        checks=checks,
+        notes=["the show's scheduled events add mild hour-of-day structure "
+               "(longer evening transfers), as visible in the paper's "
+               "figure too — the point is that it explains little variance"])

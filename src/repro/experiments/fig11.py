@@ -1,0 +1,63 @@
+"""Figure 11 — marginal distribution of session ON times.
+
+Frequency (fitted to a lognormal with mu = 5.23553, sigma = 1.54432),
+CDF, and CCDF.  Section 8 adds the model-selection claim: lognormal, "not
+as heavy as Pareto" — which we verify by comparing KS distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import paper
+from ..analysis.marginals import Marginal
+from ..units import log_display_time
+from ..distributions.goodness import ks_distance
+from ..distributions.pareto import ParetoDistribution
+from .common import Experiment, ExperimentContext, fmt, get_context
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Regenerate the Figure 11 ON-time marginal and lognormal fit."""
+    ctx = ctx or get_context()
+    session = ctx.characterization.session
+    fit = session.on_fit
+    display = log_display_time(session.on_times)
+    marginal = Marginal(display)
+    x_ccdf, ccdf = marginal.ccdf()
+
+    mu_ref = paper.SESSION_LAYER["session_on_log_mu"].value
+    sigma_ref = paper.SESSION_LAYER["session_on_log_sigma"].value
+
+    # Section 8's "not as heavy as Pareto": a Pareto matched at the median
+    # should fit the sample worse than the lognormal.
+    median = float(np.median(display))
+    pareto = ParetoDistribution(alpha=1.0, xmin=max(median / 2.0, 1.0))
+    ks_lognormal = session.on_gof.ks_statistic
+    ks_pareto = ks_distance(display, pareto)
+
+    rows = [
+        ("lognormal mu", fmt(fit.mu), fmt(mu_ref)),
+        ("lognormal sigma", fmt(fit.sigma), fmt(sigma_ref)),
+        ("KS distance (lognormal)", fmt(ks_lognormal), "good fit"),
+        ("KS distance (Pareto strawman)", fmt(ks_pareto), "worse"),
+        ("median ON time (s)", fmt(median), ""),
+        ("99th percentile ON time (s)", fmt(marginal.percentile(99)), ""),
+    ]
+    checks = [
+        ("ON times are highly variable (sigma > 1)", fit.sigma > 1.0),
+        ("lognormal sigma within 15% of the paper's",
+         abs(fit.sigma - sigma_ref) <= 0.15 * sigma_ref),
+        ("lognormal fits well (KS < 0.05)", ks_lognormal < 0.05),
+        ("lognormal beats the Pareto strawman",
+         ks_lognormal < ks_pareto),
+    ]
+    return Experiment(
+        id="fig11", title="Marginal distribution of session ON times",
+        paper_ref="Figure 11 / Sections 4.2, 8",
+        rows=rows,
+        series={"ccdf": (x_ccdf, ccdf)},
+        checks=checks,
+        notes=["the measured mu sits slightly below the paper's because "
+               "session ON time emerges from transfers-per-session and "
+               "gap/length draws rather than being planted directly"])

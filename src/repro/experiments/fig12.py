@@ -1,0 +1,73 @@
+"""Figure 12 — marginal distribution of session OFF times.
+
+Frequency, CDF, and CCDF of the time between a client's consecutive
+sessions, fitted to an exponential (the paper: mean 203,150 s).  The
+paper also observes "ripples" at whole-day multiples — clients revisiting
+the show daily — which we test by comparing the OFF-time density near day
+multiples against the density between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import paper
+from ..analysis.marginals import Marginal
+from ..units import DAY
+from .common import Experiment, ExperimentContext, fmt, get_context
+
+
+def _day_ripple_ratio(off_times: np.ndarray) -> float:
+    """Density near day multiples over density at half-day offsets.
+
+    Counts OFF times within +-3 h of k days (k = 1, 2, 3) versus within
+    +-3 h of k + 0.5 days; a ratio above 1 indicates the daily-revisit
+    ripples of Figure 12 (left).
+    """
+    window = 3 * 3600.0
+    near = between = 0
+    for k in (1.0, 2.0, 3.0):
+        near += int(np.sum(np.abs(off_times - k * DAY) <= window))
+        between += int(np.sum(np.abs(off_times - (k + 0.5) * DAY) <= window))
+    if between == 0:
+        return float("inf") if near else 1.0
+    return near / between
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Regenerate the Figure 12 OFF-time marginal and exponential fit."""
+    ctx = ctx or get_context()
+    session = ctx.characterization.session
+    off = session.off_times
+    fit = session.off_fit
+    marginal = Marginal(off[off > 0])
+    x_ccdf, ccdf = marginal.ccdf()
+
+    mean_ref = paper.SESSION_LAYER["session_off_mean"].value
+    ripple = _day_ripple_ratio(off)
+
+    rows = [
+        ("OFF-time pairs observed", str(off.size), ""),
+        ("exponential mean (s)", fmt(fit.mean()), fmt(mean_ref)),
+        ("exponential mean (days)", fmt(fit.mean() / DAY),
+         fmt(mean_ref / DAY)),
+        ("KS distance (exponential)",
+         fmt(session.off_gof.ks_statistic), "good fit"),
+        ("day-multiple ripple ratio", fmt(ripple), "> 1 (visible ripples)"),
+    ]
+    checks = [
+        ("OFF times are day-scale (mean between 0.5 and 10 days)",
+         0.5 * DAY < fit.mean() < 10 * DAY),
+        ("exponential describes the tail (KS < 0.12)",
+         session.off_gof.ks_statistic < 0.12),
+        ("daily-revisit ripples present (ratio > 1.1)", ripple > 1.1),
+    ]
+    return Experiment(
+        id="fig12", title="Marginal distribution of session OFF times",
+        paper_ref="Figure 12 / Section 4.3",
+        rows=rows,
+        series={"ccdf": (x_ccdf, ccdf)},
+        checks=checks,
+        notes=["the OFF mean scales with the scenario's session rate and "
+               "population; at 1/12 of the paper's rate it sits above the "
+               "paper's 2.35 days"])

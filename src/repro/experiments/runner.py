@@ -1,0 +1,71 @@
+"""Run every reproduction experiment and render the results.
+
+``python -m repro experiments`` drives this module; the benchmark suite
+reuses :data:`ALL_EXPERIMENTS` so each ``bench_*`` target regenerates
+exactly one table or figure.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from .common import Experiment, render_experiment
+
+#: Ordered registry of experiment module names (under this package).
+ALL_EXPERIMENTS: tuple[str, ...] = (
+    "table1", "table2",
+    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20",
+    "duality", "selfcheck", "ablation",
+    "ext_vbr", "ext_multicast", "ext_qos", "ext_flashcrowd", "ext_cdn",
+    "ext_userdriven",
+)
+
+
+def _load(name: str) -> Callable[..., Experiment]:
+    if name not in ALL_EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {list(ALL_EXPERIMENTS)}")
+    module = importlib.import_module(f".{name}", package=__package__)
+    return module.run
+
+
+def run_experiment(name: str) -> Experiment:
+    """Run one experiment by id (e.g. ``"fig07"``)."""
+    return _load(name)()
+
+
+def run_all(names: tuple[str, ...] = ALL_EXPERIMENTS,
+            *, echo: Callable[[str], None] | None = None
+            ) -> list[Experiment]:
+    """Run the listed experiments in order, optionally echoing each.
+
+    Parameters
+    ----------
+    names:
+        Experiment ids to run (default: all, in paper order).
+    echo:
+        Optional sink for the rendered text of each experiment (e.g.
+        ``print``).
+    """
+    results = []
+    for name in names:
+        experiment = run_experiment(name)
+        if echo is not None:
+            echo(render_experiment(experiment))
+            echo("")
+        results.append(experiment)
+    return results
+
+
+def summary_line(experiments: list[Experiment]) -> str:
+    """One-line pass/fail summary over all shape checks."""
+    total = sum(len(e.checks) for e in experiments)
+    passed = sum(sum(1 for _, ok in e.checks if ok) for e in experiments)
+    failing = [e.id for e in experiments if not e.passed]
+    line = f"{passed}/{total} shape checks passed across {len(experiments)} experiments"
+    if failing:
+        line += f"; failing: {', '.join(failing)}"
+    return line

@@ -1,0 +1,69 @@
+"""GISMO self-check — generate, re-characterize, recover (Section 6).
+
+The ultimate test of the generative model: calibrate a
+:class:`~repro.core.model.LiveWorkloadModel` from the simulated trace,
+generate a synthetic workload with GISMO-live, re-run the full
+characterization pipeline on the synthetic trace, and verify the Table 2
+parameters come back again.  This closes the paper's loop twice over
+(world -> model -> synthetic world -> model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.calibrate import calibrate_model
+from ..core.gismo import LiveWorkloadGenerator
+from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt, get_context
+
+#: Recovery tolerance across the double round trip.
+ROUND_TRIP_RTOL = 0.20
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Run the generate-then-recharacterize round trip."""
+    ctx = ctx or get_context()
+    model = ctx.calibration.model
+
+    workload = LiveWorkloadGenerator(model).generate(
+        days=14, seed=EXPERIMENT_SEED + 4)
+    recal = calibrate_model(workload.trace)
+    recovered = recal.model
+
+    pairs = [
+        ("client interest Zipf alpha", model.interest_alpha,
+         recovered.interest_alpha),
+        ("transfers/session Zipf alpha", model.transfers_alpha,
+         recovered.transfers_alpha),
+        ("gap lognormal mu", model.gap_log_mu, recovered.gap_log_mu),
+        ("gap lognormal sigma", model.gap_log_sigma,
+         recovered.gap_log_sigma),
+        ("length lognormal mu", model.length_log_mu,
+         recovered.length_log_mu),
+        ("length lognormal sigma", model.length_log_sigma,
+         recovered.length_log_sigma),
+    ]
+    rows = [(label, fmt(rec), fmt(planted) + " (calibrated input)")
+            for label, planted, rec in pairs]
+    rows.append(("synthetic sessions generated", str(workload.n_sessions), ""))
+    rows.append(("synthetic transfers generated",
+                 str(workload.trace.n_transfers), ""))
+
+    checks = [(f"{label} survives the round trip (within 20%)",
+               abs(rec - planted) <= ROUND_TRIP_RTOL * abs(planted))
+              for label, planted, rec in pairs]
+
+    # The synthetic arrival profile must reproduce the diurnal shape.
+    planted_profile = model.arrival_profile.bin_rates
+    recovered_profile = recovered.arrival_profile.bin_rates
+    n = min(planted_profile.size, recovered_profile.size)
+    corr = float(np.corrcoef(planted_profile[:n], recovered_profile[:n])[0, 1])
+    rows.append(("diurnal profile correlation", fmt(corr), "near 1"))
+    checks.append(("diurnal profile shape survives (corr > 0.95)",
+                   corr > 0.95))
+
+    return Experiment(
+        id="selfcheck",
+        title="GISMO-live round trip: generate then re-characterize",
+        paper_ref="Section 6",
+        rows=rows, checks=checks)

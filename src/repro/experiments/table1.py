@@ -1,0 +1,61 @@
+"""Table 1 — basic statistics of the trace.
+
+The simulated trace is a scale model (about a twelfth of the paper's
+session rate over the same 28 days), so absolute counts differ by roughly
+that factor; the *relationships* — sessions per user, users per IP,
+transfers per session, AS/country diversity — are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from .. import paper
+from .common import Experiment, ExperimentContext, fmt, get_context
+
+
+def run(ctx: ExperimentContext | None = None) -> Experiment:
+    """Regenerate Table 1 from the simulated trace."""
+    ctx = ctx or get_context()
+    s = ctx.characterization.summary
+    t1 = paper.TABLE1
+
+    sessions_per_user = s.n_sessions / s.n_users
+    users_per_ip = s.n_users / s.n_ips
+    transfers_per_session = s.n_transfers / s.n_sessions
+    paper_spu = t1["n_sessions"].value / t1["n_users"].value
+    paper_upi = t1["n_users"].value / t1["n_ips"].value
+    paper_tps = t1["n_transfers"].value / t1["n_sessions"].value
+
+    rows = [
+        ("log period (days)", fmt(s.days), fmt(t1["days"].value)),
+        ("live objects", str(s.n_objects), fmt(t1["n_objects"].value)),
+        ("client ASes", str(s.n_ases), fmt(t1["n_ases"].value)),
+        ("client IPs", str(s.n_ips), fmt(t1["n_ips"].value)),
+        ("users", str(s.n_users), fmt(t1["n_users"].value)),
+        ("sessions", str(s.n_sessions), "> " + fmt(t1["n_sessions"].value)),
+        ("transfers", str(s.n_transfers), "> " + fmt(t1["n_transfers"].value)),
+        ("content served (bytes)", fmt(s.bytes_served),
+         "> " + fmt(t1["bytes_served"].value)),
+        ("sessions per user", fmt(sessions_per_user), fmt(paper_spu)),
+        ("users per IP", fmt(users_per_ip), fmt(paper_upi)),
+        ("transfers per session", fmt(transfers_per_session), fmt(paper_tps)),
+    ]
+    checks = [
+        ("28-day log period", abs(s.days - 28.0) < 0.1),
+        ("exactly two live objects", s.n_objects == 2),
+        ("about 1,000 client ASes", 500 <= s.n_ases <= 1_100),
+        ("users per IP near the paper's ~1.9",
+         1.5 <= users_per_ip <= 2.4),
+        ("sessions per user near the paper's ~2.2",
+         1.2 <= sessions_per_user <= 4.5),
+        ("terabyte-scale content served", s.bytes_served > 1e11),
+    ]
+    notes = [
+        "absolute counts are a scale model (~1/12 of the paper's session "
+        "rate); ratios are the reproduction target",
+        "transfers per session is lower than the paper's raw 3.7 because "
+        "the generator uses the paper's own fitted Zipf(2.70) law, whose "
+        "mean is ~1.9 — the paper's fit underweights its empirical tail",
+    ]
+    return Experiment(id="table1", title="Basic statistics of the trace",
+                      paper_ref="Table 1", rows=rows, checks=checks,
+                      notes=notes)

@@ -1,0 +1,113 @@
+"""Reference values reported by the paper, in one place.
+
+Every number the reproduction compares against — Table 1 statistics,
+Table 2 generative-model parameters, and the tail indices read off
+Figure 17 — is recorded here with its source, so experiments, reports, and
+EXPERIMENTS.md all cite the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """A single reference value with its provenance."""
+
+    value: float
+    source: str
+    note: str = ""
+
+
+#: Table 1 — basic statistics of the paper's trace.
+TABLE1 = {
+    "days": PaperReference(28, "Table 1", "log period"),
+    "n_objects": PaperReference(2, "Table 1", "live objects"),
+    "n_ases": PaperReference(1_010, "Table 1", "client ASes"),
+    "n_ips": PaperReference(364_184, "Table 1", "client IPs"),
+    "n_users": PaperReference(691_889, "Table 1", "users (player IDs)"),
+    "n_sessions": PaperReference(1_500_000, "Table 1", "> 1.5 million"),
+    "n_transfers": PaperReference(5_500_000, "Table 1", "> 5.5 million"),
+    "bytes_served": PaperReference(8e12, "Table 1", "> 8 TB"),
+    "n_countries": PaperReference(11, "Section 3.1"),
+}
+
+#: Table 2 — the retained generative-model variables.
+TABLE2 = {
+    "interest_alpha_sessions": PaperReference(
+        0.4704, "Figure 7 (right) / Table 2",
+        "Zipf exponent of sessions-per-client interest profile"),
+    "interest_alpha_transfers": PaperReference(
+        0.7194, "Figure 7 (left)",
+        "Zipf exponent of transfers-per-client interest profile"),
+    "transfers_per_session_alpha": PaperReference(
+        2.70417, "Figure 13 / Table 2",
+        "Zipf exponent of transfers per session"),
+    "intra_arrival_log_mu": PaperReference(
+        4.89991, "Figure 14 / Table 2",
+        "lognormal mu of intra-session transfer interarrivals"),
+    "intra_arrival_log_sigma": PaperReference(
+        1.32074, "Figure 14 / Table 2",
+        "lognormal sigma of intra-session transfer interarrivals"),
+    "transfer_length_log_mu": PaperReference(
+        4.383921, "Figure 19 / Table 2", "lognormal mu of transfer lengths"),
+    "transfer_length_log_sigma": PaperReference(
+        1.427247, "Figure 19 / Table 2",
+        "lognormal sigma of transfer lengths"),
+    "arrival_period_hours": PaperReference(
+        24.0, "Table 2", "period of the mean-arrival-rate profile"),
+}
+
+#: Session-layer fits outside Table 2.
+SESSION_LAYER = {
+    "session_on_log_mu": PaperReference(
+        5.23553, "Figure 11", "lognormal mu of session ON times"),
+    "session_on_log_sigma": PaperReference(
+        1.54432, "Figure 11", "lognormal sigma of session ON times"),
+    "session_off_mean": PaperReference(
+        203_150.0, "Figure 12 / Section 4.3",
+        "exponential mean of session OFF times, seconds"),
+    "session_timeout": PaperReference(
+        1_500.0, "Section 4.1", "chosen session timeout T_o, seconds"),
+}
+
+#: Transfer-layer observations.
+TRANSFER_LAYER = {
+    "interarrival_tail_body_alpha": PaperReference(
+        2.8, "Section 5.2 / Figure 17",
+        "tail index of transfer interarrivals below ~100 s"),
+    "interarrival_tail_tail_alpha": PaperReference(
+        1.0, "Section 5.2 / Figure 17",
+        "tail index of transfer interarrivals above ~100 s"),
+    "interarrival_tail_breakpoint": PaperReference(
+        100.0, "Section 5.2", "regime crossover, seconds"),
+    "congestion_bound_fraction": PaperReference(
+        0.10, "Section 5.4 / Figure 20",
+        "fraction of congestion-bound transfers"),
+    "acf_daily_lag_minutes": PaperReference(
+        1_440.0, "Figure 8", "first diurnal autocorrelation peak"),
+}
+
+#: Overload screening thresholds (Section 2.4).
+SANITIZATION = {
+    "cpu_threshold": PaperReference(0.10, "Section 2.4"),
+    "overload_time_fraction_max": PaperReference(
+        1e-4, "Section 2.4", "utilization < 10% over 99.99% of time"),
+    "overload_transfer_fraction_max": PaperReference(
+        1e-2, "Section 2.4", "load < 10% for over 99% of transfers"),
+}
+
+
+def all_references() -> dict[str, PaperReference]:
+    """Every reference constant keyed ``<group>.<name>``."""
+    groups = {
+        "table1": TABLE1,
+        "table2": TABLE2,
+        "session": SESSION_LAYER,
+        "transfer": TRANSFER_LAYER,
+        "sanitization": SANITIZATION,
+    }
+    return {f"{group}.{name}": ref
+            for group, table in groups.items()
+            for name, ref in table.items()}

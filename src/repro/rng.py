@@ -1,0 +1,41 @@
+"""Seedable random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument of type
+:data:`repro._typing.SeedLike` and normalizes it through :func:`make_rng`.
+Components that own several independent stochastic sub-processes derive
+per-purpose child generators with :func:`spawn`, so adding a new consumer of
+randomness does not perturb the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._typing import SeedLike
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the given seed.
+
+    ``None`` yields a non-deterministic generator, an ``int`` a deterministic
+    one, and an existing :class:`~numpy.random.Generator` is passed through
+    unchanged (shared, not copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Uses the generator's underlying bit generator seed sequence when
+    available, falling back to seeding children from draws of ``rng``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        return [np.random.default_rng(child) for child in seed_seq.spawn(n)]
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,52 @@
+"""The simulated "world" that stands in for the paper's proprietary trace.
+
+The paper's data — 28 days of accesses to two live feeds of a Brazilian
+reality show — is not public.  This subpackage builds its closest synthetic
+equivalent: a stochastic audience and server model whose *planted* behaviour
+matches every distributional finding of the paper, so the characterization
+pipeline (:mod:`repro.core`) can be validated by parameter recovery.
+
+Components
+----------
+* :mod:`~repro.simulation.events` — a minimal discrete-event engine used by
+  the replay server.
+* :mod:`~repro.simulation.show` — the show schedule: diurnal audience
+  availability modulated by scheduled in-show events.
+* :mod:`~repro.simulation.population` — the client population: Zipf interest
+  ranks, AS/country topology, access-link tiers, shared IPs.
+* :mod:`~repro.simulation.viewer` — session behaviour: transfers per
+  session, intra-session gaps, stickiness (transfer lengths), feed switching.
+* :mod:`~repro.simulation.network` — last-mile bandwidth: client-bound
+  spikes plus a congestion-bound mode.
+* :mod:`~repro.simulation.server` — the unicast server: CPU-load model and
+  an event-driven replay server with optional admission control.
+* :mod:`~repro.simulation.scenario` — end-to-end assembly producing a
+  :class:`~repro.trace.store.Trace`.
+"""
+
+from .events import EventQueue
+from .network import BandwidthModel, NetworkConfig
+from .population import ClientPopulation, PopulationConfig
+from .scenario import LiveShowScenario, ScenarioConfig
+from .server import ReplayResult, ServerConfig, ServerLoadModel, StreamingServer
+from .show import CompositeRateProfile, ShowEvent, ShowSchedule
+from .viewer import SessionBehavior, SessionBatch
+
+__all__ = [
+    "BandwidthModel",
+    "ClientPopulation",
+    "CompositeRateProfile",
+    "EventQueue",
+    "LiveShowScenario",
+    "NetworkConfig",
+    "PopulationConfig",
+    "ReplayResult",
+    "ScenarioConfig",
+    "ServerConfig",
+    "ServerLoadModel",
+    "SessionBatch",
+    "SessionBehavior",
+    "ShowEvent",
+    "ShowSchedule",
+    "StreamingServer",
+]

@@ -1,0 +1,114 @@
+"""Minimal discrete-event simulation engine.
+
+A binary-heap event queue with a simulated clock, used by the replay server
+(:mod:`repro.simulation.server`) to play synthetic workloads against a
+server model for capacity-planning studies.  The bulk trace generation in
+:mod:`repro.simulation.scenario` is vectorized and does not go through this
+engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("time", "_cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with a monotone simulated clock.
+
+    Events at equal times fire in scheduling order (a strictly increasing
+    sequence number breaks ties), which makes simulations deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, EventHandle,
+                               Callable[..., Any], tuple]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def at(self, time: float, callback: Callable[..., Any],
+           *args: Any, priority: int = 0) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        At equal times, lower ``priority`` fires first (scheduling order
+        breaks remaining ties).  This lets completions free resources
+        before same-instant arrivals — the half-open ``[start, end)``
+        interval semantics used throughout the library.
+
+        Scheduling in the past raises :class:`SimulationError` — the
+        simulated clock never runs backwards.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; simulated clock is at {self._now}")
+        handle = EventHandle(time)
+        heapq.heappush(self._heap, (time, priority, next(self._seq), handle,
+                                    callback, args))
+        return handle
+
+    def after(self, delay: float, callback: Callable[..., Any],
+              *args: Any, priority: int = 0) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.at(self._now + delay, callback, *args, priority=priority)
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event; returns False when empty."""
+        while self._heap:
+            time, _, _, handle, callback, args = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback(*args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> int:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the number of events fired.  When ``until`` is given, the
+        clock is advanced to exactly ``until`` at the end even if the last
+        event fired earlier.
+        """
+        fired = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                break
+            if not self.step():
+                break
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return fired

@@ -1,0 +1,125 @@
+"""Last-mile bandwidth and loss model.
+
+Figure 20 of the paper shows a clearly bimodal transfer-bandwidth
+distribution: sharp *client-bound* spikes at the common access-link speeds
+(modem tiers, ISDN, DSL, cable) and a diffuse *congestion-bound* mode at
+very low bandwidths covering roughly 10% of transfers (Section 5.4).
+
+:class:`BandwidthModel` reproduces that shape: a transfer is congestion
+bound with probability ``congestion_prob`` (drawing a low lognormal
+bandwidth and elevated loss); otherwise its bandwidth is the client's access
+speed times a protocol-efficiency factor, capped at the stream encoding
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import FloatArray, SeedLike
+from ..errors import ConfigError
+from ..rng import make_rng
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the bandwidth/loss model.
+
+    Attributes
+    ----------
+    encoding_rate_bps:
+        Stream encoding rate; a transfer never exceeds it regardless of the
+        client's access speed.
+    congestion_prob:
+        Probability that a transfer is congestion bound (the paper: ~10%).
+    congested_log_mu, congested_log_sigma:
+        Lognormal parameters (natural log of bits/second) of the
+        congestion-bound bandwidth mode.
+    efficiency_lo, efficiency_hi:
+        Uniform range of the protocol-efficiency factor applied to the
+        access speed for client-bound transfers (smears the spikes
+        slightly, as real modem retrains do).
+    clean_loss_hi:
+        Client-bound transfers draw packet loss uniformly in
+        ``[0, clean_loss_hi]``.
+    congested_loss_lo, congested_loss_hi:
+        Congestion-bound transfers draw loss uniformly in this range.
+    """
+
+    encoding_rate_bps: float = 350_000.0
+    congestion_prob: float = 0.10
+    congested_log_mu: float = 9.2   # exp(9.2) ~ 9.9 kbit/s
+    congested_log_sigma: float = 0.9
+    efficiency_lo: float = 0.86
+    efficiency_hi: float = 0.98
+    clean_loss_hi: float = 0.01
+    congested_loss_lo: float = 0.02
+    congested_loss_hi: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.encoding_rate_bps <= 0:
+            raise ConfigError("encoding_rate_bps must be positive")
+        if not 0.0 <= self.congestion_prob <= 1.0:
+            raise ConfigError(
+                f"congestion_prob must be in [0, 1], got {self.congestion_prob}")
+        if not 0.0 < self.efficiency_lo <= self.efficiency_hi <= 1.0:
+            raise ConfigError("need 0 < efficiency_lo <= efficiency_hi <= 1")
+        if self.congested_log_sigma <= 0:
+            raise ConfigError("congested_log_sigma must be positive")
+        if not (0.0 <= self.congested_loss_lo <= self.congested_loss_hi <= 1.0
+                and 0.0 <= self.clean_loss_hi <= 1.0):
+            raise ConfigError("loss bounds must lie in [0, 1] and be ordered")
+
+
+class BandwidthModel:
+    """Samples per-transfer bandwidth and packet loss.
+
+    Parameters
+    ----------
+    config:
+        Model parameters; see :class:`NetworkConfig`.
+    """
+
+    def __init__(self, config: NetworkConfig | None = None) -> None:
+        self.config = config or NetworkConfig()
+
+    def sample(self, access_bps: np.ndarray,
+               seed: SeedLike = None) -> tuple[FloatArray, FloatArray, np.ndarray]:
+        """Sample ``(bandwidth_bps, packet_loss, congested_mask)``.
+
+        Parameters
+        ----------
+        access_bps:
+            Per-transfer client access-link speed (one entry per transfer).
+        seed:
+            Seed or generator.
+        """
+        cfg = self.config
+        rng = make_rng(seed)
+        access = np.asarray(access_bps, dtype=np.float64)
+        if access.ndim != 1:
+            raise ValueError("access_bps must be one-dimensional")
+        if access.size and access.min() <= 0:
+            raise ValueError("access speeds must be positive")
+        n = access.size
+
+        efficiency = rng.uniform(cfg.efficiency_lo, cfg.efficiency_hi, size=n)
+        client_bound = np.minimum(access * efficiency, cfg.encoding_rate_bps)
+
+        congested = rng.random(n) < cfg.congestion_prob
+        bandwidth = client_bound.copy()
+        n_congested = int(congested.sum())
+        if n_congested:
+            low = rng.lognormal(cfg.congested_log_mu, cfg.congested_log_sigma,
+                                size=n_congested)
+            # Congestion can only *reduce* delivered bandwidth.
+            bandwidth[congested] = np.minimum(low, client_bound[congested])
+
+        loss = rng.uniform(0.0, cfg.clean_loss_hi, size=n)
+        if n_congested:
+            loss[congested] = rng.uniform(cfg.congested_loss_lo,
+                                          cfg.congested_loss_hi,
+                                          size=n_congested)
+        return bandwidth, loss, congested

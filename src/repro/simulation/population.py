@@ -1,0 +1,225 @@
+"""Client population: interest ranks, topology, and access links.
+
+The paper maps its 691,889 users to 364,184 IP addresses, over 1,000
+autonomous systems, and 11 countries dominated by Brazil (Section 3.1,
+Figure 2), and finds a Zipf-like *interest profile*: the frequency of
+sessions by the client of rank ``k`` falls as ``k**-0.4704`` (Section 3.5,
+Figure 7).  :class:`ClientPopulation` plants exactly this structure:
+
+* client indices double as interest ranks (client 0 is the most interested),
+  sampled per session through a :class:`~repro.distributions.zipf.ZipfLaw`;
+* autonomous systems are Zipf-sized, with the biggest ASes pinned to Brazil
+  and the remainder assigned countries by a skewed categorical;
+* IP addresses are shared within an AS at the paper's observed
+  users-per-IP ratio (about 1.9);
+* access-link speeds follow a 2002-era tier mix (modems through cable),
+  which the network model turns into the bimodal bandwidth of Figure 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import ConfigError
+from ..rng import make_rng, spawn
+from ..trace.store import ClientTable
+from ..distributions.zipf import ZipfLaw
+
+#: 2002-era access-link tiers as ``(bits_per_second, weight)``.
+DEFAULT_ACCESS_TIERS: tuple[tuple[float, float], ...] = (
+    (28_800.0, 0.12),    # v.34 modem
+    (33_600.0, 0.18),    # v.34+ modem
+    (56_000.0, 0.30),    # v.90 modem
+    (64_000.0, 0.05),    # single-channel ISDN
+    (128_000.0, 0.12),   # dual-channel ISDN
+    (256_000.0, 0.13),   # entry DSL
+    (512_000.0, 0.06),   # DSL
+    (1_000_000.0, 0.04), # cable
+)
+
+#: Default country mix (the paper's 11 countries, Brazil dominant).
+DEFAULT_COUNTRY_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("BR", 0.800), ("US", 0.070), ("AR", 0.040), ("JP", 0.020),
+    ("DE", 0.020), ("CH", 0.015), ("AU", 0.012), ("BE", 0.008),
+    ("BO", 0.005), ("SG", 0.005), ("SV", 0.005),
+)
+
+#: Client operating systems as logged by the Windows Media player.
+DEFAULT_OS_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("Windows_98", 0.46), ("Windows_2000", 0.22), ("Windows_ME", 0.14),
+    ("Windows_XP", 0.10), ("Windows_95", 0.05), ("Windows_NT", 0.03),
+)
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Parameters of the synthetic client population.
+
+    Attributes
+    ----------
+    n_clients:
+        Number of potential clients (the paper observed ~692k; the default
+        is a scale model).
+    interest_alpha:
+        Zipf exponent of the client interest profile — which client
+        initiates each session (the paper: 0.4704 for sessions).
+    n_ases:
+        Number of autonomous systems (the paper: 1,010).
+    as_alpha:
+        Zipf exponent of AS sizes (how client mass concentrates in big
+        ASes; Figure 2 left/center show a strongly skewed profile).
+    users_per_ip:
+        Average number of distinct players per IP address (the paper:
+        691,889 / 364,184, about 1.9 — NATs and shared machines).
+    forced_br_ases:
+        The top this-many ASes are pinned to Brazil, so the country share
+        of transfers is Brazil-dominated as in Figure 2 (right).
+    country_weights:
+        Country assignment weights for the remaining ASes.
+    access_tiers:
+        ``(bps, weight)`` access-link tiers.
+    os_weights:
+        ``(name, weight)`` operating-system mix.
+    """
+
+    n_clients: int = 50_000
+    interest_alpha: float = 0.4704
+    n_ases: int = 1_010
+    as_alpha: float = 1.10
+    users_per_ip: float = 1.9
+    forced_br_ases: int = 25
+    country_weights: tuple[tuple[str, float], ...] = DEFAULT_COUNTRY_WEIGHTS
+    access_tiers: tuple[tuple[float, float], ...] = DEFAULT_ACCESS_TIERS
+    os_weights: tuple[tuple[str, float], ...] = DEFAULT_OS_WEIGHTS
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ConfigError(f"n_clients must be positive, got {self.n_clients}")
+        if self.n_ases < 1:
+            raise ConfigError(f"n_ases must be positive, got {self.n_ases}")
+        if self.users_per_ip < 1.0:
+            raise ConfigError(
+                f"users_per_ip must be at least 1, got {self.users_per_ip}")
+        if self.interest_alpha < 0 or self.as_alpha < 0:
+            raise ConfigError("Zipf exponents must be non-negative")
+        for name, pairs in (("country_weights", self.country_weights),
+                            ("access_tiers", self.access_tiers),
+                            ("os_weights", self.os_weights)):
+            if not pairs or any(w <= 0 for _, w in pairs):
+                raise ConfigError(f"{name} must be non-empty with positive weights")
+
+
+def _weighted_choice(rng: np.random.Generator, n: int,
+                     pairs: tuple[tuple, ...]) -> np.ndarray:
+    values = [v for v, _ in pairs]
+    weights = np.asarray([w for _, w in pairs], dtype=np.float64)
+    weights = weights / weights.sum()
+    idx = rng.choice(len(values), size=n, p=weights)
+    return np.asarray(values)[idx]
+
+
+def _ip_string(as_number: int, host_index: int) -> str:
+    """Deterministic dotted quad encoding (AS, host) uniquely."""
+    a = 60 + as_number // 256          # 60..64 for AS < 1,280
+    b = as_number % 256
+    c = host_index // 250
+    d = host_index % 250 + 1
+    return f"{a}.{b}.{c}.{d}"
+
+
+class ClientPopulation:
+    """The synthetic client population, built once per scenario.
+
+    Build with :meth:`build`; client index ``i`` doubles as interest rank
+    ``i + 1``.
+    """
+
+    def __init__(self, config: PopulationConfig, as_numbers: np.ndarray,
+                 countries: np.ndarray, ips: np.ndarray,
+                 access_bps: np.ndarray, os_names: np.ndarray) -> None:
+        self.config = config
+        self.as_numbers = as_numbers
+        self.countries = countries
+        self.ips = ips
+        self.access_bps = access_bps
+        self.os_names = os_names
+        self._interest_law = ZipfLaw(config.interest_alpha, config.n_clients)
+
+    @classmethod
+    def build(cls, config: PopulationConfig,
+              seed: SeedLike = None) -> "ClientPopulation":
+        """Construct a population from the given configuration and seed."""
+        rng = make_rng(seed)
+        as_rng, country_rng, ip_rng, access_rng, os_rng = spawn(rng, 5)
+        n = config.n_clients
+
+        # AS membership: Zipf-sized autonomous systems.
+        as_law = ZipfLaw(config.as_alpha, config.n_ases)
+        as_rank = as_law.sample(n, as_rng)  # 1-based rank = AS number
+
+        # Country per AS: top ASes pinned to BR, the rest drawn categorical.
+        as_countries = _weighted_choice(country_rng, config.n_ases,
+                                        config.country_weights)
+        as_countries[:min(config.forced_br_ases, config.n_ases)] = "BR"
+        countries = as_countries[as_rank - 1]
+
+        # IP sharing within each AS at the configured users-per-IP ratio.
+        ips = np.empty(n, dtype=object)
+        for as_number in np.unique(as_rank):
+            members = np.nonzero(as_rank == as_number)[0]
+            n_ips = max(int(round(members.size / config.users_per_ip)), 1)
+            host_idx = ip_rng.integers(0, n_ips, size=members.size)
+            for client, host in zip(members, host_idx):
+                ips[client] = _ip_string(int(as_number), int(host))
+
+        access = _weighted_choice(access_rng, n, config.access_tiers
+                                  ).astype(np.float64)
+        os_names = _weighted_choice(os_rng, n, config.os_weights)
+
+        return cls(config,
+                   as_numbers=as_rank.astype(np.int64),
+                   countries=countries.astype(np.str_),
+                   ips=ips.astype(np.str_),
+                   access_bps=access,
+                   os_names=os_names.astype(np.str_))
+
+    @property
+    def n_clients(self) -> int:
+        """Number of clients in the population."""
+        return self.config.n_clients
+
+    def sample_clients(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``n`` client indices from the Zipf interest profile.
+
+        Client index 0 is the most interested client (interest rank 1).
+        """
+        return self._interest_law.sample(n, seed) - 1
+
+    def client_table(self) -> ClientTable:
+        """Materialize the population as a trace :class:`ClientTable`."""
+        player_ids = [f"player-{i:07d}" for i in range(self.n_clients)]
+        return ClientTable(
+            player_ids=player_ids,
+            ips=self.ips,
+            as_numbers=self.as_numbers,
+            countries=self.countries,
+            os_names=self.os_names,
+        )
+
+    def resolver(self):
+        """Return an ``ip -> (as_number, country)`` callable.
+
+        Stands in for the external IP-to-AS traceback the paper performed;
+        pass to :func:`repro.trace.wms_log.read_wms_log`.
+        """
+        mapping = {str(ip): (int(asn), str(country))
+                   for ip, asn, country in zip(self.ips, self.as_numbers,
+                                               self.countries)}
+
+        def resolve(ip: str) -> tuple[int, str]:
+            return mapping.get(ip, (0, ""))
+
+        return resolve

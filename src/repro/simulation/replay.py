@@ -1,0 +1,70 @@
+"""Replay workloads against the event-driven server.
+
+The paper motivates live-workload characterization with capacity planning:
+live requests cannot be deferred, so rejecting them denies access outright
+(Section 1).  :func:`replay_trace` plays a trace (measured or synthetic)
+through :class:`~repro.simulation.server.StreamingServer` under a given
+admission-control limit, quantifying exactly how many live moments an
+underprovisioned server would deny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.store import Trace
+from .server import ReplayResult, ServerConfig, StreamingServer
+
+
+def replay_trace(trace: Trace, *,
+                 config: ServerConfig | None = None) -> ReplayResult:
+    """Replay every transfer of ``trace`` through a fresh server.
+
+    Parameters
+    ----------
+    trace:
+        The workload; each transfer becomes one request at its start time.
+    config:
+        Server parameters, including the optional ``max_concurrent``
+        admission limit.
+
+    Returns
+    -------
+    ReplayResult
+        Served/rejected counts, peak concurrency, bytes served, and the
+        exact concurrency step function.
+    """
+    server = StreamingServer(config)
+    server.submit_workload(trace.start, trace.duration, trace.bandwidth_bps)
+    return server.run()
+
+
+def provisioning_sweep(trace: Trace, limits: list[int],
+                       *, base: ServerConfig | None = None
+                       ) -> list[tuple[int, ReplayResult]]:
+    """Replay ``trace`` under each admission limit in ``limits``.
+
+    Returns ``(limit, result)`` pairs — the data behind a capacity-planning
+    curve of denied live requests versus provisioned capacity.
+    """
+    base = base or ServerConfig()
+    out = []
+    for limit in limits:
+        cfg = ServerConfig(capacity=base.capacity, base_cpu=base.base_cpu,
+                           cpu_noise_sigma=base.cpu_noise_sigma,
+                           max_concurrent=int(limit))
+        out.append((int(limit), replay_trace(trace, config=cfg)))
+    return out
+
+
+def demand_peak(trace: Trace) -> int:
+    """Peak concurrent-transfer demand of ``trace`` (no admission control).
+
+    Computed directly from the interval endpoints (no event simulation).
+    """
+    if len(trace) == 0:
+        return 0
+    times = np.concatenate([trace.start, trace.end])
+    deltas = np.concatenate([np.ones(len(trace)), -np.ones(len(trace))])
+    order = np.lexsort((deltas, times))  # ends before starts at equal times
+    return int(np.cumsum(deltas[order]).max())

@@ -1,0 +1,213 @@
+"""Show schedule: what makes live access *object driven*.
+
+The paper's central thesis is that access to live objects is driven by the
+object, not the user: "activities occurring within the reality show" plus
+diurnal audience availability explain the concurrency variability
+(Section 3.2).  This module models the object side: a weekly repeating
+schedule of in-show events (evictions, parties, daily highlights) that
+multiply the baseline arrival rate and make viewers stickier while active.
+
+:class:`CompositeRateProfile` combines the audience-availability profile
+(:class:`~repro.distributions.diurnal.WeeklyProfile`) with the schedule's
+arrival multiplier, yielding the rate profile the scenario's
+piecewise-stationary Poisson arrival process consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import ArrayLike, FloatArray, as_float_array
+from ..errors import ConfigError
+from ..units import DAY, HOUR, MINUTE, WEEK
+
+
+@dataclass(frozen=True)
+class ShowEvent:
+    """A scheduled in-show event repeating weekly.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    day_of_week:
+        0 = Sunday (the scenario convention: traces start on a Sunday).
+        Use ``None`` for an event that recurs every day.
+    start_hour:
+        Start time within the day, in fractional hours.
+    duration:
+        Event length in seconds.
+    arrival_boost:
+        Multiplier applied to the client arrival rate while active.
+    stickiness_boost:
+        Multiplier applied to transfer lengths started while active.
+    feed_down:
+        When True the live feed is unavailable during the event: no
+        transfers can start (the scenario drops them) and arrivals should
+        be suppressed via a small ``arrival_boost``.  Models camera/feed
+        maintenance windows — the extreme "unpopular time intervals" the
+        paper invokes to explain the far tail of transfer interarrivals
+        (Section 5.2).
+    """
+
+    name: str
+    day_of_week: int | None
+    start_hour: float
+    duration: float
+    arrival_boost: float = 1.0
+    stickiness_boost: float = 1.0
+    feed_down: bool = False
+
+    def __post_init__(self) -> None:
+        if self.day_of_week is not None and not 0 <= self.day_of_week <= 6:
+            raise ConfigError(f"day_of_week must be in [0, 6], got {self.day_of_week}")
+        if not 0 <= self.start_hour < 24:
+            raise ConfigError(f"start_hour must be in [0, 24), got {self.start_hour}")
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be positive, got {self.duration}")
+        if self.arrival_boost <= 0 or self.stickiness_boost <= 0:
+            raise ConfigError("boost multipliers must be positive")
+
+    def active(self, t: ArrayLike) -> np.ndarray:
+        """Boolean mask of which times fall inside an occurrence.
+
+        Occurrences may wrap past midnight (e.g. a party ending at 00:30).
+        """
+        arr = as_float_array(t, name="t")
+        if self.day_of_week is None:
+            phase = np.mod(arr, DAY)
+            offset = self.start_hour * HOUR
+            period = DAY
+        else:
+            phase = np.mod(arr, WEEK)
+            offset = self.day_of_week * DAY + self.start_hour * HOUR
+            period = WEEK
+        rel = np.mod(phase - offset, period)
+        return rel < self.duration
+
+
+def default_reality_show_events() -> tuple[ShowEvent, ...]:
+    """The default weekly event schedule of the simulated reality show.
+
+    Modeled on the rhythm of the 2002 Brazilian show behind the paper's
+    trace: a weekly eviction night, a weekend party, and a short daily
+    highlights segment.
+    """
+    return (
+        ShowEvent("eviction-night", day_of_week=2, start_hour=21.0,
+                  duration=2 * HOUR, arrival_boost=1.9, stickiness_boost=1.5),
+        ShowEvent("saturday-party", day_of_week=6, start_hour=22.0,
+                  duration=2.5 * HOUR, arrival_boost=1.5, stickiness_boost=1.3),
+        ShowEvent("daily-highlights", day_of_week=None, start_hour=13.0,
+                  duration=30 * MINUTE, arrival_boost=1.25,
+                  stickiness_boost=1.1),
+    )
+
+
+def nightly_maintenance_outages() -> tuple[ShowEvent, ...]:
+    """Early-morning feed-maintenance windows of log-spread durations.
+
+    One outage per day of the week around 4 am, with durations spanning
+    8 to 120 minutes.  The log-uniform spread of dead-interval lengths
+    produces a roughly index-1 far tail of transfer interarrivals — the
+    paper's second regime (Section 5.2, Figure 17).
+    """
+    durations_minutes = (8.0, 15.0, 25.0, 40.0, 60.0, 90.0, 120.0)
+    return tuple(
+        ShowEvent(f"feed-maintenance-{day}", day_of_week=day,
+                  start_hour=4.1, duration=minutes * MINUTE,
+                  arrival_boost=1e-3, feed_down=True)
+        for day, minutes in enumerate(durations_minutes))
+
+
+@dataclass(frozen=True)
+class ShowSchedule:
+    """A collection of :class:`ShowEvent` with combined multipliers.
+
+    Overlapping events multiply together.
+    """
+
+    events: tuple[ShowEvent, ...] = field(
+        default_factory=default_reality_show_events)
+
+    def arrival_multiplier(self, t: ArrayLike) -> FloatArray:
+        """Combined arrival-rate multiplier at times ``t``."""
+        arr = as_float_array(t, name="t")
+        out = np.ones_like(arr)
+        for event in self.events:
+            mask = event.active(arr)
+            out[mask] *= event.arrival_boost
+        return out
+
+    def stickiness_multiplier(self, t: ArrayLike) -> FloatArray:
+        """Combined transfer-length multiplier at times ``t``."""
+        arr = as_float_array(t, name="t")
+        out = np.ones_like(arr)
+        for event in self.events:
+            mask = event.active(arr)
+            out[mask] *= event.stickiness_boost
+        return out
+
+    def feed_down_mask(self, t: ArrayLike) -> np.ndarray:
+        """Boolean mask of times at which the feed is unavailable."""
+        arr = as_float_array(t, name="t")
+        mask = np.zeros(arr.size, dtype=bool)
+        for event in self.events:
+            if event.feed_down:
+                mask |= event.active(arr)
+        return mask
+
+    def max_arrival_multiplier(self) -> float:
+        """Upper bound of the combined arrival multiplier."""
+        product = 1.0
+        for event in self.events:
+            product *= max(event.arrival_boost, 1.0)
+        return product
+
+
+class CompositeRateProfile:
+    """Audience availability times show-event boosts.
+
+    Exposes the ``rate`` / ``max_rate`` / ``period`` interface consumed by
+    :class:`~repro.distributions.piecewise_poisson.PiecewiseStationaryPoissonProcess`.
+
+    Parameters
+    ----------
+    base:
+        The availability profile (anything with ``rate``, ``max_rate``,
+        ``period`` — typically a :class:`~repro.distributions.diurnal.WeeklyProfile`).
+    schedule:
+        The show schedule providing the arrival multiplier.
+    """
+
+    def __init__(self, base, schedule: ShowSchedule) -> None:
+        self.base = base
+        self.schedule = schedule
+        self.period = WEEK
+
+    def rate(self, t: ArrayLike) -> FloatArray:
+        """Combined arrival rate at times ``t``."""
+        arr = as_float_array(t, name="t")
+        return (np.asarray(self.base.rate(arr), dtype=np.float64)
+                * self.schedule.arrival_multiplier(arr))
+
+    def max_rate(self) -> float:
+        """Upper bound on the combined rate (for thinning)."""
+        return float(self.base.max_rate()
+                     * self.schedule.max_arrival_multiplier())
+
+    def mean_rate(self, *, resolution: float = 300.0) -> float:
+        """Numerically averaged rate over one week."""
+        grid = np.arange(0.0, WEEK, resolution)
+        return float(self.rate(grid).mean())
+
+    def scaled_to_mean(self, mean_rate: float) -> "CompositeRateProfile":
+        """Return a copy whose weekly mean rate equals ``mean_rate``."""
+        current = self.mean_rate()
+        if current <= 0:
+            raise ConfigError("cannot rescale an all-zero composite profile")
+        scaled_base = self.base.scaled_to_mean(
+            self.base.mean_rate() * mean_rate / current)
+        return CompositeRateProfile(scaled_base, self.schedule)

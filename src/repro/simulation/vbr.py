@@ -1,0 +1,138 @@
+"""Variable-bit-rate (VBR) live content encoding.
+
+GISMO models streaming objects with *self-similar variable bit-rate*
+content [19], and the paper keeps that ingredient for live media
+(Section 6.2: "many of these characteristics are still applicable ...
+e.g., VBR characteristics of content").  A live camera feed's encoded
+bitrate fluctuates with scene activity, and MPEG measurements show those
+fluctuations are long-range dependent (Hurst ~0.8).
+
+:class:`VbrEncoder` produces a per-interval encoded-bitrate series with a
+lognormal marginal (positive by construction, mean and coefficient of
+variation as configured) whose log is exact fractional Gaussian noise — so
+the planted Hurst parameter is recoverable by the estimators in
+:mod:`repro.analysis.selfsimilarity`.
+
+:func:`unicast_egress_series` turns a trace plus per-feed encoders into
+the server's offered egress load over time — the quantity a capacity
+planner provisions for, and the input to the multicast comparison in
+:mod:`repro.analysis.multicast`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import FloatArray, SeedLike
+from ..errors import ConfigError
+from ..rng import make_rng, spawn
+from ..trace.store import Trace
+from ..analysis.concurrency import sampled_concurrency
+from ..distributions.selfsimilar import FractionalGaussianNoise
+
+
+@dataclass(frozen=True)
+class VbrConfig:
+    """Parameters of a VBR live encoding.
+
+    Attributes
+    ----------
+    mean_bps:
+        Long-run average encoded bitrate.
+    coefficient_of_variation:
+        Std/mean of the bitrate marginal (MPEG-1 traces: ~0.2-0.6).
+    hurst:
+        Hurst parameter of the log-bitrate process (~0.8 in measurements).
+    """
+
+    mean_bps: float = 300_000.0
+    coefficient_of_variation: float = 0.35
+    hurst: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.mean_bps <= 0:
+            raise ConfigError(f"mean_bps must be positive, got {self.mean_bps}")
+        if self.coefficient_of_variation <= 0:
+            raise ConfigError("coefficient_of_variation must be positive")
+        if not 0.0 < self.hurst < 1.0:
+            raise ConfigError(f"hurst must be in (0, 1), got {self.hurst}")
+
+
+class VbrEncoder:
+    """Self-similar VBR bitrate series generator.
+
+    The series is ``rate(t) = mean * exp(sigma_log * G(t) - sigma_log^2/2)``
+    with ``G`` standard fGn, giving a lognormal marginal with the exact
+    configured mean and coefficient of variation.
+
+    Parameters
+    ----------
+    config:
+        Encoding parameters; see :class:`VbrConfig`.
+    """
+
+    def __init__(self, config: VbrConfig | None = None) -> None:
+        self.config = config or VbrConfig()
+        cv2 = self.config.coefficient_of_variation ** 2
+        self._sigma_log = math.sqrt(math.log1p(cv2))
+
+    def bitrate_series(self, n_steps: int,
+                       seed: SeedLike = None) -> FloatArray:
+        """Generate ``n_steps`` consecutive encoded-bitrate samples."""
+        if n_steps < 1:
+            raise ConfigError(f"n_steps must be positive, got {n_steps}")
+        noise = FractionalGaussianNoise(self.config.hurst)
+        g = noise.sample_path(n_steps, seed)
+        log_rate = self._sigma_log * g - 0.5 * self._sigma_log ** 2
+        return self.config.mean_bps * np.exp(log_rate)
+
+    def constant_series(self, n_steps: int) -> FloatArray:
+        """The CBR strawman at the same mean rate (for ablations)."""
+        if n_steps < 1:
+            raise ConfigError(f"n_steps must be positive, got {n_steps}")
+        return np.full(n_steps, self.config.mean_bps)
+
+
+def per_feed_concurrency(trace: Trace, *, step: float = 60.0) -> dict[int, FloatArray]:
+    """Concurrent-transfer count per live feed sampled every ``step``."""
+    out: dict[int, FloatArray] = {}
+    for feed in np.unique(trace.object_id):
+        mask = trace.object_id == feed
+        out[int(feed)] = sampled_concurrency(
+            trace.start[mask], np.minimum(trace.end[mask], trace.extent),
+            extent=trace.extent, step=step)
+    return out
+
+
+def unicast_egress_series(trace: Trace, *, step: float = 60.0,
+                          encoder: VbrEncoder | None = None,
+                          seed: SeedLike = None
+                          ) -> tuple[FloatArray, FloatArray]:
+    """Server egress (bits/second) over time for unicast delivery.
+
+    Each active transfer receives its feed's encoded bitrate, so the
+    egress at time ``t`` is ``sum over feeds of concurrency_f(t) *
+    rate_f(t)``.  With ``encoder=None`` every feed streams CBR at 300
+    kbit/s; otherwise each feed gets an independent VBR series from the
+    encoder's configuration.
+
+    Returns ``(times, bits_per_second)``.
+    """
+    rng = make_rng(seed)
+    concurrency = per_feed_concurrency(trace, step=step)
+    if not concurrency:
+        return np.empty(0), np.empty(0)
+    n_steps = next(iter(concurrency.values())).size
+    times = np.arange(n_steps) * step
+    egress = np.zeros(n_steps)
+    feed_rngs = spawn(rng, len(concurrency))
+    for feed_rng, (feed, counts) in zip(feed_rngs, sorted(concurrency.items())):
+        if encoder is None:
+            rates = VbrEncoder().constant_series(n_steps)
+        else:
+            rates = encoder.bitrate_series(n_steps, feed_rng)
+        egress += counts * rates
+    return times, egress

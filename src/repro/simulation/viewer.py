@@ -1,0 +1,195 @@
+"""Viewer session behaviour: the *user* side of the workload.
+
+Once a client arrives (a session starts), its behaviour is governed by the
+session-layer variables the paper characterizes: how many transfers the
+session contains (Zipf, Figure 13), when each transfer starts relative to
+the previous one (lognormal intra-session interarrivals, Figure 14), how
+long each transfer lasts — the client's *stickiness* to the live feed
+(lognormal, Figure 19) — and which of the live feeds it watches
+(Figure 1's overlapping feed-1/feed-2 transfers).
+
+Generation is fully vectorized over all sessions using the segmented
+primitives in :mod:`repro.arrayops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray, SeedLike
+from ..arrayops import alternate_on_switch, expand_by_segment, segmented_cumsum
+from ..errors import ConfigError
+from ..rng import make_rng, spawn
+from ..distributions.lognormal import LognormalDistribution
+from ..distributions.zipf import ZetaDistribution
+
+#: Type of the stickiness-multiplier hook (transfer start times -> factor).
+StickinessFn = Callable[[FloatArray], FloatArray]
+
+
+@dataclass(frozen=True)
+class SessionBehavior:
+    """Distributional parameters of session behaviour.
+
+    Defaults are the paper's Table 2 values.
+
+    Attributes
+    ----------
+    transfers_alpha:
+        Zipf exponent of the transfers-per-session law (paper: 2.70417).
+    transfers_k_max:
+        Truncation of the transfers-per-session law (bounds memory; the
+        paper's Figure 13 support extends to about 10^4).
+    gap_log_mu, gap_log_sigma:
+        Lognormal parameters of intra-session transfer interarrivals —
+        the spacing between consecutive transfer *starts*
+        (paper: mu 4.89991, sigma 1.32074).
+    length_log_mu, length_log_sigma:
+        Lognormal parameters of transfer lengths
+        (paper: mu 4.383921, sigma 1.427247).
+    n_feeds:
+        Number of live objects (the paper's trace has two).
+    feed_switch_prob:
+        Probability that a non-initial transfer switches feeds.
+    feed_preference:
+        Relative weights of the feeds for a session's first transfer.
+    """
+
+    transfers_alpha: float = 2.70417
+    transfers_k_max: int = 10_000
+    gap_log_mu: float = 4.89991
+    gap_log_sigma: float = 1.32074
+    length_log_mu: float = 4.383921
+    length_log_sigma: float = 1.427247
+    n_feeds: int = 2
+    feed_switch_prob: float = 0.25
+    feed_preference: tuple[float, ...] = (0.6, 0.4)
+
+    def __post_init__(self) -> None:
+        if self.transfers_alpha <= 1.0:
+            raise ConfigError("transfers_alpha must exceed 1")
+        if self.transfers_k_max < 1:
+            raise ConfigError("transfers_k_max must be positive")
+        if self.gap_log_sigma <= 0 or self.length_log_sigma <= 0:
+            raise ConfigError("lognormal sigmas must be positive")
+        if self.n_feeds < 1:
+            raise ConfigError("n_feeds must be positive")
+        if not 0.0 <= self.feed_switch_prob <= 1.0:
+            raise ConfigError("feed_switch_prob must be in [0, 1]")
+        if len(self.feed_preference) != self.n_feeds:
+            raise ConfigError(
+                f"feed_preference needs {self.n_feeds} weights, "
+                f"got {len(self.feed_preference)}")
+        if any(w <= 0 for w in self.feed_preference):
+            raise ConfigError("feed preferences must be positive")
+
+    def transfers_per_session_law(self) -> ZetaDistribution:
+        """The transfers-per-session distribution."""
+        return ZetaDistribution(self.transfers_alpha, k_max=self.transfers_k_max)
+
+    def gap_law(self) -> LognormalDistribution:
+        """The intra-session transfer-interarrival distribution."""
+        return LognormalDistribution(self.gap_log_mu, self.gap_log_sigma)
+
+    def length_law(self) -> LognormalDistribution:
+        """The transfer-length (stickiness) distribution."""
+        return LognormalDistribution(self.length_log_mu, self.length_log_sigma)
+
+
+@dataclass(frozen=True)
+class SessionBatch:
+    """All transfers of a batch of sessions, in columnar form.
+
+    Attributes
+    ----------
+    session_index:
+        Per-transfer index of the owning session.
+    start:
+        Per-transfer start times (seconds).
+    duration:
+        Per-transfer lengths (seconds).
+    object_id:
+        Per-transfer feed index.
+    transfers_per_session:
+        Per-session transfer counts (defines the segmentation).
+    """
+
+    session_index: IntArray = field(repr=False)
+    start: FloatArray = field(repr=False)
+    duration: FloatArray = field(repr=False)
+    object_id: IntArray = field(repr=False)
+    transfers_per_session: IntArray = field(repr=False)
+
+    @property
+    def n_transfers(self) -> int:
+        """Total number of transfers in the batch."""
+        return int(self.start.size)
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of sessions in the batch."""
+        return int(self.transfers_per_session.size)
+
+
+def generate_sessions(behavior: SessionBehavior, arrival_times: FloatArray,
+                      *, stickiness: StickinessFn | None = None,
+                      seed: SeedLike = None) -> SessionBatch:
+    """Generate the transfers of one session per arrival time.
+
+    The first transfer of each session starts at the session's arrival
+    time; subsequent transfer starts are spaced by lognormal gaps (the
+    paper's generative model, Section 6).  Transfer durations are drawn
+    from the stickiness lognormal and optionally modulated by the show's
+    ``stickiness`` hook evaluated at each transfer's start.
+
+    Parameters
+    ----------
+    behavior:
+        Session behaviour parameters.
+    arrival_times:
+        One session arrival time per session (seconds, any order).
+    stickiness:
+        Optional multiplier over transfer lengths as a function of start
+        time (the show's events make viewers stickier).
+    seed:
+        Seed or generator.
+    """
+    rng = make_rng(seed)
+    count_rng, gap_rng, length_rng, feed_rng = spawn(rng, 4)
+    arrivals = np.asarray(arrival_times, dtype=np.float64)
+    n_sessions = arrivals.size
+
+    n_transfers = behavior.transfers_per_session_law().sample(
+        n_sessions, count_rng)
+    total = int(n_transfers.sum())
+
+    gaps = behavior.gap_law().sample(total, gap_rng)
+    offsets = segmented_cumsum(gaps, n_transfers, exclusive=True)
+    starts = expand_by_segment(arrivals, n_transfers) + offsets
+
+    durations = behavior.length_law().sample(total, length_rng)
+    if stickiness is not None:
+        durations = durations * np.asarray(stickiness(starts),
+                                           dtype=np.float64)
+
+    preference = np.asarray(behavior.feed_preference, dtype=np.float64)
+    preference = preference / preference.sum()
+    first_feed = feed_rng.choice(behavior.n_feeds, size=n_sessions,
+                                 p=preference)
+    switch = feed_rng.random(total) < behavior.feed_switch_prob
+    object_id = alternate_on_switch(switch, n_transfers,
+                                    first_value=first_feed,
+                                    n_choices=behavior.n_feeds)
+
+    session_index = expand_by_segment(
+        np.arange(n_sessions, dtype=np.int64), n_transfers)
+    return SessionBatch(
+        session_index=session_index,
+        start=starts,
+        duration=durations,
+        object_id=object_id,
+        transfers_per_session=n_transfers.astype(np.int64),
+    )

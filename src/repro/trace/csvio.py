@@ -1,0 +1,113 @@
+"""CSV interchange for traces.
+
+The ``.npz`` format (:meth:`repro.trace.store.Trace.save_npz`) is the fast
+native container; CSV is the interchange format for everything else —
+spreadsheets, R, other toolkits.  Two files represent a trace: a transfer
+table and a client table, joined on ``client_index``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceError
+from .store import ClientTable, Trace
+
+#: Column order of the transfers CSV.
+TRANSFER_COLUMNS: tuple[str, ...] = (
+    "client_index", "object_id", "start", "duration", "bandwidth_bps",
+    "packet_loss", "server_cpu", "status",
+)
+
+#: Column order of the clients CSV.
+CLIENT_COLUMNS: tuple[str, ...] = (
+    "player_id", "ip", "as_number", "country", "os_name",
+)
+
+
+def write_csv(trace: Trace, transfers_path: str | Path,
+              clients_path: str | Path) -> None:
+    """Write ``trace`` as a transfers CSV plus a clients CSV."""
+    with open(transfers_path, "w", encoding="ascii", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(("# extent", trace.extent))
+        writer.writerow(TRANSFER_COLUMNS)
+        for i in range(len(trace)):
+            writer.writerow((
+                int(trace.client_index[i]), int(trace.object_id[i]),
+                repr(float(trace.start[i])), repr(float(trace.duration[i])),
+                repr(float(trace.bandwidth_bps[i])),
+                repr(float(trace.packet_loss[i])),
+                repr(float(trace.server_cpu[i])), int(trace.status[i]),
+            ))
+    clients = trace.clients
+    with open(clients_path, "w", encoding="ascii", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(CLIENT_COLUMNS)
+        for i in range(len(clients)):
+            writer.writerow((
+                str(clients.player_ids[i]), str(clients.ips[i]),
+                int(clients.as_numbers[i]), str(clients.countries[i]),
+                str(clients.os_names[i]),
+            ))
+
+
+def read_csv(transfers_path: str | Path,
+             clients_path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_csv`.
+
+    Raises
+    ------
+    TraceError
+        On missing headers or malformed rows.
+    """
+    with open(clients_path, "r", encoding="ascii", newline="") as stream:
+        reader = csv.reader(stream)
+        header = next(reader, None)
+        if header is None or tuple(header) != CLIENT_COLUMNS:
+            raise TraceError(
+                f"clients CSV header mismatch: expected {CLIENT_COLUMNS}")
+        rows = list(reader)
+    try:
+        clients = ClientTable(
+            player_ids=[row[0] for row in rows],
+            ips=[row[1] for row in rows],
+            as_numbers=[int(row[2]) for row in rows],
+            countries=[row[3] for row in rows],
+            os_names=[row[4] for row in rows],
+        )
+    except (IndexError, ValueError) as exc:
+        raise TraceError(f"malformed clients CSV row: {exc}") from exc
+
+    with open(transfers_path, "r", encoding="ascii", newline="") as stream:
+        reader = csv.reader(stream)
+        extent_row = next(reader, None)
+        if (extent_row is None or len(extent_row) != 2
+                or extent_row[0] != "# extent"):
+            raise TraceError("transfers CSV missing the '# extent' row")
+        extent = float(extent_row[1])
+        header = next(reader, None)
+        if header is None or tuple(header) != TRANSFER_COLUMNS:
+            raise TraceError(
+                f"transfers CSV header mismatch: expected {TRANSFER_COLUMNS}")
+        rows = list(reader)
+
+    try:
+        columns = list(zip(*rows)) if rows else [[] for _ in TRANSFER_COLUMNS]
+        return Trace(
+            clients=clients,
+            client_index=np.asarray(columns[0], dtype=np.int64),
+            object_id=np.asarray(columns[1], dtype=np.int64),
+            start=np.asarray(columns[2], dtype=np.float64),
+            duration=np.asarray(columns[3], dtype=np.float64),
+            bandwidth_bps=np.asarray(columns[4], dtype=np.float64),
+            packet_loss=np.asarray(columns[5], dtype=np.float64),
+            server_cpu=np.asarray(columns[6], dtype=np.float64),
+            status=np.asarray(columns[7], dtype=np.int64),
+            extent=extent,
+        )
+    except (IndexError, ValueError) as exc:
+        raise TraceError(f"malformed transfers CSV row: {exc}") from exc

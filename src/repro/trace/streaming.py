@@ -1,0 +1,231 @@
+"""One-pass (streaming) log characterization.
+
+A month of logs at the paper's scale is millions of lines; the columnar
+:class:`~repro.trace.store.Trace` handles that comfortably, but a
+production pipeline watching a *live* server wants running statistics
+without ever materializing the trace.  :class:`StreamingCharacterizer`
+consumes WMS-style log lines incrementally — across any number of files or
+harvests — and maintains, in O(clients) memory:
+
+* the transfer-length lognormal fit (online log-moments, with the paper's
+  ``floor(t)+1`` convention);
+* total transfers, bytes served, per-feed counts;
+* per-client transfer counts (the interest profile);
+* the congestion-bound bandwidth fraction and a log-spaced bandwidth
+  histogram (Figure 20's shape);
+* the diurnal profile of transfer starts (Figure 4's shape).
+
+Everything it reports is cross-checked against the batch pipeline in the
+test suite: same log in, same statistics out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, TextIO
+
+import numpy as np
+
+from .._typing import FloatArray
+from ..errors import LogParseError
+from ..units import DAY, log_display_time
+from .wms_log import _URI_PREFIX, _parse_fields_header, iter_log_lines
+
+#: Default log-spaced bandwidth histogram edges (bits/second).
+DEFAULT_BANDWIDTH_EDGES = np.logspace(3, 7, 41)
+
+#: Bandwidths below this count as congestion bound (matches
+#: :data:`repro.core.transfer_layer.CONGESTION_BOUND_THRESHOLD_BPS`).
+CONGESTION_THRESHOLD_BPS = 24_000.0
+
+
+class _OnlineMoments:
+    """Welford accumulator for mean and variance."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return math.sqrt(self.m2 / self.n)
+
+
+@dataclass(frozen=True)
+class StreamingSummary:
+    """Snapshot of the running statistics.
+
+    Attributes
+    ----------
+    n_entries, n_skipped:
+        Parsed and skipped (malformed) line counts.
+    n_clients:
+        Distinct player IDs seen.
+    length_log_mu, length_log_sigma:
+        Online lognormal fit of transfer lengths (``floor(t)+1``).
+    bytes_served:
+        Accumulated ``duration * bandwidth / 8``.
+    feed_counts:
+        Transfers per live-object id.
+    congestion_bound_fraction:
+        Fraction of transfers below the congestion threshold.
+    bandwidth_histogram, bandwidth_edges:
+        Log-spaced histogram of per-transfer bandwidth.
+    diurnal_counts:
+        Transfer-start counts folded into bins of one day.
+    top_clients:
+        The ``(player_id, count)`` pairs of the most active clients.
+    """
+
+    n_entries: int
+    n_skipped: int
+    n_clients: int
+    length_log_mu: float
+    length_log_sigma: float
+    bytes_served: float
+    feed_counts: dict[int, int]
+    congestion_bound_fraction: float
+    bandwidth_histogram: FloatArray = field(repr=False)
+    bandwidth_edges: FloatArray = field(repr=False)
+    diurnal_counts: FloatArray = field(repr=False)
+    top_clients: tuple[tuple[str, int], ...] = ()
+
+
+class StreamingCharacterizer:
+    """Incremental characterizer of WMS-style logs.
+
+    Feed it files or streams with :meth:`consume`; read a
+    :class:`StreamingSummary` at any point with :meth:`summary`.
+
+    Parameters
+    ----------
+    diurnal_bins:
+        Bins per day of the arrival profile (96 = 15-minute).
+    bandwidth_edges:
+        Log-spaced histogram edges for bandwidth (bits/second).
+    """
+
+    def __init__(self, *, diurnal_bins: int = 96,
+                 bandwidth_edges: FloatArray | None = None) -> None:
+        if diurnal_bins < 1:
+            raise ValueError("diurnal_bins must be positive")
+        self._log_length = _OnlineMoments()
+        self._bytes = 0.0
+        self._n_entries = 0
+        self._n_skipped = 0
+        self._congested = 0
+        self._client_counts: dict[str, int] = {}
+        self._feed_counts: dict[int, int] = {}
+        self._edges = (DEFAULT_BANDWIDTH_EDGES if bandwidth_edges is None
+                       else np.asarray(bandwidth_edges, dtype=np.float64))
+        self._bandwidth_hist = np.zeros(self._edges.size - 1)
+        self._diurnal = np.zeros(diurnal_bins)
+        self._bin_width = DAY / diurnal_bins
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def consume(self, source: str | Path | TextIO | Iterable[str]) -> int:
+        """Consume one log file/stream; returns entries parsed from it.
+
+        Malformed data lines are counted and skipped (a streaming consumer
+        cannot afford to abort mid-harvest); a missing ``#Fields`` header
+        still raises, since nothing after it could be interpreted.
+        """
+        own = isinstance(source, (str, Path))
+        stream = open(source, "r", encoding="ascii") if own else source
+        parsed = 0
+        try:
+            fields: list[str] | None = None
+            for number, line in iter_log_lines(stream):
+                if line.startswith("#"):
+                    if line.startswith("#Fields:"):
+                        fields = _parse_fields_header(line, number)
+                    continue
+                if fields is None:
+                    raise LogParseError("data before #Fields header",
+                                        line_number=number, line=line)
+                if self._consume_line(line, fields):
+                    parsed += 1
+            return parsed
+        finally:
+            if own:
+                stream.close()
+
+    def _consume_line(self, line: str, fields: list[str]) -> bool:
+        parts = line.split()
+        if len(parts) != len(fields):
+            self._n_skipped += 1
+            return False
+        row = dict(zip(fields, parts))
+        try:
+            duration = float(row["x-duration"])
+            bandwidth = float(row["avg-bandwidth"])
+            timestamp = int(row["x-timestamp"])
+            uri = row["cs-uri-stem"]
+            if not uri.startswith(_URI_PREFIX):
+                raise ValueError("bad uri")
+            feed = int(uri[len(_URI_PREFIX):])
+            player = row["c-playerid"]
+        except (KeyError, ValueError):
+            self._n_skipped += 1
+            return False
+
+        self._n_entries += 1
+        display = float(log_display_time([max(duration, 0.0)])[0])
+        self._log_length.add(math.log(display))
+        self._bytes += max(duration, 0.0) * max(bandwidth, 0.0) / 8.0
+        self._client_counts[player] = self._client_counts.get(player, 0) + 1
+        self._feed_counts[feed] = self._feed_counts.get(feed, 0) + 1
+        if bandwidth < CONGESTION_THRESHOLD_BPS:
+            self._congested += 1
+        bin_idx = int(np.searchsorted(self._edges, bandwidth,
+                                      side="right")) - 1
+        if 0 <= bin_idx < self._bandwidth_hist.size:
+            self._bandwidth_hist[bin_idx] += 1
+        start = timestamp - duration
+        phase = start % DAY
+        self._diurnal[min(int(phase / self._bin_width),
+                          self._diurnal.size - 1)] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self, *, top_k: int = 10) -> StreamingSummary:
+        """Snapshot the running statistics (cheap; call any time)."""
+        top = sorted(self._client_counts.items(),
+                     key=lambda item: (-item[1], item[0]))[:top_k]
+        congested_fraction = (self._congested / self._n_entries
+                              if self._n_entries else 0.0)
+        return StreamingSummary(
+            n_entries=self._n_entries,
+            n_skipped=self._n_skipped,
+            n_clients=len(self._client_counts),
+            length_log_mu=self._log_length.mean,
+            length_log_sigma=self._log_length.std,
+            bytes_served=self._bytes,
+            feed_counts=dict(sorted(self._feed_counts.items())),
+            congestion_bound_fraction=congested_fraction,
+            bandwidth_histogram=self._bandwidth_hist.copy(),
+            bandwidth_edges=self._edges.copy(),
+            diurnal_counts=self._diurnal.copy(),
+            top_clients=tuple(top),
+        )
+
+    def client_counts(self) -> dict[str, int]:
+        """The full per-client transfer counts (the interest profile)."""
+        return dict(self._client_counts)

@@ -1,0 +1,150 @@
+"""Trace transformations: windowing and merging.
+
+Real measurement workflows rarely analyze a log whole: the paper itself
+works with daily harvests stitched into a 28-day window, and its temporal
+figures are computed over sub-windows.  :func:`time_slice` extracts a
+window (re-basing timestamps, optionally clipping in-progress transfers at
+the edges, as a real collection boundary does), and :func:`merge_traces`
+combines traces from several servers or collection periods into one,
+re-interning clients by player ID.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from .store import ClientTable, Trace
+
+
+def time_slice(trace: Trace, start: float, end: float, *,
+               clip: bool = True, rebase: bool = True) -> Trace:
+    """Extract the sub-trace of transfers starting in ``[start, end)``.
+
+    Parameters
+    ----------
+    trace:
+        The source trace.
+    start, end:
+        Window bounds in trace time; must satisfy
+        ``0 <= start < end <= trace.extent``.
+    clip:
+        Truncate transfers that run past ``end`` at the window edge (a
+        real collection boundary); with ``False`` they keep their full
+        duration, producing the "spanning entry" artifacts of
+        Section 2.4.
+    rebase:
+        Shift timestamps so the window starts at zero and set the extent
+        to the window length; with ``False`` original timestamps and
+        extent are kept.
+    """
+    if not 0.0 <= start < end:
+        raise TraceError(f"need 0 <= start < end, got [{start}, {end})")
+    if end > trace.extent:
+        raise TraceError(
+            f"window end ({end}) exceeds trace extent ({trace.extent})")
+    mask = (trace.start >= start) & (trace.start < end)
+    window = trace.filter(mask)
+    durations = window.duration
+    if clip and len(window):
+        durations = np.minimum(durations, end - window.start)
+    starts = window.start - start if rebase else window.start
+    extent = (end - start) if rebase else trace.extent
+    return Trace(
+        clients=window.clients,
+        client_index=window.client_index,
+        object_id=window.object_id,
+        start=starts,
+        duration=durations,
+        bandwidth_bps=window.bandwidth_bps,
+        packet_loss=window.packet_loss,
+        server_cpu=window.server_cpu,
+        status=window.status,
+        extent=extent,
+    )
+
+
+def daily_slices(trace: Trace, *, day_seconds: float = 86_400.0) -> list[Trace]:
+    """Split a trace into consecutive day-long slices (rebased).
+
+    The final partial day, if any, is included.  Mirrors the paper's
+    daily log harvests.
+    """
+    if day_seconds <= 0:
+        raise TraceError("day_seconds must be positive")
+    out = []
+    t = 0.0
+    while t < trace.extent:
+        end = min(t + day_seconds, trace.extent)
+        out.append(time_slice(trace, t, end))
+        t = end
+    return out
+
+
+def merge_traces(traces: Sequence[Trace], *,
+                 offsets: Sequence[float] | None = None) -> Trace:
+    """Merge several traces into one, re-interning clients by player ID.
+
+    Clients appearing in multiple inputs (same player ID) become a single
+    client in the output; their identity fields are taken from the first
+    appearance.  Transfer timestamps are shifted by the per-trace
+    ``offsets`` (default: zero for all — concurrent servers; pass
+    cumulative extents to concatenate collection periods end to end).
+
+    Raises
+    ------
+    TraceError
+        If no traces are given or offsets mismatch.
+    """
+    if not traces:
+        raise TraceError("merge_traces requires at least one trace")
+    if offsets is None:
+        offsets = [0.0] * len(traces)
+    if len(offsets) != len(traces):
+        raise TraceError(
+            f"need one offset per trace ({len(offsets)} != {len(traces)})")
+
+    player_index: dict[str, int] = {}
+    player_ids: list[str] = []
+    ips: list[str] = []
+    as_numbers: list[int] = []
+    countries: list[str] = []
+    os_names: list[str] = []
+
+    columns = {name: [] for name in
+               ("client_index", "object_id", "start", "duration",
+                "bandwidth_bps", "packet_loss", "server_cpu", "status")}
+    extent = 0.0
+    for trace, offset in zip(traces, offsets):
+        # Map this trace's client indices into the merged table.
+        local_to_merged = np.empty(trace.n_clients, dtype=np.int64)
+        table = trace.clients
+        for local in range(trace.n_clients):
+            pid = str(table.player_ids[local])
+            merged = player_index.get(pid)
+            if merged is None:
+                merged = len(player_ids)
+                player_index[pid] = merged
+                player_ids.append(pid)
+                ips.append(str(table.ips[local]))
+                as_numbers.append(int(table.as_numbers[local]))
+                countries.append(str(table.countries[local]))
+                os_names.append(str(table.os_names[local]))
+            local_to_merged[local] = merged
+        columns["client_index"].append(local_to_merged[trace.client_index])
+        columns["object_id"].append(trace.object_id)
+        columns["start"].append(trace.start + offset)
+        columns["duration"].append(trace.duration)
+        columns["bandwidth_bps"].append(trace.bandwidth_bps)
+        columns["packet_loss"].append(trace.packet_loss)
+        columns["server_cpu"].append(trace.server_cpu)
+        columns["status"].append(trace.status)
+        extent = max(extent, trace.extent + offset)
+
+    merged_clients = ClientTable(player_ids, ips, as_numbers, countries,
+                                 os_names)
+    stacked = {name: np.concatenate(parts) if parts else np.empty(0)
+               for name, parts in columns.items()}
+    return Trace(clients=merged_clients, extent=extent, **stacked)

@@ -1,0 +1,104 @@
+"""Time and size unit constants and helpers.
+
+All trace timestamps inside the library are expressed in *seconds since the
+start of the trace* as floats; the Windows-Media-Server-style logs of the
+paper record them at one-second resolution, which :mod:`repro.trace.wms_log`
+reproduces by flooring on output.
+
+The paper displays time measurements on logarithmic axes using the
+``floor(t) + 1`` convention (Section 2.3) so that zero-second intervals are
+representable; :func:`log_display_time` implements it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._typing import ArrayLike, FloatArray, as_float_array
+
+#: Number of seconds in one minute.
+MINUTE = 60.0
+#: Number of seconds in one hour.
+HOUR = 3600.0
+#: Number of seconds in one day.
+DAY = 86400.0
+#: Number of seconds in one week.
+WEEK = 7 * DAY
+
+#: The paper's default session timeout T_o, in seconds (Section 4.1).
+DEFAULT_SESSION_TIMEOUT = 1500.0
+
+#: The paper's 15-minute aggregation bin, in seconds (Figures 4, 16, 18).
+FIFTEEN_MINUTES = 15 * MINUTE
+
+#: Bits per byte, for bandwidth conversions (Figure 20 is in bits/second).
+BITS_PER_BYTE = 8
+
+
+def log_display_time(t: ArrayLike) -> FloatArray:
+    """Apply the paper's ``floor(t) + 1`` convention for log-scale display.
+
+    The server log has one-second resolution, so measured intervals of zero
+    seconds are common; the paper maps a measurement of ``t`` seconds to
+    ``floor(t) + 1`` so that every value is positive and displayable on a
+    logarithmic axis.
+
+    Parameters
+    ----------
+    t:
+        Raw time measurements in seconds (must be non-negative).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``floor(t) + 1`` elementwise.
+    """
+    arr = as_float_array(t, name="t")
+    if arr.size and float(arr.min()) < 0:
+        raise ValueError("time measurements must be non-negative")
+    return np.floor(arr) + 1.0
+
+
+def seconds_to_days(t: float) -> float:
+    """Convert seconds to days."""
+    return t / DAY
+
+
+def days(n: float) -> float:
+    """Return ``n`` days expressed in seconds."""
+    return n * DAY
+
+
+def hours(n: float) -> float:
+    """Return ``n`` hours expressed in seconds."""
+    return n * HOUR
+
+
+def minutes(n: float) -> float:
+    """Return ``n`` minutes expressed in seconds."""
+    return n * MINUTE
+
+
+def format_duration(t: float) -> str:
+    """Render a duration in seconds as a compact human-readable string.
+
+    Examples
+    --------
+    >>> format_duration(42.0)
+    '42s'
+    >>> format_duration(3661.0)
+    '1h1m1s'
+    >>> format_duration(2 * 86400.0)
+    '2d'
+    """
+    if t < 0:
+        return "-" + format_duration(-t)
+    t = int(round(t))
+    parts = []
+    for label, span in (("d", int(DAY)), ("h", int(HOUR)), ("m", int(MINUTE))):
+        if t >= span:
+            parts.append(f"{t // span}{label}")
+            t %= span
+    if t or not parts:
+        parts.append(f"{t}s")
+    return "".join(parts)

@@ -1,0 +1,53 @@
+"""Integration tests of the experiment harness.
+
+These run the real experiment modules against the shared default-scenario
+context (simulated once per process), asserting the paper's qualitative
+shapes hold — the same checks the benchmark targets report.
+"""
+
+import pytest
+
+from repro.experiments import get_context, render_experiment, run_experiment
+from repro.experiments.runner import ALL_EXPERIMENTS
+
+#: Experiments cheap enough to assert in the integration suite.  The
+#: paper-rate experiments (fig17, fig18) and the synthesis experiments run
+#: in the benchmark suite instead.
+FAST_EXPERIMENTS = ("table1", "table2", "fig03", "fig04", "fig07",
+                    "fig09", "fig11", "fig13", "fig14", "fig19", "fig20")
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        assert len(ALL_EXPERIMENTS) == 30
+        assert ALL_EXPERIMENTS[0] == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            get_context("nonexistent")
+
+
+@pytest.mark.parametrize("name", FAST_EXPERIMENTS)
+def test_experiment_checks_pass(name):
+    experiment = run_experiment(name)
+    failing = [desc for desc, ok in experiment.checks if not ok]
+    assert not failing, f"{name}: {failing}"
+
+
+def test_experiments_share_cached_context():
+    a = get_context()
+    b = get_context()
+    assert a is b
+    assert a.trace is b.trace
+
+
+def test_render_includes_rows_and_checks():
+    experiment = run_experiment("table1")
+    text = render_experiment(experiment)
+    assert "[table1]" in text
+    assert "PASS" in text or "FAIL" in text
+    assert "Table 1" in text

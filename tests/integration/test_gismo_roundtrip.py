@@ -1,0 +1,58 @@
+"""Integration: the GISMO-live loop — calibrate, generate, re-characterize.
+
+The paper's Section 6 artifact is only useful if a workload generated from
+a calibrated model re-characterizes to the same model.  This is the
+double-round-trip check at smoke scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LiveWorkloadGenerator, LiveWorkloadModel, calibrate_model
+from repro.core.sessionizer import sessionize
+
+
+@pytest.fixture(scope="module")
+def calibrated_model(smoke_trace):
+    return calibrate_model(smoke_trace).model
+
+
+@pytest.fixture(scope="module")
+def regenerated(calibrated_model):
+    return LiveWorkloadGenerator(calibrated_model).generate(days=7, seed=21)
+
+
+class TestRoundTrip:
+    def test_parameters_survive(self, calibrated_model, regenerated):
+        recovered = calibrate_model(regenerated.trace).model
+        for attr in ("transfers_alpha", "gap_log_mu", "gap_log_sigma",
+                     "length_log_mu", "length_log_sigma"):
+            planted = getattr(calibrated_model, attr)
+            value = getattr(recovered, attr)
+            assert value == pytest.approx(planted, rel=0.2), attr
+
+    def test_diurnal_shape_survives(self, calibrated_model, regenerated):
+        recovered = calibrate_model(regenerated.trace).model
+        a = calibrated_model.arrival_profile.bin_rates
+        b = recovered.arrival_profile.bin_rates
+        assert float(np.corrcoef(a, b)[0, 1]) > 0.9
+
+    def test_session_structure_survives(self, regenerated,
+                                        calibrated_model):
+        sessions = sessionize(regenerated.trace)
+        # Reconstructed session count close to the generated ground truth.
+        assert sessions.n_sessions == pytest.approx(regenerated.n_sessions,
+                                                    rel=0.1)
+
+    def test_bandwidth_marginal_survives(self, calibrated_model,
+                                         regenerated):
+        law = calibrated_model.bandwidth_law()
+        got = regenerated.trace.bandwidth_bps
+        assert float(got.mean()) == pytest.approx(law.mean(), rel=0.05)
+
+    def test_paper_default_model_generates_at_scale(self):
+        model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.02,
+                                                 n_clients=5_000)
+        workload = LiveWorkloadGenerator(model).generate(days=7, seed=22)
+        expected = model.expected_sessions(days=7)
+        assert workload.n_sessions == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,75 @@
+"""Integration: simulate -> log -> sanitize -> characterize -> calibrate.
+
+The full paper pipeline at smoke scale, including the trip through the
+Windows-Media-Server log format, validated by recovery of the planted
+generative parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LiveShowScenario,
+    ScenarioConfig,
+    calibrate_model,
+    characterize,
+    sanitize_trace,
+)
+from repro.trace.wms_log import log_round_trip
+
+
+@pytest.fixture(scope="module")
+def world():
+    return LiveShowScenario(ScenarioConfig.smoke()).run(seed=99)
+
+
+class TestFullPipeline:
+    def test_pipeline_through_log_format(self, world):
+        """The characterization survives the one-second log round trip."""
+        logged = log_round_trip(world.trace,
+                                resolver=world.population.resolver())
+        clean, report = sanitize_trace(logged)
+        assert report.n_spanning == 3  # the injected artifacts
+
+        char = characterize(clean)
+        # Parameters planted by the simulation come back after the
+        # lossy (one-second) log round trip.
+        assert char.transfer.length_fit.mu == pytest.approx(4.383921,
+                                                            rel=0.1)
+        assert char.session.transfers_fit.alpha == pytest.approx(2.70417,
+                                                                 rel=0.2)
+        # Topology survived via the resolver.
+        assert char.client.topology.n_ases > 10
+        assert char.client.topology.country_shares[0][0] == "BR"
+
+    def test_sanitization_removes_only_artifacts(self, world):
+        clean, report = sanitize_trace(world.trace)
+        assert report.n_spanning == 3
+        assert report.n_out_of_window == 0
+        assert len(clean) == len(world.trace) - 3
+
+    def test_calibration_recovery(self, world):
+        clean, _ = sanitize_trace(world.trace)
+        model = calibrate_model(clean).model
+        assert model.gap_log_mu == pytest.approx(4.89991, rel=0.1)
+        assert model.gap_log_sigma == pytest.approx(1.32074, rel=0.15)
+        assert model.length_log_mu == pytest.approx(4.383921, rel=0.1)
+        assert model.length_log_sigma == pytest.approx(1.427247, rel=0.15)
+        assert model.interest_alpha == pytest.approx(0.4704, rel=0.35)
+
+    def test_ground_truth_session_recovery(self, world):
+        clean, _ = sanitize_trace(world.trace)
+        char = characterize(clean)
+        truth = world.n_sessions
+        assert char.summary.n_sessions == pytest.approx(truth, rel=0.1)
+
+    def test_concurrency_consistency_across_layers(self, world):
+        clean, _ = sanitize_trace(world.trace)
+        char = characterize(clean)
+        # Client concurrency >= transfer concurrency is NOT an invariant
+        # (sessions outlive transfers), but their time-averages must be
+        # within a small factor and strongly correlated.
+        c = char.client.concurrency_samples
+        t = char.transfer.concurrency_samples
+        assert float(np.corrcoef(c, t)[0, 1]) > 0.9
+        assert 0.3 < float(t.mean()) / max(float(c.mean()), 1e-9) < 1.5

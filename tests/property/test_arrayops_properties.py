@@ -1,0 +1,102 @@
+"""Property-based tests of the segmented array operations.
+
+Each vectorized primitive is compared against an obvious per-segment
+reference implementation on arbitrary segmentations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrayops import (
+    alternate_on_switch,
+    expand_by_segment,
+    segment_starts,
+    segmented_cumsum,
+)
+
+segmentations = st.lists(st.integers(min_value=0, max_value=8),
+                         min_size=0, max_size=12)
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+def _values_for(lengths, draw_values):
+    total = sum(lengths)
+    return draw_values(total)
+
+
+@given(lengths=segmentations, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_segmented_cumsum_matches_reference(lengths, data):
+    total = sum(lengths)
+    values = data.draw(st.lists(finite_floats, min_size=total,
+                                max_size=total))
+    result = segmented_cumsum(values, lengths)
+    # Reference: per-segment numpy cumsum.
+    expected = []
+    pos = 0
+    for length in lengths:
+        segment = np.asarray(values[pos:pos + length])
+        expected.extend(np.cumsum(segment).tolist())
+        pos += length
+    np.testing.assert_allclose(result, expected, rtol=1e-9, atol=1e-6)
+
+
+@given(lengths=segmentations, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_exclusive_shifts_by_one(lengths, data):
+    total = sum(lengths)
+    values = data.draw(st.lists(finite_floats, min_size=total,
+                                max_size=total))
+    inclusive = segmented_cumsum(values, lengths)
+    exclusive = segmented_cumsum(values, lengths, exclusive=True)
+    np.testing.assert_allclose(inclusive - exclusive, values,
+                               rtol=1e-9, atol=1e-6)
+
+
+@given(lengths=segmentations)
+@settings(max_examples=100, deadline=None)
+def test_segment_starts_consistent_with_expand(lengths):
+    starts = segment_starts(lengths)
+    assert starts.size == len(lengths)
+    # The start of segment i equals the number of elements before it.
+    expected = np.concatenate([[0], np.cumsum(lengths)[:-1]]) \
+        if lengths else np.asarray([])
+    np.testing.assert_array_equal(starts, expected)
+
+
+@given(lengths=segmentations, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_expand_by_segment_matches_repeat(lengths, data):
+    per_segment = data.draw(st.lists(finite_floats, min_size=len(lengths),
+                                     max_size=len(lengths)))
+    result = expand_by_segment(per_segment, lengths)
+    np.testing.assert_array_equal(result, np.repeat(per_segment, lengths))
+
+
+@given(lengths=st.lists(st.integers(min_value=1, max_value=6),
+                        min_size=1, max_size=8),
+       n_choices=st.integers(min_value=1, max_value=4),
+       data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_alternate_on_switch_matches_loop(lengths, n_choices, data):
+    total = sum(lengths)
+    switch = data.draw(st.lists(st.booleans(), min_size=total,
+                                max_size=total))
+    first = data.draw(st.lists(
+        st.integers(min_value=0, max_value=n_choices - 1),
+        min_size=len(lengths), max_size=len(lengths)))
+    result = alternate_on_switch(switch, lengths, first_value=first,
+                                 n_choices=n_choices)
+    # Reference: explicit walk.
+    expected = []
+    pos = 0
+    for seg, start_state in zip(lengths, first):
+        state = start_state
+        for i in range(seg):
+            if i > 0 and switch[pos + i]:
+                state = (state + 1) % n_choices
+            expected.append(state)
+        pos += seg
+    np.testing.assert_array_equal(result, expected)

@@ -1,0 +1,142 @@
+"""Property-based tests of the distribution families.
+
+Invariants checked for every family: samples lie in the support, the CDF is
+monotone with range [0, 1], CCDF complements CDF, and sampling is
+reproducible under a fixed seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    CategoricalChoice,
+    ExponentialDistribution,
+    LognormalDistribution,
+    ParetoDistribution,
+    TwoRegimePareto,
+    ZetaDistribution,
+    ZipfLaw,
+)
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+mus = st.floats(min_value=-3.0, max_value=8.0, **finite)
+sigmas = st.floats(min_value=0.05, max_value=3.0, **finite)
+means = st.floats(min_value=1e-3, max_value=1e7, **finite)
+alphas = st.floats(min_value=0.1, max_value=4.0, **finite)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _distribution_invariants(dist, seed, *, support_min=0.0):
+    sample = dist.sample(200, seed=seed)
+    assert sample.shape == (200,)
+    assert np.all(sample >= support_min)
+    again = dist.sample(200, seed=seed)
+    np.testing.assert_array_equal(sample, again)
+
+    xs = np.sort(np.concatenate([sample, [support_min, sample.max() * 2]]))
+    cdf = dist.cdf(xs)
+    assert np.all((cdf >= 0) & (cdf <= 1))
+    assert np.all(np.diff(cdf) >= -1e-12)
+    np.testing.assert_allclose(dist.ccdf(xs), 1.0 - cdf, atol=1e-12)
+
+
+class TestLognormal:
+    @given(mu=mus, sigma=sigmas, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, mu, sigma, seed):
+        _distribution_invariants(LognormalDistribution(mu, sigma), seed)
+
+    @given(mu=mus, sigma=sigmas)
+    @settings(max_examples=40, deadline=None)
+    def test_median_splits_mass(self, mu, sigma):
+        dist = LognormalDistribution(mu, sigma)
+        np.testing.assert_allclose(dist.cdf([dist.median()])[0], 0.5,
+                                   atol=1e-9)
+
+
+class TestExponential:
+    @given(mean=means, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, mean, seed):
+        _distribution_invariants(ExponentialDistribution(mean), seed)
+
+    @given(mean=means)
+    @settings(max_examples=40, deadline=None)
+    def test_scaling(self, mean):
+        # cdf_X(x) for mean m equals cdf_Y(x/m) for mean 1.
+        dist = ExponentialDistribution(mean)
+        unit = ExponentialDistribution(1.0)
+        xs = np.asarray([0.5 * mean, mean, 3 * mean])
+        np.testing.assert_allclose(dist.cdf(xs), unit.cdf(xs / mean),
+                                   atol=1e-12)
+
+
+class TestPareto:
+    @given(alpha=alphas, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, alpha, seed):
+        dist = ParetoDistribution(alpha, xmin=1.0)
+        _distribution_invariants(dist, seed, support_min=1.0)
+
+
+class TestTwoRegimePareto:
+    @given(body=st.floats(min_value=1.2, max_value=4.0, **finite),
+           tail=st.floats(min_value=0.3, max_value=2.0, **finite),
+           breakpoint=st.floats(min_value=2.0, max_value=1e4, **finite),
+           seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, body, tail, breakpoint, seed):
+        dist = TwoRegimePareto(body, tail, breakpoint, xmin=1.0)
+        _distribution_invariants(dist, seed, support_min=1.0)
+
+    @given(body=st.floats(min_value=1.2, max_value=4.0, **finite),
+           tail=st.floats(min_value=0.3, max_value=2.0, **finite),
+           breakpoint=st.floats(min_value=2.0, max_value=1e4, **finite))
+    @settings(max_examples=40, deadline=None)
+    def test_ccdf_continuous_at_break(self, body, tail, breakpoint):
+        dist = TwoRegimePareto(body, tail, breakpoint, xmin=1.0)
+        eps = breakpoint * 1e-9
+        lo = dist.ccdf([breakpoint - eps])[0]
+        hi = dist.ccdf([breakpoint])[0]
+        np.testing.assert_allclose(lo, hi, rtol=1e-6)
+
+
+class TestZipfLaw:
+    @given(alpha=st.floats(min_value=0.0, max_value=3.0, **finite),
+           n=st.integers(min_value=1, max_value=5_000), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, alpha, n, seed):
+        law = ZipfLaw(alpha, n)
+        sample = law.sample(200, seed=seed)
+        assert np.all((sample >= 1) & (sample <= n))
+        probs = law.probabilities()
+        np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+        assert np.all(np.diff(probs) <= 1e-15)  # non-increasing with rank
+
+
+class TestZeta:
+    @given(alpha=st.floats(min_value=1.2, max_value=5.0, **finite),
+           seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, alpha, seed):
+        dist = ZetaDistribution(alpha, k_max=10_000)
+        sample = dist.sample(200, seed=seed)
+        assert np.all((sample >= 1) & (sample <= 10_000))
+        ks = np.arange(1.0, 50.0)
+        cdf = dist.cdf(ks)
+        assert np.all(np.diff(cdf) >= 0)
+
+
+class TestCategoricalChoice:
+    @given(values=st.lists(st.floats(min_value=1.0, max_value=1e6, **finite),
+                           min_size=1, max_size=10, unique=True),
+           seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, values, seed):
+        weights = np.arange(1.0, len(values) + 1.0)
+        dist = CategoricalChoice(values, weights)
+        sample = dist.sample(100, seed=seed)
+        assert set(np.unique(sample)).issubset(set(values))
+        assert dist.cdf([max(values)])[0] == 1.0

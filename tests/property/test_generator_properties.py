@@ -1,0 +1,72 @@
+"""Property-based tests of the workload generators.
+
+Across arbitrary (valid) model parameters, the GISMO-live generator must
+produce structurally well-formed workloads: sorted, windowed, client- and
+feed-consistent, with the transfer/session bookkeeping intact.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.model import LiveWorkloadModel
+from repro.units import DAY
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+models = st.builds(
+    LiveWorkloadModel.paper_defaults,
+    mean_session_rate=st.floats(min_value=0.002, max_value=0.05, **finite),
+    n_clients=st.integers(min_value=10, max_value=5_000),
+)
+
+
+@given(model=models,
+       interest=st.floats(min_value=0.0, max_value=1.5, **finite),
+       transfers_alpha=st.floats(min_value=1.5, max_value=4.0, **finite),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_generated_workload_well_formed(model, interest, transfers_alpha,
+                                        seed):
+    from dataclasses import replace
+    model = replace(model, interest_alpha=interest,
+                    transfers_alpha=transfers_alpha)
+    workload = LiveWorkloadGenerator(model).generate(days=1, seed=seed)
+    trace = workload.trace
+
+    # Sorted, inside the window.
+    assert np.all(np.diff(trace.start) >= 0)
+    if len(trace):
+        assert trace.start.min() >= 0
+        assert trace.start.max() < DAY
+        assert np.all(trace.end <= DAY + 1e-9)
+        assert np.all(trace.duration >= 0)
+
+    # Bookkeeping alignment.
+    assert workload.transfer_session.size == len(trace)
+    if len(trace):
+        assert workload.transfer_session.max() < workload.n_sessions
+        expected_clients = workload.session_client[workload.transfer_session]
+        np.testing.assert_array_equal(trace.client_index, expected_clients)
+        assert trace.client_index.max() < model.n_clients
+        assert trace.object_id.max() < model.n_feeds
+
+    # Every session has at least its first transfer unless it was clipped
+    # out of the window entirely.
+    in_window = workload.session_arrivals < DAY
+    represented = np.unique(workload.transfer_session)
+    assert represented.size <= workload.n_sessions
+    assert represented.size >= int(in_window.sum()) * 1.0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_generation_is_a_pure_function_of_seed(seed):
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.01,
+                                             n_clients=100)
+    a = LiveWorkloadGenerator(model).generate(days=1, seed=seed)
+    b = LiveWorkloadGenerator(model).generate(days=1, seed=seed)
+    np.testing.assert_array_equal(a.trace.start, b.trace.start)
+    np.testing.assert_array_equal(a.trace.object_id, b.trace.object_id)
+    np.testing.assert_array_equal(a.session_client, b.session_client)

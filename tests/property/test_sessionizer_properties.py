@@ -1,0 +1,96 @@
+"""Property-based tests of the sessionizer against a reference
+implementation and its structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sessionizer import session_count_for_timeouts, sessionize
+
+from tests.conftest import build_trace
+
+transfer_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),                    # client
+        st.integers(min_value=0, max_value=1),                    # object
+        st.floats(min_value=0.0, max_value=50_000.0,
+                  allow_nan=False, allow_infinity=False),         # start
+        st.floats(min_value=0.0, max_value=5_000.0,
+                  allow_nan=False, allow_infinity=False),         # duration
+    ),
+    min_size=1, max_size=40,
+)
+
+timeouts = st.floats(min_value=1.0, max_value=10_000.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+def _reference_sessions(transfers, timeout):
+    """Obvious per-client walk used as ground truth."""
+    by_client: dict[int, list[tuple[float, float]]] = {}
+    for client, _, start, duration in transfers:
+        by_client.setdefault(client, []).append((start, start + duration))
+    count = 0
+    on_times = []
+    for intervals in by_client.values():
+        intervals.sort()
+        current_start = None
+        current_end = None
+        for start, end in intervals:
+            if current_end is None or start - current_end > timeout:
+                if current_end is not None:
+                    on_times.append(current_end - current_start)
+                count += 1
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        on_times.append(current_end - current_start)
+    return count, sorted(on_times)
+
+
+@given(transfers=transfer_lists, timeout=timeouts)
+@settings(max_examples=200, deadline=None)
+def test_matches_reference_implementation(transfers, timeout):
+    trace = build_trace(transfers, n_clients=5, extent=120_000.0)
+    sessions = sessionize(trace, timeout)
+    expected_count, expected_on = _reference_sessions(transfers, timeout)
+    assert sessions.n_sessions == expected_count
+    np.testing.assert_allclose(np.sort(sessions.on_times()), expected_on,
+                               rtol=1e-9, atol=1e-6)
+
+
+@given(transfers=transfer_lists, timeout=timeouts)
+@settings(max_examples=200, deadline=None)
+def test_structural_invariants(transfers, timeout):
+    trace = build_trace(transfers, n_clients=5, extent=120_000.0)
+    sessions = sessionize(trace, timeout)
+
+    # Transfers partition exactly into sessions.
+    assert int(sessions.transfers_per_session.sum()) == len(trace)
+    assert np.all(sessions.transfers_per_session >= 1)
+
+    # ON times are non-negative; OFF times exceed the timeout.
+    assert np.all(sessions.on_times() >= 0)
+    assert np.all(sessions.off_times() > timeout)
+
+    # Session bounds cover their transfers.
+    for i in range(len(trace)):
+        session = int(sessions.transfer_session[i])
+        assert sessions.session_start[session] <= trace.start[i] + 1e-9
+        assert trace.start[i] + trace.duration[i] <= \
+            sessions.session_end[session] + 1e-9
+
+    # Per-client session counts sum to the total.
+    assert int(sessions.sessions_per_client().sum()) == sessions.n_sessions
+
+
+@given(transfers=transfer_lists)
+@settings(max_examples=100, deadline=None)
+def test_timeout_sweep_consistent_with_direct(transfers):
+    trace = build_trace(transfers, n_clients=5, extent=120_000.0)
+    grid = np.asarray([10.0, 100.0, 1_000.0, 9_000.0])
+    counts = session_count_for_timeouts(trace, grid)
+    for timeout, count in zip(grid, counts):
+        assert sessionize(trace, timeout).n_sessions == count
+    assert np.all(np.diff(counts) <= 0)

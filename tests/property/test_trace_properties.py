@@ -1,0 +1,77 @@
+"""Property-based tests of trace storage and the log round trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.sanitize import sanitize_trace
+from repro.trace.wms_log import log_round_trip
+
+from tests.conftest import build_trace
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+transfer_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=1),
+        st.floats(min_value=0.0, max_value=9_000.0, **finite),
+        st.floats(min_value=0.0, max_value=800.0, **finite),
+        st.floats(min_value=1_000.0, max_value=1e6, **finite),
+    ),
+    min_size=1, max_size=30)
+
+
+@given(transfers=transfer_lists)
+@settings(max_examples=100, deadline=None)
+def test_log_round_trip_preserves_structure(transfers):
+    trace = build_trace(transfers, n_clients=4, extent=20_000.0)
+    parsed = log_round_trip(trace)
+
+    # Same cardinalities.
+    assert parsed.n_transfers == trace.n_transfers
+    assert parsed.active_client_count() == trace.active_client_count()
+    assert parsed.extent == trace.extent
+
+    # One-second resolution: every transfer matches within 1.5 s once both
+    # sides are sorted by (end, duration) — the log's own ordering.
+    orig = np.sort(trace.end)
+    got = np.sort(parsed.end)
+    assert np.all(np.abs(orig - got) <= 1.0 + 1e-9)
+    assert np.all(np.abs(np.sort(trace.duration)
+                         - np.sort(parsed.duration)) <= 0.5 + 1e-9)
+
+    # Per-client transfer counts survive.
+    orig_counts = sorted(trace.transfers_per_client().tolist())
+    got_counts = sorted(parsed.transfers_per_client().tolist())
+    assert [c for c in orig_counts if c] == [c for c in got_counts if c]
+
+
+@given(transfers=transfer_lists)
+@settings(max_examples=100, deadline=None)
+def test_sanitize_idempotent(transfers):
+    trace = build_trace(transfers, n_clients=4, extent=20_000.0)
+    once, report_once = sanitize_trace(trace)
+    twice, report_twice = sanitize_trace(once)
+    assert report_twice.n_removed == 0
+    assert len(twice) == len(once)
+    # Accounting always balances.
+    assert report_once.n_output == len(once)
+    assert report_once.n_input == len(trace)
+
+
+@given(transfers=transfer_lists,
+       mask_seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=100, deadline=None)
+def test_filter_preserves_column_alignment(transfers, mask_seed):
+    trace = build_trace(transfers, n_clients=4, extent=20_000.0)
+    rng = np.random.default_rng(mask_seed)
+    mask = rng.random(len(trace)) < 0.5
+    subset = trace.filter(mask)
+    assert len(subset) == int(mask.sum())
+    # Row identity: the k-th kept row equals the original row.
+    kept = np.nonzero(mask)[0]
+    for out_idx, in_idx in list(enumerate(kept))[:10]:
+        assert subset.start[out_idx] == trace.start[in_idx]
+        assert subset.client_index[out_idx] == trace.client_index[in_idx]
+        assert subset.duration[out_idx] == trace.duration[in_idx]

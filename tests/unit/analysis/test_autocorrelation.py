@@ -1,0 +1,77 @@
+"""Unit tests for autocorrelation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.autocorrelation import acf, dominant_period
+from repro.errors import AnalysisError
+
+
+class TestAcf:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(1)
+        values = acf(rng.random(1_000), 10)
+        assert values[0] == pytest.approx(1.0)
+
+    def test_white_noise_decorrelated(self):
+        rng = np.random.default_rng(2)
+        values = acf(rng.random(50_000), 20)
+        assert np.all(np.abs(values[1:]) < 0.05)
+
+    def test_periodic_signal_peaks_at_period(self):
+        t = np.arange(10_000)
+        signal = np.sin(2 * np.pi * t / 100.0)
+        values = acf(signal, 250)
+        assert values[100] > 0.9
+        assert values[50] < -0.9
+
+    def test_matches_naive_estimator(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=500)
+        values = acf(series, 5)
+        centered = series - series.mean()
+        var = np.dot(centered, centered)
+        for lag in range(6):
+            naive = np.dot(centered[:500 - lag], centered[lag:]) / var
+            assert values[lag] == pytest.approx(naive, abs=1e-10)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            acf(np.ones(100), 5)
+
+    def test_series_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            acf([1.0, 2.0], 5)
+
+
+class TestDominantPeriod:
+    def test_finds_sine_period(self):
+        t = np.arange(5_000)
+        values = acf(np.sin(2 * np.pi * t / 60.0), 200)
+        assert dominant_period(values) == 60
+
+    def test_min_lag_skips_early_peaks(self):
+        t = np.arange(5_000)
+        signal = (np.sin(2 * np.pi * t / 25.0)
+                  + 0.5 * np.sin(2 * np.pi * t / 100.0))
+        values = acf(signal, 300)
+        assert dominant_period(values, min_lag=60) == 100
+
+    def test_monotone_decay_returns_argmax(self):
+        values = np.exp(-np.arange(50) / 10.0)
+        assert dominant_period(values, min_lag=1) == 1
+
+    def test_invalid_min_lag(self):
+        with pytest.raises(AnalysisError):
+            dominant_period([1.0, 0.5], min_lag=5)
+
+    def test_daily_lag_on_diurnal_counts(self):
+        """A Poisson count series with a planted daily rate peaks at 1440."""
+        rng = np.random.default_rng(4)
+        minutes = np.arange(1440 * 14)
+        rate = 5.0 + 4.0 * np.sin(2 * np.pi * minutes / 1440.0)
+        counts = rng.poisson(rate)
+        values = acf(counts.astype(float), 3_000)
+        # The peak top is flat under Poisson noise; allow the same 15-minute
+        # tolerance the figure experiments use.
+        assert abs(dominant_period(values, min_lag=1_000) - 1_440) <= 15

@@ -1,0 +1,60 @@
+"""Unit tests for binning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.binning import linear_bins, log_bins, logspaced_indices
+from repro.errors import AnalysisError
+
+
+class TestLinearBins:
+    def test_exact_division(self):
+        edges = linear_bins(0.0, 10.0, 2.5)
+        assert edges.tolist() == [0.0, 2.5, 5.0, 7.5, 10.0]
+
+    def test_partial_final_bin_covered(self):
+        edges = linear_bins(0.0, 9.0, 2.5)
+        assert edges[-1] >= 9.0
+
+    def test_invalid_width(self):
+        with pytest.raises(AnalysisError):
+            linear_bins(0.0, 1.0, 0.0)
+
+    def test_reversed_range(self):
+        with pytest.raises(AnalysisError):
+            linear_bins(5.0, 1.0, 1.0)
+
+
+class TestLogBins:
+    def test_endpoints(self):
+        edges = log_bins(1.0, 1000.0, 3)
+        np.testing.assert_allclose(edges, [1.0, 10.0, 100.0, 1000.0])
+
+    def test_monotone(self):
+        edges = log_bins(0.5, 12345.0, 40)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_nonpositive_lo_rejected(self):
+        with pytest.raises(AnalysisError):
+            log_bins(0.0, 10.0, 5)
+
+
+class TestLogspacedIndices:
+    def test_small_arrays_complete(self):
+        assert logspaced_indices(5, 10).tolist() == [0, 1, 2, 3, 4]
+
+    def test_starts_at_zero_ends_at_last(self):
+        idx = logspaced_indices(10_000, 50)
+        assert idx[0] == 0
+        assert idx[-1] == 9_999
+
+    def test_strictly_increasing(self):
+        idx = logspaced_indices(100_000, 200)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_bounded_count(self):
+        assert logspaced_indices(1_000_000, 100).size <= 100
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            logspaced_indices(0, 10)

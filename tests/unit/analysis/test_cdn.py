@@ -1,0 +1,76 @@
+"""Unit tests for CDN relay placement analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdn import relay_placement_curve
+from repro.errors import AnalysisError
+
+from tests.conftest import build_trace
+
+
+def clustered_trace():
+    """Ten clients in AS 1 and one in AS 5, all watching feed 0 at once.
+
+    (build_trace assigns as_number = client_index % 7 + 1, so clients
+    0, 7, 14, ... land in AS 1.)
+    """
+    rows = []
+    for client in (0, 7, 14, 21, 28):   # five viewers in AS 1
+        rows.append((client, 0, 0.0, 100.0))
+    rows.append((4, 0, 0.0, 100.0))     # one viewer in AS 5
+    return build_trace(rows, n_clients=29, extent=100.0)
+
+
+class TestRelayPlacement:
+    def test_zero_relays_is_all_unicast(self):
+        curve = relay_placement_curve(clustered_trace(), [0],
+                                      encoding_rate_bps=100.0, step=10.0)
+        placement = curve[0]
+        assert placement.origin_mean_bps == pytest.approx(
+            placement.direct_mean_bps)
+        assert placement.savings_factor == pytest.approx(1.0)
+        assert placement.relay_ases == ()
+
+    def test_one_relay_collapses_biggest_as(self):
+        curve = relay_placement_curve(clustered_trace(), [1],
+                                      encoding_rate_bps=100.0, step=10.0)
+        placement = curve[0]
+        # AS 1's five viewers collapse to one stream: 6 -> 2 streams.
+        assert placement.relay_ases == (1,)
+        assert placement.origin_mean_bps == pytest.approx(
+            placement.direct_mean_bps * 2.0 / 6.0)
+
+    def test_relaying_everything_reaches_feed_count(self):
+        curve = relay_placement_curve(clustered_trace(), [10],
+                                      encoding_rate_bps=100.0, step=10.0)
+        placement = curve[0]
+        # Both ASes relayed: two streams total, one per (AS, feed) pair.
+        assert placement.origin_mean_bps == pytest.approx(
+            placement.direct_mean_bps * 2.0 / 6.0)
+
+    def test_monotone_in_relay_count(self, smoke_trace):
+        curve = relay_placement_curve(smoke_trace, [0, 2, 5, 20])
+        means = [p.origin_mean_bps for p in curve]
+        assert means == sorted(means, reverse=True)
+
+    def test_relays_are_largest_ases(self, smoke_trace):
+        curve = relay_placement_curve(smoke_trace, [3])
+        chosen = curve[0].relay_ases
+        transfer_as = smoke_trace.clients.as_numbers[smoke_trace.client_index]
+        counts = {int(a): int(np.sum(transfer_as == a))
+                  for a in np.unique(transfer_as)}
+        top3 = sorted(counts, key=lambda a: -counts[a])[:3]
+        assert sorted(chosen) == sorted(top3)
+
+    def test_empty_trace_rejected(self):
+        trace = clustered_trace().filter(np.zeros(6, dtype=bool))
+        with pytest.raises(AnalysisError):
+            relay_placement_curve(trace, [1])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            relay_placement_curve(clustered_trace(), [-1])
+        with pytest.raises(AnalysisError):
+            relay_placement_curve(clustered_trace(), [1],
+                                  encoding_rate_bps=0.0)

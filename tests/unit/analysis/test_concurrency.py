@@ -1,0 +1,91 @@
+"""Unit tests for active-entity counting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.concurrency import mean_concurrency_bins, sampled_concurrency
+from repro.errors import AnalysisError
+
+
+class TestSampledConcurrency:
+    def test_single_interval(self):
+        counts = sampled_concurrency([2.0], [5.0], extent=10.0, step=1.0)
+        # Active at t in {2, 3, 4}; inactive at 5 (half-open).
+        assert counts.tolist() == [0, 0, 1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_overlap_counts_twice(self):
+        counts = sampled_concurrency([0.0, 1.0], [3.0, 4.0], extent=5.0,
+                                     step=1.0)
+        assert counts.tolist() == [1, 2, 2, 1, 0]
+
+    def test_number_of_samples(self):
+        counts = sampled_concurrency([0.0], [1.0], extent=10.0, step=3.0)
+        assert counts.size == 4  # ceil(10 / 3)
+
+    def test_empty_intervals(self):
+        counts = sampled_concurrency([], [], extent=5.0, step=1.0)
+        assert counts.tolist() == [0.0] * 5
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(AnalysisError):
+            sampled_concurrency([5.0], [1.0], extent=10.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            sampled_concurrency([1.0, 2.0], [3.0], extent=10.0)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        starts = rng.uniform(0, 100, size=200)
+        ends = starts + rng.exponential(10, size=200)
+        counts = sampled_concurrency(starts, ends, extent=100.0, step=1.0)
+        times = np.arange(100.0)
+        brute = np.asarray([(np.sum((starts <= t) & (t < ends)))
+                            for t in times], dtype=float)
+        np.testing.assert_array_equal(counts, brute)
+
+
+class TestMeanConcurrencyBins:
+    def test_single_interval_exact_overlap(self):
+        # Interval [1, 5) over bins of width 2 in [0, 6):
+        # bin 0 gets 1 s, bin 1 gets 2 s, bin 2 gets 1 s.
+        means = mean_concurrency_bins([1.0], [5.0], extent=6.0, bin_width=2.0)
+        np.testing.assert_allclose(means, [0.5, 1.0, 0.5])
+
+    def test_interval_within_one_bin(self):
+        means = mean_concurrency_bins([0.5], [1.0], extent=4.0, bin_width=2.0)
+        np.testing.assert_allclose(means, [0.25, 0.0])
+
+    def test_clipping_to_window(self):
+        means = mean_concurrency_bins([-5.0], [100.0], extent=10.0,
+                                      bin_width=5.0)
+        np.testing.assert_allclose(means, [1.0, 1.0])
+
+    def test_mass_conservation(self):
+        rng = np.random.default_rng(8)
+        starts = rng.uniform(0, 80, size=300)
+        ends = np.minimum(starts + rng.exponential(5, size=300), 100.0)
+        means = mean_concurrency_bins(starts, ends, extent=100.0,
+                                      bin_width=10.0)
+        total_time = float((ends - starts).sum())
+        assert float(means.sum() * 10.0) == pytest.approx(total_time)
+
+    def test_agrees_with_fine_sampling(self):
+        rng = np.random.default_rng(9)
+        starts = rng.uniform(0, 900, size=500)
+        ends = np.minimum(starts + rng.exponential(60, size=500), 1000.0)
+        means = mean_concurrency_bins(starts, ends, extent=1000.0,
+                                      bin_width=100.0)
+        fine = sampled_concurrency(starts, ends, extent=1000.0, step=0.25)
+        approx = fine.reshape(10, -1).mean(axis=1)
+        np.testing.assert_allclose(means, approx, atol=0.3)
+
+    def test_partial_final_bin_normalized(self):
+        # Window of 5 s with 2 s bins: final bin is 1 s wide and fully
+        # covered by the interval, so its mean must be 1.0, not 0.5.
+        means = mean_concurrency_bins([0.0], [5.0], extent=5.0, bin_width=2.0)
+        np.testing.assert_allclose(means, [1.0, 1.0, 1.0])
+
+    def test_invalid_extent(self):
+        with pytest.raises(AnalysisError):
+            mean_concurrency_bins([0.0], [1.0], extent=0.0, bin_width=1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for conditional means and correlation strength."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    binned_conditional_mean,
+    pearson_r,
+    variance_explained_by_bins,
+)
+from repro.errors import AnalysisError
+from repro.units import DAY, HOUR
+
+
+class TestPearson:
+    def test_perfect_linear(self):
+        x = np.arange(10.0)
+        assert pearson_r(x, 3 * x + 1) == pytest.approx(1.0)
+        assert pearson_r(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        assert abs(pearson_r(rng.random(20_000), rng.random(20_000))) < 0.03
+
+    def test_constant_rejected(self):
+        with pytest.raises(AnalysisError):
+            pearson_r([1.0, 1.0], [2.0, 3.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            pearson_r([1.0], [1.0, 2.0])
+
+
+class TestBinnedConditionalMean:
+    def test_hourly_means(self):
+        times = np.asarray([0.5 * HOUR, 0.7 * HOUR, 2.5 * HOUR])
+        values = np.asarray([10.0, 20.0, 99.0])
+        centers, means, counts = binned_conditional_mean(times, values)
+        assert means[0] == 15.0
+        assert means[2] == 99.0
+        assert np.isnan(means[1])
+        assert counts[0] == 2
+
+    def test_folding_across_days(self):
+        times = np.asarray([HOUR, DAY + HOUR, 2 * DAY + HOUR])
+        values = np.asarray([1.0, 2.0, 3.0])
+        _, means, counts = binned_conditional_mean(times, values)
+        assert means[1] == 2.0
+        assert counts[1] == 3
+
+    def test_centers_in_seconds_of_period(self):
+        centers, _, _ = binned_conditional_mean([0.0], [1.0], n_bins=24)
+        assert centers[0] == pytest.approx(0.5 * HOUR)
+        assert centers[-1] == pytest.approx(23.5 * HOUR)
+
+
+class TestVarianceExplained:
+    def test_fully_explained(self):
+        # Value is a function of the hour.
+        rng = np.random.default_rng(2)
+        times = rng.uniform(0, 7 * DAY, size=20_000)
+        hours = (times % DAY / HOUR).astype(int)
+        values = hours.astype(float)
+        assert variance_explained_by_bins(times, values) > 0.99
+
+    def test_unexplained(self):
+        rng = np.random.default_rng(3)
+        times = rng.uniform(0, 7 * DAY, size=20_000)
+        values = rng.normal(size=20_000)
+        assert variance_explained_by_bins(times, values) < 0.01
+
+    def test_bounds(self):
+        rng = np.random.default_rng(4)
+        times = rng.uniform(0, DAY, size=5_000)
+        values = np.sin(times) + rng.normal(size=5_000)
+        eta2 = variance_explained_by_bins(times, values)
+        assert 0.0 <= eta2 <= 1.0
+
+    def test_constant_values_rejected(self):
+        with pytest.raises(AnalysisError):
+            variance_explained_by_bins([1.0, 2.0], [5.0, 5.0])

@@ -1,0 +1,100 @@
+"""Unit tests for marginal distribution views."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.marginals import Marginal, binned_frequency
+from repro.errors import AnalysisError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Marginal([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(AnalysisError):
+            Marginal([1.0, float("inf")])
+
+    def test_display_time_applied(self):
+        marginal = Marginal([0.0, 0.5, 2.3], display_time=True)
+        assert marginal.values.tolist() == [1.0, 1.0, 3.0]
+
+
+class TestPanels:
+    sample = Marginal([1.0, 1.0, 2.0, 5.0])
+
+    def test_frequency(self):
+        x, freq = self.sample.frequency()
+        assert x.tolist() == [1.0, 2.0, 5.0]
+        assert freq.tolist() == [0.5, 0.25, 0.25]
+
+    def test_cdf(self):
+        x, cdf = self.sample.cdf()
+        assert cdf.tolist() == [0.5, 0.75, 1.0]
+
+    def test_ccdf_nonstrict_is_p_ge(self):
+        x, ccdf = self.sample.ccdf()
+        # P[X >= 1] = 1, P[X >= 2] = 0.5, P[X >= 5] = 0.25.
+        assert ccdf.tolist() == [1.0, 0.5, 0.25]
+        assert np.all(ccdf > 0)  # safe for log axes
+
+    def test_ccdf_strict_drops_top_point(self):
+        x, ccdf = self.sample.ccdf(strict=True)
+        assert x.tolist() == [1.0, 2.0]
+        assert ccdf.tolist() == [0.5, 0.25]
+
+    def test_cdf_plus_strict_ccdf_is_one(self):
+        x_all, cdf = self.sample.cdf()
+        x_strict, strict = self.sample.ccdf(strict=True)
+        np.testing.assert_allclose(cdf[:-1] + strict, np.ones_like(strict))
+
+
+class TestSummaries:
+    def test_moments(self):
+        marginal = Marginal([1.0, 2.0, 3.0, 4.0])
+        assert marginal.mean() == 2.5
+        assert marginal.median() == 2.5
+        assert marginal.percentile(100) == 4.0
+
+    def test_coefficient_of_variation(self):
+        marginal = Marginal([1.0, 1.0, 1.0])
+        with pytest.raises(AnalysisError):
+            Marginal([0.0, 0.0]).coefficient_of_variation()
+        assert marginal.coefficient_of_variation() == 0.0
+
+    def test_sample_quantiles(self):
+        marginal = Marginal(np.arange(101.0))
+        assert marginal.sample_quantiles([0.5])[0] == 50.0
+
+
+class TestLogBinnedFrequency:
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        marginal = Marginal(rng.lognormal(3.0, 1.0, size=10_000))
+        _, freq = marginal.log_binned_frequency(40)
+        assert float(freq.sum()) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(AnalysisError):
+            Marginal([0.0, 1.0]).log_binned_frequency()
+
+    def test_constant_sample(self):
+        x, freq = Marginal([5.0, 5.0]).log_binned_frequency()
+        assert x.tolist() == [5.0]
+        assert freq.tolist() == [1.0]
+
+
+class TestBinnedFrequency:
+    def test_basic(self):
+        centers, freq = binned_frequency([1.0, 1.5, 3.0], [0.0, 2.0, 4.0])
+        assert centers.tolist() == [1.0, 3.0]
+        np.testing.assert_allclose(freq, [2 / 3, 1 / 3])
+
+    def test_out_of_range_ignored(self):
+        _, freq = binned_frequency([10.0], [0.0, 1.0])
+        assert freq.tolist() == [0.0]
+
+    def test_too_few_edges(self):
+        with pytest.raises(AnalysisError):
+            binned_frequency([1.0], [0.0])

@@ -1,0 +1,67 @@
+"""Unit tests for the unicast/multicast comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.multicast import compare_unicast_multicast
+from repro.errors import AnalysisError
+
+from tests.conftest import build_trace
+
+
+def overlapping_trace():
+    # Three viewers of feed 0 fully overlapping for 100 s; feed 1 idle
+    # except one short viewer.
+    return build_trace([
+        (0, 0, 0.0, 100.0),
+        (1, 0, 0.0, 100.0),
+        (0, 0, 0.0, 100.0),
+        (1, 1, 0.0, 50.0),
+    ], n_clients=2, extent=100.0)
+
+
+class TestComparison:
+    def test_savings_equal_mean_concurrency_per_live_feed(self):
+        comparison = compare_unicast_multicast(overlapping_trace(),
+                                               encoding_rate_bps=100.0,
+                                               step=10.0)
+        # Unicast mean: feed0 3 viewers x 100 s + feed1 1 viewer x 50 s
+        # over 100 s -> (300 + 50)/100 x rate = 350.
+        assert comparison.unicast_mean_bps == pytest.approx(350.0)
+        # Multicast: feed0 live 100 s + feed1 live 50 s -> 150.
+        assert comparison.multicast_mean_bps == pytest.approx(150.0)
+        assert comparison.mean_savings_factor == pytest.approx(350 / 150)
+
+    def test_peak_savings(self):
+        comparison = compare_unicast_multicast(overlapping_trace(),
+                                               encoding_rate_bps=100.0,
+                                               step=10.0)
+        assert comparison.unicast_peak_bps == pytest.approx(400.0)
+        assert comparison.multicast_peak_bps == pytest.approx(200.0)
+        assert comparison.peak_savings_factor == pytest.approx(2.0)
+
+    def test_bytes_accounting(self):
+        comparison = compare_unicast_multicast(overlapping_trace(),
+                                               encoding_rate_bps=800.0,
+                                               step=10.0)
+        # Unicast: 350 s of stream-time at 800 bit/s = 35 kB.
+        assert comparison.unicast_bytes == pytest.approx(35_000.0)
+        assert comparison.multicast_bytes == pytest.approx(15_000.0)
+
+    def test_single_viewer_no_savings(self):
+        trace = build_trace([(0, 0, 0.0, 100.0)], extent=100.0)
+        comparison = compare_unicast_multicast(trace, step=10.0)
+        assert comparison.mean_savings_factor == pytest.approx(1.0)
+
+    def test_smoke_trace_realistic_savings(self, smoke_trace):
+        comparison = compare_unicast_multicast(smoke_trace)
+        assert comparison.mean_savings_factor > 2.0
+        assert comparison.multicast_peak_bps <= 2 * 300_000.0
+
+    def test_invalid_inputs(self):
+        trace = build_trace([(0, 0, 0.0, 1.0)], extent=10.0)
+        with pytest.raises(AnalysisError):
+            compare_unicast_multicast(trace, encoding_rate_bps=0.0)
+        empty = trace.filter(np.zeros(1, dtype=bool))
+        with pytest.raises(AnalysisError):
+            compare_unicast_multicast(empty)

@@ -1,0 +1,61 @@
+"""Unit tests for rank-frequency profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ranks import group_counts, rank_frequency, share_by_key
+from repro.errors import AnalysisError
+
+
+class TestGroupCounts:
+    def test_integer_keys(self):
+        keys, counts = group_counts([3, 1, 3, 3, 2])
+        assert keys.tolist() == [1, 2, 3]
+        assert counts.tolist() == [1.0, 1.0, 3.0]
+
+    def test_string_keys(self):
+        keys, counts = group_counts(np.asarray(["BR", "US", "BR"]))
+        assert counts[keys == "BR"][0] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            group_counts([])
+
+
+class TestRankFrequency:
+    def test_sorted_descending_normalized(self):
+        ranks, freq = rank_frequency([5.0, 1.0, 4.0])
+        assert ranks.tolist() == [1.0, 2.0, 3.0]
+        np.testing.assert_allclose(freq, [0.5, 0.4, 0.1])
+
+    def test_unnormalized(self):
+        _, freq = rank_frequency([5.0, 1.0], normalize=False)
+        assert freq.tolist() == [5.0, 1.0]
+
+    def test_zeros_dropped(self):
+        ranks, _ = rank_frequency([3.0, 0.0, 1.0])
+        assert ranks.size == 2
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_frequency([0.0, 0.0])
+
+
+class TestShareByKey:
+    def test_shares_sorted_descending(self):
+        shares = share_by_key(np.asarray(["BR"] * 8 + ["US"] * 2))
+        assert shares[0] == ("BR", pytest.approx(0.8))
+        assert shares[1] == ("US", pytest.approx(0.2))
+
+    def test_top_limits(self):
+        keys = np.asarray(["a", "b", "c", "a"])
+        assert len(share_by_key(keys, top=2)) == 2
+
+    def test_shares_sum_to_one(self):
+        keys = np.asarray(list("aabbbccccd"))
+        total = sum(share for _, share in share_by_key(keys))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_top(self):
+        with pytest.raises(AnalysisError):
+            share_by_key(np.asarray(["a"]), top=0)

@@ -1,0 +1,51 @@
+"""Unit tests for the Hurst estimators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.selfsimilarity import (
+    hurst_aggregate_variance,
+    hurst_rescaled_range,
+)
+from repro.distributions.selfsimilar import FractionalGaussianNoise
+from repro.errors import AnalysisError
+
+
+class TestAggregateVariance:
+    @pytest.mark.parametrize("hurst", [0.6, 0.8])
+    def test_recovers_planted_hurst(self, hurst):
+        path = FractionalGaussianNoise(hurst).sample_path(2 ** 15, seed=1)
+        assert hurst_aggregate_variance(path) == pytest.approx(hurst,
+                                                               abs=0.08)
+
+    def test_white_noise_near_half(self):
+        rng = np.random.default_rng(2)
+        assert hurst_aggregate_variance(rng.normal(size=2 ** 14)) == \
+            pytest.approx(0.5, abs=0.08)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            hurst_aggregate_variance(np.zeros(10))
+
+
+class TestRescaledRange:
+    @pytest.mark.parametrize("hurst", [0.6, 0.8])
+    def test_recovers_planted_hurst(self, hurst):
+        path = FractionalGaussianNoise(hurst).sample_path(2 ** 15, seed=3)
+        assert hurst_rescaled_range(path) == pytest.approx(hurst, abs=0.1)
+
+    def test_white_noise_near_half(self):
+        rng = np.random.default_rng(4)
+        # R/S is biased upward on short white-noise series; generous band.
+        assert hurst_rescaled_range(rng.normal(size=2 ** 14)) == \
+            pytest.approx(0.55, abs=0.1)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            hurst_rescaled_range(np.zeros(20))
+
+    def test_estimators_agree(self):
+        path = FractionalGaussianNoise(0.75).sample_path(2 ** 15, seed=5)
+        av = hurst_aggregate_variance(path)
+        rs = hurst_rescaled_range(path)
+        assert abs(av - rs) < 0.12

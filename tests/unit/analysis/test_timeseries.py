@@ -1,0 +1,83 @@
+"""Unit tests for time-series binning and folding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    binned_mean_of_events,
+    binned_series,
+    fold_series,
+)
+from repro.errors import AnalysisError
+
+
+class TestBinnedSeries:
+    def test_counts(self):
+        counts = binned_series([0.5, 1.5, 1.9, 5.0], extent=6.0,
+                               bin_width=2.0)
+        assert counts.tolist() == [3.0, 0.0, 1.0]
+
+    def test_empty(self):
+        counts = binned_series([], extent=4.0, bin_width=2.0)
+        assert counts.tolist() == [0.0, 0.0]
+
+    def test_out_of_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            binned_series([10.0], extent=5.0, bin_width=1.0)
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(1)
+        times = rng.uniform(0, 100, size=500)
+        counts = binned_series(times, extent=100.0, bin_width=7.0)
+        assert int(counts.sum()) == 500
+
+
+class TestBinnedMeanOfEvents:
+    def test_means_per_bin(self):
+        means = binned_mean_of_events([0.5, 0.9, 2.5], [10.0, 20.0, 99.0],
+                                      extent=4.0, bin_width=2.0)
+        assert means.tolist() == [15.0, 99.0]
+
+    def test_empty_bin_is_nan(self):
+        means = binned_mean_of_events([0.5], [1.0], extent=4.0,
+                                      bin_width=2.0)
+        assert means[0] == 1.0
+        assert np.isnan(means[1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            binned_mean_of_events([0.5], [1.0, 2.0], extent=4.0,
+                                  bin_width=2.0)
+
+
+class TestFoldSeries:
+    def test_simple_fold(self):
+        # Two periods of three bins each.
+        series = [1.0, 2.0, 3.0, 5.0, 6.0, 7.0]
+        fold = fold_series(series, bin_width=1.0, period=3.0)
+        assert fold.tolist() == [3.0, 4.0, 5.0]
+
+    def test_partial_final_period(self):
+        series = [1.0, 2.0, 3.0, 9.0]
+        fold = fold_series(series, bin_width=1.0, period=3.0)
+        assert fold.tolist() == [5.0, 2.0, 3.0]
+
+    def test_nan_values_ignored(self):
+        series = [1.0, np.nan, 3.0, np.nan]
+        fold = fold_series(series, bin_width=1.0, period=2.0)
+        assert fold.tolist() == [2.0, np.nan] or (
+            fold[0] == 2.0 and np.isnan(fold[1]))
+
+    def test_non_divisible_period_rejected(self):
+        with pytest.raises(AnalysisError):
+            fold_series([1.0, 2.0], bin_width=3.0, period=7.0)
+
+    def test_empty_series(self):
+        fold = fold_series([], bin_width=1.0, period=4.0)
+        assert fold.size == 4
+        assert np.all(np.isnan(fold))
+
+    def test_fold_recovers_planted_diurnal_shape(self):
+        phase = np.tile([10.0, 20.0, 30.0, 20.0], 25)
+        fold = fold_series(phase, bin_width=900.0, period=3600.0)
+        assert fold.tolist() == [10.0, 20.0, 30.0, 20.0]

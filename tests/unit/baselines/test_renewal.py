@@ -1,0 +1,67 @@
+"""Unit tests for the user-driven renewal generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.renewal import RenewalConfig, UserDrivenRenewalGenerator
+from repro.errors import ConfigError, GenerationError
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = RenewalConfig(n_clients=3_000, mean_session_rate=0.03)
+    return UserDrivenRenewalGenerator(config).generate(days=7, seed=15)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_clients": 0},
+        {"interest_alpha": -1.0},
+        {"mean_session_rate": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RenewalConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_total_rate_matches(self, workload):
+        expected = 0.03 * 7 * DAY
+        assert workload.n_sessions == pytest.approx(expected, rel=0.05)
+
+    def test_arrivals_stationary(self, workload):
+        """No hour of day is preferred — the user-driven signature."""
+        hours = (workload.session_arrivals % DAY / HOUR).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts.min() > 0.7 * counts.mean()
+        assert counts.max() < 1.3 * counts.mean()
+
+    def test_interest_profile_planted(self, workload):
+        from repro.distributions import fit_zipf_rank
+        counts = np.bincount(workload.session_client, minlength=3_000)
+        fit = fit_zipf_rank(counts[counts > 0])
+        assert fit.alpha == pytest.approx(0.4704, rel=0.25)
+
+    def test_trace_well_formed(self, workload):
+        trace = workload.trace
+        assert np.all(np.diff(trace.start) >= 0)
+        assert np.all(trace.end <= trace.extent + 1e-9)
+        expected = workload.session_client[workload.transfer_session]
+        np.testing.assert_array_equal(trace.client_index, expected)
+
+    def test_session_internals_match_live_model(self, workload):
+        """Same behaviour laws as GISMO-live: lengths fit the paper's fit."""
+        logs = np.log(workload.trace.duration[workload.trace.duration > 0])
+        # Clipping at the window edge barely moves the fit at this scale.
+        assert float(logs.mean()) == pytest.approx(4.383921, rel=0.05)
+
+    def test_deterministic(self):
+        config = RenewalConfig(n_clients=200, mean_session_rate=0.01)
+        a = UserDrivenRenewalGenerator(config).generate(days=1, seed=3)
+        b = UserDrivenRenewalGenerator(config).generate(days=1, seed=3)
+        np.testing.assert_array_equal(a.trace.start, b.trace.start)
+
+    def test_invalid_days(self):
+        with pytest.raises(GenerationError):
+            UserDrivenRenewalGenerator().generate(days=0)

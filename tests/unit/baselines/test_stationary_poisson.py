@@ -1,0 +1,67 @@
+"""Unit tests for the stationary Poisson baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stationary_poisson import (
+    StationaryPoissonBaseline,
+    interarrival_ks_comparison,
+)
+from repro.errors import ConfigError
+from repro.units import DAY
+from repro.distributions import DiurnalProfile, PiecewiseStationaryPoissonProcess
+
+
+class TestBaseline:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            StationaryPoissonBaseline(0.0)
+
+    def test_matching_mean(self):
+        arrivals = np.linspace(0, 999, 1_000)
+        baseline = StationaryPoissonBaseline.matching_mean(arrivals, 1_000.0)
+        assert baseline.rate == pytest.approx(1.0)
+
+    def test_generate_count(self):
+        baseline = StationaryPoissonBaseline(0.5)
+        arrivals = baseline.generate(DAY, seed=1)
+        assert arrivals.size == pytest.approx(0.5 * DAY, rel=0.05)
+
+    def test_interarrivals_exponential(self):
+        baseline = StationaryPoissonBaseline(1.0)
+        ia = baseline.interarrivals(DAY, seed=2)
+        assert float(ia.mean()) == pytest.approx(1.0, rel=0.05)
+        # Exponential CV = 1.
+        assert float(ia.std() / ia.mean()) == pytest.approx(1.0, abs=0.05)
+
+    def test_sorted_output(self):
+        arrivals = StationaryPoissonBaseline(0.1).generate(DAY, seed=3)
+        assert np.all(np.diff(arrivals) >= 0)
+
+
+class TestComparison:
+    def test_piecewise_wins_on_diurnal_arrivals(self):
+        """The Figure 5/6 argument, quantified."""
+        truth = DiurnalProfile.reality_show(0.2)
+        process = PiecewiseStationaryPoissonProcess(truth)
+        measured = process.generate(14 * DAY, seed=4)
+        comparison = interarrival_ks_comparison(measured, 14 * DAY, truth,
+                                                seed=5)
+        assert comparison.piecewise_wins
+        assert comparison.ks_piecewise < 0.02
+        assert comparison.ks_stationary > 2 * comparison.ks_piecewise
+
+    def test_stationary_data_shows_no_preference(self):
+        flat = DiurnalProfile.constant(0.2)
+        process = PiecewiseStationaryPoissonProcess(flat)
+        measured = process.generate(7 * DAY, seed=6)
+        comparison = interarrival_ks_comparison(measured, 7 * DAY, flat,
+                                                seed=7)
+        # Both models are correct here; distances are both tiny.
+        assert comparison.ks_piecewise < 0.01
+        assert comparison.ks_stationary < 0.01
+
+    def test_too_few_arrivals_rejected(self):
+        with pytest.raises(ConfigError):
+            interarrival_ks_comparison([1.0], 10.0,
+                                       DiurnalProfile.constant(1.0))

@@ -1,0 +1,86 @@
+"""Unit tests for the stored-media baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stored_media import StoredMediaConfig, StoredMediaGenerator
+from repro.errors import ConfigError, GenerationError
+from repro.units import DAY
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = StoredMediaConfig(n_objects=200, n_clients=500,
+                               request_rate=0.02)
+    return StoredMediaGenerator(config).generate(days=3, seed=13)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_objects": 0},
+        {"popularity_alpha": -0.1},
+        {"request_rate": 0.0},
+        {"partial_access_prob": 1.5},
+        {"partial_fraction_lo": 0.9, "partial_fraction_hi": 0.5},
+        {"encoding_rate_bps": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            StoredMediaConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_request_count_near_rate(self, workload):
+        expected = 0.02 * 3 * DAY
+        assert workload.trace.n_transfers == pytest.approx(expected, rel=0.1)
+
+    def test_objects_within_catalogue(self, workload):
+        assert workload.trace.object_id.max() < 200
+        assert workload.object_sizes.size == 200
+
+    def test_popularity_zipf_planted(self, workload):
+        from repro.distributions import fit_zipf_rank
+        counts = workload.object_request_counts()
+        fit = fit_zipf_rank(counts[counts > 0])
+        assert fit.alpha == pytest.approx(0.73, rel=0.3)
+
+    def test_clients_unskewed(self, workload):
+        """User-driven baseline: client activity is near-uniform."""
+        from repro.distributions import fit_zipf_rank
+        counts = workload.trace.transfers_per_client()
+        fit = fit_zipf_rank(counts[counts > 0])
+        assert fit.alpha < 0.3
+
+    def test_lengths_bounded_by_object_size(self, workload):
+        sizes = workload.object_sizes[workload.trace.object_id]
+        window_cap = 3 * DAY - workload.trace.start
+        assert np.all(workload.trace.duration
+                      <= np.minimum(sizes, window_cap) + 1e-9)
+
+    def test_partial_accesses_common(self, workload):
+        """Roughly half of requests stop early (Acharya & Smith)."""
+        sizes = workload.object_sizes[workload.trace.object_id]
+        full_length = np.isclose(workload.trace.duration, sizes)
+        partial_fraction = 1.0 - float(full_length.mean())
+        assert 0.35 < partial_fraction < 0.65
+
+    def test_stationary_arrivals(self, workload):
+        """No diurnal pattern by construction."""
+        starts = workload.trace.start
+        hours = (starts % DAY / 3600.0).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts.min() > 0.6 * counts.mean()
+
+    def test_constant_bandwidth(self, workload):
+        assert set(np.unique(workload.trace.bandwidth_bps)) == {250_000.0}
+
+    def test_deterministic(self):
+        config = StoredMediaConfig(n_objects=50, n_clients=100,
+                                   request_rate=0.01)
+        a = StoredMediaGenerator(config).generate(days=1, seed=5)
+        b = StoredMediaGenerator(config).generate(days=1, seed=5)
+        np.testing.assert_array_equal(a.trace.start, b.trace.start)
+
+    def test_invalid_days(self):
+        with pytest.raises(GenerationError):
+            StoredMediaGenerator().generate(days=0)

@@ -1,0 +1,77 @@
+"""Unit tests for the full characterization and its report."""
+
+import pytest
+
+from repro.core.characterize import characterize, summarize_trace
+from repro.core.report import render_report
+from repro.core.sessionizer import sessionize
+
+
+class TestSummarizeTrace:
+    def test_summary_counts(self, smoke_trace, smoke_sessions):
+        summary = summarize_trace(smoke_trace, smoke_sessions)
+        assert summary.n_transfers == len(smoke_trace)
+        assert summary.n_sessions == smoke_sessions.n_sessions
+        assert summary.n_users <= smoke_trace.n_clients
+        assert summary.n_ips <= summary.n_users
+        assert summary.days == pytest.approx(2.0)
+
+    def test_bytes_positive(self, smoke_trace, smoke_sessions):
+        summary = summarize_trace(smoke_trace, smoke_sessions)
+        assert summary.bytes_served > 0
+
+
+class TestCharacterize:
+    def test_all_layers_present(self, smoke_characterization):
+        char = smoke_characterization
+        assert char.summary is not None
+        assert char.client is not None
+        assert char.session is not None
+        assert char.transfer is not None
+        assert char.timeout == 1_500.0
+
+    def test_layers_consistent(self, smoke_characterization, smoke_trace):
+        char = smoke_characterization
+        assert char.session.transfers_per_session.sum() == len(smoke_trace)
+        assert char.transfer.lengths.size == len(smoke_trace)
+
+    def test_custom_timeout(self, smoke_trace):
+        char = characterize(smoke_trace, timeout=500.0)
+        finer = char.summary.n_sessions
+        assert finer >= sessionize(smoke_trace, 3_000.0).n_sessions
+
+
+class TestReport:
+    def test_report_renders(self, smoke_characterization):
+        text = render_report(smoke_characterization)
+        assert "Basic statistics (Table 1)" in text
+        assert "Client layer (Section 3)" in text
+        assert "Session layer (Section 4)" in text
+        assert "Transfer layer (Section 5)" in text
+
+    def test_report_cites_paper_values(self, smoke_characterization):
+        text = render_report(smoke_characterization)
+        assert "0.4704" in text      # interest alpha reference
+        assert "2.7042" in text      # transfers/session reference
+
+    def test_report_contains_measured_fits(self, smoke_characterization):
+        text = render_report(smoke_characterization)
+        fit = smoke_characterization.transfer.length_fit
+        assert f"{fit.mu:.4f}" in text
+
+
+class TestReportEdgeCases:
+    def test_small_trace_renders_without_tail_section(self, tiny_trace):
+        """Too few interarrivals for a two-regime fit: report still works."""
+        char = characterize(tiny_trace)
+        assert char.transfer.interarrival_tail is None
+        text = render_report(char)
+        assert "interarrival tail alpha" not in text
+        assert "Transfer layer (Section 5)" in text
+
+    def test_sparse_off_times_render_without_off_row(self, tiny_trace):
+        char = characterize(tiny_trace)
+        # Only one OFF pair exists, which is too few to fit: the row is
+        # omitted rather than fitted from a single observation.
+        assert char.session.off_fit is None
+        assert "session OFF exponential mean" not in render_report(char)

@@ -1,0 +1,89 @@
+"""Unit tests for the GISMO-live workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.model import LiveWorkloadModel
+from repro.errors import GenerationError
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LiveWorkloadModel.paper_defaults(mean_session_rate=0.03,
+                                            n_clients=2_000)
+
+
+@pytest.fixture(scope="module")
+def workload(model):
+    return LiveWorkloadGenerator(model).generate(days=3, seed=7)
+
+
+class TestGeneration:
+    def test_session_count_near_expectation(self, model, workload):
+        expected = model.expected_sessions(days=3)
+        assert workload.n_sessions == pytest.approx(expected, rel=0.1)
+
+    def test_trace_sorted_within_window(self, workload):
+        trace = workload.trace
+        assert np.all(np.diff(trace.start) >= 0)
+        assert trace.start.max() < 3 * DAY
+        assert np.all(trace.end <= 3 * DAY + 1e-9)
+        assert trace.extent == pytest.approx(3 * DAY)
+
+    def test_clients_within_population(self, model, workload):
+        assert workload.trace.client_index.max() < model.n_clients
+        assert workload.session_client.max() < model.n_clients
+
+    def test_ground_truth_alignment(self, workload):
+        trace = workload.trace
+        expected = workload.session_client[workload.transfer_session]
+        np.testing.assert_array_equal(trace.client_index, expected)
+
+    def test_feeds_within_model(self, model, workload):
+        assert workload.trace.object_id.max() < model.n_feeds
+
+    def test_zero_bandwidth_without_model(self, workload):
+        assert np.all(workload.trace.bandwidth_bps == 0)
+
+    def test_bandwidth_sampled_when_present(self, model):
+        # The model stores interpolated quantiles, so sampled values lie
+        # within the calibration sample's range rather than exactly on it.
+        enriched = model.with_bandwidth([30_000.0, 56_000.0])
+        workload = LiveWorkloadGenerator(enriched).generate(days=1, seed=8)
+        bw = workload.trace.bandwidth_bps
+        assert bw.min() >= 30_000.0 and bw.max() <= 56_000.0
+        assert bw.std() > 0
+
+    def test_diurnal_pattern_planted(self, workload):
+        starts = workload.session_arrivals
+        hours = (starts % DAY / HOUR).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts[5] < 0.3 * counts[21]
+
+    def test_deterministic(self, model):
+        a = LiveWorkloadGenerator(model).generate(days=1, seed=9)
+        b = LiveWorkloadGenerator(model).generate(days=1, seed=9)
+        np.testing.assert_array_equal(a.trace.start, b.trace.start)
+
+    def test_invalid_days(self, model):
+        with pytest.raises(GenerationError):
+            LiveWorkloadGenerator(model).generate(days=0)
+
+
+class TestStatisticalShape:
+    def test_interest_profile_planted(self, model):
+        workload = LiveWorkloadGenerator(model).generate(days=14, seed=10)
+        from repro.distributions import fit_zipf_rank
+        counts = np.bincount(workload.session_client,
+                             minlength=model.n_clients)
+        fit = fit_zipf_rank(counts[counts > 0])
+        assert fit.alpha == pytest.approx(model.interest_alpha, rel=0.25)
+
+    def test_transfer_lengths_planted(self, workload):
+        lengths = workload.trace.duration
+        # Clip-free subset: transfers well inside the window.
+        inside = workload.trace.end < 3 * DAY - 1.0
+        logs = np.log(lengths[inside & (lengths > 0)])
+        assert float(logs.mean()) == pytest.approx(4.383921, rel=0.05)

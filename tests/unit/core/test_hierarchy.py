@@ -1,0 +1,44 @@
+"""Unit tests for the hierarchical workload view."""
+
+import numpy as np
+
+from repro.core.hierarchy import HierarchicalWorkload
+
+
+class TestHierarchicalWorkload:
+    def test_layer_counts_consistent(self, smoke_trace):
+        workload = HierarchicalWorkload(smoke_trace)
+        assert workload.n_transfers == len(smoke_trace)
+        assert workload.n_sessions <= workload.n_transfers
+        assert workload.n_clients <= smoke_trace.n_clients
+
+    def test_sessions_cached(self, smoke_trace):
+        workload = HierarchicalWorkload(smoke_trace)
+        assert workload.sessions is workload.sessions
+
+    def test_client_counts_cover_all_sessions(self, smoke_trace):
+        workload = HierarchicalWorkload(smoke_trace)
+        assert int(workload.client_session_counts().sum()) == \
+            workload.n_sessions
+        assert int(workload.client_transfer_counts().sum()) == \
+            workload.n_transfers
+
+    def test_transfer_lengths_are_trace_durations(self, smoke_trace):
+        workload = HierarchicalWorkload(smoke_trace)
+        np.testing.assert_array_equal(workload.transfer_lengths(),
+                                      smoke_trace.duration)
+
+    def test_interarrivals_nonnegative(self, smoke_trace):
+        workload = HierarchicalWorkload(smoke_trace)
+        assert np.all(workload.transfer_interarrivals() >= 0)
+        assert np.all(workload.client_interarrivals() >= 0)
+
+    def test_custom_timeout_propagates(self, smoke_trace):
+        fine = HierarchicalWorkload(smoke_trace, timeout=100.0)
+        coarse = HierarchicalWorkload(smoke_trace, timeout=3_000.0)
+        assert fine.n_sessions > coarse.n_sessions
+
+    def test_session_on_off_shapes(self, smoke_trace):
+        workload = HierarchicalWorkload(smoke_trace)
+        assert workload.session_on_times().size == workload.n_sessions
+        assert workload.transfers_per_session().size == workload.n_sessions

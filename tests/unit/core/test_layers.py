@@ -1,0 +1,136 @@
+"""Unit tests for the three characterization layers."""
+
+import numpy as np
+import pytest
+
+from repro.core.client_layer import characterize_client_layer, characterize_topology
+from repro.core.session_layer import characterize_session_layer
+from repro.core.transfer_layer import characterize_transfer_layer
+from repro.units import DAY, FIFTEEN_MINUTES
+
+
+@pytest.fixture(scope="module")
+def client_layer(smoke_trace, smoke_sessions):
+    return characterize_client_layer(smoke_trace, smoke_sessions)
+
+
+@pytest.fixture(scope="module")
+def session_layer(smoke_sessions):
+    return characterize_session_layer(smoke_sessions)
+
+
+@pytest.fixture(scope="module")
+def transfer_layer(smoke_trace):
+    return characterize_transfer_layer(smoke_trace)
+
+
+class TestClientLayer:
+    def test_concurrency_sample_count(self, client_layer, smoke_trace):
+        expected = int(np.ceil(smoke_trace.extent
+                               / client_layer.concurrency_step))
+        assert client_layer.concurrency_samples.size == expected
+
+    def test_bins_cover_extent(self, client_layer, smoke_trace):
+        expected = int(np.ceil(smoke_trace.extent / FIFTEEN_MINUTES))
+        assert client_layer.concurrency_bins.size == expected
+
+    def test_daily_fold_has_96_bins(self, client_layer):
+        assert client_layer.daily_fold.size == 96
+
+    def test_acf_starts_at_one(self, client_layer):
+        assert client_layer.acf_values[0] == pytest.approx(1.0)
+
+    def test_diurnal_fit_mass_matches_sessions(self, client_layer,
+                                               smoke_sessions):
+        assert int(client_layer.diurnal_fit.counts.sum()) == \
+            smoke_sessions.n_sessions
+
+    def test_interest_fits_positive(self, client_layer):
+        assert client_layer.session_interest_fit.alpha > 0
+        assert client_layer.transfer_interest_fit.alpha > 0
+
+    def test_transfer_interest_steeper(self, client_layer):
+        """The paper's Figure 7: transfers/client is the steeper profile."""
+        assert (client_layer.transfer_interest_fit.alpha
+                > client_layer.session_interest_fit.alpha)
+
+    def test_interarrivals_match_sessions(self, client_layer,
+                                          smoke_sessions):
+        assert client_layer.interarrivals.size == \
+            smoke_sessions.n_sessions - 1
+
+
+class TestTopology:
+    def test_shares_normalized(self, smoke_trace):
+        topo = characterize_topology(smoke_trace)
+        assert float(topo.as_transfer_shares.sum()) == pytest.approx(1.0)
+        assert float(topo.as_ip_shares.sum()) == pytest.approx(1.0)
+        assert sum(share for _, share in topo.country_shares) == \
+            pytest.approx(1.0)
+
+    def test_counts_positive(self, smoke_trace):
+        topo = characterize_topology(smoke_trace)
+        assert topo.n_ases > 0
+        assert topo.n_ips > 0
+        assert topo.n_countries > 0
+
+    def test_brazil_leads(self, smoke_trace):
+        topo = characterize_topology(smoke_trace)
+        assert topo.country_shares[0][0] == "BR"
+
+
+class TestSessionLayer:
+    def test_on_fit_plausible(self, session_layer):
+        # ON times emerge from the planted gap/length laws; the sigma
+        # should land in the neighbourhood of the paper's 1.54.
+        assert 1.0 < session_layer.on_fit.sigma < 2.2
+
+    def test_off_fit_present(self, session_layer):
+        assert session_layer.off_fit is not None
+        assert session_layer.off_fit.mean() > 1_500.0
+
+    def test_transfers_fit_near_planted(self, session_layer):
+        assert session_layer.transfers_fit.alpha == pytest.approx(
+            2.70417, rel=0.2)
+
+    def test_intra_fit_near_planted(self, session_layer):
+        assert session_layer.intra_fit.mu == pytest.approx(4.89991, rel=0.1)
+
+    def test_hour_profile_complete(self, session_layer):
+        assert session_layer.on_by_hour.means.size == 24
+        assert 0.0 <= session_layer.on_by_hour.variance_explained <= 1.0
+
+    def test_off_times_exceed_timeout(self, session_layer, smoke_sessions):
+        assert np.all(session_layer.off_times > smoke_sessions.timeout)
+
+
+class TestTransferLayer:
+    def test_length_fit_near_planted(self, transfer_layer):
+        assert transfer_layer.length_fit.mu == pytest.approx(4.383921,
+                                                             rel=0.1)
+        assert transfer_layer.length_fit.sigma == pytest.approx(1.427247,
+                                                                rel=0.1)
+
+    def test_interarrival_count(self, transfer_layer, smoke_trace):
+        assert transfer_layer.interarrivals.size == len(smoke_trace) - 1
+
+    def test_congestion_fraction_near_planted(self, transfer_layer):
+        assert transfer_layer.congestion_bound_fraction == pytest.approx(
+            0.10, abs=0.05)
+
+    def test_folds_shapes(self, transfer_layer):
+        assert transfer_layer.daily_fold.size == 96
+        assert transfer_layer.interarrival_daily.size == 96
+
+    def test_concurrency_tracks_sessions(self, transfer_layer,
+                                         client_layer):
+        t = transfer_layer.concurrency_samples
+        c = client_layer.concurrency_samples
+        corr = float(np.corrcoef(t, c)[0, 1])
+        assert corr > 0.9
+
+    def test_custom_breakpoint(self, smoke_trace):
+        layer = characterize_transfer_layer(smoke_trace,
+                                            tail_breakpoint=30.0)
+        if layer.interarrival_tail is not None:
+            assert layer.interarrival_tail.breakpoint == 30.0

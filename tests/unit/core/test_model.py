@@ -1,0 +1,98 @@
+"""Unit tests for LiveWorkloadModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LiveWorkloadModel
+from repro.errors import ConfigError
+from repro.units import DAY, HOUR
+from repro.distributions import DiurnalProfile
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.1,
+                                                 n_clients=1_000)
+        assert model.interest_alpha == pytest.approx(0.4704)
+        assert model.transfers_alpha == pytest.approx(2.70417)
+        assert model.arrival_profile.mean_rate() == pytest.approx(0.1)
+        assert model.n_clients == 1_000
+
+    def test_accepts_daily_or_weekly_period_only(self):
+        weekly = DiurnalProfile([1.0], period=7 * DAY)
+        LiveWorkloadModel(arrival_profile=weekly)  # event-aware extension
+        hourly = DiurnalProfile([1.0], period=HOUR)
+        with pytest.raises(ConfigError):
+            LiveWorkloadModel(arrival_profile=hourly)
+
+    def test_invalid_population(self):
+        profile = DiurnalProfile.constant(0.1)
+        with pytest.raises(ConfigError):
+            LiveWorkloadModel(arrival_profile=profile, n_clients=0)
+
+    def test_component_validation_delegated(self):
+        profile = DiurnalProfile.constant(0.1)
+        with pytest.raises(ConfigError):
+            LiveWorkloadModel(arrival_profile=profile, transfers_alpha=0.5)
+
+
+class TestComponentViews:
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.2,
+                                             n_clients=500)
+
+    def test_behavior_carries_parameters(self):
+        behavior = self.model.behavior()
+        assert behavior.gap_log_mu == self.model.gap_log_mu
+        assert behavior.length_log_sigma == self.model.length_log_sigma
+
+    def test_interest_law_size(self):
+        law = self.model.interest_law()
+        assert law.n_items == 500
+
+    def test_arrival_process_rate(self):
+        process = self.model.arrival_process()
+        expected = self.model.expected_sessions(days=7.0)
+        assert process.expected_count(7 * DAY) == pytest.approx(expected)
+
+    def test_expected_sessions_scales_linearly(self):
+        one = self.model.expected_sessions(days=7.0)
+        two = self.model.expected_sessions(days=14.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_bandwidth_absent_by_default(self):
+        assert self.model.bandwidth_law() is None
+
+    def test_with_bandwidth(self):
+        sample = np.random.default_rng(1).lognormal(10.0, 1.0, size=5_000)
+        model = self.model.with_bandwidth(sample)
+        law = model.bandwidth_law()
+        assert law is not None
+        assert law.mean() == pytest.approx(float(sample.mean()), rel=0.1)
+
+    def test_with_bandwidth_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            self.model.with_bandwidth([])
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.3,
+                                                 n_clients=2_000)
+        model = model.with_bandwidth([10_000.0, 56_000.0, 56_000.0])
+        restored = LiveWorkloadModel.from_dict(model.to_dict())
+        assert restored.interest_alpha == model.interest_alpha
+        assert restored.n_clients == model.n_clients
+        np.testing.assert_allclose(restored.arrival_profile.bin_rates,
+                                   model.arrival_profile.bin_rates)
+        assert restored.bandwidth_quantiles == model.bandwidth_quantiles
+
+    def test_json_compatible(self):
+        import json
+        model = LiveWorkloadModel.paper_defaults()
+        text = json.dumps(model.to_dict())
+        restored = LiveWorkloadModel.from_dict(json.loads(text))
+        assert restored.transfers_alpha == model.transfers_alpha
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ConfigError):
+            LiveWorkloadModel.from_dict({"n_clients": 5})

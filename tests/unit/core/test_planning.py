@@ -1,0 +1,70 @@
+"""Unit tests for model-driven capacity planning."""
+
+import pytest
+
+from repro.core.model import LiveWorkloadModel
+from repro.core.planning import denial_rate_at, required_capacity
+from repro.errors import GenerationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LiveWorkloadModel.paper_defaults(mean_session_rate=0.02,
+                                            n_clients=5_000)
+
+
+class TestRequiredCapacity:
+    def test_plan_fields(self, model):
+        plan = required_capacity(model, days=2.0, n_runs=2, seed=1)
+        assert plan.capacity >= 1
+        assert plan.peak_demand >= plan.capacity - 1
+        assert plan.n_runs == 2
+        assert plan.days_per_run == 2.0
+
+    def test_higher_percentile_needs_more_capacity(self, model):
+        p90 = required_capacity(model, days=2.0, target_percentile=90.0,
+                                n_runs=2, seed=2)
+        p999 = required_capacity(model, days=2.0, target_percentile=99.9,
+                                 n_runs=2, seed=2)
+        assert p999.capacity >= p90.capacity
+
+    def test_capacity_scales_with_rate(self, model):
+        from dataclasses import replace
+        bigger = replace(
+            model, arrival_profile=model.arrival_profile.scaled_to_mean(0.06))
+        small = required_capacity(model, days=2.0, n_runs=2, seed=3)
+        large = required_capacity(bigger, days=2.0, n_runs=2, seed=3)
+        assert large.capacity > 1.5 * small.capacity
+
+    @pytest.mark.parametrize("kwargs", [
+        {"target_percentile": 0.0},
+        {"target_percentile": 101.0},
+        {"n_runs": 0},
+        {"days": 0.0},
+    ])
+    def test_invalid_parameters(self, model, kwargs):
+        with pytest.raises(GenerationError):
+            required_capacity(model, **kwargs)
+
+
+class TestDenialRate:
+    def test_peak_capacity_denies_nothing(self, model):
+        plan = required_capacity(model, days=2.0, target_percentile=100.0,
+                                 n_runs=1, seed=4)
+        # Same seed stream: replaying the capacity above the sampled peak
+        # should deny almost nothing on a fresh generation.
+        rate = denial_rate_at(model, plan.peak_demand * 2, days=2.0, seed=5)
+        assert rate < 0.01
+
+    def test_starved_capacity_denies_much(self, model):
+        rate = denial_rate_at(model, 1, days=1.0, seed=6)
+        assert rate > 0.5
+
+    def test_monotone_in_capacity(self, model):
+        low = denial_rate_at(model, 3, days=1.0, seed=7)
+        high = denial_rate_at(model, 30, days=1.0, seed=7)
+        assert high <= low
+
+    def test_invalid_capacity(self, model):
+        with pytest.raises(GenerationError):
+            denial_rate_at(model, 0)

@@ -1,0 +1,125 @@
+"""Unit tests for session reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.sessionizer import (
+    session_count_for_timeouts,
+    sessionize,
+    silence_gaps,
+)
+from repro.errors import AnalysisError
+
+from tests.conftest import build_trace
+
+
+class TestSilenceGaps:
+    def test_first_of_client_is_infinite(self):
+        trace = build_trace([(0, 0, 0.0, 10.0), (1, 0, 5.0, 10.0)])
+        gaps, _ = silence_gaps(trace)
+        assert np.all(np.isinf(gaps))
+
+    def test_gap_uses_running_max_end(self):
+        # A long transfer covers a short one; the gap for the third
+        # transfer is measured from the long transfer's end.
+        trace = build_trace([
+            (0, 0, 0.0, 1_000.0),   # ends at 1000
+            (0, 1, 50.0, 10.0),     # ends at 60, inside the first
+            (0, 0, 1_200.0, 10.0),  # gap = 1200 - 1000 = 200
+        ])
+        gaps, order = silence_gaps(trace)
+        finite = gaps[np.isfinite(gaps)]
+        assert sorted(finite.tolist()) == [-950.0, 200.0]
+
+    def test_overlapping_transfers_negative_gap(self):
+        trace = build_trace([(0, 0, 0.0, 100.0), (0, 1, 50.0, 10.0)])
+        gaps, _ = silence_gaps(trace)
+        assert gaps[np.isfinite(gaps)][0] == -50.0
+
+
+class TestSessionize:
+    def test_tiny_trace_structure(self, tiny_trace):
+        sessions = sessionize(tiny_trace, timeout=1_500.0)
+        assert sessions.n_sessions == 3
+        # Client 0: burst [0, 180] then [5000, 5050]; client 1: [50, 2000].
+        on_times = sorted(sessions.on_times().tolist())
+        assert on_times == [50.0, 180.0, 1_950.0]
+
+    def test_transfer_session_alignment(self, tiny_trace):
+        sessions = sessionize(tiny_trace)
+        assert sessions.transfer_session.size == len(tiny_trace)
+        # Transfers of one session share its client.
+        for i in range(len(tiny_trace)):
+            session = sessions.transfer_session[i]
+            assert (sessions.session_client[session]
+                    == tiny_trace.client_index[i])
+
+    def test_transfers_per_session_partition(self, tiny_trace):
+        sessions = sessionize(tiny_trace)
+        assert int(sessions.transfers_per_session.sum()) == len(tiny_trace)
+
+    def test_off_times(self, tiny_trace):
+        sessions = sessionize(tiny_trace)
+        offs = sessions.off_times()
+        # Only client 0 has two sessions: OFF = 5000 - 180 = 4820.
+        assert offs.tolist() == [4_820.0]
+
+    def test_small_timeout_splits_more(self, tiny_trace):
+        fine = sessionize(tiny_trace, timeout=10.0)
+        coarse = sessionize(tiny_trace, timeout=10_000.0)
+        assert fine.n_sessions > sessionize(tiny_trace).n_sessions - 1
+        assert coarse.n_sessions == 2  # client 0 merges into one session
+
+    def test_intra_session_interarrivals(self, tiny_trace):
+        sessions = sessionize(tiny_trace)
+        intra = sessions.intra_session_interarrivals()
+        assert intra.tolist() == [120.0]  # transfers at 0 and 120
+
+    def test_sessions_per_client(self, tiny_trace):
+        sessions = sessionize(tiny_trace)
+        assert sessions.sessions_per_client().tolist() == [2, 1]
+
+    def test_arrival_times_sorted(self, smoke_trace):
+        sessions = sessionize(smoke_trace)
+        arrivals = sessions.arrival_times()
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_interarrival_times_length(self, smoke_sessions):
+        assert smoke_sessions.interarrival_times().size == \
+            smoke_sessions.n_sessions - 1
+
+    def test_invalid_timeout(self, tiny_trace):
+        with pytest.raises(AnalysisError):
+            sessionize(tiny_trace, timeout=0.0)
+
+    def test_on_time_nonnegative(self, smoke_sessions):
+        assert np.all(smoke_sessions.on_times() >= 0)
+
+    def test_off_times_exceed_timeout(self, smoke_sessions):
+        offs = smoke_sessions.off_times()
+        assert np.all(offs > smoke_sessions.timeout)
+
+    def test_ground_truth_recovery(self, smoke_result, smoke_trace):
+        """Reconstructed session count is close to the generated one."""
+        sessions = sessionize(smoke_trace)
+        truth = smoke_result.n_sessions
+        assert abs(sessions.n_sessions - truth) / truth < 0.08
+
+
+class TestTimeoutSweep:
+    def test_monotone_decreasing(self, smoke_trace):
+        timeouts = np.arange(100.0, 4_001.0, 100.0)
+        counts = session_count_for_timeouts(smoke_trace, timeouts)
+        assert np.all(np.diff(counts) <= 0)
+
+    def test_matches_direct_sessionization(self, smoke_trace):
+        timeouts = np.asarray([300.0, 1_500.0, 3_000.0])
+        counts = session_count_for_timeouts(smoke_trace, timeouts)
+        for timeout, count in zip(timeouts, counts):
+            assert sessionize(smoke_trace, timeout).n_sessions == count
+
+    def test_invalid_inputs(self, tiny_trace):
+        with pytest.raises(AnalysisError):
+            session_count_for_timeouts(tiny_trace, np.asarray([]))
+        with pytest.raises(AnalysisError):
+            session_count_for_timeouts(tiny_trace, np.asarray([-5.0]))

@@ -1,0 +1,45 @@
+"""Unit tests for workload fidelity validation."""
+
+import pytest
+
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.validate import COMPARED_PARAMETERS, compare_workloads
+
+
+class TestSelfComparison:
+    def test_trace_matches_itself(self, smoke_trace):
+        report = compare_workloads(smoke_trace, smoke_trace)
+        assert all(p.relative_error == 0 for p in report.parameters)
+        assert report.length_ks == 0.0
+        assert report.diurnal_correlation == pytest.approx(1.0)
+        assert report.within(rtol=1e-9, ks_max=1e-9, corr_min=0.999)
+
+
+class TestGeneratorValidation:
+    def test_gismo_output_is_faithful(self, smoke_trace):
+        from repro.core.calibrate import calibrate_model
+        model = calibrate_model(smoke_trace).model
+        workload = LiveWorkloadGenerator(model).generate(days=7, seed=31)
+        report = compare_workloads(smoke_trace, workload.trace)
+        assert report.within(rtol=0.25, ks_max=0.1, corr_min=0.85), \
+            "\n".join(report.summary_lines())
+
+    def test_wrong_workload_flagged(self, smoke_trace):
+        from repro.baselines.stored_media import (
+            StoredMediaConfig,
+            StoredMediaGenerator,
+        )
+        stored = StoredMediaGenerator(StoredMediaConfig()).generate(
+            days=3, seed=32)
+        report = compare_workloads(smoke_trace, stored.trace)
+        assert not report.within(rtol=0.2, ks_max=0.1, corr_min=0.9)
+
+    def test_worst_parameter_identified(self, smoke_trace):
+        report = compare_workloads(smoke_trace, smoke_trace)
+        worst = report.worst_parameter()
+        assert worst.name in COMPARED_PARAMETERS
+
+    def test_summary_lines_cover_all_metrics(self, smoke_trace):
+        report = compare_workloads(smoke_trace, smoke_trace)
+        lines = report.summary_lines()
+        assert len(lines) == len(COMPARED_PARAMETERS) + 2

@@ -1,0 +1,67 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LognormalDistribution, fit_lognormal
+from repro.distributions.fitting import BootstrapInterval, bootstrap_ci
+from repro.errors import FittingError
+
+
+class TestBootstrapCi:
+    def test_interval_brackets_point(self):
+        sample = LognormalDistribution(4.38, 1.43).sample(5_000, seed=1)
+        interval = bootstrap_ci(sample, lambda s: fit_lognormal(s).mu,
+                                seed=2)
+        assert interval.lower <= interval.point <= interval.upper
+        assert interval.width > 0
+
+    def test_covers_true_parameter(self):
+        sample = LognormalDistribution(4.38, 1.43).sample(5_000, seed=3)
+        interval = bootstrap_ci(sample, lambda s: fit_lognormal(s).mu,
+                                seed=4)
+        assert interval.contains(4.38)
+
+    def test_width_shrinks_with_sample_size(self):
+        dist = LognormalDistribution(2.0, 1.0)
+        small = bootstrap_ci(dist.sample(500, seed=5),
+                             lambda s: fit_lognormal(s).mu, seed=6)
+        large = bootstrap_ci(dist.sample(50_000, seed=7),
+                             lambda s: fit_lognormal(s).mu, seed=8)
+        assert large.width < small.width
+
+    def test_mean_estimator(self):
+        rng = np.random.default_rng(9)
+        sample = rng.exponential(10.0, size=2_000)
+        interval = bootstrap_ci(sample, np.mean, confidence=0.9, seed=10)
+        assert interval.confidence == 0.9
+        assert interval.contains(float(sample.mean()))
+
+    def test_deterministic_given_seed(self):
+        sample = np.random.default_rng(11).normal(size=500)
+        a = bootstrap_ci(sample, np.mean, seed=12)
+        b = bootstrap_ci(sample, np.mean, seed=12)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"confidence": 0.0},
+        {"confidence": 1.0},
+        {"n_resamples": 5},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(FittingError):
+            bootstrap_ci([1.0, 2.0, 3.0], np.mean, **kwargs)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(FittingError):
+            bootstrap_ci([], np.mean)
+
+    def test_degenerate_resamples_tolerated(self):
+        # fit_lognormal fails on constant resamples; with a tiny sample
+        # some resamples are constant, and the CI should still come back
+        # as long as most succeed.
+        sample = LognormalDistribution(1.0, 0.5).sample(50, seed=13)
+        interval = bootstrap_ci(sample, lambda s: fit_lognormal(s).sigma,
+                                n_resamples=100, seed=14)
+        assert isinstance(interval, BootstrapInterval)
+        assert interval.n_resamples >= 50

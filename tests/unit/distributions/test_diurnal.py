@@ -1,0 +1,121 @@
+"""Unit tests for the diurnal and weekly rate profiles."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiurnalProfile, WeeklyProfile
+from repro.distributions.diurnal import (
+    REALITY_SHOW_HOURLY_SHAPE,
+    REALITY_SHOW_WEEKDAY_SHAPE,
+)
+from repro.errors import DistributionError
+from repro.units import DAY, HOUR, WEEK
+
+
+class TestDiurnalProfile:
+    def test_constant_profile(self):
+        profile = DiurnalProfile.constant(0.5)
+        assert profile.rate([0.0, 12 * HOUR, 2 * DAY]).tolist() == [0.5] * 3
+        assert profile.mean_rate() == 0.5
+
+    def test_rate_picks_correct_bin(self):
+        profile = DiurnalProfile([1.0, 2.0, 3.0, 4.0], period=4.0)
+        assert profile.rate([0.5, 1.5, 2.5, 3.5]).tolist() == [1, 2, 3, 4]
+
+    def test_periodicity(self):
+        profile = DiurnalProfile([1.0, 2.0], period=10.0)
+        np.testing.assert_allclose(profile.rate([3.0, 13.0, 103.0]),
+                                   profile.rate([3.0] * 3))
+
+    def test_scaled_to_mean(self):
+        profile = DiurnalProfile([1.0, 3.0]).scaled_to_mean(10.0)
+        assert profile.mean_rate() == pytest.approx(10.0)
+        # Shape preserved.
+        assert profile.bin_rates[1] / profile.bin_rates[0] == pytest.approx(3)
+
+    def test_reality_show_quiet_window(self):
+        profile = DiurnalProfile.reality_show(1.0)
+        quiet = profile.rate([5 * HOUR])[0]
+        prime = profile.rate([21 * HOUR])[0]
+        assert quiet < 0.15 * prime
+
+    def test_expected_count_full_periods(self):
+        profile = DiurnalProfile([2.0], period=10.0)
+        assert profile.expected_count(100.0) == pytest.approx(200.0)
+
+    def test_expected_count_partial_period(self):
+        profile = DiurnalProfile([1.0, 3.0], period=10.0)
+        # 7 seconds: 5 s at rate 1 plus 2 s at rate 3.
+        assert profile.expected_count(7.0) == pytest.approx(11.0)
+
+    def test_expected_count_matches_numeric_integration(self):
+        profile = DiurnalProfile.reality_show(0.5)
+        duration = 2.3 * DAY
+        grid = np.linspace(0.0, duration, 1_000_001)[:-1]
+        numeric = profile.rate(grid).mean() * duration
+        assert profile.expected_count(duration) == pytest.approx(numeric,
+                                                                 rel=1e-3)
+
+    def test_max_rate(self):
+        profile = DiurnalProfile([0.1, 0.9, 0.4])
+        assert profile.max_rate() == 0.9
+
+    @pytest.mark.parametrize("rates,period", [([], DAY), ([-1.0], DAY),
+                                              ([1.0], 0.0)])
+    def test_invalid_rejected(self, rates, period):
+        with pytest.raises(DistributionError):
+            DiurnalProfile(rates, period=period)
+
+    def test_cannot_scale_zero_profile(self):
+        with pytest.raises(DistributionError):
+            DiurnalProfile([0.0]).scaled_to_mean(1.0)
+
+
+class TestWeeklyProfile:
+    def test_day_multipliers_applied(self):
+        daily = DiurnalProfile.constant(1.0)
+        weekly = WeeklyProfile(daily, [2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0])
+        # Day 0 (Sunday) has weight 2, day 6 (Saturday) weight 3.
+        assert weekly.rate([12 * HOUR])[0] == 2.0
+        assert weekly.rate([6 * DAY + HOUR])[0] == 3.0
+
+    def test_week_periodicity(self):
+        weekly = WeeklyProfile.reality_show(1.0)
+        t = np.asarray([3 * DAY + 5 * HOUR])
+        np.testing.assert_allclose(weekly.rate(t), weekly.rate(t + WEEK))
+
+    def test_mean_rate_scaling(self):
+        weekly = WeeklyProfile.reality_show(0.62)
+        assert weekly.mean_rate() == pytest.approx(0.62)
+
+    def test_scaled_to_mean_preserves_weekend_boost(self):
+        weekly = WeeklyProfile.reality_show(1.0).scaled_to_mean(2.0)
+        weights = weekly.day_weights
+        assert weights[6] > weights[1]  # Saturday busier than Monday
+
+    def test_requires_seven_weights(self):
+        with pytest.raises(DistributionError):
+            WeeklyProfile(DiurnalProfile.constant(1.0), [1.0] * 6)
+
+    def test_requires_one_day_daily_period(self):
+        with pytest.raises(DistributionError):
+            WeeklyProfile(DiurnalProfile([1.0], period=HOUR), [1.0] * 7)
+
+    def test_max_rate_combines(self):
+        daily = DiurnalProfile([1.0, 5.0])
+        weekly = WeeklyProfile(daily, [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0])
+        assert weekly.max_rate() == 10.0
+
+
+class TestDefaultShapes:
+    def test_hourly_shape_has_24_entries(self):
+        assert len(REALITY_SHOW_HOURLY_SHAPE) == 24
+
+    def test_weekday_shape_has_7_entries(self):
+        assert len(REALITY_SHOW_WEEKDAY_SHAPE) == 7
+
+    def test_prime_time_is_peak(self):
+        assert max(REALITY_SHOW_HOURLY_SHAPE) == REALITY_SHOW_HOURLY_SHAPE[21]
+
+    def test_weekend_boost(self):
+        assert REALITY_SHOW_WEEKDAY_SHAPE[6] > REALITY_SHOW_WEEKDAY_SHAPE[2]

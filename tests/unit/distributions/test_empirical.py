@@ -1,0 +1,70 @@
+"""Unit tests for the empirical distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalDistribution
+from repro.errors import DistributionError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, float("nan")])
+
+    def test_size(self):
+        assert EmpiricalDistribution([3.0, 1.0, 2.0]).size == 3
+
+
+class TestCdf:
+    dist = EmpiricalDistribution([1.0, 2.0, 2.0, 5.0])
+
+    def test_step_values(self):
+        assert self.dist.cdf([0.5])[0] == 0.0
+        assert self.dist.cdf([1.0])[0] == 0.25
+        assert self.dist.cdf([2.0])[0] == 0.75
+        assert self.dist.cdf([5.0])[0] == 1.0
+
+    def test_right_continuity_convention(self):
+        # cdf(x) counts values <= x.
+        assert self.dist.cdf([1.999])[0] == 0.25
+
+    def test_mean(self):
+        assert self.dist.mean() == pytest.approx(2.5)
+
+
+class TestSampling:
+    def test_samples_come_from_data(self):
+        dist = EmpiricalDistribution([10.0, 20.0, 30.0])
+        sample = dist.sample(1_000, seed=1)
+        assert set(np.unique(sample)).issubset({10.0, 20.0, 30.0})
+
+    def test_resampling_frequencies(self):
+        dist = EmpiricalDistribution([0.0] * 3 + [1.0])
+        sample = dist.sample(100_000, seed=2)
+        assert float(np.mean(sample == 0.0)) == pytest.approx(0.75, abs=0.01)
+
+    def test_deterministic(self):
+        dist = EmpiricalDistribution(np.arange(100.0))
+        assert np.array_equal(dist.sample(10, seed=7),
+                              dist.sample(10, seed=7))
+
+
+class TestQuantiles:
+    def test_quantile_endpoints(self):
+        dist = EmpiricalDistribution(np.arange(1.0, 101.0))
+        q = dist.quantile([0.0, 1.0])
+        assert q[0] == 1.0 and q[1] == 100.0
+
+    def test_pdf_is_nonnegative_histogram(self):
+        dist = EmpiricalDistribution(np.random.default_rng(1).normal(size=500))
+        pdf = dist.pdf(np.linspace(-4, 4, 50))
+        assert np.all(pdf >= 0)
+
+    def test_pdf_zero_outside_range(self):
+        dist = EmpiricalDistribution([1.0, 2.0])
+        assert dist.pdf([100.0])[0] == 0.0

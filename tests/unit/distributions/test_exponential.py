@@ -1,0 +1,61 @@
+"""Unit tests for the exponential distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import ExponentialDistribution
+from repro.errors import DistributionError
+
+#: The paper's session OFF fit.
+PAPER_OFF = ExponentialDistribution(203_150.0)
+
+
+class TestConstruction:
+    def test_mean_is_parameter(self):
+        assert PAPER_OFF.mean() == 203_150.0
+
+    def test_rate_is_reciprocal(self):
+        assert PAPER_OFF.rate == pytest.approx(1.0 / 203_150.0)
+
+    @pytest.mark.parametrize("mean", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_rejected(self, mean):
+        with pytest.raises(DistributionError):
+            ExponentialDistribution(mean)
+
+
+class TestDensities:
+    def test_cdf_at_mean(self):
+        # P[X <= mean] = 1 - 1/e for an exponential.
+        value = PAPER_OFF.cdf([203_150.0])[0]
+        assert value == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_pdf_at_zero_is_rate(self):
+        dist = ExponentialDistribution(10.0)
+        assert dist.pdf([0.0])[0] == pytest.approx(0.1)
+
+    def test_negative_support_is_zero(self):
+        assert PAPER_OFF.cdf([-5.0])[0] == 0.0
+        assert PAPER_OFF.pdf([-5.0])[0] == 0.0
+
+    def test_memorylessness(self):
+        # P[X > s + t] = P[X > s] P[X > t].
+        dist = ExponentialDistribution(100.0)
+        s, t = 50.0, 120.0
+        left = dist.ccdf([s + t])[0]
+        right = dist.ccdf([s])[0] * dist.ccdf([t])[0]
+        assert left == pytest.approx(right)
+
+
+class TestSampling:
+    def test_sample_mean_converges(self):
+        sample = PAPER_OFF.sample(200_000, seed=1)
+        assert float(sample.mean()) == pytest.approx(203_150.0, rel=0.02)
+
+    def test_non_negative(self):
+        assert np.all(PAPER_OFF.sample(10_000, seed=2) >= 0)
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(PAPER_OFF.sample(5, seed=9),
+                              PAPER_OFF.sample(5, seed=9))

@@ -1,0 +1,122 @@
+"""Unit tests for goodness-of-fit diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    EmpiricalDistribution,
+    ExponentialDistribution,
+    LognormalDistribution,
+    ParetoDistribution,
+    evaluate_fit,
+    ks_distance,
+    ks_statistic_table,
+    ks_two_sample,
+    qq_points,
+)
+from repro.errors import FittingError
+
+
+class TestKsDistance:
+    def test_zero_for_perfect_match_limit(self):
+        dist = ExponentialDistribution(1.0)
+        sample = dist.sample(100_000, seed=1)
+        assert ks_distance(sample, dist) < 0.01
+
+    def test_large_for_wrong_model(self):
+        sample = ExponentialDistribution(1.0).sample(10_000, seed=2)
+        wrong = ExponentialDistribution(100.0)
+        assert ks_distance(sample, wrong) > 0.5
+
+    def test_exact_small_case(self):
+        # Single observation at the model median: D = 0.5 either side.
+        dist = ExponentialDistribution(1.0)
+        median = np.log(2.0)
+        assert ks_distance([median], dist) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FittingError):
+            ks_distance([], ExponentialDistribution(1.0))
+
+
+class TestKsTwoSample:
+    def test_identical_samples(self):
+        a = np.arange(100.0)
+        assert ks_two_sample(a, a) == 0.0
+
+    def test_lattice_data_with_shared_atoms(self):
+        # Both samples concentrated on the same lattice: small distance,
+        # not the atom mass (the one-sample formula would report ~0.5).
+        a = np.asarray([1.0] * 500 + [2.0] * 500)
+        b = np.asarray([1.0] * 510 + [2.0] * 490)
+        assert ks_two_sample(a, b) == pytest.approx(0.01)
+
+    def test_disjoint_supports(self):
+        assert ks_two_sample([1.0, 2.0], [10.0, 20.0]) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random(500), rng.random(700) + 0.1
+        assert ks_two_sample(a, b) == pytest.approx(ks_two_sample(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(FittingError):
+            ks_two_sample([], [1.0])
+
+
+class TestEvaluateFit:
+    def test_pvalue_reasonable_for_true_model(self):
+        dist = LognormalDistribution(2.0, 1.0)
+        sample = dist.sample(5_000, seed=4)
+        gof = evaluate_fit(sample, dist)
+        assert gof.n == 5_000
+        assert gof.p_value > 0.01
+
+    def test_pvalue_tiny_for_wrong_model(self):
+        sample = LognormalDistribution(2.0, 1.0).sample(5_000, seed=5)
+        gof = evaluate_fit(sample, ExponentialDistribution(1.0))
+        assert gof.p_value < 1e-6
+
+
+class TestModelSelection:
+    def test_table_sorted_best_first(self):
+        truth = LognormalDistribution(5.23553, 1.54432)
+        sample = truth.sample(50_000, seed=6)
+        table = ks_statistic_table(sample, {
+            "lognormal": truth,
+            "pareto": ParetoDistribution(1.0, 1.0),
+            "exponential": ExponentialDistribution(float(sample.mean())),
+        })
+        names = list(table)
+        assert names[0] == "lognormal"
+        assert table["lognormal"] < table["pareto"]
+
+    def test_paper_claim_lognormal_not_pareto(self):
+        """Section 8: session ON 'does not appear to be as heavy as Pareto'."""
+        on_times = LognormalDistribution(5.23553, 1.54432).sample(
+            100_000, seed=7)
+        table = ks_statistic_table(on_times, {
+            "lognormal": LognormalDistribution(5.23553, 1.54432),
+            "pareto": ParetoDistribution(1.0, float(np.median(on_times)) / 2),
+        })
+        assert list(table)[0] == "lognormal"
+
+
+class TestQqPoints:
+    def test_true_model_near_diagonal(self):
+        dist = ExponentialDistribution(10.0)
+        sample = dist.sample(100_000, seed=8)
+        model, empirical = qq_points(sample, dist, n_points=50)
+        ratio = empirical[5:-5] / model[5:-5]
+        assert np.all((ratio > 0.9) & (ratio < 1.1))
+
+    def test_shapes(self):
+        dist = ExponentialDistribution(1.0)
+        model, empirical = qq_points(dist.sample(1_000, seed=9), dist,
+                                     n_points=20)
+        assert model.shape == empirical.shape == (20,)
+
+    def test_monotone_quantiles(self):
+        dist = LognormalDistribution(1.0, 0.5)
+        model, _ = qq_points(dist.sample(2_000, seed=10), dist, n_points=30)
+        assert np.all(np.diff(model) >= 0)

@@ -1,0 +1,86 @@
+"""Unit tests for the lognormal distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import LognormalDistribution
+from repro.errors import DistributionError
+
+#: The paper's session ON fit, used as a realistic parameterization.
+PAPER_ON = LognormalDistribution(5.23553, 1.54432)
+
+
+class TestConstruction:
+    def test_params_roundtrip(self):
+        assert PAPER_ON.params() == {"mu": 5.23553, "sigma": 1.54432}
+
+    @pytest.mark.parametrize("mu,sigma", [
+        (0.0, 0.0), (0.0, -1.0), (float("nan"), 1.0), (0.0, float("inf")),
+    ])
+    def test_invalid_rejected(self, mu, sigma):
+        with pytest.raises(DistributionError):
+            LognormalDistribution(mu, sigma)
+
+
+class TestMoments:
+    def test_median_is_exp_mu(self):
+        assert PAPER_ON.median() == pytest.approx(math.exp(5.23553))
+
+    def test_mean_formula(self):
+        dist = LognormalDistribution(1.0, 0.5)
+        assert dist.mean() == pytest.approx(math.exp(1.0 + 0.125))
+
+    def test_variance_positive(self):
+        assert PAPER_ON.variance() > 0
+
+    def test_sample_mean_converges(self):
+        dist = LognormalDistribution(2.0, 0.4)
+        sample = dist.sample(200_000, seed=1)
+        assert float(sample.mean()) == pytest.approx(dist.mean(), rel=0.02)
+
+
+class TestDensities:
+    def test_pdf_zero_for_nonpositive(self):
+        assert PAPER_ON.pdf([-1.0, 0.0]).tolist() == [0.0, 0.0]
+
+    def test_pdf_integrates_to_one(self):
+        xs = np.logspace(-4, 6, 40_000)
+        pdf = PAPER_ON.pdf(xs)
+        integral = np.trapezoid(pdf, xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_at_median_is_half(self):
+        assert PAPER_ON.cdf([PAPER_ON.median()])[0] == pytest.approx(0.5)
+
+    def test_cdf_limits(self):
+        cdf = PAPER_ON.cdf([1e-12, 1e12])
+        assert cdf[0] == pytest.approx(0.0, abs=1e-6)
+        assert cdf[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_ccdf_complements_cdf(self):
+        xs = np.logspace(0, 4, 50)
+        np.testing.assert_allclose(PAPER_ON.ccdf(xs), 1.0 - PAPER_ON.cdf(xs))
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        a = PAPER_ON.sample(10, seed=3)
+        b = PAPER_ON.sample(10, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_all_positive(self):
+        assert np.all(PAPER_ON.sample(10_000, seed=4) > 0)
+
+    def test_zero_samples(self):
+        assert PAPER_ON.sample(0, seed=1).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_ON.sample(-1)
+
+    def test_log_of_sample_is_normal(self):
+        sample = np.log(PAPER_ON.sample(100_000, seed=5))
+        assert float(sample.mean()) == pytest.approx(5.23553, rel=0.01)
+        assert float(sample.std()) == pytest.approx(1.54432, rel=0.01)

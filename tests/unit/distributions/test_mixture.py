@@ -1,0 +1,98 @@
+"""Unit tests for CategoricalChoice and MixtureDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    CategoricalChoice,
+    ExponentialDistribution,
+    LognormalDistribution,
+    MixtureDistribution,
+)
+from repro.distributions.mixture import is_degenerate_weighting
+from repro.errors import DistributionError
+
+
+class TestCategoricalChoice:
+    #: 2002-era modem tiers, unnormalized weights.
+    tiers = CategoricalChoice([56_000.0, 33_600.0, 28_800.0], [3.0, 2.0, 1.0])
+
+    def test_mean_weighted(self):
+        expected = (56_000 * 3 + 33_600 * 2 + 28_800) / 6.0
+        assert self.tiers.mean() == pytest.approx(expected)
+
+    def test_support_sorted(self):
+        assert self.tiers.support().tolist() == [28_800.0, 33_600.0, 56_000.0]
+
+    def test_samples_from_support(self):
+        sample = self.tiers.sample(1_000, seed=1)
+        assert set(np.unique(sample)).issubset({28_800.0, 33_600.0, 56_000.0})
+
+    def test_sample_frequencies(self):
+        sample = self.tiers.sample(100_000, seed=2)
+        assert float(np.mean(sample == 56_000.0)) == pytest.approx(0.5,
+                                                                   abs=0.01)
+
+    def test_cdf_steps(self):
+        assert self.tiers.cdf([28_800.0])[0] == pytest.approx(1 / 6)
+        assert self.tiers.cdf([56_000.0])[0] == pytest.approx(1.0)
+        assert self.tiers.cdf([10_000.0])[0] == 0.0
+
+    def test_pdf_is_pointwise_mass(self):
+        assert self.tiers.pdf([33_600.0])[0] == pytest.approx(2 / 6)
+        assert self.tiers.pdf([40_000.0])[0] == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DistributionError):
+            CategoricalChoice([1.0, 2.0], [1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DistributionError):
+            CategoricalChoice([1.0], [-1.0])
+
+
+class TestMixture:
+    mix = MixtureDistribution(
+        [ExponentialDistribution(10.0), LognormalDistribution(5.0, 1.0)],
+        [0.3, 0.7])
+
+    def test_mean_is_weighted_mean(self):
+        expected = 0.3 * 10.0 + 0.7 * LognormalDistribution(5.0, 1.0).mean()
+        assert self.mix.mean() == pytest.approx(expected)
+
+    def test_cdf_is_weighted_cdf(self):
+        xs = np.asarray([1.0, 50.0, 1000.0])
+        expected = (0.3 * ExponentialDistribution(10.0).cdf(xs)
+                    + 0.7 * LognormalDistribution(5.0, 1.0).cdf(xs))
+        np.testing.assert_allclose(self.mix.cdf(xs), expected)
+
+    def test_sample_size(self):
+        assert self.mix.sample(1_234, seed=1).size == 1_234
+
+    def test_sample_mean_converges(self):
+        sample = self.mix.sample(300_000, seed=2)
+        assert float(sample.mean()) == pytest.approx(self.mix.mean(),
+                                                     rel=0.05)
+
+    def test_weights_normalized(self):
+        mix = MixtureDistribution([ExponentialDistribution(1.0)], [42.0])
+        assert mix.weights.tolist() == [1.0]
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureDistribution([], [])
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureDistribution([ExponentialDistribution(1.0)], [0.5, 0.5])
+
+
+class TestDegenerateWeighting:
+    def test_single_component_is_degenerate(self):
+        assert is_degenerate_weighting([1.0, 0.0, 0.0])
+
+    def test_spread_is_not(self):
+        assert not is_degenerate_weighting([0.5, 0.5])
+
+    def test_zero_total_is_degenerate(self):
+        assert is_degenerate_weighting([0.0, 0.0])

@@ -1,0 +1,99 @@
+"""Unit tests for the Pareto and two-regime Pareto distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import ParetoDistribution, TwoRegimePareto
+from repro.errors import DistributionError
+
+
+class TestPareto:
+    def test_ccdf_closed_form(self):
+        dist = ParetoDistribution(alpha=2.0, xmin=1.0)
+        assert dist.ccdf([4.0])[0] == pytest.approx(1.0 / 16.0)
+
+    def test_cdf_below_support(self):
+        dist = ParetoDistribution(2.0, 1.0)
+        assert dist.cdf([0.5])[0] == 0.0
+
+    def test_mean_finite_iff_alpha_above_one(self):
+        assert ParetoDistribution(0.9, 1.0).mean() == math.inf
+        assert ParetoDistribution(2.0, 1.0).mean() == pytest.approx(2.0)
+
+    def test_sample_within_support(self):
+        dist = ParetoDistribution(1.5, 3.0)
+        sample = dist.sample(10_000, seed=1)
+        assert float(sample.min()) >= 3.0
+
+    def test_sample_tail_index(self):
+        dist = ParetoDistribution(2.5, 1.0)
+        sample = dist.sample(200_000, seed=2)
+        # Empirical CCDF slope should recover alpha.
+        from repro.distributions import fit_tail_index
+        fit = fit_tail_index(sample, x_lo=1.0, x_hi=50.0)
+        assert fit.alpha == pytest.approx(2.5, rel=0.1)
+
+    @pytest.mark.parametrize("alpha,xmin", [(0.0, 1.0), (-1.0, 1.0),
+                                            (1.0, 0.0), (1.0, -2.0)])
+    def test_invalid_rejected(self, alpha, xmin):
+        with pytest.raises(DistributionError):
+            ParetoDistribution(alpha, xmin)
+
+
+class TestTwoRegimePareto:
+    #: The paper's Figure 17 shape: ~2.8 then ~1 with a 100 s breakpoint.
+    dist = TwoRegimePareto(alpha_body=2.8, alpha_tail=1.0, breakpoint=100.0)
+
+    def test_ccdf_continuous_at_breakpoint(self):
+        eps = 1e-9
+        below = self.dist.ccdf([100.0 - eps])[0]
+        above = self.dist.ccdf([100.0 + eps])[0]
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_body_regime_matches_pure_pareto(self):
+        pure = ParetoDistribution(2.8, 1.0)
+        xs = np.asarray([2.0, 10.0, 50.0])
+        np.testing.assert_allclose(self.dist.ccdf(xs), pure.ccdf(xs))
+
+    def test_tail_slope_is_alpha_tail(self):
+        c1 = self.dist.ccdf([1_000.0])[0]
+        c2 = self.dist.ccdf([10_000.0])[0]
+        slope = math.log10(c1 / c2)
+        assert slope == pytest.approx(1.0, rel=1e-6)
+
+    def test_cdf_ccdf_complement(self):
+        xs = np.logspace(0, 5, 60)
+        np.testing.assert_allclose(self.dist.cdf(xs) + self.dist.ccdf(xs),
+                                   np.ones_like(xs))
+
+    def test_sample_spans_both_regimes(self):
+        sample = self.dist.sample(500_000, seed=3)
+        assert float(sample.min()) >= 1.0
+        assert float(sample.max()) > 100.0
+
+    def test_sample_tail_mass_matches(self):
+        sample = self.dist.sample(2_000_000, seed=4)
+        expected = self.dist.ccdf([100.0])[0]
+        observed = float(np.mean(sample >= 100.0))
+        assert observed == pytest.approx(expected, rel=0.3)
+
+    def test_mean_infinite_for_unit_tail(self):
+        assert self.dist.mean() == math.inf
+
+    def test_mean_finite_for_heavier_tail_index(self):
+        dist = TwoRegimePareto(2.8, 2.0, 100.0)
+        assert math.isfinite(dist.mean())
+        # Cross-check against a sample mean.
+        sample = dist.sample(500_000, seed=5)
+        assert float(sample.mean()) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_breakpoint_must_exceed_xmin(self):
+        with pytest.raises(DistributionError):
+            TwoRegimePareto(2.0, 1.0, breakpoint=0.5, xmin=1.0)
+
+    def test_pdf_integrates_to_one(self):
+        xs = np.logspace(0, 7, 100_000)
+        integral = np.trapezoid(self.dist.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-2)

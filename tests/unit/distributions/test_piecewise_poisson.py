@@ -1,0 +1,108 @@
+"""Unit tests for the piecewise-stationary Poisson process."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiurnalProfile, PiecewiseStationaryPoissonProcess
+from repro.errors import DistributionError
+from repro.units import DAY, HOUR
+
+
+class TestWindowRates:
+    def test_midpoint_sampling(self):
+        profile = DiurnalProfile([1.0, 3.0], period=1800.0)
+        process = PiecewiseStationaryPoissonProcess(profile, window=900.0)
+        rates = process.window_rates(3600.0)
+        assert rates.tolist() == [1.0, 3.0, 1.0, 3.0]
+
+    def test_zero_duration(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(1.0))
+        assert process.window_rates(0.0).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(DistributionError):
+            PiecewiseStationaryPoissonProcess(DiurnalProfile.constant(1.0),
+                                              window=0.0)
+
+
+class TestExpectedCount:
+    def test_constant_rate(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(0.5), window=900.0)
+        assert process.expected_count(DAY) == pytest.approx(0.5 * DAY)
+
+    def test_partial_window_clipped(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(2.0), window=1000.0)
+        assert process.expected_count(1500.0) == pytest.approx(3000.0)
+
+
+class TestGenerate:
+    def test_count_near_expectation(self):
+        profile = DiurnalProfile.reality_show(0.2)
+        process = PiecewiseStationaryPoissonProcess(profile)
+        arrivals = process.generate(7 * DAY, seed=1)
+        expected = process.expected_count(7 * DAY)
+        assert arrivals.size == pytest.approx(expected, rel=0.05)
+
+    def test_sorted_and_in_range(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(0.1))
+        arrivals = process.generate(DAY, seed=2)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.min() >= 0 and arrivals.max() < DAY
+
+    def test_rate_modulation_visible(self):
+        profile = DiurnalProfile.reality_show(0.5)
+        process = PiecewiseStationaryPoissonProcess(profile)
+        arrivals = process.generate(14 * DAY, seed=3)
+        hours = (arrivals % DAY / HOUR).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts[5] < 0.2 * counts[21]  # quiet window vs prime time
+
+    def test_zero_rate_produces_nothing(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(0.0))
+        assert process.generate(DAY, seed=4).size == 0
+
+    def test_deterministic_with_seed(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(0.05))
+        assert np.array_equal(process.generate(DAY, seed=5),
+                              process.generate(DAY, seed=5))
+
+
+class TestThinning:
+    def test_thinning_matches_expected_count(self):
+        profile = DiurnalProfile.reality_show(0.2)
+        process = PiecewiseStationaryPoissonProcess(profile)
+        arrivals = process.generate_thinning(7 * DAY, seed=6)
+        expected = process.expected_count(7 * DAY)
+        assert arrivals.size == pytest.approx(expected, rel=0.05)
+
+    def test_thinning_and_piecewise_agree_statistically(self):
+        profile = DiurnalProfile.reality_show(0.1)
+        process = PiecewiseStationaryPoissonProcess(profile)
+        a = process.generate(7 * DAY, seed=7)
+        b = process.generate_thinning(7 * DAY, seed=8)
+        # Hourly folded counts should match within Poisson noise.
+        fold_a = np.bincount((a % DAY / HOUR).astype(int), minlength=24)
+        fold_b = np.bincount((b % DAY / HOUR).astype(int), minlength=24)
+        ratio = (fold_a + 1) / (fold_b + 1)
+        assert np.all((ratio > 0.7) & (ratio < 1.4))
+
+
+class TestInterarrivals:
+    def test_length(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(0.1))
+        arrivals = process.generate(DAY, seed=9)
+        ia = process.interarrivals(DAY, seed=9)
+        assert ia.size == arrivals.size - 1
+
+    def test_exponential_at_constant_rate(self):
+        process = PiecewiseStationaryPoissonProcess(
+            DiurnalProfile.constant(1.0))
+        ia = process.interarrivals(DAY, seed=10)
+        assert float(ia.mean()) == pytest.approx(1.0, rel=0.05)

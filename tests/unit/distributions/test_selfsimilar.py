@@ -1,0 +1,82 @@
+"""Unit tests for fractional Gaussian noise."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.selfsimilar import (
+    FractionalGaussianNoise,
+    fgn_autocovariance,
+)
+from repro.errors import DistributionError
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_variance(self):
+        assert fgn_autocovariance(np.asarray([0]), 0.8, sigma=2.0)[0] == \
+            pytest.approx(4.0)
+
+    def test_white_noise_uncorrelated(self):
+        gamma = fgn_autocovariance(np.arange(1, 10), 0.5)
+        np.testing.assert_allclose(gamma, 0.0, atol=1e-12)
+
+    def test_positive_correlation_for_high_hurst(self):
+        gamma = fgn_autocovariance(np.arange(1, 10), 0.8)
+        assert np.all(gamma > 0)
+        assert np.all(np.diff(gamma) < 0)  # decaying
+
+    def test_negative_correlation_for_low_hurst(self):
+        gamma = fgn_autocovariance(np.asarray([1]), 0.3)
+        assert gamma[0] < 0
+
+
+class TestGenerator:
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            FractionalGaussianNoise(0.0)
+        with pytest.raises(DistributionError):
+            FractionalGaussianNoise(1.0)
+        with pytest.raises(DistributionError):
+            FractionalGaussianNoise(0.8, sigma=0.0)
+
+    def test_path_length(self):
+        gen = FractionalGaussianNoise(0.7)
+        assert gen.sample_path(1_000, seed=1).size == 1_000
+
+    def test_single_point_path(self):
+        gen = FractionalGaussianNoise(0.7, mean=5.0)
+        path = gen.sample_path(1, seed=2)
+        assert path.size == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(DistributionError):
+            FractionalGaussianNoise(0.7).sample_path(0)
+
+    def test_deterministic(self):
+        gen = FractionalGaussianNoise(0.8)
+        np.testing.assert_array_equal(gen.sample_path(100, seed=3),
+                                      gen.sample_path(100, seed=3))
+
+    def test_marginal_moments(self):
+        gen = FractionalGaussianNoise(0.75, sigma=2.0, mean=10.0)
+        path = gen.sample_path(2 ** 15, seed=4)
+        assert float(path.mean()) == pytest.approx(10.0, abs=0.3)
+        assert float(path.std()) == pytest.approx(2.0, rel=0.1)
+
+    def test_lag_one_correlation_matches_theory(self):
+        hurst = 0.8
+        gen = FractionalGaussianNoise(hurst)
+        path = gen.sample_path(2 ** 15, seed=5)
+        empirical = float(np.corrcoef(path[:-1], path[1:])[0, 1])
+        theory = float(fgn_autocovariance(np.asarray([1]), hurst)[0])
+        assert empirical == pytest.approx(theory, abs=0.05)
+
+    def test_white_noise_case(self):
+        gen = FractionalGaussianNoise(0.5)
+        path = gen.sample_path(2 ** 14, seed=6)
+        assert abs(float(np.corrcoef(path[:-1], path[1:])[0, 1])) < 0.05
+
+    def test_cumulative_is_fbm(self):
+        gen = FractionalGaussianNoise(0.8)
+        fbm = gen.cumulative(1_000, seed=7)
+        fgn = gen.sample_path(1_000, seed=7)
+        np.testing.assert_allclose(np.diff(fbm), fgn[1:], atol=1e-9)

@@ -1,0 +1,108 @@
+"""Unit tests for ZipfLaw and ZetaDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import ZetaDistribution, ZipfLaw
+from repro.errors import DistributionError
+
+
+class TestZipfLaw:
+    def test_pmf_proportional_to_rank_power(self):
+        law = ZipfLaw(0.4704, 100)
+        pmf = law.pmf([1.0, 2.0])
+        assert pmf[0] / pmf[1] == pytest.approx(2.0 ** 0.4704)
+
+    def test_pmf_sums_to_one(self):
+        law = ZipfLaw(1.2, 500)
+        assert float(law.probabilities().sum()) == pytest.approx(1.0)
+
+    def test_alpha_zero_is_uniform(self):
+        law = ZipfLaw(0.0, 10)
+        np.testing.assert_allclose(law.probabilities(), np.full(10, 0.1))
+
+    def test_pmf_outside_support(self):
+        law = ZipfLaw(1.0, 5)
+        assert law.pmf([0.0, 6.0, 2.5]).tolist() == [0.0, 0.0, 0.0]
+
+    def test_cdf_monotone_and_complete(self):
+        law = ZipfLaw(0.7, 50)
+        cdf = law.cdf(np.arange(1, 51, dtype=float))
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_above_support_is_one(self):
+        assert ZipfLaw(1.0, 5).cdf([100.0])[0] == 1.0
+
+    def test_samples_in_support(self):
+        law = ZipfLaw(0.4704, 1_000)
+        sample = law.sample(50_000, seed=1)
+        assert sample.min() >= 1 and sample.max() <= 1_000
+
+    def test_rank_one_most_likely(self):
+        law = ZipfLaw(0.8, 100)
+        sample = law.sample(100_000, seed=2)
+        counts = np.bincount(sample, minlength=101)
+        assert counts[1] == counts[1:].max()
+
+    def test_sample_frequencies_match_pmf(self):
+        law = ZipfLaw(1.0, 10)
+        sample = law.sample(500_000, seed=3)
+        observed = np.bincount(sample, minlength=11)[1:] / sample.size
+        np.testing.assert_allclose(observed, law.probabilities(), atol=0.003)
+
+    def test_mean_within_support(self):
+        law = ZipfLaw(0.5, 100)
+        assert 1.0 <= law.mean() <= 100.0
+
+    @pytest.mark.parametrize("alpha,n", [(-1.0, 10), (1.0, 0),
+                                         (float("inf"), 10)])
+    def test_invalid_rejected(self, alpha, n):
+        with pytest.raises(DistributionError):
+            ZipfLaw(alpha, n)
+
+
+class TestZetaDistribution:
+    #: The paper's transfers-per-session law.
+    paper = ZetaDistribution(2.70417, k_max=10_000)
+
+    def test_pmf_ratio(self):
+        pmf = self.paper.pmf([1.0, 2.0])
+        assert pmf[0] / pmf[1] == pytest.approx(2.0 ** 2.70417)
+
+    def test_untruncated_requires_alpha_above_one(self):
+        with pytest.raises(DistributionError):
+            ZetaDistribution(0.9)
+
+    def test_truncated_allows_small_alpha(self):
+        dist = ZetaDistribution(0.5, k_max=100)
+        assert dist.sample(100, seed=1).max() <= 100
+
+    def test_untruncated_normalization(self):
+        dist = ZetaDistribution(3.0)
+        ks = np.arange(1.0, 2_000.0)
+        assert float(dist.pmf(ks).sum()) == pytest.approx(1.0, abs=1e-4)
+
+    def test_cdf_reaches_one_at_kmax(self):
+        dist = ZetaDistribution(2.0, k_max=50)
+        assert dist.cdf([50.0])[0] == pytest.approx(1.0)
+
+    def test_samples_positive_integers(self):
+        sample = self.paper.sample(10_000, seed=2)
+        assert sample.dtype == np.int64
+        assert sample.min() >= 1
+
+    def test_mean_matches_sample(self):
+        sample = self.paper.sample(500_000, seed=3)
+        assert float(sample.mean()) == pytest.approx(self.paper.mean(),
+                                                     rel=0.05)
+
+    def test_mean_infinite_when_alpha_at_most_two(self):
+        assert ZetaDistribution(1.8).mean() == float("inf")
+
+    def test_majority_singletons_at_paper_alpha(self):
+        sample = self.paper.sample(50_000, seed=4)
+        assert float(np.mean(sample == 1)) > 0.7
+
+    def test_params(self):
+        assert self.paper.params() == {"alpha": 2.70417, "k_max": 10_000.0}

@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.at(5.0, fired.append, "b")
+        queue.at(1.0, fired.append, "a")
+        queue.at(9.0, fired.append, "c")
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.at(1.0, fired.append, "first")
+        queue.at(1.0, fired.append, "second")
+        queue.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.at(3.0, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [3.0]
+        assert queue.now == 3.0
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.at(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.at(1.0, lambda: None)
+
+    def test_after_is_relative(self):
+        queue = EventQueue()
+        times = []
+        queue.at(10.0, lambda: queue.after(5.0,
+                                           lambda: times.append(queue.now)))
+        queue.run()
+        assert times == [15.0]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.at(1.0, fired.append, "x")
+        queue.at(2.0, fired.append, "y")
+        handle.cancel()
+        queue.run()
+        assert fired == ["y"]
+        assert handle.cancelled
+
+    def test_cancelled_events_do_not_count(self):
+        queue = EventQueue()
+        handle = queue.at(1.0, lambda: None)
+        handle.cancel()
+        assert queue.run() == 0
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        queue = EventQueue()
+        fired = []
+        queue.at(1.0, fired.append, "a")
+        queue.at(10.0, fired.append, "b")
+        count = queue.run(until=5.0)
+        assert count == 1
+        assert fired == ["a"]
+        assert queue.now == 5.0
+        assert len(queue) == 1
+
+    def test_resume_after_deadline(self):
+        queue = EventQueue()
+        fired = []
+        queue.at(10.0, fired.append, "b")
+        queue.run(until=5.0)
+        queue.run()
+        assert fired == ["b"]
+
+    def test_events_can_reschedule(self):
+        queue = EventQueue()
+        ticks = []
+
+        def tick():
+            ticks.append(queue.now)
+            if queue.now < 5.0:
+                queue.after(1.0, tick)
+
+        queue.at(1.0, tick)
+        queue.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]

@@ -1,0 +1,83 @@
+"""Unit tests for the bandwidth/loss model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.network import BandwidthModel, NetworkConfig
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"encoding_rate_bps": 0.0},
+        {"congestion_prob": 1.5},
+        {"efficiency_lo": 0.0},
+        {"efficiency_lo": 0.99, "efficiency_hi": 0.9},
+        {"congested_log_sigma": 0.0},
+        {"congested_loss_lo": 0.3, "congested_loss_hi": 0.1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            NetworkConfig(**kwargs)
+
+
+class TestSampling:
+    model = BandwidthModel()
+    access = np.full(50_000, 56_000.0)
+
+    def test_output_shapes(self):
+        bw, loss, congested = self.model.sample(self.access, seed=1)
+        assert bw.size == loss.size == congested.size == 50_000
+
+    def test_congestion_fraction_near_config(self):
+        _, _, congested = self.model.sample(self.access, seed=2)
+        assert float(congested.mean()) == pytest.approx(0.10, abs=0.01)
+
+    def test_client_bound_below_access_speed(self):
+        bw, _, congested = self.model.sample(self.access, seed=3)
+        clean = bw[~congested]
+        assert np.all(clean <= 56_000.0)
+        assert np.all(clean >= 0.80 * 56_000.0)
+
+    def test_congested_below_client_bound(self):
+        bw, _, congested = self.model.sample(self.access, seed=4)
+        assert np.all(bw[congested] <= 56_000.0)
+        # The congestion-bound mode is far slower on average.
+        assert bw[congested].mean() < 0.5 * bw[~congested].mean()
+
+    def test_encoding_rate_caps_fast_clients(self):
+        fast = np.full(10_000, 10_000_000.0)  # 10 Mbit/s access
+        bw, _, congested = self.model.sample(fast, seed=5)
+        assert np.all(bw <= self.model.config.encoding_rate_bps)
+
+    def test_loss_ranges(self):
+        cfg = self.model.config
+        _, loss, congested = self.model.sample(self.access, seed=6)
+        assert np.all(loss[~congested] <= cfg.clean_loss_hi)
+        assert np.all(loss[congested] >= cfg.congested_loss_lo)
+        assert np.all(loss <= 1.0)
+
+    def test_bimodality(self):
+        """Figure 20's two modes: client-bound spikes plus a low mode."""
+        rng = np.random.default_rng(7)
+        tiers = np.asarray([28_800.0, 33_600.0, 56_000.0, 128_000.0])
+        access = rng.choice(tiers, size=100_000)
+        bw, _, _ = self.model.sample(access, seed=8)
+        low_mode = float(np.mean(bw < 24_000.0))
+        spike_mode = float(np.mean(bw > 0.8 * 28_800.0))
+        assert 0.03 < low_mode < 0.15
+        assert spike_mode > 0.8
+
+    def test_zero_congestion_probability(self):
+        model = BandwidthModel(NetworkConfig(congestion_prob=0.0))
+        _, _, congested = model.sample(self.access, seed=9)
+        assert not congested.any()
+
+    def test_nonpositive_access_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.sample(np.asarray([0.0]), seed=10)
+
+    def test_deterministic(self):
+        a = self.model.sample(self.access[:100], seed=11)
+        b = self.model.sample(self.access[:100], seed=11)
+        np.testing.assert_array_equal(a[0], b[0])

@@ -1,0 +1,121 @@
+"""Unit tests for the client population."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.population import ClientPopulation, PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def population():
+    config = PopulationConfig(n_clients=3_000, n_ases=80, forced_br_ases=8)
+    return ClientPopulation.build(config, seed=11)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_clients": 0},
+        {"n_ases": 0},
+        {"users_per_ip": 0.5},
+        {"interest_alpha": -0.1},
+        {"country_weights": ()},
+        {"access_tiers": ((56_000.0, 0.0),)},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            PopulationConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        config = PopulationConfig()
+        assert config.n_clients == 50_000
+        assert config.interest_alpha == pytest.approx(0.4704)
+
+
+class TestTopology:
+    def test_every_client_has_attributes(self, population):
+        n = population.n_clients
+        assert population.as_numbers.size == n
+        assert population.countries.size == n
+        assert population.ips.size == n
+        assert population.access_bps.size == n
+
+    def test_as_numbers_in_range(self, population):
+        assert population.as_numbers.min() >= 1
+        assert population.as_numbers.max() <= 80
+
+    def test_top_ases_are_brazilian(self, population):
+        for as_number in range(1, 9):
+            members = population.as_numbers == as_number
+            if members.any():
+                assert set(population.countries[members]) == {"BR"}
+
+    def test_brazil_dominates(self, population):
+        br_fraction = float(np.mean(population.countries == "BR"))
+        assert br_fraction > 0.6
+
+    def test_as_sizes_skewed(self, population):
+        counts = np.bincount(population.as_numbers)
+        assert counts[1] > 5 * max(counts[40:].max(), 1)
+
+    def test_ip_sharing_ratio(self, population):
+        ratio = population.n_clients / np.unique(population.ips).size
+        assert 1.4 <= ratio <= 2.5
+
+    def test_ips_unique_across_ases(self, population):
+        # An IP string never appears under two different AS numbers.
+        pairs = {}
+        for ip, asn in zip(population.ips, population.as_numbers):
+            assert pairs.setdefault(str(ip), int(asn)) == int(asn)
+
+    def test_access_speeds_from_tiers(self, population):
+        tiers = {speed for speed, _ in population.config.access_tiers}
+        assert set(np.unique(population.access_bps)).issubset(tiers)
+
+
+class TestInterestSampling:
+    def test_rank_one_most_interested(self, population):
+        clients = population.sample_clients(100_000, seed=1)
+        counts = np.bincount(clients, minlength=population.n_clients)
+        assert counts[0] == counts.max()
+
+    def test_indices_in_range(self, population):
+        clients = population.sample_clients(10_000, seed=2)
+        assert clients.min() >= 0
+        assert clients.max() < population.n_clients
+
+    def test_zipf_exponent_planted(self, population):
+        from repro.distributions import fit_zipf_rank
+        clients = population.sample_clients(400_000, seed=3)
+        counts = np.bincount(clients, minlength=population.n_clients)
+        fit = fit_zipf_rank(counts[counts > 0])
+        assert fit.alpha == pytest.approx(0.4704, rel=0.15)
+
+
+class TestClientTable:
+    def test_table_matches_population(self, population):
+        table = population.client_table()
+        assert len(table) == population.n_clients
+        assert table.player_ids[0] == "player-0000000"
+        np.testing.assert_array_equal(table.as_numbers,
+                                      population.as_numbers)
+
+    def test_resolver_round_trip(self, population):
+        resolve = population.resolver()
+        ip = str(population.ips[17])
+        as_number, country = resolve(ip)
+        assert as_number == int(population.as_numbers[17]) or as_number > 0
+
+    def test_resolver_unknown_ip(self, population):
+        resolve = population.resolver()
+        assert resolve("203.0.113.99") == (0, "")
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        config = PopulationConfig(n_clients=500, n_ases=20, forced_br_ases=3)
+        a = ClientPopulation.build(config, seed=5)
+        b = ClientPopulation.build(config, seed=5)
+        np.testing.assert_array_equal(a.as_numbers, b.as_numbers)
+        np.testing.assert_array_equal(a.access_bps, b.access_bps)
+        assert a.ips.tolist() == b.ips.tolist()

@@ -1,0 +1,65 @@
+"""Unit tests for workload replay."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.replay import demand_peak, provisioning_sweep, replay_trace
+from repro.simulation.server import ServerConfig
+
+from tests.conftest import build_trace
+
+
+def small_workload():
+    return build_trace([
+        (0, 0, 0.0, 10.0, 56_000.0),
+        (1, 0, 2.0, 10.0, 56_000.0),
+        (0, 1, 4.0, 10.0, 56_000.0),
+        (1, 1, 30.0, 5.0, 56_000.0),
+    ], n_clients=2, extent=100.0)
+
+
+class TestReplayTrace:
+    def test_unlimited_serves_all(self):
+        result = replay_trace(small_workload())
+        assert result.n_served == 4
+        assert result.n_rejected == 0
+        assert result.peak_concurrency == 3
+
+    def test_bytes_conservation(self):
+        trace = small_workload()
+        result = replay_trace(trace)
+        assert result.bytes_served == pytest.approx(trace.bytes_served())
+
+    def test_admission_limit_applies(self):
+        result = replay_trace(small_workload(),
+                              config=ServerConfig(max_concurrent=2))
+        assert result.n_rejected == 1
+        assert result.peak_concurrency == 2
+
+
+class TestDemandPeak:
+    def test_matches_replay_peak(self):
+        trace = small_workload()
+        assert demand_peak(trace) == replay_trace(trace).peak_concurrency
+
+    def test_empty_trace(self):
+        trace = small_workload().filter(np.zeros(4, dtype=bool))
+        assert demand_peak(trace) == 0
+
+    def test_smoke_consistency(self, smoke_trace):
+        peak = demand_peak(smoke_trace)
+        result = replay_trace(smoke_trace)
+        assert result.peak_concurrency == peak
+
+
+class TestProvisioningSweep:
+    def test_rejections_decrease_with_capacity(self):
+        trace = small_workload()
+        sweep = provisioning_sweep(trace, [1, 2, 3])
+        rejected = [result.n_rejected for _, result in sweep]
+        assert rejected == sorted(rejected, reverse=True)
+        assert sweep[-1][1].n_rejected == 0
+
+    def test_limits_echoed(self):
+        sweep = provisioning_sweep(small_workload(), [2])
+        assert sweep[0][0] == 2

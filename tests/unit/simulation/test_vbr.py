@@ -1,0 +1,94 @@
+"""Unit tests for the VBR content model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.vbr import (
+    VbrConfig,
+    VbrEncoder,
+    per_feed_concurrency,
+    unicast_egress_series,
+)
+
+from tests.conftest import build_trace
+
+
+class TestVbrConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_bps": 0.0},
+        {"coefficient_of_variation": 0.0},
+        {"hurst": 0.0},
+        {"hurst": 1.0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            VbrConfig(**kwargs)
+
+
+class TestVbrEncoder:
+    encoder = VbrEncoder(VbrConfig(mean_bps=250_000.0,
+                                   coefficient_of_variation=0.3,
+                                   hurst=0.8))
+
+    def test_rates_positive(self):
+        series = self.encoder.bitrate_series(4_096, seed=1)
+        assert np.all(series > 0)
+
+    def test_marginal_mean_and_cv(self):
+        series = self.encoder.bitrate_series(2 ** 15, seed=2)
+        assert float(series.mean()) == pytest.approx(250_000.0, rel=0.1)
+        cv = float(series.std() / series.mean())
+        assert cv == pytest.approx(0.3, rel=0.15)
+
+    def test_long_range_dependence_planted(self):
+        from repro.analysis.selfsimilarity import hurst_aggregate_variance
+        series = self.encoder.bitrate_series(2 ** 15, seed=3)
+        assert hurst_aggregate_variance(np.log(series)) == pytest.approx(
+            0.8, abs=0.1)
+
+    def test_constant_series(self):
+        series = self.encoder.constant_series(100)
+        assert np.all(series == 250_000.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            self.encoder.bitrate_series(0)
+
+    def test_deterministic(self):
+        a = self.encoder.bitrate_series(256, seed=4)
+        b = self.encoder.bitrate_series(256, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEgress:
+    trace = build_trace([
+        (0, 0, 0.0, 120.0),
+        (1, 0, 60.0, 120.0),
+        (0, 1, 0.0, 60.0),
+    ], n_clients=2, extent=300.0)
+
+    def test_per_feed_concurrency(self):
+        conc = per_feed_concurrency(self.trace, step=60.0)
+        assert set(conc) == {0, 1}
+        # Feed 0: one transfer at t=0, two at t=60, one at t=120.
+        assert conc[0].tolist() == [1, 2, 1, 0, 0]
+        assert conc[1].tolist() == [1, 0, 0, 0, 0]
+
+    def test_cbr_egress_matches_concurrency(self):
+        times, egress = unicast_egress_series(self.trace, step=60.0)
+        assert times.tolist() == [0.0, 60.0, 120.0, 180.0, 240.0]
+        expected = np.asarray([2, 2, 1, 0, 0]) * 300_000.0
+        np.testing.assert_allclose(egress, expected)
+
+    def test_vbr_egress_zero_when_idle(self):
+        encoder = VbrEncoder()
+        _, egress = unicast_egress_series(self.trace, step=60.0,
+                                          encoder=encoder, seed=5)
+        assert egress[3] == 0.0 and egress[4] == 0.0
+        assert np.all(egress[:3] > 0)
+
+    def test_empty_trace(self):
+        empty = self.trace.filter(np.zeros(3, dtype=bool))
+        times, egress = unicast_egress_series(empty)
+        assert times.size == 0 and egress.size == 0

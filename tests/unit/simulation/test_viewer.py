@@ -1,0 +1,114 @@
+"""Unit tests for viewer session behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation.viewer import SessionBehavior, generate_sessions
+
+
+class TestSessionBehaviorValidation:
+    def test_paper_defaults(self):
+        behavior = SessionBehavior()
+        assert behavior.transfers_alpha == pytest.approx(2.70417)
+        assert behavior.gap_log_mu == pytest.approx(4.89991)
+        assert behavior.length_log_mu == pytest.approx(4.383921)
+        assert behavior.n_feeds == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"transfers_alpha": 1.0},
+        {"transfers_k_max": 0},
+        {"gap_log_sigma": 0.0},
+        {"n_feeds": 0},
+        {"feed_switch_prob": 1.5},
+        {"feed_preference": (1.0,)},          # wrong length for 2 feeds
+        {"feed_preference": (1.0, 0.0)},      # non-positive weight
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SessionBehavior(**kwargs)
+
+    def test_law_views(self):
+        behavior = SessionBehavior()
+        assert behavior.transfers_per_session_law().alpha == behavior.transfers_alpha
+        assert behavior.gap_law().mu == behavior.gap_log_mu
+        assert behavior.length_law().sigma == behavior.length_log_sigma
+
+
+class TestGenerateSessions:
+    behavior = SessionBehavior()
+    arrivals = np.sort(np.random.default_rng(0).uniform(0, 86_400, 5_000))
+
+    def test_one_session_per_arrival(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=1)
+        assert batch.n_sessions == 5_000
+        assert batch.transfers_per_session.sum() == batch.n_transfers
+
+    def test_first_transfer_at_arrival(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=2)
+        from repro.arrayops import segment_starts
+        firsts = segment_starts(batch.transfers_per_session)
+        np.testing.assert_allclose(batch.start[firsts], self.arrivals)
+
+    def test_transfers_ordered_within_session(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=3)
+        session_of = batch.session_index
+        same = session_of[1:] == session_of[:-1]
+        diffs = np.diff(batch.start)
+        assert np.all(diffs[same] > 0)
+
+    def test_durations_positive(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=4)
+        assert np.all(batch.duration > 0)
+
+    def test_feeds_within_range(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=5)
+        assert set(np.unique(batch.object_id)).issubset({0, 1})
+
+    def test_feed_preference_respected(self):
+        behavior = SessionBehavior(feed_preference=(0.9, 0.1),
+                                   feed_switch_prob=0.0)
+        batch = generate_sessions(behavior, self.arrivals, seed=6)
+        share = float(np.mean(batch.object_id == 0))
+        assert share == pytest.approx(0.9, abs=0.02)
+
+    def test_no_switching_keeps_feed_constant(self):
+        behavior = SessionBehavior(feed_switch_prob=0.0)
+        batch = generate_sessions(behavior, self.arrivals, seed=7)
+        session_of = batch.session_index
+        same = session_of[1:] == session_of[:-1]
+        assert np.all(batch.object_id[1:][same] ==
+                      batch.object_id[:-1][same])
+
+    def test_stickiness_hook_scales_durations(self):
+        flat = generate_sessions(self.behavior, self.arrivals, seed=8)
+        doubled = generate_sessions(
+            self.behavior, self.arrivals,
+            stickiness=lambda t: np.full(t.size, 2.0), seed=8)
+        np.testing.assert_allclose(doubled.duration, 2.0 * flat.duration)
+
+    def test_transfers_per_session_distribution(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=9)
+        from repro.distributions import fit_zipf_pmf
+        fit = fit_zipf_pmf(batch.transfers_per_session)
+        assert fit.alpha == pytest.approx(2.70417, rel=0.15)
+
+    def test_gap_distribution_planted(self):
+        batch = generate_sessions(self.behavior, self.arrivals, seed=10)
+        session_of = batch.session_index
+        same = session_of[1:] == session_of[:-1]
+        gaps = np.diff(batch.start)[same]
+        logs = np.log(gaps)
+        assert float(logs.mean()) == pytest.approx(4.89991, rel=0.05)
+        assert float(logs.std()) == pytest.approx(1.32074, rel=0.05)
+
+    def test_empty_arrivals(self):
+        batch = generate_sessions(self.behavior, np.empty(0), seed=11)
+        assert batch.n_sessions == 0
+        assert batch.n_transfers == 0
+
+    def test_deterministic(self):
+        a = generate_sessions(self.behavior, self.arrivals[:100], seed=12)
+        b = generate_sessions(self.behavior, self.arrivals[:100], seed=12)
+        np.testing.assert_array_equal(a.start, b.start)
+        np.testing.assert_array_equal(a.object_id, b.object_id)

@@ -1,0 +1,59 @@
+"""Documentation gate: every public item carries a docstring.
+
+Deliverable (e) of the reproduction requires doc comments on every public
+item; this test walks the whole package and enforces it, so documentation
+debt fails CI instead of accumulating.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; documented at the source
+        yield name, member
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [m.__name__ for m in _iter_modules() if not m.__doc__]
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for module in _iter_modules():
+        for name, member in _public_members(module):
+            if not inspect.getdoc(member):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_every_public_method_has_a_docstring():
+    missing = []
+    for module in _iter_modules():
+        for cls_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_") or not callable(member):
+                    continue
+                if isinstance(member, (staticmethod, classmethod)):
+                    member = member.__func__
+                if not inspect.getdoc(member):
+                    missing.append(f"{module.__name__}.{cls_name}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"

@@ -1,0 +1,31 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in ("ConfigError", "DistributionError", "FittingError",
+                 "TraceError", "LogParseError", "SimulationError",
+                 "AnalysisError", "GenerationError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_log_parse_error_carries_location():
+    err = errors.LogParseError("bad column", line_number=17, line="x y z")
+    assert err.line_number == 17
+    assert err.line == "x y z"
+    assert "line 17" in str(err)
+
+
+def test_log_parse_error_without_location():
+    err = errors.LogParseError("bad header")
+    assert err.line_number is None
+    assert "bad header" in str(err)
+
+
+def test_log_parse_error_is_trace_error():
+    with pytest.raises(errors.TraceError):
+        raise errors.LogParseError("oops")

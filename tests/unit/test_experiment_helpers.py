@@ -1,0 +1,68 @@
+"""Unit tests for experiment-harness helpers."""
+
+import numpy as np
+
+from repro.experiments.common import (
+    Experiment,
+    fmt,
+    render_experiment,
+    series_preview,
+)
+from repro.experiments.runner import summary_line
+
+
+class TestFmt:
+    def test_nan(self):
+        assert fmt(float("nan")) == "nan"
+
+    def test_large_numbers_compact(self):
+        assert "e+" in fmt(1.234e9)
+
+    def test_small_numbers_compact(self):
+        assert "e-" in fmt(1.234e-6)
+
+    def test_ordinary_numbers_plain(self):
+        assert fmt(0.4704) == "0.4704"
+        assert fmt(28.0) == "28"
+
+
+class TestSeriesPreview:
+    def test_short_series_complete(self):
+        points = series_preview(np.asarray([1.0, 2.0]),
+                                np.asarray([10.0, 20.0]))
+        assert points == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_long_series_thinned_log_spaced(self):
+        x = np.arange(1.0, 10_001.0)
+        points = series_preview(x, x * 2, n_points=6)
+        assert len(points) <= 6
+        assert points[0][0] == 1.0
+        assert points[-1][0] == 10_000.0
+
+
+class TestRenderAndSummary:
+    def _experiment(self, checks):
+        return Experiment(id="x", title="T", paper_ref="R",
+                          rows=[("label", "1", "2")], checks=checks)
+
+    def test_render_marks_pass_fail(self):
+        text = render_experiment(self._experiment([("good", True),
+                                                   ("bad", False)]))
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+
+    def test_passed_property(self):
+        assert self._experiment([("a", True)]).passed
+        assert not self._experiment([("a", True), ("b", False)]).passed
+
+    def test_summary_line_counts(self):
+        experiments = [self._experiment([("a", True), ("b", True)]),
+                       self._experiment([("c", False)])]
+        line = summary_line(experiments)
+        assert "2/3 shape checks passed" in line
+        assert "failing: x" in line
+
+    def test_summary_line_all_green(self):
+        line = summary_line([self._experiment([("a", True)])])
+        assert "1/1" in line
+        assert "failing" not in line

@@ -1,0 +1,58 @@
+"""Unit tests for the numeric helpers inside experiment modules."""
+
+import numpy as np
+
+from repro.experiments.fig04 import _hour_means
+from repro.experiments.fig12 import _day_ripple_ratio
+from repro.experiments.fig20 import _spike_mass
+from repro.units import DAY
+
+
+class TestHourMeans:
+    def test_collapses_quarter_hours(self):
+        # 96 bins; hour h has constant value h.
+        daily = np.repeat(np.arange(24.0), 4)
+        means = _hour_means(daily)
+        np.testing.assert_allclose(means, np.arange(24.0))
+
+    def test_averages_within_hour(self):
+        daily = np.zeros(96)
+        daily[:4] = [0.0, 2.0, 4.0, 6.0]
+        assert _hour_means(daily)[0] == 3.0
+
+
+class TestDayRippleRatio:
+    def test_ripples_detected(self):
+        # OFF times clustered at exact day multiples.
+        off = np.concatenate([
+            np.full(100, 1.0 * DAY), np.full(50, 2.0 * DAY),
+            np.full(10, 1.5 * DAY),
+        ])
+        assert _day_ripple_ratio(off) > 1.0
+
+    def test_flat_distribution_near_one(self):
+        # Support chosen so every +-3 h comparison window lies fully
+        # inside it (the k + 0.5 windows reach up to 3.5 d + 3 h).
+        rng = np.random.default_rng(1)
+        off = rng.uniform(0.5 * DAY, 4.5 * DAY, size=200_000)
+        ratio = _day_ripple_ratio(off)
+        assert 0.9 < ratio < 1.1
+
+    def test_no_between_mass_is_infinite(self):
+        off = np.full(10, 1.0 * DAY)
+        assert _day_ripple_ratio(off) == float("inf")
+
+    def test_empty_everywhere_is_neutral(self):
+        off = np.asarray([0.1 * DAY])  # far from any window
+        assert _day_ripple_ratio(off) == 1.0
+
+
+class TestSpikeMass:
+    def test_counts_relative_window(self):
+        bandwidths = np.asarray([56_000.0, 55_000.0, 30_000.0, 100_000.0])
+        mass = _spike_mass(bandwidths, 56_000.0)
+        assert mass == 0.5  # 56k and 55k inside the 8% window
+
+    def test_empty_window(self):
+        bandwidths = np.asarray([10_000.0])
+        assert _spike_mass(bandwidths, 56_000.0) == 0.0

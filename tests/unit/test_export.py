@@ -1,0 +1,71 @@
+"""Unit tests for figure-data export."""
+
+import numpy as np
+
+from repro.experiments.common import Experiment
+from repro.experiments.export import (
+    export_all,
+    write_gnuplot_script,
+    write_series,
+)
+
+
+def make_experiment(**overrides):
+    fields = dict(
+        id="figXX", title="Test figure", paper_ref="Figure XX",
+        series={"ccdf": (np.asarray([1.0, 10.0, 100.0]),
+                         np.asarray([1.0, 0.1, 0.01]))},
+    )
+    fields.update(overrides)
+    return Experiment(**fields)
+
+
+class TestWriteSeries:
+    def test_dat_file_format(self, tmp_path):
+        files = write_series(tmp_path, make_experiment())
+        assert len(files) == 1
+        lines = files[0].read_text().splitlines()
+        assert lines[0].startswith("# Test figure")
+        data = [line for line in lines if not line.startswith("#")]
+        assert data == ["1 1", "10 0.1", "100 0.01"]
+
+    def test_nan_rows_dropped(self, tmp_path):
+        experiment = make_experiment(series={
+            "daily": (np.asarray([0.0, 1.0, 2.0]),
+                      np.asarray([5.0, np.nan, 7.0]))})
+        files = write_series(tmp_path, experiment)
+        data = [line for line in files[0].read_text().splitlines()
+                if not line.startswith("#")]
+        assert data == ["0 5", "2 7"]
+
+    def test_no_series(self, tmp_path):
+        assert write_series(tmp_path, make_experiment(series={})) == []
+
+
+class TestGnuplotScript:
+    def test_log_axes_for_ccdf(self, tmp_path):
+        script = write_gnuplot_script(tmp_path, make_experiment())
+        text = script.read_text()
+        assert "set logscale xy" in text
+        assert "figXX_ccdf.dat" in text
+
+    def test_linear_axes_otherwise(self, tmp_path):
+        experiment = make_experiment(series={
+            "daily": (np.asarray([0.0]), np.asarray([1.0]))})
+        text = write_gnuplot_script(tmp_path, experiment).read_text()
+        assert "logscale" not in text
+
+    def test_none_without_series(self, tmp_path):
+        assert write_gnuplot_script(tmp_path,
+                                    make_experiment(series={})) is None
+
+
+class TestExportAll:
+    def test_exports_real_experiments(self, tmp_path):
+        exported = export_all(tmp_path, names=("fig09", "fig13"))
+        assert set(exported) == {"fig09", "fig13"}
+        index = (tmp_path / "index.txt").read_text()
+        assert "fig09" in index and "fig13" in index
+        for files in exported.values():
+            for path in files:
+                assert path.exists()

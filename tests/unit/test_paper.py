@@ -1,0 +1,50 @@
+"""Sanity checks on the recorded paper reference constants."""
+
+import math
+
+from repro import paper
+
+
+def test_all_references_collects_everything():
+    refs = paper.all_references()
+    assert "table2.interest_alpha_sessions" in refs
+    assert "session.session_on_log_mu" in refs
+    total = (len(paper.TABLE1) + len(paper.TABLE2)
+             + len(paper.SESSION_LAYER) + len(paper.TRANSFER_LAYER)
+             + len(paper.SANITIZATION))
+    assert len(refs) == total
+
+
+def test_every_reference_has_source_and_finite_value():
+    for key, ref in paper.all_references().items():
+        assert ref.source, key
+        assert math.isfinite(ref.value), key
+
+
+def test_table1_scale_relationships():
+    t1 = paper.TABLE1
+    assert t1["n_transfers"].value > t1["n_sessions"].value
+    assert t1["n_sessions"].value > t1["n_users"].value
+    assert t1["n_users"].value > t1["n_ips"].value
+
+
+def test_table2_parameters_match_paper_text():
+    t2 = paper.TABLE2
+    assert t2["interest_alpha_sessions"].value == 0.4704
+    assert t2["interest_alpha_transfers"].value == 0.7194
+    assert t2["transfers_per_session_alpha"].value == 2.70417
+    assert t2["intra_arrival_log_mu"].value == 4.89991
+    assert t2["transfer_length_log_mu"].value == 4.383921
+
+
+def test_session_layer_values():
+    s = paper.SESSION_LAYER
+    assert s["session_on_log_mu"].value == 5.23553
+    assert s["session_off_mean"].value == 203_150.0
+    assert s["session_timeout"].value == 1_500.0
+
+
+def test_transfer_layer_two_regime_ordering():
+    t = paper.TRANSFER_LAYER
+    assert t["interarrival_tail_body_alpha"].value > \
+        t["interarrival_tail_tail_alpha"].value

@@ -1,0 +1,34 @@
+"""The documented public API is importable and complete."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_names_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_key_entry_points():
+    # The three faces of the library (see the package docstring).
+    assert callable(repro.characterize)
+    assert callable(repro.calibrate_model)
+    assert callable(repro.sessionize)
+    assert repro.LiveShowScenario is not None
+    assert repro.LiveWorkloadGenerator is not None
+    assert repro.LiveWorkloadModel is not None
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.baselines
+    import repro.core
+    import repro.distributions
+    import repro.experiments
+    import repro.simulation
+    import repro.trace
+
+    assert repro.experiments.ALL_EXPERIMENTS

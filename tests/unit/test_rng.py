@@ -1,0 +1,57 @@
+"""Unit tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5),
+                                  make_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(make_rng(1), 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        children = spawn(make_rng(1), 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.array_equal(a, b)
+        # Streams should be essentially uncorrelated.
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+    def test_deterministic_given_parent_seed(self):
+        a = spawn(make_rng(5), 3)[1].random(4)
+        b = spawn(make_rng(5), 3)[1].random(4)
+        assert np.array_equal(a, b)
+
+    def test_zero_children(self):
+        assert spawn(make_rng(1), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(1), -1)
+
+    def test_spawning_does_not_disturb_parent(self):
+        parent_a = make_rng(9)
+        spawn(parent_a, 3)
+        parent_b = make_rng(9)
+        spawn(parent_b, 1)
+        assert np.array_equal(parent_a.random(4), parent_b.random(4))

@@ -1,0 +1,75 @@
+"""Unit tests for repro.units."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestLogDisplayTime:
+    def test_zero_maps_to_one(self):
+        assert units.log_display_time([0.0]).tolist() == [1.0]
+
+    def test_floor_plus_one(self):
+        out = units.log_display_time([0.2, 1.0, 1.9, 42.5])
+        assert out.tolist() == [1.0, 2.0, 2.0, 43.0]
+
+    def test_scalar_input(self):
+        assert units.log_display_time(3.7).tolist() == [4.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.log_display_time([-0.1])
+
+    def test_always_positive(self):
+        out = units.log_display_time(np.linspace(0, 100, 1000))
+        assert np.all(out >= 1.0)
+
+    def test_empty(self):
+        assert units.log_display_time([]).size == 0
+
+
+class TestConstants:
+    def test_day_week_relationship(self):
+        assert units.WEEK == 7 * units.DAY
+        assert units.DAY == 24 * units.HOUR
+        assert units.HOUR == 60 * units.MINUTE
+
+    def test_paper_timeout(self):
+        assert units.DEFAULT_SESSION_TIMEOUT == 1500.0
+
+    def test_fifteen_minutes(self):
+        assert units.FIFTEEN_MINUTES == 900.0
+
+
+class TestConverters:
+    def test_days(self):
+        assert units.days(2) == 172800.0
+
+    def test_hours(self):
+        assert units.hours(1.5) == 5400.0
+
+    def test_minutes(self):
+        assert units.minutes(3) == 180.0
+
+    def test_seconds_to_days(self):
+        assert units.seconds_to_days(86400.0) == 1.0
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0.0, "0s"),
+        (42.0, "42s"),
+        (60.0, "1m"),
+        (3661.0, "1h1m1s"),
+        (2 * 86400.0, "2d"),
+        (90061.0, "1d1h1m1s"),
+    ])
+    def test_examples(self, seconds, expected):
+        assert units.format_duration(seconds) == expected
+
+    def test_negative(self):
+        assert units.format_duration(-60.0) == "-1m"
+
+    def test_rounding(self):
+        assert units.format_duration(59.6) == "1m"

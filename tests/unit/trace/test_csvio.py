@@ -1,0 +1,78 @@
+"""Unit tests for CSV trace interchange."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.csvio import read_csv, write_csv
+
+from tests.conftest import build_trace
+
+
+@pytest.fixture
+def csv_paths(tmp_path):
+    return tmp_path / "transfers.csv", tmp_path / "clients.csv"
+
+
+def sample_trace():
+    return build_trace([
+        (0, 0, 10.25, 33.5, 56_000.0),
+        (1, 1, 40.0, 120.75, 33_600.0),
+    ], n_clients=2, extent=500.0)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, csv_paths):
+        trace = sample_trace()
+        write_csv(trace, *csv_paths)
+        loaded = read_csv(*csv_paths)
+        assert loaded.extent == trace.extent
+        np.testing.assert_array_equal(loaded.start, trace.start)
+        np.testing.assert_array_equal(loaded.duration, trace.duration)
+        np.testing.assert_array_equal(loaded.client_index,
+                                      trace.client_index)
+        np.testing.assert_array_equal(loaded.bandwidth_bps,
+                                      trace.bandwidth_bps)
+        assert loaded.clients.player_ids.tolist() == \
+            trace.clients.player_ids.tolist()
+        assert loaded.clients.as_numbers.tolist() == \
+            trace.clients.as_numbers.tolist()
+
+    def test_float_precision_preserved(self, csv_paths):
+        trace = build_trace([(0, 0, 1.0 / 3.0, 2.0 / 7.0)], extent=10.0)
+        write_csv(trace, *csv_paths)
+        loaded = read_csv(*csv_paths)
+        assert float(loaded.start[0]) == 1.0 / 3.0
+        assert float(loaded.duration[0]) == 2.0 / 7.0
+
+    def test_empty_trace(self, csv_paths):
+        trace = sample_trace().filter(np.zeros(2, dtype=bool))
+        write_csv(trace, *csv_paths)
+        loaded = read_csv(*csv_paths)
+        assert len(loaded) == 0
+        assert loaded.n_clients == 2
+
+
+class TestErrors:
+    def test_missing_extent_row(self, csv_paths):
+        transfers, clients = csv_paths
+        write_csv(sample_trace(), transfers, clients)
+        content = transfers.read_text().splitlines()[1:]
+        transfers.write_text("\n".join(content))
+        with pytest.raises(TraceError):
+            read_csv(transfers, clients)
+
+    def test_wrong_client_header(self, csv_paths):
+        transfers, clients = csv_paths
+        write_csv(sample_trace(), transfers, clients)
+        clients.write_text("a,b,c\n")
+        with pytest.raises(TraceError):
+            read_csv(transfers, clients)
+
+    def test_malformed_row(self, csv_paths):
+        transfers, clients = csv_paths
+        write_csv(sample_trace(), transfers, clients)
+        transfers.write_text(transfers.read_text()
+                             + "not,a,valid,row,at,all,x,y\n")
+        with pytest.raises(TraceError):
+            read_csv(transfers, clients)

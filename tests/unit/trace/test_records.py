@@ -1,0 +1,75 @@
+"""Unit tests for the record types."""
+
+import pytest
+
+from repro.trace.records import ClientRecord, SessionRecord, TransferRecord
+
+
+def make_client(**overrides):
+    fields = dict(player_id="p1", ip="10.0.0.1", as_number=7, country="BR")
+    fields.update(overrides)
+    return ClientRecord(**fields)
+
+
+class TestClientRecord:
+    def test_defaults(self):
+        client = make_client()
+        assert client.os_name == "Windows_98"
+
+    def test_empty_player_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_client(player_id="")
+
+    def test_negative_as_rejected(self):
+        with pytest.raises(ValueError):
+            make_client(as_number=-1)
+
+    def test_equality_by_value(self):
+        assert make_client() == make_client()
+
+
+class TestTransferRecord:
+    def test_end_and_bytes(self):
+        transfer = TransferRecord(client=make_client(), object_id=0,
+                                  start=100.0, duration=60.0,
+                                  bandwidth_bps=56_000.0)
+        assert transfer.end == 160.0
+        assert transfer.bytes_transferred == pytest.approx(60 * 56_000 / 8)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"object_id": -1},
+        {"duration": -5.0},
+        {"bandwidth_bps": -1.0},
+        {"packet_loss": 1.5},
+        {"packet_loss": -0.1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        fields = dict(client=make_client(), object_id=0, start=0.0,
+                      duration=1.0)
+        fields.update(kwargs)
+        with pytest.raises(ValueError):
+            TransferRecord(**fields)
+
+    def test_zero_duration_allowed(self):
+        # One-second log resolution produces zero-length measurements.
+        transfer = TransferRecord(client=make_client(), object_id=0,
+                                  start=5.0, duration=0.0)
+        assert transfer.end == 5.0
+
+
+class TestSessionRecord:
+    def test_on_time(self):
+        session = SessionRecord(client_index=0, start=10.0, end=110.0,
+                                transfer_indices=(0, 1))
+        assert session.on_time == 100.0
+        assert session.n_transfers == 2
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            SessionRecord(client_index=0, start=10.0, end=5.0,
+                          transfer_indices=(0,))
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError):
+            SessionRecord(client_index=0, start=0.0, end=1.0,
+                          transfer_indices=())

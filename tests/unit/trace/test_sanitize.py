@@ -1,0 +1,121 @@
+"""Unit tests for Section 2.4 log sanitization."""
+
+import numpy as np
+import pytest
+
+from repro.trace.sanitize import (
+    OVERLOAD_CPU_THRESHOLD,
+    overload_profile,
+    sanitize_trace,
+)
+from repro.trace.store import Trace
+
+from tests.conftest import build_trace
+
+
+class TestSpanningEntries:
+    def test_removes_entries_longer_than_period(self):
+        trace = build_trace([
+            (0, 0, 10.0, 5.0),
+            (0, 0, 20.0, 500.0),   # exceeds the explicit extent below
+        ], extent=100.0)
+        clean, report = sanitize_trace(trace)
+        assert report.n_spanning == 1
+        assert len(clean) == 1
+
+    def test_explicit_max_duration(self):
+        trace = build_trace([(0, 0, 0.0, 50.0), (0, 0, 60.0, 5.0)],
+                            extent=100.0)
+        clean, report = sanitize_trace(trace, max_duration=20.0)
+        assert report.n_spanning == 1
+        assert clean.duration.tolist() == [5.0]
+
+
+class TestWindowing:
+    def test_removes_entry_past_extent(self):
+        trace = build_trace([(0, 0, 90.0, 20.0), (0, 0, 10.0, 5.0)],
+                            extent=100.0)
+        clean, report = sanitize_trace(trace)
+        assert report.n_out_of_window == 1
+        assert len(clean) == 1
+
+    def test_entry_ending_exactly_at_extent_kept(self):
+        trace = build_trace([(0, 0, 90.0, 10.0)], extent=100.0)
+        clean, report = sanitize_trace(trace)
+        assert report.n_removed == 0
+        assert len(clean) == 1
+
+
+class TestDegenerate:
+    def test_zero_duration_removed_by_default(self):
+        trace = build_trace([(0, 0, 10.0, 0.0), (0, 0, 20.0, 5.0)],
+                            extent=100.0)
+        clean, report = sanitize_trace(trace)
+        assert report.n_degenerate == 1
+        assert len(clean) == 1
+
+    def test_zero_duration_kept_when_disabled(self):
+        trace = build_trace([(0, 0, 10.0, 0.0)], extent=100.0)
+        clean, report = sanitize_trace(trace, drop_degenerate=False)
+        assert report.n_degenerate == 0
+        assert len(clean) == 1
+
+
+class TestReport:
+    def test_accounting_consistent(self):
+        trace = build_trace([
+            (0, 0, 10.0, 5.0),
+            (0, 0, 20.0, 500.0),
+            (0, 0, 95.0, 20.0),
+            (0, 0, 30.0, 0.0),
+        ], extent=100.0)
+        clean, report = sanitize_trace(trace)
+        assert report.n_input == 4
+        assert report.n_removed == 3
+        assert report.n_output == len(clean) == 1
+
+    def test_clean_trace_untouched(self, smoke_trace):
+        clean, report = sanitize_trace(smoke_trace)
+        assert report.n_removed == 0
+        assert len(clean) == len(smoke_trace)
+
+
+class TestOverloadProfile:
+    def _trace_with_cpu(self, cpu_values):
+        n = len(cpu_values)
+        table_trace = build_trace(
+            [(0, 0, float(i), 0.5) for i in range(n)], extent=float(n))
+        return Trace(
+            clients=table_trace.clients,
+            client_index=table_trace.client_index,
+            object_id=table_trace.object_id,
+            start=table_trace.start,
+            duration=table_trace.duration,
+            server_cpu=np.asarray(cpu_values),
+            extent=float(n),
+        )
+
+    def test_idle_server(self):
+        trace = self._trace_with_cpu([0.01, 0.02, 0.05])
+        time_frac, transfer_frac = overload_profile(trace)
+        assert time_frac == 0.0
+        assert transfer_frac == 0.0
+
+    def test_overloaded_fraction(self):
+        trace = self._trace_with_cpu([0.01, 0.50, 0.05, 0.90])
+        time_frac, transfer_frac = overload_profile(trace)
+        assert transfer_frac == pytest.approx(0.5)
+        assert time_frac == pytest.approx(0.5)
+
+    def test_threshold_constant_matches_paper(self):
+        assert OVERLOAD_CPU_THRESHOLD == 0.10
+
+    def test_empty_trace(self):
+        trace = build_trace([(0, 0, 0.0, 1.0)], extent=10.0)
+        empty = trace.filter(np.asarray([False]))
+        assert overload_profile(empty) == (0.0, 0.0)
+
+    def test_smoke_trace_meets_paper_screening(self, smoke_trace):
+        """The simulated server must be as unstressed as the paper's."""
+        _, transfer_frac = overload_profile(smoke_trace)
+        assert transfer_frac < 0.01

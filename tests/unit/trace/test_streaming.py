@@ -1,0 +1,132 @@
+"""Unit tests for the one-pass streaming characterizer.
+
+The acceptance criterion is agreement with the batch pipeline on the same
+log: the streaming statistics must equal (or converge to) what
+sanitize-then-characterize computes from the materialized trace.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import LogParseError
+from repro.trace.streaming import StreamingCharacterizer
+from repro.trace.wms_log import read_wms_log, write_wms_log
+from repro.units import DAY, log_display_time
+from repro.distributions.fitting import fit_lognormal
+
+from tests.conftest import build_trace
+
+
+@pytest.fixture(scope="module")
+def log_text(smoke_result):
+    buffer = io.StringIO()
+    write_wms_log(smoke_result.trace, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def streamed(log_text):
+    characterizer = StreamingCharacterizer()
+    characterizer.consume(io.StringIO(log_text))
+    return characterizer
+
+
+class TestAgreementWithBatch:
+    def test_entry_and_client_counts(self, streamed, log_text):
+        batch = read_wms_log(io.StringIO(log_text))
+        summary = streamed.summary()
+        assert summary.n_entries == batch.n_transfers
+        assert summary.n_clients == batch.active_client_count()
+        assert summary.n_skipped == 0
+
+    def test_length_fit_matches_batch(self, streamed, log_text):
+        batch = read_wms_log(io.StringIO(log_text))
+        fit = fit_lognormal(log_display_time(batch.duration))
+        summary = streamed.summary()
+        assert summary.length_log_mu == pytest.approx(fit.mu, abs=1e-9)
+        assert summary.length_log_sigma == pytest.approx(fit.sigma,
+                                                         abs=1e-9)
+
+    def test_bytes_served_matches_batch(self, streamed, log_text):
+        batch = read_wms_log(io.StringIO(log_text))
+        summary = streamed.summary()
+        assert summary.bytes_served == pytest.approx(batch.bytes_served(),
+                                                     rel=1e-9)
+
+    def test_feed_counts_match(self, streamed, log_text):
+        batch = read_wms_log(io.StringIO(log_text))
+        expected = {int(k): int(v) for k, v in
+                    zip(*np.unique(batch.object_id, return_counts=True))}
+        assert streamed.summary().feed_counts == expected
+
+    def test_interest_profile_matches(self, streamed, log_text):
+        batch = read_wms_log(io.StringIO(log_text))
+        counts = batch.transfers_per_client()
+        streaming_counts = sorted(streamed.client_counts().values(),
+                                  reverse=True)
+        batch_counts = sorted(counts[counts > 0].tolist(), reverse=True)
+        assert streaming_counts == batch_counts
+
+    def test_diurnal_counts_match_start_histogram(self, streamed, log_text):
+        batch = read_wms_log(io.StringIO(log_text))
+        phase = np.mod(batch.start, DAY)
+        expected, _ = np.histogram(phase, bins=96, range=(0.0, DAY))
+        np.testing.assert_array_equal(streamed.summary().diurnal_counts,
+                                      expected.astype(float))
+
+
+class TestIncrementalBehaviour:
+    def test_multiple_harvests_accumulate(self, log_text):
+        characterizer = StreamingCharacterizer()
+        a = characterizer.consume(io.StringIO(log_text))
+        b = characterizer.consume(io.StringIO(log_text))
+        assert a == b
+        assert characterizer.summary().n_entries == 2 * a
+
+    def test_malformed_lines_skipped_and_counted(self, log_text):
+        corrupted = log_text + "totally broken line\n1 2 3\n"
+        characterizer = StreamingCharacterizer()
+        characterizer.consume(io.StringIO(corrupted))
+        assert characterizer.summary().n_skipped == 2
+
+    def test_missing_header_raises(self):
+        with pytest.raises(LogParseError):
+            StreamingCharacterizer().consume(io.StringIO("1 2 3\n"))
+
+    def test_file_path_input(self, tmp_path, log_text):
+        path = tmp_path / "harvest.log"
+        path.write_text(log_text)
+        characterizer = StreamingCharacterizer()
+        parsed = characterizer.consume(path)
+        assert parsed > 0
+
+
+class TestSummaryShape:
+    def test_top_clients_ordering(self, streamed):
+        top = streamed.summary(top_k=5).top_clients
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+        assert len(top) <= 5
+
+    def test_congestion_fraction_in_range(self, streamed):
+        fraction = streamed.summary().congestion_bound_fraction
+        assert 0.0 <= fraction <= 1.0
+        # The scenario plants ~10% congestion-bound transfers.
+        assert 0.03 <= fraction <= 0.2
+
+    def test_bandwidth_histogram_covers_entries(self, streamed):
+        summary = streamed.summary()
+        assert summary.bandwidth_histogram.sum() <= summary.n_entries
+        assert summary.bandwidth_histogram.sum() >= 0.95 * summary.n_entries
+
+    def test_empty_characterizer(self):
+        summary = StreamingCharacterizer().summary()
+        assert summary.n_entries == 0
+        assert summary.congestion_bound_fraction == 0.0
+        assert summary.length_log_sigma == 0.0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            StreamingCharacterizer(diurnal_bins=0)

@@ -1,0 +1,117 @@
+"""Unit tests for trace windowing and merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.transform import daily_slices, merge_traces, time_slice
+
+from tests.conftest import build_trace
+
+
+def sample_trace():
+    return build_trace([
+        (0, 0, 10.0, 20.0),
+        (1, 0, 50.0, 100.0),   # runs past the 100 s slice edge
+        (0, 1, 120.0, 10.0),
+        (1, 1, 250.0, 5.0),
+    ], n_clients=2, extent=300.0)
+
+
+class TestTimeSlice:
+    def test_selects_by_start(self):
+        window = time_slice(sample_trace(), 0.0, 100.0)
+        assert len(window) == 2
+
+    def test_rebase(self):
+        window = time_slice(sample_trace(), 100.0, 300.0)
+        assert window.start.tolist() == [20.0, 150.0]
+        assert window.extent == 200.0
+
+    def test_no_rebase(self):
+        window = time_slice(sample_trace(), 100.0, 300.0, rebase=False)
+        assert window.start.tolist() == [120.0, 250.0]
+        assert window.extent == 300.0
+
+    def test_clipping_at_edge(self):
+        window = time_slice(sample_trace(), 0.0, 100.0)
+        # The 100 s transfer starting at 50 is clipped to end at 100.
+        assert float(window.duration.max()) == 50.0
+
+    def test_unclipped_spanning(self):
+        window = time_slice(sample_trace(), 0.0, 100.0, clip=False)
+        assert float(window.duration.max()) == 100.0
+
+    def test_invalid_window(self):
+        with pytest.raises(TraceError):
+            time_slice(sample_trace(), 50.0, 50.0)
+        with pytest.raises(TraceError):
+            time_slice(sample_trace(), 0.0, 1_000.0)
+
+    def test_client_table_shared(self):
+        trace = sample_trace()
+        window = time_slice(trace, 0.0, 100.0)
+        assert window.clients is trace.clients
+
+
+class TestDailySlices:
+    def test_slice_count_and_extents(self):
+        trace = build_trace([(0, 0, float(i) * 40_000.0, 10.0)
+                             for i in range(5)], extent=200_000.0)
+        slices = daily_slices(trace)
+        assert len(slices) == 3  # 86400 + 86400 + 27200
+        assert slices[0].extent == pytest.approx(86_400.0)
+        assert slices[2].extent == pytest.approx(200_000.0 - 2 * 86_400.0)
+
+    def test_events_partitioned(self):
+        trace = sample_trace()
+        slices = daily_slices(trace, day_seconds=100.0)
+        assert sum(len(s) for s in slices) == len(trace)
+
+    def test_invalid_day_length(self):
+        with pytest.raises(TraceError):
+            daily_slices(sample_trace(), day_seconds=0.0)
+
+
+class TestMergeTraces:
+    def test_merge_concurrent_servers(self):
+        a = build_trace([(0, 0, 10.0, 5.0)], n_clients=1, extent=100.0)
+        b = build_trace([(0, 1, 20.0, 5.0)], n_clients=1, extent=100.0)
+        merged = merge_traces([a, b])
+        # Same player id "p0000" in both -> one client.
+        assert merged.n_clients == 1
+        assert len(merged) == 2
+        assert merged.extent == 100.0
+
+    def test_merge_with_offsets_concatenates(self):
+        a = build_trace([(0, 0, 10.0, 5.0)], n_clients=1, extent=100.0)
+        b = build_trace([(0, 0, 10.0, 5.0)], n_clients=1, extent=100.0)
+        merged = merge_traces([a, b], offsets=[0.0, 100.0])
+        assert merged.start.tolist() == [10.0, 110.0]
+        assert merged.extent == 200.0
+
+    def test_distinct_players_kept_distinct(self):
+        a = build_trace([(0, 0, 10.0, 5.0)], n_clients=1, extent=50.0)
+        b = build_trace([(1, 0, 20.0, 5.0)], n_clients=2, extent=50.0)
+        merged = merge_traces([a, b])
+        # b's table carries p0000 and p0001; p0000 merges with a's.
+        assert merged.n_clients == 2
+        assert merged.active_client_count() == 2
+
+    def test_round_trip_slicing_and_merging(self):
+        trace = sample_trace()
+        slices = daily_slices(trace, day_seconds=100.0)
+        offsets = [i * 100.0 for i in range(len(slices))]
+        merged = merge_traces(slices, offsets=offsets)
+        assert len(merged) == len(trace)
+        np.testing.assert_allclose(np.sort(merged.start),
+                                   np.sort(trace.start))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceError):
+            merge_traces([])
+
+    def test_offset_count_mismatch(self):
+        a = build_trace([(0, 0, 1.0, 1.0)], extent=10.0)
+        with pytest.raises(TraceError):
+            merge_traces([a], offsets=[0.0, 1.0])

@@ -1,0 +1,147 @@
+"""Unit tests for the WMS-style log writer/parser."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import LogParseError
+from repro.trace.wms_log import (
+    LOG_FIELDS,
+    log_round_trip,
+    read_wms_log,
+    write_wms_log,
+)
+
+from tests.conftest import build_trace
+
+
+def sample_trace():
+    return build_trace([
+        (0, 0, 10.2, 33.7, 56_000.0),
+        (1, 1, 40.0, 120.4, 33_600.0),
+        (0, 1, 300.9, 0.4, 28_800.0),
+    ], n_clients=2, extent=1_000.0)
+
+
+class TestWriting:
+    def test_header_present(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("#Software:")
+        assert lines[2].startswith("#Fields:")
+        for field in LOG_FIELDS:
+            assert field in lines[2]
+
+    def test_one_entry_per_transfer(self):
+        buffer = io.StringIO()
+        count = write_wms_log(sample_trace(), buffer)
+        data_lines = [l for l in buffer.getvalue().splitlines()
+                      if not l.startswith("#")]
+        assert count == 3
+        assert len(data_lines) == 3
+
+    def test_entries_ordered_by_end_time(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        timestamps = [int(l.split()[0])
+                      for l in buffer.getvalue().splitlines()
+                      if not l.startswith("#")]
+        assert timestamps == sorted(timestamps)
+
+    def test_integer_second_resolution(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        for line in buffer.getvalue().splitlines():
+            if line.startswith("#"):
+                continue
+            parts = line.split()
+            int(parts[0])   # timestamp parses as int
+            int(parts[5])   # duration parses as int
+
+    def test_file_path_output(self, tmp_path):
+        path = tmp_path / "server.log"
+        count = write_wms_log(sample_trace(), path)
+        assert count == 3
+        assert path.read_text().startswith("#Software:")
+
+
+class TestParsing:
+    def test_round_trip_counts(self):
+        trace = sample_trace()
+        parsed = log_round_trip(trace)
+        assert parsed.n_transfers == 3
+        assert parsed.n_clients == 2
+
+    def test_round_trip_second_tolerance(self):
+        trace = sample_trace()
+        parsed = log_round_trip(trace)
+        # One-second log resolution: starts/durations within 1 s.
+        orig = np.sort(trace.start)
+        got = np.sort(parsed.start)
+        assert np.all(np.abs(orig - got) <= 1.5)
+
+    def test_resolver_applied(self):
+        parsed = log_round_trip(sample_trace(),
+                                resolver=lambda ip: (42, "JP"))
+        assert set(parsed.clients.as_numbers.tolist()) == {42}
+        assert set(parsed.clients.countries.tolist()) == {"JP"}
+
+    def test_without_resolver_unknown_topology(self):
+        parsed = log_round_trip(sample_trace())
+        assert set(parsed.clients.as_numbers.tolist()) == {0}
+
+    def test_player_ids_preserved(self):
+        parsed = log_round_trip(sample_trace())
+        assert set(parsed.clients.player_ids.tolist()) == {"p0000", "p0001"}
+
+    def test_bandwidth_preserved(self):
+        parsed = log_round_trip(sample_trace())
+        assert set(parsed.bandwidth_bps.tolist()) == {56_000.0, 33_600.0,
+                                                      28_800.0}
+
+
+class TestParseErrors:
+    def test_data_before_header(self):
+        with pytest.raises(LogParseError):
+            read_wms_log(io.StringIO("1 2 3\n"))
+
+    def test_wrong_column_count(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        content = buffer.getvalue() + "1 2 3\n"
+        with pytest.raises(LogParseError) as excinfo:
+            read_wms_log(io.StringIO(content))
+        assert excinfo.value.line_number is not None
+
+    def test_missing_field_in_header(self):
+        content = "#Fields: x-timestamp c-ip\n"
+        with pytest.raises(LogParseError):
+            read_wms_log(io.StringIO(content))
+
+    def test_bad_uri_stem(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        content = buffer.getvalue().replace("/live/feed0", "/vod/clip1")
+        with pytest.raises(LogParseError):
+            read_wms_log(io.StringIO(content))
+
+    def test_unparsable_number(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        lines = buffer.getvalue().splitlines()
+        data_idx = next(i for i, l in enumerate(lines)
+                        if not l.startswith("#"))
+        parts = lines[data_idx].split()
+        parts[0] = "noon"
+        lines[data_idx] = " ".join(parts)
+        with pytest.raises(LogParseError):
+            read_wms_log(io.StringIO("\n".join(lines)))
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        write_wms_log(sample_trace(), buffer)
+        content = buffer.getvalue().replace("\n", "\n\n")
+        parsed = read_wms_log(io.StringIO(content))
+        assert parsed.n_transfers == 3

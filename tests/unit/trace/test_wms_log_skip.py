@@ -1,0 +1,52 @@
+"""Unit tests for tolerant (skip-mode) log parsing."""
+
+import io
+
+import pytest
+
+from repro.errors import LogParseError
+from repro.trace.wms_log import read_wms_log, write_wms_log
+
+from tests.conftest import build_trace
+
+
+def corrupt_log(n_good=5):
+    trace = build_trace([(0, 0, float(i) * 100.0, 10.0)
+                         for i in range(n_good)], extent=10_000.0)
+    buffer = io.StringIO()
+    write_wms_log(trace, buffer)
+    lines = buffer.getvalue().splitlines()
+    # Corrupt the second data line (truncated, as at a harvest boundary)
+    # and append a line with a bad number.
+    data_idx = [i for i, l in enumerate(lines) if not l.startswith("#")]
+    lines[data_idx[1]] = lines[data_idx[1]].rsplit(" ", 3)[0]
+    bad_number = lines[data_idx[0]].split()
+    bad_number[0] = "corrupt"
+    lines.append(" ".join(bad_number))
+    return "\n".join(lines) + "\n"
+
+
+class TestSkipMode:
+    def test_raise_mode_aborts(self):
+        with pytest.raises(LogParseError):
+            read_wms_log(io.StringIO(corrupt_log()))
+
+    def test_skip_mode_parses_good_lines(self):
+        trace = read_wms_log(io.StringIO(corrupt_log()), on_error="skip")
+        assert trace.n_transfers == 4  # 5 good minus the truncated one
+
+    def test_error_sink_collects_details(self):
+        errors: list[LogParseError] = []
+        read_wms_log(io.StringIO(corrupt_log()), on_error="skip",
+                     error_sink=errors)
+        assert len(errors) == 2
+        assert all(e.line_number is not None for e in errors)
+
+    def test_header_errors_always_raise(self):
+        content = "#Fields: x-timestamp c-ip\n"
+        with pytest.raises(LogParseError):
+            read_wms_log(io.StringIO(content), on_error="skip")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            read_wms_log(io.StringIO(""), on_error="ignore")
