@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench experiments figures examples all
+.PHONY: install test bench bench-core experiments figures examples all
 
 install:
 	python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Core hot-path throughput only, with a JSON record so successive PRs
+# can compare perf trajectories (BENCH_perf_core.json).
+bench-core:
+	PYTHONPATH=src pytest benchmarks/bench_perf_core.py --benchmark-only \
+		--benchmark-json=BENCH_perf_core.json
 
 experiments:
 	python -m repro experiments

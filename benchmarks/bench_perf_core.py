@@ -13,8 +13,13 @@ from repro.analysis.concurrency import mean_concurrency_bins, sampled_concurrenc
 from repro.core.calibrate import calibrate_model
 from repro.core.gismo import LiveWorkloadGenerator
 from repro.core.model import LiveWorkloadModel
-from repro.core.sessionizer import sessionize
+from repro.core.sessionizer import (
+    _reference_silence_gaps,
+    sessionize,
+    silence_gaps,
+)
 from repro.simulation.scenario import LiveShowScenario, ScenarioConfig
+from repro.trace.transform import daily_slices, merge_traces
 from repro.units import FIFTEEN_MINUTES
 
 
@@ -41,6 +46,30 @@ def bench_perf_sessionize(benchmark, perf_trace):
     sessions = benchmark.pedantic(lambda: sessionize(perf_trace),
                                   rounds=3, iterations=1)
     assert sessions.n_sessions > 10_000
+
+
+def bench_perf_silence_gaps(benchmark, perf_trace):
+    """Vectorized silence-gap computation (the sessionization hot path)."""
+    gaps, order = benchmark.pedantic(lambda: silence_gaps(perf_trace),
+                                     rounds=3, iterations=1)
+    assert gaps.size == len(perf_trace) and order.size == len(perf_trace)
+
+
+def bench_perf_silence_gaps_reference(benchmark, perf_trace):
+    """Python-loop reference silence gaps (the pre-vectorization baseline)."""
+    gaps, _ = benchmark.pedantic(
+        lambda: _reference_silence_gaps(perf_trace), rounds=3, iterations=1)
+    assert gaps.size == len(perf_trace)
+
+
+def bench_perf_merge(benchmark, perf_trace):
+    """Merge the 7-day trace's daily slices back together (vectorized
+    client re-interning)."""
+    slices = daily_slices(perf_trace)
+    offsets = np.cumsum([0.0] + [s.extent for s in slices[:-1]]).tolist()
+    merged = benchmark.pedantic(
+        lambda: merge_traces(slices, offsets=offsets), rounds=3, iterations=1)
+    assert len(merged) == len(perf_trace)
 
 
 def bench_perf_concurrency(benchmark, perf_trace):

@@ -84,6 +84,13 @@ def mean_concurrency_bins(starts: ArrayLike, ends: ArrayLike, *,
     s = np.clip(s, 0.0, extent)
     e = np.clip(e, 0.0, extent)
     n_bins = int(np.ceil(extent / bin_width))
+    # Guard against float error in extent / bin_width overshooting an
+    # integer (e.g. 0.9 / 0.3 -> 3.0000000000000004): np.ceil then mints
+    # an extra bin of near-zero width whose normalization divides by
+    # ~1e-16 and reports an absurd mean.  Collapse such a sliver into the
+    # previous bin.
+    if n_bins > 1 and extent - (n_bins - 1) * bin_width < 1e-9 * bin_width:
+        n_bins -= 1
     overlap = np.zeros(n_bins + 1)
 
     first = np.floor(s / bin_width).astype(np.int64)

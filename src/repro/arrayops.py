@@ -93,6 +93,104 @@ def segmented_cumsum(values: np.ndarray, lengths: np.ndarray, *,
     return inclusive
 
 
+def segmented_running_max(values: np.ndarray, lengths: np.ndarray) -> FloatArray:
+    """Running maximum restarting at every segment boundary.
+
+    The segmented counterpart of ``np.maximum.accumulate``: element ``i``
+    of the result is the maximum of its segment's values up to and
+    including position ``i``.  This is the primitive behind the
+    sessionizer's silence-gap computation, where each client's transfers
+    form one segment and the running maximum tracks the latest transfer
+    end seen so far (transfers overlap, so the previous end is not the
+    latest end).
+
+    Implemented as an index-compacted Hillis–Steele doubling scan:
+    ``ceil(log2(L))`` passes for a longest segment of ``L`` elements,
+    where pass ``k`` only touches the elements at least ``2^k`` deep in
+    their segment (a rapidly shrinking set when most segments are short).
+    Each pass only combines values from within the same segment, so the
+    result is bit-for-bit the same float as one of the inputs — no offset
+    arithmetic that could perturb it.
+
+    Parameters
+    ----------
+    values:
+        Flattened per-element values; total length must equal
+        ``lengths.sum()``.
+    lengths:
+        Element count per segment (non-negative; zeros allowed).
+
+    Examples
+    --------
+    >>> segmented_running_max([1, 3, 2, 5, 4], [3, 2]).tolist()
+    [1.0, 3.0, 3.0, 5.0, 5.0]
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    lens = np.asarray(lengths, dtype=np.int64)
+    if vals.ndim != 1 or lens.ndim != 1:
+        raise ValueError("values and lengths must be one-dimensional")
+    if lens.size and lens.min() < 0:
+        raise ValueError("segment lengths must be non-negative")
+    total = int(lens.sum()) if lens.size else 0
+    if vals.size != total:
+        raise ValueError(
+            f"values length ({vals.size}) must equal lengths.sum() ({total})")
+    if vals.size == 0:
+        return np.empty(0, dtype=np.float64)
+    return _scan_running_max(vals, segment_starts(lens)[lens > 0])
+
+
+def _scan_running_max(values: FloatArray, first_positions: IntArray, *,
+                      overwrite: bool = False) -> FloatArray:
+    """Doubling-scan core of :func:`segmented_running_max`.
+
+    ``first_positions`` holds the index of each non-empty segment's first
+    element (``values`` is the flattened segment concatenation).  Shared
+    with the sessionizer, which already has the first positions from the
+    trace's cached client grouping.  With ``overwrite=True`` the scan
+    runs in place, consuming ``values``.
+
+    After k passes ``out[i]`` holds ``max(values[i-2^k+1 .. i] ∩
+    segment)``; elements shallower than ``2^k`` in their segment are
+    final.  Pass 1 is a single unguarded contiguous maximum against a
+    snapshot whose segment-crossing sources are poisoned to ``-inf``
+    (``max(x, -inf) == x``, so first-of-segment elements pass through
+    bit-for-bit).  Later passes work on the surviving index set only —
+    the elements at least ``shift = 2^k`` deep, tracked by the boolean
+    membership array ``deep``, which doubles along with the window:
+    ``offset[i] >= 2*shift`` ⇔ ``deep[i] and deep[i - shift]``.  Depth
+    ≥ shift also guarantees ``i - shift`` is in the same segment, and
+    the right-hand gathers complete before the scatter, giving the
+    synchronous (snapshot) scan step despite the in-place update.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    # A dtype-converting asarray already produced a private buffer.
+    out = vals if (overwrite or vals is not values) else vals.copy()
+    if out.size < 2:
+        return out
+    deep = np.ones(out.size, dtype=bool)
+    deep[first_positions] = False
+    snapshot = out.copy()
+    inner = first_positions[first_positions > 0]
+    snapshot[inner - 1] = -np.inf
+    np.maximum(out[1:], snapshot[:-1], out=out[1:])
+    # deep2[i] ⇔ offset[i] >= 2 ⇔ both i and i-1 are non-first.
+    deep2 = np.zeros(out.size, dtype=bool)
+    np.logical_and(deep[1:], deep[:-1], out=deep2[1:])
+    deep = deep2
+    idx = np.flatnonzero(deep)
+    shift = 2
+    while idx.size:
+        out[idx] = np.maximum(out[idx], out[idx - shift])
+        deeper = deep[idx - shift]
+        shift <<= 1
+        idx = idx[deeper]
+        if idx.size:
+            deep = np.zeros(out.size, dtype=bool)
+            deep[idx] = True
+    return out
+
+
 def alternate_on_switch(switch: np.ndarray, lengths: np.ndarray, *,
                         first_value: np.ndarray, n_choices: int = 2) -> IntArray:
     """Track a per-segment state that flips between ``n_choices`` values.

@@ -21,10 +21,35 @@ from functools import cached_property
 
 import numpy as np
 
+from ..arrayops import _scan_running_max
 from .._typing import FloatArray, IntArray
 from ..errors import AnalysisError
 from ..trace.store import Trace
 from ..units import DEFAULT_SESSION_TIMEOUT
+
+
+def _gaps_from_sorted(start: FloatArray, end: FloatArray,
+                      firsts: IntArray) -> tuple[FloatArray, FloatArray]:
+    """Silence gaps from ``(client, start)``-sorted start/end columns and
+    the sorted-view positions of each client's first transfer.
+
+    Returns ``(gaps, run_max)`` where ``run_max`` is the per-client
+    running maximum of transfer ends the gaps were derived from.
+    Consumes ``end``: the scan overwrites it in place with ``run_max``.
+    """
+    n = start.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty
+    run_max = _scan_running_max(end, firsts, overwrite=True)
+    # Gap = start minus the latest end among the client's *earlier*
+    # transfers: the running max one position back (same segment);
+    # +inf marks each client's first transfer.
+    gaps = np.empty(n, dtype=np.float64)
+    gaps[0] = np.inf
+    np.subtract(start[1:], run_max[:-1], out=gaps[1:])
+    gaps[firsts] = np.inf
+    return gaps, run_max
 
 
 def silence_gaps(trace: Trace) -> tuple[FloatArray, IntArray]:
@@ -37,6 +62,27 @@ def silence_gaps(trace: Trace) -> tuple[FloatArray, IntArray]:
     transfers overlap.  Session boundaries for any timeout ``T_o`` are
     exactly the positions with ``gaps > T_o``, which is what makes the
     Figure 9 timeout sweep cheap.
+
+    Fully vectorized: the trace's cached client grouping
+    (:attr:`~repro.trace.store.Trace.client_grouping` — a stable O(n)
+    radix argsort, since transfers are already start-sorted) followed by
+    a segmented running maximum over per-client transfer ends
+    (:func:`repro.arrayops.segmented_running_max`) shifted by one
+    position.  :func:`_reference_silence_gaps` keeps the original
+    per-transfer Python walk; the property suite asserts bit-for-bit
+    agreement.
+    """
+    order, _, firsts = trace.client_grouping
+    start, end = trace.client_sorted_spans
+    gaps, _ = _gaps_from_sorted(start, end.copy(), firsts)
+    return gaps, order
+
+
+def _reference_silence_gaps(trace: Trace) -> tuple[FloatArray, IntArray]:
+    """Per-transfer Python-loop formulation of :func:`silence_gaps`.
+
+    Kept as the executable specification: the vectorized path must match
+    it bit-for-bit (see ``tests/property/test_sessionizer_properties.py``).
     """
     n = len(trace)
     order = np.lexsort((trace.start, trace.client_index))
@@ -59,7 +105,7 @@ def silence_gaps(trace: Trace) -> tuple[FloatArray, IntArray]:
             gaps_list[i] = starts_l[i] - run_max
             if ends_l[i] > run_max:
                 run_max = ends_l[i]
-    return np.asarray(gaps_list), order
+    return np.asarray(gaps_list, dtype=np.float64), order
 
 
 class Sessions:
@@ -70,32 +116,62 @@ class Sessions:
     """
 
     def __init__(self, trace: Trace, timeout: float, order: IntArray,
-                 boundary: np.ndarray) -> None:
+                 boundary: np.ndarray, *,
+                 _start_sorted: FloatArray | None = None,
+                 _run_max: FloatArray | None = None) -> None:
         self.trace = trace
         self.timeout = float(timeout)
         self._order = order
         self._boundary = boundary  # True where a session begins (sorted order)
 
-        start_sorted = trace.start[order]
-        end_sorted = start_sorted + trace.duration[order]
-        client_sorted = trace.client_index[order]
+        if _start_sorted is not None:
+            # sessionize() already gathered the (client, start)-sorted
+            # start column while computing the gaps; don't gather twice.
+            start_sorted = _start_sorted
+        else:
+            start_sorted = trace.start[order]
+        self._start_sorted = start_sorted
 
         boundary_idx = np.nonzero(boundary)[0]
-        #: Per-session client index.
-        self.session_client: IntArray = client_sorted[boundary_idx]
+        self._boundary_idx = boundary_idx
         #: Per-session start time (its first transfer's start).
         self.session_start: FloatArray = start_sorted[boundary_idx]
+        # Sorted-view position one past each session's last transfer.
+        nxt = np.empty(boundary_idx.size, dtype=np.int64)
+        if boundary_idx.size:
+            nxt[:-1] = boundary_idx[1:]
+            nxt[-1] = len(trace)
         #: Per-session end time (latest transfer end).
-        self.session_end: FloatArray = (
-            np.maximum.reduceat(end_sorted, boundary_idx)
-            if boundary_idx.size else np.empty(0))
+        if boundary_idx.size == 0:
+            self.session_end: FloatArray = np.empty(0, dtype=np.float64)
+        elif _run_max is not None:
+            # Fast path from sessionize(): a session's first transfer
+            # starts strictly after every earlier end of the same client
+            # (its gap exceeds a positive timeout) and durations are
+            # non-negative, so from that transfer on the per-client
+            # running maximum of ends equals the running maximum within
+            # the session alone — the value at the session's last
+            # transfer is exactly the reduceat maximum.
+            self.session_end = _run_max[nxt - 1]
+        else:
+            end_sorted = start_sorted + trace.duration[order]
+            self.session_end = np.maximum.reduceat(end_sorted, boundary_idx)
         #: Per-session transfer count.
-        counts = np.diff(np.append(boundary_idx, len(trace)))
-        self.transfers_per_session: IntArray = counts.astype(np.int64)
-        # Session id per transfer, aligned to *trace* order.
-        session_sorted = np.cumsum(boundary) - 1
-        self.transfer_session: IntArray = np.empty(len(trace), dtype=np.int64)
-        self.transfer_session[order] = session_sorted
+        self.transfers_per_session: IntArray = nxt - boundary_idx
+
+    @cached_property
+    def session_client(self) -> IntArray:
+        """Per-session client index (lazy, cached on first use)."""
+        return self.trace.client_index[self._order[self._boundary_idx]]
+
+    @cached_property
+    def transfer_session(self) -> IntArray:
+        """Session id per transfer, aligned to *trace* order (lazy — most
+        consumers only touch the per-session arrays)."""
+        session_sorted = np.cumsum(self._boundary) - 1
+        out = np.empty(len(self.trace), dtype=np.int64)
+        out[self._order] = session_sorted
+        return out
 
     @property
     def n_sessions(self) -> int:
@@ -115,7 +191,7 @@ class Sessions:
         nothing.
         """
         if self.n_sessions < 2:
-            return np.empty(0)
+            return np.empty(0, dtype=np.float64)
         same_client = self.session_client[1:] == self.session_client[:-1]
         offs = self.session_start[1:] - self.session_end[:-1]
         return offs[same_client]
@@ -128,8 +204,7 @@ class Sessions:
     def intra_session_interarrivals(self) -> FloatArray:
         """Interarrival times between consecutive transfer *starts* within
         each session (Section 4.5, Figure 14)."""
-        start_sorted = self.trace.start[self._order]
-        diffs = np.diff(start_sorted)
+        diffs = np.diff(self._start_sorted)
         same_session = ~self._boundary[1:]
         return diffs[same_session]
 
@@ -147,7 +222,7 @@ class Sessions:
         """Interarrival times of consecutive session starts (Section 3.3)."""
         arrivals = self.arrival_times()
         if arrivals.size < 2:
-            return np.empty(0)
+            return np.empty(0, dtype=np.float64)
         return np.diff(arrivals)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -169,9 +244,12 @@ def sessionize(trace: Trace,
     """
     if timeout <= 0:
         raise AnalysisError(f"timeout must be positive, got {timeout}")
-    gaps, order = silence_gaps(trace)
+    order, _, firsts = trace.client_grouping
+    start, end = trace.client_sorted_spans
+    gaps, run_max = _gaps_from_sorted(start, end.copy(), firsts)
     boundary = gaps > timeout  # first-of-client has gap = +inf
-    return Sessions(trace, timeout, order, boundary)
+    return Sessions(trace, timeout, order, boundary,
+                    _start_sorted=start, _run_max=run_max)
 
 
 def session_count_for_timeouts(trace: Trace,

@@ -256,6 +256,16 @@ class LiveShowScenario:
             durations = durations.copy()
             durations[congested] *= cfg.qos_abandonment_factor
 
+        # Server load reflects the *true* activity, clipped at the
+        # observation window: ends = min(start + duration, window), never
+        # past the trace extent.  It is computed before the artifact
+        # injection below — the multi-harvest artifacts corrupt only the
+        # *recorded* durations, so the logged CPU is artifact-invariant.
+        load_model = ServerLoadModel(cfg.server)
+        ends = np.minimum(starts + durations, duration)
+        concurrency = load_model.concurrency_at(starts, starts, ends)
+        server_cpu = load_model.cpu_utilization(concurrency, server_rng)
+
         # Inject the paper's multi-harvest artifacts: a handful of entries
         # whose recorded duration exceeds the whole trace period.
         n_bogus = min(cfg.inject_spanning_entries, starts.size)
@@ -265,11 +275,6 @@ class LiveShowScenario:
             durations = durations.copy()
             durations[bogus] = duration * artifact_rng.uniform(
                 1.05, 1.60, size=n_bogus)
-
-        load_model = ServerLoadModel(cfg.server)
-        ends = starts + np.minimum(durations, duration)
-        concurrency = load_model.concurrency_at(starts, starts, ends)
-        server_cpu = load_model.cpu_utilization(concurrency, server_rng)
 
         order = np.argsort(starts, kind="stable")
         trace = Trace(

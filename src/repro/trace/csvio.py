@@ -14,13 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import TraceError
-from .store import ClientTable, Trace
-
-#: Column order of the transfers CSV.
-TRANSFER_COLUMNS: tuple[str, ...] = (
-    "client_index", "object_id", "start", "duration", "bandwidth_bps",
-    "packet_loss", "server_cpu", "status",
-)
+from .store import TRANSFER_COLUMNS, ClientTable, Trace
 
 #: Column order of the clients CSV.
 CLIENT_COLUMNS: tuple[str, ...] = (
@@ -30,29 +24,37 @@ CLIENT_COLUMNS: tuple[str, ...] = (
 
 def write_csv(trace: Trace, transfers_path: str | Path,
               clients_path: str | Path) -> None:
-    """Write ``trace`` as a transfers CSV plus a clients CSV."""
+    """Write ``trace`` as a transfers CSV plus a clients CSV.
+
+    Columnar: each column is converted to Python scalars once
+    (:meth:`~repro.trace.store.Trace.columns` + ``tolist``) and the rows
+    are emitted with one ``csv.writer.writerows`` call — floats keep the
+    round-trip-exact ``repr`` formatting of the original row-at-a-time
+    writer.
+    """
+    cols = trace.columns()
     with open(transfers_path, "w", encoding="ascii", newline="") as stream:
         writer = csv.writer(stream)
         writer.writerow(("# extent", trace.extent))
         writer.writerow(TRANSFER_COLUMNS)
-        for i in range(len(trace)):
-            writer.writerow((
-                int(trace.client_index[i]), int(trace.object_id[i]),
-                repr(float(trace.start[i])), repr(float(trace.duration[i])),
-                repr(float(trace.bandwidth_bps[i])),
-                repr(float(trace.packet_loss[i])),
-                repr(float(trace.server_cpu[i])), int(trace.status[i]),
-            ))
+        writer.writerows(zip(
+            cols["client_index"].tolist(), cols["object_id"].tolist(),
+            map(repr, cols["start"].tolist()),
+            map(repr, cols["duration"].tolist()),
+            map(repr, cols["bandwidth_bps"].tolist()),
+            map(repr, cols["packet_loss"].tolist()),
+            map(repr, cols["server_cpu"].tolist()),
+            cols["status"].tolist(),
+        ))
     clients = trace.clients
     with open(clients_path, "w", encoding="ascii", newline="") as stream:
         writer = csv.writer(stream)
         writer.writerow(CLIENT_COLUMNS)
-        for i in range(len(clients)):
-            writer.writerow((
-                str(clients.player_ids[i]), str(clients.ips[i]),
-                int(clients.as_numbers[i]), str(clients.countries[i]),
-                str(clients.os_names[i]),
-            ))
+        writer.writerows(zip(
+            clients.player_ids.tolist(), clients.ips.tolist(),
+            clients.as_numbers.tolist(), clients.countries.tolist(),
+            clients.os_names.tolist(),
+        ))
 
 
 def read_csv(transfers_path: str | Path,

@@ -10,12 +10,14 @@ demand.  The client population lives in a side table
 
 from __future__ import annotations
 
+from functools import cached_property
 from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from .._typing import FloatArray, IntArray
+from ..arrayops import segment_starts
 from ..errors import TraceError
 from .records import ClientRecord, TransferRecord
 
@@ -92,6 +94,14 @@ class ClientTable:
         return int(np.unique(countries).size)
 
 
+#: Per-transfer column attributes of :class:`Trace`, in canonical order
+#: (the order of the CSV interchange format and of :meth:`Trace.to_rows`).
+TRANSFER_COLUMNS: tuple[str, ...] = (
+    "client_index", "object_id", "start", "duration", "bandwidth_bps",
+    "packet_loss", "server_cpu", "status",
+)
+
+
 class Trace:
     """Columnar container of transfers plus the client table.
 
@@ -160,8 +170,7 @@ class Trace:
 
         if n and np.any(np.diff(self.start) < 0):
             order = np.argsort(self.start, kind="stable")
-            for attr in ("client_index", "object_id", "start", "duration",
-                         "bandwidth_bps", "packet_loss", "server_cpu", "status"):
+            for attr in TRANSFER_COLUMNS:
                 setattr(self, attr, getattr(self, attr)[order])
 
         if extent is None:
@@ -196,6 +205,49 @@ class Trace:
         """Per-transfer end times (``start + duration``)."""
         return self.start + self.duration
 
+    @cached_property
+    def client_grouping(self) -> tuple[IntArray, IntArray, IntArray]:
+        """Cached group-by-client index: ``(order, lengths, firsts)``.
+
+        ``order`` is the stable permutation sorting transfers by
+        ``(client_index, start)``; ``lengths`` the per-client transfer
+        count (length ``n_clients``, zeros included); ``firsts`` the
+        position, in the sorted view, of each active client's first
+        transfer.  Computed once per (immutable) trace — the sessionizer
+        and every per-client analysis share it, so e.g. a Figure 9
+        timeout sweep pays for the grouping a single time.
+
+        Because the constructor keeps transfers start-sorted, a stable
+        argsort on the client column alone realizes the lexicographic
+        order; the column is narrowed to the smallest unsigned dtype
+        holding ``n_clients`` so NumPy's stable sort takes its O(n)
+        radix path.
+        """
+        client = self.client_index
+        if self.n_clients <= 1 << 8:
+            client = client.astype(np.uint8)
+        elif self.n_clients <= 1 << 16:
+            client = client.astype(np.uint16)
+        order = np.argsort(client, kind="stable")
+        lengths = np.bincount(self.client_index, minlength=self.n_clients)
+        firsts = segment_starts(lengths)[lengths > 0]
+        return order, lengths, firsts
+
+    @cached_property
+    def client_sorted_spans(self) -> tuple[FloatArray, FloatArray]:
+        """Cached ``(start, end)`` columns in ``(client, start)`` order.
+
+        The gathered companions of :attr:`client_grouping` — the inputs
+        every silence-gap / sessionization call starts from.  Treat both
+        arrays as read-only (copy before mutating); like the grouping they
+        are computed once per immutable trace.
+        """
+        order, _, _ = self.client_grouping
+        start = self.start[order]
+        end = self.duration[order]
+        end += start
+        return start, end
+
     # ------------------------------------------------------------------
     # Row access
     # ------------------------------------------------------------------
@@ -215,6 +267,31 @@ class Trace:
     def __iter__(self) -> Iterator[TransferRecord]:
         for i in range(len(self)):
             yield self.record(i)
+
+    # ------------------------------------------------------------------
+    # Columnar batch export
+    # ------------------------------------------------------------------
+    def columns(self) -> dict[str, np.ndarray]:
+        """The per-transfer columns as ``{name: array}``, without copying.
+
+        The batch-export counterpart of :meth:`record`/``__iter__``:
+        bulk consumers (CSV export, external toolkits) should read the
+        column arrays directly instead of materializing one
+        :class:`~repro.trace.records.TransferRecord` per row.
+        """
+        return {name: getattr(self, name) for name in TRANSFER_COLUMNS}
+
+    def to_rows(self) -> list[tuple]:
+        """All transfers as plain-Python tuples in :data:`TRANSFER_COLUMNS`
+        order.
+
+        Converts each column once with ``ndarray.tolist()`` and zips,
+        avoiding ``__iter__``'s per-row ``record()`` materialization —
+        use this when a row-oriented consumer really needs Python
+        scalars for a whole trace.
+        """
+        return list(zip(*(getattr(self, name).tolist()
+                          for name in TRANSFER_COLUMNS)))
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .._typing import IntArray
 from ..errors import TraceError
 from .store import ClientTable, Trace
 
@@ -83,6 +84,46 @@ def daily_slices(trace: Trace, *, day_seconds: float = 86_400.0) -> list[Trace]:
     return out
 
 
+def _merged_client_mapping(traces: Sequence[Trace]
+                           ) -> tuple[ClientTable, IntArray, IntArray]:
+    """Dedup the client tables of ``traces`` by player ID, vectorized.
+
+    Returns ``(merged_table, merged_of_local, bounds)``: the merged
+    client table in first-appearance order, the merged index of every
+    local client across all inputs (concatenated), and the concatenation
+    offsets so trace ``k``'s clients map through
+    ``merged_of_local[bounds[k]:bounds[k + 1]]``.
+    """
+    player_ids = np.concatenate(
+        [np.asarray(t.clients.player_ids, dtype=np.str_) for t in traces])
+    uniq_sorted, first_pos, inverse = np.unique(
+        player_ids, return_index=True, return_inverse=True)
+    # np.unique sorts lexically; re-rank so merged indices follow the
+    # order of first appearance, as the interning dict did.
+    appearance = np.argsort(first_pos, kind="stable")
+    rank = np.empty(appearance.size, dtype=np.int64)
+    rank[appearance] = np.arange(appearance.size, dtype=np.int64)
+    merged_of_local = rank[inverse]
+
+    keep = first_pos[appearance]  # identity fields from first appearance
+    merged_table = ClientTable(
+        player_ids=player_ids[keep],
+        ips=np.concatenate(
+            [np.asarray(t.clients.ips, dtype=np.str_) for t in traces])[keep],
+        as_numbers=np.concatenate(
+            [t.clients.as_numbers for t in traces])[keep],
+        countries=np.concatenate(
+            [np.asarray(t.clients.countries, dtype=np.str_)
+             for t in traces])[keep],
+        os_names=np.concatenate(
+            [np.asarray(t.clients.os_names, dtype=np.str_)
+             for t in traces])[keep],
+    )
+    bounds = np.zeros(len(traces) + 1, dtype=np.int64)
+    np.cumsum([t.n_clients for t in traces], out=bounds[1:])
+    return merged_table, merged_of_local, bounds
+
+
 def merge_traces(traces: Sequence[Trace], *,
                  offsets: Sequence[float] | None = None) -> Trace:
     """Merge several traces into one, re-interning clients by player ID.
@@ -93,10 +134,53 @@ def merge_traces(traces: Sequence[Trace], *,
     ``offsets`` (default: zero for all — concurrent servers; pass
     cumulative extents to concatenate collection periods end to end).
 
+    The client re-interning is vectorized (one ``np.unique`` over the
+    concatenated player IDs ranked by first appearance) rather than a
+    per-client dictionary walk; :func:`_reference_merge_traces` keeps the
+    loop formulation and the property suite asserts equivalence.
+
     Raises
     ------
     TraceError
         If no traces are given or offsets mismatch.
+    """
+    if not traces:
+        raise TraceError("merge_traces requires at least one trace")
+    if offsets is None:
+        offsets = [0.0] * len(traces)
+    if len(offsets) != len(traces):
+        raise TraceError(
+            f"need one offset per trace ({len(offsets)} != {len(traces)})")
+
+    merged_clients, merged_of_local, bounds = _merged_client_mapping(traces)
+
+    columns = {name: [] for name in
+               ("client_index", "object_id", "start", "duration",
+                "bandwidth_bps", "packet_loss", "server_cpu", "status")}
+    extent = 0.0
+    for k, (trace, offset) in enumerate(zip(traces, offsets)):
+        local_to_merged = merged_of_local[bounds[k]:bounds[k + 1]]
+        columns["client_index"].append(local_to_merged[trace.client_index])
+        columns["object_id"].append(trace.object_id)
+        columns["start"].append(trace.start + offset)
+        columns["duration"].append(trace.duration)
+        columns["bandwidth_bps"].append(trace.bandwidth_bps)
+        columns["packet_loss"].append(trace.packet_loss)
+        columns["server_cpu"].append(trace.server_cpu)
+        columns["status"].append(trace.status)
+        extent = max(extent, trace.extent + offset)
+
+    stacked = {name: np.concatenate(parts) if parts else np.empty(0)
+               for name, parts in columns.items()}
+    return Trace(clients=merged_clients, extent=extent, **stacked)
+
+
+def _reference_merge_traces(traces: Sequence[Trace], *,
+                            offsets: Sequence[float] | None = None) -> Trace:
+    """Per-client Python-loop formulation of :func:`merge_traces`.
+
+    Kept as the executable specification for the vectorized re-interning
+    (see ``tests/property/test_transform_properties.py``).
     """
     if not traces:
         raise TraceError("merge_traces requires at least one trace")

@@ -13,6 +13,7 @@ from repro.arrayops import (
     expand_by_segment,
     segment_starts,
     segmented_cumsum,
+    segmented_running_max,
 )
 
 segmentations = st.lists(st.integers(min_value=0, max_value=8),
@@ -53,6 +54,46 @@ def test_exclusive_shifts_by_one(lengths, data):
     exclusive = segmented_cumsum(values, lengths, exclusive=True)
     np.testing.assert_allclose(inclusive - exclusive, values,
                                rtol=1e-9, atol=1e-6)
+
+
+@given(lengths=segmentations, data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_segmented_running_max_matches_reference(lengths, data):
+    total = sum(lengths)
+    values = data.draw(st.lists(finite_floats, min_size=total,
+                                max_size=total))
+    result = segmented_running_max(values, lengths)
+    # Reference: per-segment explicit walk — must match bit for bit
+    # (the running max is always one of the input floats).
+    expected = []
+    pos = 0
+    for length in lengths:
+        run = None
+        for v in values[pos:pos + length]:
+            run = v if run is None or v > run else run
+            expected.append(run)
+        pos += length
+    np.testing.assert_array_equal(result, np.asarray(expected,
+                                                     dtype=np.float64))
+
+
+@given(lengths=segmentations, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_segmented_running_max_is_monotone_within_segment(lengths, data):
+    total = sum(lengths)
+    values = data.draw(st.lists(finite_floats, min_size=total,
+                                max_size=total))
+    result = segmented_running_max(values, lengths)
+    pos = 0
+    for length in lengths:
+        segment = result[pos:pos + length]
+        assert np.all(np.diff(segment) >= 0)
+        # Running max dominates the raw values and ends at the segment max.
+        raw = np.asarray(values[pos:pos + length])
+        assert np.all(segment >= raw)
+        if length:
+            assert segment[-1] == raw.max()
+        pos += length
 
 
 @given(lengths=segmentations)

@@ -6,9 +6,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.sessionizer import session_count_for_timeouts, sessionize
+from repro.core.sessionizer import (
+    _reference_silence_gaps,
+    session_count_for_timeouts,
+    sessionize,
+    silence_gaps,
+)
 
 from tests.conftest import build_trace
+
+#: The Figure 9 timeout sweep grid (seconds) used for equivalence checks.
+FIGURE9_TIMEOUTS = np.asarray([60.0, 300.0, 900.0, 1_500.0, 3_000.0,
+                               6_000.0, 9_000.0])
 
 transfer_lists = st.lists(
     st.tuples(
@@ -83,6 +92,66 @@ def test_structural_invariants(transfers, timeout):
 
     # Per-client session counts sum to the total.
     assert int(sessions.sessions_per_client().sum()) == sessions.n_sessions
+
+
+@given(transfers=transfer_lists)
+@settings(max_examples=200, deadline=None)
+def test_vectorized_silence_gaps_bit_for_bit(transfers):
+    """The segmented-running-max formulation must equal the Python loop
+    exactly — same order, same gaps, including negative gaps from
+    overlapping transfers (the Figure 1 two-feed case)."""
+    trace = build_trace(transfers, n_clients=5, extent=120_000.0)
+    gaps, order = silence_gaps(trace)
+    ref_gaps, ref_order = _reference_silence_gaps(trace)
+    np.testing.assert_array_equal(order, ref_order)
+    np.testing.assert_array_equal(gaps, ref_gaps)
+    assert gaps.dtype == ref_gaps.dtype == np.float64
+
+
+def _sessionize_with_gaps(trace, gaps, order, timeout):
+    from repro.core.sessionizer import Sessions
+    return Sessions(trace, timeout, order, gaps > timeout)
+
+
+@given(transfers=transfer_lists)
+@settings(max_examples=100, deadline=None)
+def test_figure9_sweep_identical_sessions(transfers):
+    """For every timeout of the Figure 9 sweep, sessionization built on
+    the vectorized gaps must produce identical boundaries, counts, and
+    ON/OFF times to one built on the reference-loop gaps."""
+    trace = build_trace(transfers, n_clients=5, extent=120_000.0)
+    gaps, order = silence_gaps(trace)
+    ref_gaps, ref_order = _reference_silence_gaps(trace)
+    for timeout in FIGURE9_TIMEOUTS:
+        fast = _sessionize_with_gaps(trace, gaps, order, timeout)
+        slow = _sessionize_with_gaps(trace, ref_gaps, ref_order, timeout)
+        assert fast.n_sessions == slow.n_sessions
+        np.testing.assert_array_equal(fast.session_start,
+                                      slow.session_start)
+        np.testing.assert_array_equal(fast.session_end, slow.session_end)
+        np.testing.assert_array_equal(fast.session_client,
+                                      slow.session_client)
+        np.testing.assert_array_equal(fast.transfers_per_session,
+                                      slow.transfers_per_session)
+        np.testing.assert_array_equal(fast.transfer_session,
+                                      slow.transfer_session)
+        np.testing.assert_array_equal(fast.on_times(), slow.on_times())
+        np.testing.assert_array_equal(fast.off_times(), slow.off_times())
+
+
+@given(transfers=transfer_lists)
+@settings(max_examples=100, deadline=None)
+def test_overlapping_two_feed_gaps_negative(transfers):
+    """A single client with interleaved feed transfers (the Figure 1
+    two-feed case): both implementations agree exactly, and only the
+    client's first transfer gets an infinite gap."""
+    # Force every transfer onto one client to maximize overlap.
+    collapsed = [(0, obj, start, dur) for _, obj, start, dur in transfers]
+    trace = build_trace(collapsed, n_clients=1, extent=120_000.0)
+    gaps, _ = silence_gaps(trace)
+    ref_gaps, _ = _reference_silence_gaps(trace)
+    np.testing.assert_array_equal(gaps, ref_gaps)
+    assert np.isinf(gaps[0]) and np.sum(np.isinf(gaps)) == 1
 
 
 @given(transfers=transfer_lists)

@@ -86,6 +86,41 @@ class TestMeanConcurrencyBins:
         means = mean_concurrency_bins([0.0], [5.0], extent=5.0, bin_width=2.0)
         np.testing.assert_allclose(means, [1.0, 1.0, 1.0])
 
+    def test_float_ratio_overshoot_no_phantom_bin(self):
+        # 0.9 / 0.3 = 3.0000000000000004 in binary; np.ceil used to mint
+        # a fourth bin of width ~1e-16 whose normalization exploded.
+        means = mean_concurrency_bins([0.0], [0.9], extent=0.9,
+                                      bin_width=0.3)
+        assert means.size == 3
+        assert np.all(np.isfinite(means))
+        np.testing.assert_allclose(means, [1.0, 1.0, 1.0])
+
+    @pytest.mark.parametrize("extent,bin_width", [
+        (0.3, 0.1), (0.9, 0.3), (0.7, 0.1), (2.1, 0.7), (1.2, 0.4),
+    ])
+    def test_awkward_float_ratios_stay_finite(self, extent, bin_width):
+        means = mean_concurrency_bins([0.0], [extent], extent=extent,
+                                      bin_width=bin_width)
+        expected_bins = round(extent / bin_width)
+        assert means.size == expected_bins
+        assert np.all(np.isfinite(means))
+        np.testing.assert_allclose(means, np.ones(expected_bins))
+
+    def test_mass_conserved_with_collapsed_bin(self):
+        rng = np.random.default_rng(11)
+        starts = rng.uniform(0, 0.8, size=50)
+        ends = np.minimum(starts + rng.exponential(0.1, size=50), 0.9)
+        means = mean_concurrency_bins(starts, ends, extent=0.9,
+                                      bin_width=0.3)
+        total_time = float((ends - starts).sum())
+        assert float(means.sum() * 0.3) == pytest.approx(total_time)
+
+    def test_genuine_partial_final_bin_kept(self):
+        # A real partial bin (half a bin wide) must not be collapsed.
+        means = mean_concurrency_bins([0.0], [5.0], extent=5.0,
+                                      bin_width=2.0)
+        assert means.size == 3
+
     def test_invalid_extent(self):
         with pytest.raises(AnalysisError):
             mean_concurrency_bins([0.0], [1.0], extent=0.0, bin_width=1.0)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.sessionizer import (
+    _reference_silence_gaps,
     session_count_for_timeouts,
     sessionize,
     silence_gaps,
@@ -35,6 +36,65 @@ class TestSilenceGaps:
         trace = build_trace([(0, 0, 0.0, 100.0), (0, 1, 50.0, 10.0)])
         gaps, _ = silence_gaps(trace)
         assert gaps[np.isfinite(gaps)][0] == -50.0
+
+    def test_matches_reference_loop(self, tiny_trace, smoke_trace):
+        for trace in (tiny_trace, smoke_trace):
+            gaps, order = silence_gaps(trace)
+            ref_gaps, ref_order = _reference_silence_gaps(trace)
+            np.testing.assert_array_equal(order, ref_order)
+            np.testing.assert_array_equal(gaps, ref_gaps)
+
+    def test_empty_trace_dtypes(self):
+        trace = build_trace([], n_clients=1, extent=100.0)
+        gaps, order = silence_gaps(trace)
+        assert gaps.size == 0 and gaps.dtype == np.float64
+        assert order.size == 0
+        ref_gaps, _ = _reference_silence_gaps(trace)
+        assert ref_gaps.dtype == np.float64
+
+
+class TestDegenerateTraces:
+    """Sessionization of 0-transfer and single-client traces stays
+    well-typed: every array keeps the dtype of the non-empty paths."""
+
+    def test_empty_trace_sessionize(self):
+        trace = build_trace([], n_clients=2, extent=500.0)
+        sessions = sessionize(trace)
+        assert sessions.n_sessions == 0
+        assert sessions.session_start.dtype == np.float64
+        assert sessions.session_end.dtype == np.float64
+        assert sessions.session_client.dtype == np.int64
+        assert sessions.transfers_per_session.dtype == np.int64
+        assert sessions.transfer_session.dtype == np.int64
+        assert sessions.on_times().dtype == np.float64
+        assert sessions.off_times().dtype == np.float64
+        assert sessions.interarrival_times().dtype == np.float64
+        assert sessions.intra_session_interarrivals().dtype == np.float64
+        assert sessions.sessions_per_client().tolist() == [0, 0]
+
+    def test_empty_trace_timeout_sweep(self):
+        trace = build_trace([], n_clients=1, extent=500.0)
+        counts = session_count_for_timeouts(
+            trace, np.asarray([10.0, 1_500.0]))
+        assert counts.tolist() == [0, 0]
+        assert counts.dtype == np.int64
+
+    def test_single_client_single_transfer(self):
+        trace = build_trace([(0, 0, 5.0, 10.0)], n_clients=1, extent=100.0)
+        sessions = sessionize(trace)
+        assert sessions.n_sessions == 1
+        assert sessions.session_end.dtype == np.float64
+        assert sessions.on_times().tolist() == [10.0]
+        assert sessions.off_times().dtype == np.float64
+        assert sessions.off_times().size == 0
+        assert sessions.interarrival_times().size == 0
+
+    def test_single_client_timeout_sweep(self):
+        trace = build_trace([(0, 0, 0.0, 10.0), (0, 0, 100.0, 5.0)],
+                            n_clients=1, extent=1_000.0)
+        counts = session_count_for_timeouts(
+            trace, np.asarray([50.0, 200.0]))
+        assert counts.tolist() == [2, 1]
 
 
 class TestSessionize:

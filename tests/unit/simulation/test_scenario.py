@@ -99,6 +99,26 @@ class TestRun:
         expected = config.mean_session_rate * config.duration
         assert smoke_result.n_sessions == pytest.approx(expected, rel=0.1)
 
+    def test_server_cpu_artifact_invariant(self):
+        """Injected spanning entries corrupt the *recorded* durations only:
+        the server CPU column reflects true activity clipped at the
+        observation window, so it must not change with the artifact count."""
+        from dataclasses import replace
+        base = ScenarioConfig.smoke()
+        clean = LiveShowScenario(
+            replace(base, inject_spanning_entries=0)).run(seed=11)
+        dirty = LiveShowScenario(
+            replace(base, inject_spanning_entries=12)).run(seed=11)
+        np.testing.assert_array_equal(clean.trace.server_cpu,
+                                      dirty.trace.server_cpu)
+        # Same world otherwise: only the recorded durations may differ.
+        np.testing.assert_array_equal(clean.trace.start, dirty.trace.start)
+        np.testing.assert_array_equal(clean.trace.client_index,
+                                      dirty.trace.client_index)
+        n_differing = int(np.sum(clean.trace.duration
+                                 != dirty.trace.duration))
+        assert n_differing == 12
+
     def test_feed_down_suppresses_transfers(self):
         from repro.simulation.show import (
             ShowSchedule,

@@ -8,6 +8,7 @@ from repro.arrayops import (
     expand_by_segment,
     segment_starts,
     segmented_cumsum,
+    segmented_running_max,
 )
 
 
@@ -69,6 +70,47 @@ class TestSegmentedCumsum:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             segmented_cumsum([1.0, 2.0], [3])
+
+
+class TestSegmentedRunningMax:
+    def test_docstring_example(self):
+        out = segmented_running_max([1, 3, 2, 5, 4], [3, 2])
+        assert out.tolist() == [1.0, 3.0, 3.0, 5.0, 5.0]
+
+    def test_restarts_at_boundaries(self):
+        out = segmented_running_max([9.0, 1.0, 2.0], [1, 2])
+        assert out.tolist() == [9.0, 1.0, 2.0]
+
+    def test_single_segment_matches_accumulate(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        out = segmented_running_max(values, [7])
+        assert out.tolist() == np.maximum.accumulate(values).tolist()
+
+    def test_all_singleton_segments(self):
+        values = [3.0, 1.0, 4.0]
+        out = segmented_running_max(values, [1, 1, 1])
+        assert out.tolist() == values
+
+    def test_empty_segments_interleaved(self):
+        out = segmented_running_max([2.0, 1.0], [0, 1, 0, 1, 0])
+        assert out.tolist() == [2.0, 1.0]
+
+    def test_negative_values(self):
+        out = segmented_running_max([-5.0, -7.0, -1.0], [3])
+        assert out.tolist() == [-5.0, -5.0, -1.0]
+
+    def test_empty_input(self):
+        out = segmented_running_max([], [])
+        assert out.size == 0
+        assert out.dtype == np.float64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_running_max([1.0, 2.0], [3])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_running_max([1.0], [2, -1])
 
 
 class TestAlternateOnSwitch:

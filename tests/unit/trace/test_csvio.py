@@ -53,6 +53,24 @@ class TestRoundTrip:
         assert loaded.n_clients == 2
 
 
+class TestWriterFormat:
+    def test_columnar_writer_row_format(self, csv_paths):
+        """The writerows fast path keeps the original row-at-a-time
+        formatting: ints plain, floats via repr (round-trip exact)."""
+        trace = sample_trace()
+        transfers, clients = csv_paths
+        write_csv(trace, transfers, clients)
+        lines = transfers.read_text().splitlines()
+        assert lines[0] == "# extent,500.0"
+        assert lines[1].startswith("client_index,object_id,start")
+        expected_first = ",".join([
+            "0", "0", repr(10.25), repr(33.5), repr(56_000.0),
+            repr(0.0), repr(0.0), "200"])
+        assert lines[2] == expected_first
+        client_lines = clients.read_text().splitlines()
+        assert client_lines[1].split(",")[0] == "p0000"
+
+
 class TestErrors:
     def test_missing_extent_row(self, csv_paths):
         transfers, clients = csv_paths

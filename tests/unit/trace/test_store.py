@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.trace.store import ClientTable, Trace
+from repro.trace.store import TRANSFER_COLUMNS, ClientTable, Trace
 
 from tests.conftest import build_trace
 
@@ -113,6 +113,43 @@ class TestTraceAccessors:
     def test_end_property(self):
         trace = build_trace([(0, 0, 3.0, 4.0)])
         assert trace.end.tolist() == [7.0]
+
+
+class TestBatchExport:
+    def test_columns_views_not_copies(self):
+        trace = build_trace([(0, 0, 0.0, 1.0), (1, 1, 2.0, 1.0)])
+        cols = trace.columns()
+        assert tuple(cols) == TRANSFER_COLUMNS
+        for name, arr in cols.items():
+            assert arr is getattr(trace, name)
+
+    def test_to_rows_matches_record_iteration(self):
+        trace = build_trace([(1, 2, 5.0, 10.0, 64_000.0),
+                             (0, 0, 1.5, 3.25)], n_clients=3)
+        rows = trace.to_rows()
+        assert len(rows) == len(trace)
+        for row, record in zip(rows, trace):
+            (client_index, object_id, start, duration, bandwidth,
+             loss, cpu, status) = row
+            assert trace.clients.record(client_index).player_id == \
+                record.client.player_id
+            assert object_id == record.object_id
+            assert start == record.start
+            assert duration == record.duration
+            assert bandwidth == record.bandwidth_bps
+            assert loss == record.packet_loss
+            assert cpu == record.server_cpu
+            assert status == record.status
+
+    def test_to_rows_plain_python_scalars(self):
+        trace = build_trace([(0, 0, 0.5, 1.0)])
+        row = trace.to_rows()[0]
+        assert type(row[0]) is int and type(row[2]) is float
+
+    def test_to_rows_empty_trace(self):
+        trace = build_trace([(0, 0, 0.0, 1.0)]).filter(
+            np.zeros(1, dtype=bool))
+        assert trace.to_rows() == []
 
 
 class TestFilter:
