@@ -1,12 +1,14 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-core experiments figures examples all
+.PHONY: install test bench bench-core bench-parallel experiments figures examples all
 
 install:
 	python setup.py develop
 
+# Tier-1 verification command (same as ROADMAP.md): works from a clean
+# checkout, no install step needed.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -16,6 +18,12 @@ bench:
 bench-core:
 	PYTHONPATH=src pytest benchmarks/bench_perf_core.py --benchmark-only \
 		--benchmark-json=BENCH_perf_core.json
+
+# Serial-vs-sharded throughput of the repro.parallel engine, recorded to
+# BENCH_parallel.json (includes the host core count, since the speedup
+# ceiling is hardware-bound).
+bench-parallel:
+	PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
 
 experiments:
 	python -m repro experiments

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Serial-vs-sharded generation throughput for ``repro.parallel``.
+
+Generates a >=500k-transfer GISMO-live workload serially and through
+``generate_sharded`` at several ``(shards, jobs)`` settings, verifies the
+outputs are bit-identical (the engine's determinism contract at scale),
+and records throughput to a JSON file so successive PRs can compare.
+
+The parallel speedup ceiling is hardware-bound: on an N-core host the
+best case is ~N x minus the serial planning/merge fraction.  The report
+therefore records ``cpu_count`` and flags hosts with fewer than 4 cores,
+where the 1.8x-at-jobs=4 target is unreachable by construction and the
+measured numbers document the ceiling instead.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.model import LiveWorkloadModel
+from repro.parallel import generate_sharded
+
+#: (shards, jobs) settings measured against the serial baseline.
+SETTINGS = ((4, 2), (8, 4))
+
+
+def _workload_model() -> LiveWorkloadModel:
+    """A model sized to produce >= 500k transfers over two days."""
+    return LiveWorkloadModel.paper_defaults(mean_session_rate=2.0,
+                                            n_clients=10_000)
+
+
+def _check_identical(a, b) -> None:
+    """Assert two workloads are bit-for-bit equal."""
+    np.testing.assert_array_equal(a.trace.start, b.trace.start)
+    np.testing.assert_array_equal(a.trace.duration, b.trace.duration)
+    np.testing.assert_array_equal(a.trace.client_index, b.trace.client_index)
+    np.testing.assert_array_equal(a.trace.object_id, b.trace.object_id)
+    np.testing.assert_array_equal(a.transfer_session, b.transfer_session)
+
+
+def main() -> int:
+    """Run the benchmark and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="output JSON path")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="workload length in days (default: 2)")
+    parser.add_argument("--seed", type=int, default=2002,
+                        help="generation seed")
+    args = parser.parse_args()
+
+    model = _workload_model()
+    cpu_count = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    serial = LiveWorkloadGenerator(model).generate(args.days, args.seed)
+    serial_s = time.perf_counter() - t0
+    n_transfers = serial.trace.n_transfers
+    print(f"serial: {n_transfers} transfers in {serial_s:.2f}s "
+          f"({n_transfers / serial_s:,.0f} transfers/s)")
+    assert n_transfers >= 500_000, (
+        f"benchmark workload too small: {n_transfers} transfers")
+
+    runs = []
+    for shards, jobs in SETTINGS:
+        t0 = time.perf_counter()
+        sharded = generate_sharded(model, args.days, seed=args.seed,
+                                   shards=shards, jobs=jobs)
+        elapsed = time.perf_counter() - t0
+        _check_identical(serial, sharded)
+        speedup = serial_s / elapsed
+        runs.append({
+            "shards": shards,
+            "jobs": jobs,
+            "seconds": round(elapsed, 4),
+            "transfers_per_second": round(n_transfers / elapsed, 1),
+            "speedup_vs_serial": round(speedup, 3),
+            "identical_to_serial": True,
+        })
+        print(f"shards={shards} jobs={jobs}: {elapsed:.2f}s "
+              f"(speedup {speedup:.2f}x, bit-identical)")
+
+    target_met = any(run["jobs"] >= 4 and run["speedup_vs_serial"] >= 1.8
+                     for run in runs)
+    notes = []
+    if cpu_count < 4:
+        notes.append(
+            f"host has {cpu_count} core(s): the 1.8x-at-jobs=4 target is "
+            f"unreachable by construction; jobs>cores timeshare one CPU "
+            f"and the numbers above document the measured ceiling "
+            f"(process-pool + pickling overhead on top of ~1x).")
+    report = {
+        "benchmark": "repro.parallel sharded generation",
+        "cpu_count": cpu_count,
+        "days": args.days,
+        "seed": args.seed,
+        "n_transfers": int(n_transfers),
+        "n_sessions": int(serial.n_sessions),
+        "serial_seconds": round(serial_s, 4),
+        "serial_transfers_per_second": round(n_transfers / serial_s, 1),
+        "runs": runs,
+        "speedup_target_1.8x_at_jobs4_met": bool(target_met),
+        "notes": notes,
+    }
+    with open(args.out, "w", encoding="ascii") as stream:
+        json.dump(report, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

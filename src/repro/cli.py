@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
@@ -38,6 +39,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'A Hierarchical Characterization of a "
                     "Live Streaming Media Workload' (IMC 2002)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress (repeat for per-shard detail)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate",
@@ -57,12 +60,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cha = sub.add_parser("characterize",
                          help="three-layer characterization of a trace")
-    cha.add_argument("trace", type=Path, help=".npz trace path")
+    cha.add_argument("trace", type=Path, nargs="+",
+                     help=".npz trace path (or WMS log paths with --log)")
     cha.add_argument("--timeout", type=float,
                      default=DEFAULT_SESSION_TIMEOUT,
                      help="session timeout T_o in seconds (default: 1500)")
     cha.add_argument("--no-sanitize", action="store_true",
                      help="skip the Section 2.4 sanitization pass")
+    cha.add_argument("--log", action="store_true",
+                     help="treat inputs as WMS-style logs and run the "
+                          "streaming map-reduce characterization")
+    cha.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for --log chunk "
+                          "characterization (default: 1, inline)")
 
     cal = sub.add_parser("calibrate",
                          help="fit the Table 2 generative model from a trace")
@@ -83,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--rate", type=float, default=0.05,
                      help="mean session rate when using default model")
     gen.add_argument("--seed", type=int, default=None, help="random seed")
+    gen.add_argument("--shards", type=int, default=1,
+                     help="split generation into this many shards; the "
+                          "merged trace is identical for any value "
+                          "(default: 1)")
+    gen.add_argument("--jobs", type=int, default=1,
+                     help="worker processes executing the shards "
+                          "(default: 1, inline)")
     gen.add_argument("--out", type=Path, required=True,
                      help="output .npz trace path")
 
@@ -136,8 +153,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_streaming_summary(summary) -> str:
+    """Render a :class:`~repro.trace.streaming.StreamingSummary` as text."""
+    lines = [
+        "streaming characterization",
+        f"  entries parsed        {summary.n_entries}",
+        f"  entries skipped       {summary.n_skipped}",
+        f"  distinct clients      {summary.n_clients}",
+        f"  length lognormal      mu={summary.length_log_mu:.3f} "
+        f"sigma={summary.length_log_sigma:.3f}",
+        f"  bytes served          {summary.bytes_served:.3e}",
+        f"  congestion bound      "
+        f"{summary.congestion_bound_fraction * 100:.2f}%",
+        "  transfers per feed    " + ", ".join(
+            f"feed{feed}={count}"
+            for feed, count in summary.feed_counts.items()),
+    ]
+    if summary.top_clients:
+        lines.append("  top clients           " + ", ".join(
+            f"{player}={count}" for player, count in summary.top_clients[:5]))
+    return "\n".join(lines)
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    trace = Trace.load_npz(args.trace)
+    if args.log:
+        from .parallel import characterize_logs
+
+        summary = characterize_logs(args.trace, jobs=args.jobs)
+        print(_render_streaming_summary(summary))
+        return 0
+    if len(args.trace) != 1:
+        print("characterize accepts exactly one .npz trace "
+              "(multiple inputs need --log)", file=sys.stderr)
+        return 2
+    trace = Trace.load_npz(args.trace[0])
     if not args.no_sanitize:
         trace, report = sanitize_trace(trace)
         if report.n_removed:
@@ -171,7 +220,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     else:
         model = LiveWorkloadModel.paper_defaults(
             mean_session_rate=args.rate)
-    workload = LiveWorkloadGenerator(model).generate(args.days, args.seed)
+    workload = LiveWorkloadGenerator(model).generate_sharded(
+        args.days, seed=args.seed, shards=args.shards, jobs=args.jobs)
     workload.trace.save_npz(args.out)
     print(f"generated {workload.trace.n_transfers} transfers in "
           f"{workload.n_sessions} sessions over {args.days} days "
@@ -252,9 +302,27 @@ _COMMANDS = {
 }
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Map ``-v`` counts onto stdlib logging levels.
+
+    0 keeps the library silent (WARNING), 1 shows shard/chunk dispatch
+    and merge timings (INFO), 2+ adds per-task completion detail (DEBUG).
+    """
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(name)s %(levelname)s: %(message)s")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     return _COMMANDS[args.command](args)
 
 

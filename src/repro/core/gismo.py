@@ -27,11 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._typing import FloatArray, IntArray, SeedLike
-from ..errors import GenerationError
-from ..rng import make_rng, spawn
-from ..trace.store import ClientTable, Trace
-from ..units import DAY
-from ..simulation.viewer import generate_sessions
+from ..trace.store import ClientTable
 from .model import LiveWorkloadModel
 
 
@@ -108,50 +104,26 @@ class LiveWorkloadGenerator:
         in-progress transfers are clipped at the window end, mirroring a
         real collection period.
 
+        Generation runs through the :mod:`repro.parallel` engine as a
+        single inline shard, so this serial path is bit-for-bit identical
+        to :meth:`generate_sharded` at any shard/worker count.
+
         Raises
         ------
         GenerationError
             If ``days`` is non-positive.
         """
-        if days <= 0:
-            raise GenerationError(f"days must be positive, got {days}")
-        model = self.model
-        rng = make_rng(seed)
-        arrival_rng, identity_rng, behavior_rng, bandwidth_rng = spawn(rng, 4)
-        duration = days * DAY
+        return self.generate_sharded(days, seed=seed)
 
-        arrivals = model.arrival_process().generate(duration, arrival_rng)
-        session_client = model.interest_law().sample(
-            arrivals.size, identity_rng) - 1
+    def generate_sharded(self, days: float, *, seed: SeedLike = None,
+                         shards: int = 1, jobs: int = 1,
+                         strategy: str = "sessions") -> GismoWorkload:
+        """Generate a workload in ``shards`` parts across ``jobs`` processes.
 
-        batch = generate_sessions(model.behavior(), arrivals,
-                                  seed=behavior_rng)
-        keep = batch.start < duration
-        starts = batch.start[keep]
-        durations = np.minimum(batch.duration[keep], duration - starts)
-        object_id = batch.object_id[keep]
-        transfer_session = batch.session_index[keep]
-        transfer_client = session_client[transfer_session]
-
-        bandwidth_law = model.bandwidth_law()
-        if bandwidth_law is not None:
-            bandwidth = bandwidth_law.sample(starts.size, bandwidth_rng)
-        else:
-            bandwidth = np.zeros(starts.size)
-
-        order = np.argsort(starts, kind="stable")
-        trace = Trace(
-            clients=_synthetic_client_table(model.n_clients),
-            client_index=transfer_client[order],
-            object_id=object_id[order],
-            start=starts[order],
-            duration=durations[order],
-            bandwidth_bps=bandwidth[order],
-            extent=duration,
-        )
-        return GismoWorkload(
-            trace=trace,
-            session_arrivals=arrivals,
-            session_client=session_client,
-            transfer_session=transfer_session[order],
-        )
+        Convenience front end to
+        :func:`repro.parallel.generate_sharded`; see there for the
+        determinism contract and parameter semantics.
+        """
+        from ..parallel.engine import generate_sharded
+        return generate_sharded(self.model, days, seed=seed, shards=shards,
+                                jobs=jobs, strategy=strategy)

@@ -1,0 +1,186 @@
+"""Map-reduce characterization of WMS-style logs.
+
+A month-long log is one long sequential read for
+:class:`~repro.trace.streaming.StreamingCharacterizer`; this module turns
+it into a map-reduce: :func:`plan_log_chunks` splits each file into
+line-aligned byte ranges, workers characterize chunks independently, and
+the exact-merge contract of
+:meth:`~repro.trace.streaming.StreamingCharacterizer.merge` reduces the
+per-chunk accumulators to the identical
+:class:`~repro.trace.streaming.StreamingSummary` the serial path yields.
+
+Determinism: the chunk plan depends only on the input files and
+``chunk_bytes`` — never on ``jobs`` — and accumulators are reduced in
+chunk order, so the reported summary is independent of the worker count.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from .._typing import FloatArray
+from ..errors import LogParseError
+from ..trace.streaming import StreamingCharacterizer, StreamingSummary
+from ..trace.wms_log import _parse_fields_header, iter_log_lines
+from .pool import logger, map_ordered
+
+#: Default target chunk size for splitting log files, in bytes.
+DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LogChunk:
+    """One line-aligned byte range of a log file.
+
+    Attributes
+    ----------
+    index:
+        Global position of the chunk across the whole plan; reductions
+        run in this order.
+    path:
+        The log file the range refers to.
+    byte_lo, byte_hi:
+        Half-open byte range ``[lo, hi)``, aligned to line boundaries.
+    fields:
+        The file's ``#Fields`` layout, extracted once by the planner so
+        chunks past the header remain parseable on their own.
+    """
+
+    index: int
+    path: str
+    byte_lo: int
+    byte_hi: int
+    fields: tuple[str, ...]
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the chunk in bytes."""
+        return self.byte_hi - self.byte_lo
+
+
+def _scan_fields(path: str | Path) -> tuple[str, ...] | None:
+    """Extract the ``#Fields`` layout heading a log file.
+
+    Returns ``None`` for files containing no data lines at all (nothing
+    to characterize).  Raises :class:`~repro.errors.LogParseError` if a
+    data line precedes the header, mirroring the serial reader.
+    """
+    with open(path, "r", encoding="ascii") as stream:
+        for number, line in iter_log_lines(stream):
+            if line.startswith("#"):
+                if line.startswith("#Fields:"):
+                    return tuple(_parse_fields_header(line, number))
+                continue
+            raise LogParseError("data before #Fields header",
+                                line_number=number, line=line)
+    return None
+
+
+def plan_log_chunks(paths: Sequence[str | Path], *,
+                    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+                    ) -> list[LogChunk]:
+    """Split log files into line-aligned chunks of roughly ``chunk_bytes``.
+
+    Cut points land on the line boundary at or after each even byte
+    split, so no log entry straddles two chunks.  Files with no data
+    lines contribute no chunks.  The plan is a pure function of the
+    files and ``chunk_bytes`` (never of the worker count), which is what
+    keeps the reduced summary independent of ``jobs``.
+
+    Raises
+    ------
+    ValueError
+        If ``chunk_bytes`` is not positive.
+    LogParseError
+        If a file has data lines before its ``#Fields`` header.
+    """
+    if chunk_bytes < 1:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    chunks: list[LogChunk] = []
+    for path in paths:
+        fields = _scan_fields(path)
+        if fields is None:
+            continue
+        size = os.path.getsize(path)
+        n_chunks = max(1, math.ceil(size / chunk_bytes))
+        cuts = [0]
+        with open(path, "rb") as stream:
+            for k in range(1, n_chunks):
+                stream.seek(k * size // n_chunks)
+                stream.readline()
+                cuts.append(min(stream.tell(), size))
+        cuts.append(size)
+        for lo, hi in zip(cuts, cuts[1:]):
+            if lo < hi:
+                chunks.append(LogChunk(index=len(chunks), path=str(path),
+                                       byte_lo=lo, byte_hi=hi,
+                                       fields=fields))
+    return chunks
+
+
+def characterize_chunk(chunk: LogChunk, *, diurnal_bins: int = 96,
+                       bandwidth_edges: FloatArray | None = None
+                       ) -> StreamingCharacterizer:
+    """Characterize one chunk into a fresh accumulator (the map step).
+
+    Module-level so chunks can be shipped to worker processes; the
+    returned :class:`~repro.trace.streaming.StreamingCharacterizer`
+    pickles back to the parent for reduction.
+    """
+    characterizer = StreamingCharacterizer(diurnal_bins=diurnal_bins,
+                                           bandwidth_edges=bandwidth_edges)
+    with open(chunk.path, "rb") as stream:
+        stream.seek(chunk.byte_lo)
+        blob = stream.read(chunk.n_bytes)
+    characterizer.consume_lines(blob.decode("ascii").splitlines(),
+                                list(chunk.fields))
+    return characterizer
+
+
+def characterize_logs(paths: str | Path | Sequence[str | Path], *,
+                      jobs: int = 1, diurnal_bins: int = 96,
+                      bandwidth_edges: FloatArray | None = None,
+                      chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                      top_k: int = 10) -> StreamingSummary:
+    """Characterize WMS-style logs with a parallel map-reduce.
+
+    Splits the inputs into line-aligned chunks, characterizes them across
+    ``jobs`` worker processes, and merges the accumulators in chunk
+    order.  Reports the identical
+    :class:`~repro.trace.streaming.StreamingSummary` a single serial
+    :class:`~repro.trace.streaming.StreamingCharacterizer` pass produces,
+    for any ``jobs`` and ``chunk_bytes``.
+
+    Parameters
+    ----------
+    paths:
+        One log path or a sequence of them.
+    jobs:
+        Worker-process count; ``1`` runs inline.
+    diurnal_bins, bandwidth_edges, top_k:
+        Forwarded to the characterizer/summary (see
+        :class:`~repro.trace.streaming.StreamingCharacterizer`).
+    chunk_bytes:
+        Target chunk size for splitting files.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    chunks = plan_log_chunks(paths, chunk_bytes=chunk_bytes)
+    worker = functools.partial(characterize_chunk,
+                               diurnal_bins=diurnal_bins,
+                               bandwidth_edges=bandwidth_edges)
+    parts = map_ordered(worker, chunks, jobs=jobs, label="chunk")
+    t0 = time.perf_counter()
+    total = StreamingCharacterizer(diurnal_bins=diurnal_bins,
+                                   bandwidth_edges=bandwidth_edges)
+    for part in parts:
+        total.merge(part)
+    logger.info("reduced %d chunk accumulator(s) in %.3fs",
+                len(parts), time.perf_counter() - t0)
+    return total.summary(top_k=top_k)

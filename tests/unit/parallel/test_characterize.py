@@ -1,0 +1,124 @@
+"""Unit tests for map-reduce log characterization (repro.parallel)."""
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import LogParseError
+from repro.parallel.characterize import (
+    characterize_chunk,
+    characterize_logs,
+    plan_log_chunks,
+)
+from repro.trace.streaming import StreamingCharacterizer
+from repro.trace.wms_log import write_wms_log
+
+from tests.conftest import build_trace
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    trace = build_trace([
+        (i % 5, i % 2, float(i * 40), 30.0 + i, 50_000.0 + 100 * i)
+        for i in range(200)
+    ], n_clients=5, extent=10_000.0)
+    path = tmp_path_factory.mktemp("logs") / "harvest.log"
+    write_wms_log(trace, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def serial_summary(log_path):
+    characterizer = StreamingCharacterizer()
+    characterizer.consume(log_path)
+    return characterizer.summary()
+
+
+class TestPlanLogChunks:
+    def test_single_chunk_for_small_file(self, log_path):
+        chunks = plan_log_chunks([log_path], chunk_bytes=1 << 30)
+        assert len(chunks) == 1
+        assert chunks[0].byte_lo == 0
+        assert chunks[0].n_bytes > 0
+
+    def test_chunks_tile_the_file(self, log_path):
+        chunks = plan_log_chunks([log_path], chunk_bytes=1024)
+        assert len(chunks) > 1
+        assert chunks[0].byte_lo == 0
+        for a, b in zip(chunks, chunks[1:]):
+            assert a.byte_hi == b.byte_lo
+        assert chunks[-1].byte_hi == os.path.getsize(log_path)
+
+    def test_cuts_are_line_aligned(self, log_path):
+        chunks = plan_log_chunks([log_path], chunk_bytes=512)
+        blob = log_path.read_bytes()
+        for chunk in chunks[1:]:
+            assert blob[chunk.byte_lo - 1:chunk.byte_lo] == b"\n"
+
+    def test_plan_independent_of_jobs_concept(self, log_path):
+        # Pure function of (files, chunk_bytes): two calls agree exactly.
+        a = plan_log_chunks([log_path], chunk_bytes=700)
+        b = plan_log_chunks([log_path], chunk_bytes=700)
+        assert a == b
+
+    def test_headerless_empty_file_skipped(self, tmp_path, log_path):
+        empty = tmp_path / "empty.log"
+        empty.write_text("# just a comment\n")
+        chunks = plan_log_chunks([empty, log_path], chunk_bytes=1 << 30)
+        assert len(chunks) == 1
+        assert chunks[0].path == str(log_path)
+
+    def test_data_before_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("1 2 3\n")
+        with pytest.raises(LogParseError):
+            plan_log_chunks([bad])
+
+    def test_invalid_chunk_bytes(self, log_path):
+        with pytest.raises(ValueError):
+            plan_log_chunks([log_path], chunk_bytes=0)
+
+
+class TestCharacterizeChunk:
+    def test_chunks_sum_to_serial(self, log_path, serial_summary):
+        chunks = plan_log_chunks([log_path], chunk_bytes=1024)
+        parts = [characterize_chunk(chunk) for chunk in chunks]
+        assert sum(p.summary().n_entries for p in parts) == \
+            serial_summary.n_entries
+
+
+class TestCharacterizeLogs:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    @pytest.mark.parametrize("chunk_bytes", [512, 1 << 30])
+    def test_exactly_reproduces_serial(self, log_path, serial_summary,
+                                       jobs, chunk_bytes):
+        summary = characterize_logs([log_path], jobs=jobs,
+                                    chunk_bytes=chunk_bytes)
+        assert summary.n_entries == serial_summary.n_entries
+        assert summary.n_clients == serial_summary.n_clients
+        assert summary.length_log_mu == serial_summary.length_log_mu
+        assert summary.length_log_sigma == serial_summary.length_log_sigma
+        assert summary.bytes_served == serial_summary.bytes_served
+        assert summary.feed_counts == serial_summary.feed_counts
+        assert summary.top_clients == serial_summary.top_clients
+        np.testing.assert_array_equal(summary.diurnal_counts,
+                                      serial_summary.diurnal_counts)
+        np.testing.assert_array_equal(summary.bandwidth_histogram,
+                                      serial_summary.bandwidth_histogram)
+
+    def test_single_path_accepted(self, log_path, serial_summary):
+        summary = characterize_logs(log_path)
+        assert summary.n_entries == serial_summary.n_entries
+
+    def test_multiple_files(self, log_path, serial_summary):
+        summary = characterize_logs([log_path, log_path], chunk_bytes=2048)
+        assert summary.n_entries == 2 * serial_summary.n_entries
+
+    def test_progress_logged(self, log_path, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.parallel"):
+            characterize_logs([log_path], chunk_bytes=1024)
+        messages = [record.message for record in caplog.records]
+        assert any("chunk(s)" in message for message in messages)
+        assert any("reduced" in message for message in messages)

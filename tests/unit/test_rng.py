@@ -3,7 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.rng import make_rng, spawn
+from repro.rng import make_rng, spawn, spawn_sequences
+
+
+class _HiddenSeedBitGenerator:
+    """A bit-generator stand-in exposing no ``seed_seq`` attribute."""
+
+
+class _NoSeedSeqGenerator:
+    """Generator stand-in that forces the entropy-drawing fallback path."""
+
+    def __init__(self, seed):
+        self._rng = np.random.default_rng(seed)
+        self.bit_generator = _HiddenSeedBitGenerator()
+
+    def integers(self, *args, **kwargs):
+        return self._rng.integers(*args, **kwargs)
 
 
 class TestMakeRng:
@@ -55,3 +70,57 @@ class TestSpawn:
         parent_b = make_rng(9)
         spawn(parent_b, 1)
         assert np.array_equal(parent_a.random(4), parent_b.random(4))
+
+
+class TestSpawnSequences:
+    def test_returns_seed_sequences(self):
+        children = spawn_sequences(make_rng(1), 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.SeedSequence) for c in children)
+
+    def test_deterministic_given_parent_seed(self):
+        a = spawn_sequences(make_rng(5), 3)
+        b = spawn_sequences(make_rng(5), 3)
+        assert [c.generate_state(4).tolist() for c in a] == \
+               [c.generate_state(4).tolist() for c in b]
+
+    def test_children_distinct(self):
+        states = {tuple(c.generate_state(4).tolist())
+                  for c in spawn_sequences(make_rng(1), 64)}
+        assert len(states) == 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_sequences(make_rng(1), -1)
+
+
+class TestSpawnFallback:
+    """Regression: the no-seed_seq fallback must route through SeedSequence.
+
+    The original fallback drew one raw integer seed per child straight
+    from the parent stream, which is collision-prone (birthday bound) and
+    skips NumPy's independence guarantee.  The fix draws *entropy* once
+    and spawns children from a proper ``SeedSequence``.
+    """
+
+    def test_fallback_children_distinct(self):
+        children = spawn_sequences(_NoSeedSeqGenerator(0), 128)
+        states = {tuple(c.generate_state(4).tolist()) for c in children}
+        assert len(states) == 128
+
+    def test_fallback_reproducible(self):
+        a = spawn(_NoSeedSeqGenerator(7), 3)[2].random(8)
+        b = spawn(_NoSeedSeqGenerator(7), 3)[2].random(8)
+        assert np.array_equal(a, b)
+
+    def test_fallback_children_share_common_entropy(self):
+        # All children of one parent descend from a single SeedSequence.
+        children = spawn_sequences(_NoSeedSeqGenerator(3), 4)
+        assert len({tuple(np.atleast_1d(c.entropy).tolist())
+                    for c in children}) == 1
+        assert sorted(c.spawn_key[-1] for c in children) == [0, 1, 2, 3]
+
+    def test_fallback_differs_by_parent_seed(self):
+        a = spawn(_NoSeedSeqGenerator(1), 1)[0].random(8)
+        b = spawn(_NoSeedSeqGenerator(2), 1)[0].random(8)
+        assert not np.array_equal(a, b)

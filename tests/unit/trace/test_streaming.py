@@ -103,6 +103,61 @@ class TestIncrementalBehaviour:
         assert parsed > 0
 
 
+class TestMerge:
+    def _split_text(self, log_text):
+        """Split the log body in two, replicating the header on each half."""
+        lines = log_text.splitlines(keepends=True)
+        header = [line for line in lines if line.startswith("#")]
+        body = [line for line in lines if not line.startswith("#")]
+        cut = len(body) // 2
+        return ("".join(header + body[:cut]),
+                "".join(header + body[cut:]))
+
+    def test_merge_equals_single_pass(self, log_text):
+        first_half, second_half = self._split_text(log_text)
+        whole = StreamingCharacterizer()
+        whole.consume(io.StringIO(log_text))
+        expected = whole.summary()
+
+        a = StreamingCharacterizer()
+        a.consume(io.StringIO(first_half))
+        b = StreamingCharacterizer()
+        b.consume(io.StringIO(second_half))
+        merged = a.merge(b).summary()
+
+        # Exact, not approximate: the merge contract is bit-identical.
+        assert merged.n_entries == expected.n_entries
+        assert merged.n_clients == expected.n_clients
+        assert merged.length_log_mu == expected.length_log_mu
+        assert merged.length_log_sigma == expected.length_log_sigma
+        assert merged.bytes_served == expected.bytes_served
+        assert merged.feed_counts == expected.feed_counts
+        assert merged.congestion_bound_fraction == \
+            expected.congestion_bound_fraction
+        np.testing.assert_array_equal(merged.diurnal_counts,
+                                      expected.diurnal_counts)
+        np.testing.assert_array_equal(merged.bandwidth_histogram,
+                                      expected.bandwidth_histogram)
+
+    def test_merge_returns_self(self):
+        a = StreamingCharacterizer()
+        assert a.merge(StreamingCharacterizer()) is a
+
+    def test_merge_empty_into_empty(self):
+        merged = StreamingCharacterizer().merge(StreamingCharacterizer())
+        assert merged.summary().n_entries == 0
+
+    def test_merge_rejects_mismatched_diurnal_bins(self):
+        with pytest.raises(ValueError):
+            StreamingCharacterizer(diurnal_bins=96).merge(
+                StreamingCharacterizer(diurnal_bins=48))
+
+    def test_merge_rejects_mismatched_bandwidth_edges(self):
+        with pytest.raises(ValueError):
+            StreamingCharacterizer().merge(
+                StreamingCharacterizer(bandwidth_edges=[0.0, 1e6]))
+
+
 class TestSummaryShape:
     def test_top_clients_ordering(self, streamed):
         top = streamed.summary(top_k=5).top_clients

@@ -115,3 +115,57 @@ class TestMergeTraces:
         a = build_trace([(0, 0, 1.0, 1.0)], extent=10.0)
         with pytest.raises(TraceError):
             merge_traces([a], offsets=[0.0, 1.0])
+
+    def test_single_trace_input(self):
+        a = sample_trace()
+        merged = merge_traces([a])
+        assert len(merged) == len(a)
+        assert merged.n_clients == a.n_clients
+        np.testing.assert_array_equal(merged.start, a.start)
+        np.testing.assert_array_equal(merged.client_index, a.client_index)
+
+    def test_empty_and_nonempty_mix(self):
+        empty = build_trace([], n_clients=2, extent=100.0)
+        full = sample_trace()
+        for traces in ([empty, full], [full, empty], [empty, full, empty]):
+            merged = merge_traces(traces)
+            assert len(merged) == len(full)
+            np.testing.assert_array_equal(np.sort(merged.start),
+                                          np.sort(full.start))
+
+    def test_all_empty(self):
+        merged = merge_traces([build_trace([], n_clients=1, extent=10.0),
+                               build_trace([], n_clients=1, extent=20.0)])
+        assert len(merged) == 0
+        assert merged.extent == 20.0
+
+    def test_duplicate_players_across_many_shards(self):
+        # Four shards, every one carrying the same two player IDs: the
+        # merged table must re-intern them to exactly two clients, with
+        # every transfer remapped onto the shared rows.
+        shards = [build_trace([(0, 0, 10.0 * k, 1.0), (1, 0, 10.0 * k + 5, 1.0)],
+                              n_clients=2, extent=100.0)
+                  for k in range(4)]
+        merged = merge_traces(shards)
+        assert merged.n_clients == 2
+        assert len(merged) == 8
+        assert merged.active_client_count() == 2
+        counts = np.bincount(merged.client_index, minlength=2)
+        assert counts.tolist() == [4, 4]
+
+    def test_nonzero_offsets_keep_start_sorted(self):
+        # Cumulative offsets stack the shards end to end; the merged start
+        # column must be globally sorted so the client_grouping cache
+        # contract (start-sorted traces) holds.
+        shards = [build_trace([(0, 0, 5.0, 2.0), (1, 0, 7.0, 1.0)],
+                              n_clients=2, extent=10.0)
+                  for _ in range(3)]
+        merged = merge_traces(shards, offsets=[0.0, 10.0, 20.0])
+        assert np.all(np.diff(merged.start) >= 0)
+        order, lengths, firsts = merged.client_grouping
+        assert lengths.tolist() == [3, 3]
+        assert firsts.tolist() == [0, 3]
+        # Per-client starts ascend in the grouped view (cache validity).
+        grouped_starts = merged.start[order]
+        assert np.all(np.diff(grouped_starts[:3]) > 0)
+        assert np.all(np.diff(grouped_starts[3:]) > 0)
