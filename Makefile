@@ -1,9 +1,9 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-core bench-parallel experiments figures examples all
+.PHONY: install test bench bench-core bench-parallel bench-stream experiments figures examples all
 
 install:
-	python setup.py develop
+	pip install -e .
 
 # Tier-1 verification command (same as ROADMAP.md): works from a clean
 # checkout, no install step needed.
@@ -11,7 +11,7 @@ test:
 	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 # Core hot-path throughput only, with a JSON record so successive PRs
 # can compare perf trajectories (BENCH_perf_core.json).
@@ -25,13 +25,19 @@ bench-core:
 bench-parallel:
 	PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
 
+# Paper-scale streaming run (28 days, ~5.7M transfers by default):
+# records throughput AND peak RSS to BENCH_stream.json, alongside the
+# estimated in-memory footprint the batch path would have needed.
+bench-stream:
+	PYTHONPATH=src python benchmarks/bench_stream.py --out BENCH_stream.json
+
 experiments:
-	python -m repro experiments
+	PYTHONPATH=src python -m repro experiments
 
 figures:
-	python -m repro figures --outdir figures/
+	PYTHONPATH=src python -m repro figures --outdir figures/
 
 examples:
-	for ex in examples/*.py; do echo "== $$ex =="; python $$ex; done
+	for ex in examples/*.py; do echo "== $$ex =="; PYTHONPATH=src python $$ex; done
 
 all: test bench experiments

@@ -41,6 +41,12 @@ from .simulation.scenario import (
     ScenarioConfig,
     SimulationResult,
 )
+from .stream import (
+    GenerationStream,
+    OnlineSessionizer,
+    StreamRunResult,
+    run_streaming_generation,
+)
 from .trace.sanitize import SanitizationReport, sanitize_trace
 from .trace.store import Trace
 from .trace.wms_log import read_wms_log, write_wms_log
@@ -51,16 +57,19 @@ __all__ = [
     "CalibrationResult",
     "CapacityPlan",
     "FidelityReport",
+    "GenerationStream",
     "GismoWorkload",
     "HierarchicalWorkload",
     "LiveShowScenario",
     "LiveWorkloadGenerator",
     "LiveWorkloadModel",
+    "OnlineSessionizer",
     "ReproError",
     "SanitizationReport",
     "ScenarioConfig",
     "Sessions",
     "SimulationResult",
+    "StreamRunResult",
     "Trace",
     "WorkloadCharacterization",
     "calibrate_model",
@@ -70,6 +79,7 @@ __all__ = [
     "read_wms_log",
     "render_report",
     "required_capacity",
+    "run_streaming_generation",
     "sanitize_trace",
     "session_count_for_timeouts",
     "sessionize",

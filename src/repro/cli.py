@@ -73,6 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--jobs", type=int, default=1,
                      help="worker processes for --log chunk "
                           "characterization (default: 1, inline)")
+    cha.add_argument("--checkpoint", type=Path, default=None,
+                     help="with --log: run the sequential resumable "
+                          "characterization, checkpointing the "
+                          "accumulator to this file")
+    cha.add_argument("--resume", action="store_true",
+                     help="with --checkpoint: continue from the "
+                          "checkpoint if it exists")
 
     cal = sub.add_parser("calibrate",
                          help="fit the Table 2 generative model from a trace")
@@ -92,6 +99,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="workload length in days (default: 7)")
     gen.add_argument("--rate", type=float, default=0.05,
                      help="mean session rate when using default model")
+    gen.add_argument("--clients", type=int, default=50_000,
+                     help="client population when using default model "
+                          "(default: 50000)")
     gen.add_argument("--seed", type=int, default=None, help="random seed")
     gen.add_argument("--shards", type=int, default=1,
                      help="split generation into this many shards; the "
@@ -101,7 +111,35 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes executing the shards "
                           "(default: 1, inline)")
     gen.add_argument("--out", type=Path, required=True,
-                     help="output .npz trace path")
+                     help="output .npz trace path (with --stream: the "
+                          "WMS-style log path)")
+    gen.add_argument("--stream", action="store_true",
+                     help="bounded-memory streaming mode: write a "
+                          "WMS-style log directly (never materializing "
+                          "the trace); bit-identical to generating the "
+                          "trace and writing the log from it")
+    gen.add_argument("--chunk-size", type=int, default=None,
+                     help="transfers per streamed batch (--stream only; "
+                          "output is invariant to it)")
+    gen.add_argument("--blocks", type=int, default=None,
+                     help="canonical block count (--stream only; part "
+                          "of the workload identity, default: 64)")
+    gen.add_argument("--timeout", type=float,
+                     default=DEFAULT_SESSION_TIMEOUT,
+                     help="session timeout T_o for the online "
+                          "sessionizer (--stream only, default: 1500)")
+    gen.add_argument("--no-sessions", action="store_true",
+                     help="skip online sessionization (--stream only)")
+    gen.add_argument("--checkpoint", type=Path, default=None,
+                     help="checkpoint the pipeline cursor to this file "
+                          "after every block (--stream only; requires "
+                          "--seed)")
+    gen.add_argument("--resume", action="store_true",
+                     help="continue from --checkpoint if it exists "
+                          "(--stream only)")
+    gen.add_argument("--max-blocks", type=int, default=None,
+                     help="stop after this many blocks (--stream only; "
+                          "for exercising interrupted runs)")
 
     rep = sub.add_parser("replay",
                          help="replay a trace against the unicast server")
@@ -176,10 +214,29 @@ def _render_streaming_summary(summary) -> str:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    if args.checkpoint is not None and not args.log:
+        print("--checkpoint requires --log (it checkpoints the streaming "
+              "log characterization)", file=sys.stderr)
+        return 2
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     if args.log:
-        from .parallel import characterize_logs
+        if args.checkpoint is not None:
+            from .errors import CheckpointError
+            from .stream import characterize_logs_resumable
 
-        summary = characterize_logs(args.trace, jobs=args.jobs)
+            try:
+                summary = characterize_logs_resumable(
+                    args.trace, checkpoint_path=args.checkpoint,
+                    resume=args.resume)
+            except CheckpointError as exc:
+                print(f"checkpoint error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            from .parallel import characterize_logs
+
+            summary = characterize_logs(args.trace, jobs=args.jobs)
         print(_render_streaming_summary(summary))
         return 0
     if len(args.trace) != 1:
@@ -219,13 +276,55 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             json.loads(args.model.read_text()))
     else:
         model = LiveWorkloadModel.paper_defaults(
-            mean_session_rate=args.rate)
+            mean_session_rate=args.rate, n_clients=args.clients)
+    if args.stream:
+        return _cmd_generate_stream(args, model)
+    for flag, name in ((args.chunk_size, "--chunk-size"),
+                       (args.blocks, "--blocks"),
+                       (args.checkpoint, "--checkpoint"),
+                       (args.max_blocks, "--max-blocks")):
+        if flag is not None:
+            print(f"{name} only applies with --stream", file=sys.stderr)
+            return 2
+    if args.resume or args.no_sessions:
+        print("--resume/--no-sessions only apply with --stream",
+              file=sys.stderr)
+        return 2
     workload = LiveWorkloadGenerator(model).generate_sharded(
         args.days, seed=args.seed, shards=args.shards, jobs=args.jobs)
     workload.trace.save_npz(args.out)
     print(f"generated {workload.trace.n_transfers} transfers in "
           f"{workload.n_sessions} sessions over {args.days} days "
           f"-> {args.out}")
+    return 0
+
+
+def _cmd_generate_stream(args: argparse.Namespace,
+                         model: LiveWorkloadModel) -> int:
+    from .errors import CheckpointError
+    from .stream import DEFAULT_CHUNK_SIZE, run_streaming_generation
+
+    try:
+        result = run_streaming_generation(
+            model, args.days, seed=args.seed, log_path=args.out,
+            chunk_size=(DEFAULT_CHUNK_SIZE if args.chunk_size is None
+                        else args.chunk_size),
+            blocks=args.blocks, timeout=args.timeout,
+            sessionize=not args.no_sessions, collect_sessions=False,
+            checkpoint_path=args.checkpoint, resume=args.resume,
+            max_blocks=args.max_blocks)
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    state = "complete" if result.completed else "interrupted"
+    sessions = ("sessions off" if result.n_sessions is None
+                else f"{result.n_sessions} sessions")
+    print(f"streamed {result.n_entries} log entries "
+          f"({result.n_transfers} transfers, {sessions}) over "
+          f"{args.days} days -> {args.out} [{state}]")
+    print(f"  peak state: {result.peak_open_sessions} open sessions, "
+          f"{result.peak_log_buffered} buffered log entries, "
+          f"{result.peak_pending} pending transfers")
     return 0
 
 

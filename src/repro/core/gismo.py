@@ -58,19 +58,36 @@ class GismoWorkload:
         return int(self.session_arrivals.size)
 
 
+#: Operating-system string assigned to synthetic clients (the
+#: :class:`~repro.trace.store.ClientTable` default).
+SYNTHETIC_OS_NAME = "Windows_98"
+
+
+def synthetic_client_identity(index: int) -> tuple[str, str, str]:
+    """The ``(ip, player_id, os_name)`` of synthetic client ``index``.
+
+    The identity is a pure function of the index, so streaming consumers
+    (the bounded-memory WMS log writer in :mod:`repro.stream`) can derive
+    it on the fly instead of materializing the whole client table.
+    :func:`_synthetic_client_table` builds its rows from the same formula,
+    which keeps the streamed log byte-identical to one written from a
+    materialized :class:`~repro.trace.store.Trace`.
+    """
+    ip = f"10.{(index >> 16) & 255}.{(index >> 8) & 255}.{index & 255}"
+    return ip, f"gismo-{index:07d}", SYNTHETIC_OS_NAME
+
+
 def _synthetic_client_table(n_clients: int) -> ClientTable:
     """Placeholder client identities for generated workloads.
 
     GISMO clients are abstract entities; they get sequential player IDs and
     deterministic placeholder IPs (one per client), with no AS/country
-    annotation.
+    annotation.  Rows follow :func:`synthetic_client_identity`.
     """
-    ids = [f"gismo-{i:07d}" for i in range(n_clients)]
-    ips = [f"10.{(i >> 16) & 255}.{(i >> 8) & 255}.{i & 255}"
-           for i in range(n_clients)]
+    identities = [synthetic_client_identity(i) for i in range(n_clients)]
     return ClientTable(
-        player_ids=ids,
-        ips=ips,
+        player_ids=[player for _, player, _ in identities],
+        ips=[ip for ip, _, _ in identities],
         as_numbers=np.zeros(n_clients, dtype=np.int64),
         countries=[""] * n_clients,
     )

@@ -196,6 +196,19 @@ class Sessions:
         offs = self.session_start[1:] - self.session_end[:-1]
         return offs[same_client]
 
+    def session_columns(self) -> tuple[IntArray, FloatArray, FloatArray,
+                                       IntArray]:
+        """The per-session ``(client, start, end, n_transfers)`` columns.
+
+        Sessions appear in their canonical ``(client, start)`` order.  This
+        is the comparison currency of the streaming pipeline: the online
+        sessionizer (:class:`repro.stream.OnlineSessionizer`) must
+        reproduce these four arrays bit for bit on any input, for any
+        batching of the trace (see ``tests/property``).
+        """
+        return (self.session_client, self.session_start, self.session_end,
+                self.transfers_per_session)
+
     def sessions_per_client(self) -> IntArray:
         """Session count per client index (length ``trace.n_clients``)."""
         return np.bincount(self.session_client,

@@ -57,6 +57,15 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class CheckpointError(ReproError):
+    """A streaming checkpoint is missing, corrupt, or inconsistent.
+
+    Raised when a checkpoint file cannot be read, carries an unsupported
+    format version, or was written by a run whose parameters (model, seed,
+    inputs) differ from the one trying to resume from it.
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

@@ -161,6 +161,45 @@ def _shard_cuts(bounds: IntArray, n_blocks: int, shards: int,
     return cuts
 
 
+def plan_block_stream(model: LiveWorkloadModel, days: float, *,
+                      seed: SeedLike = None,
+                      blocks: int = DEFAULT_BLOCKS) -> GenerationPlan:
+    """Plan a generation request as one shard per canonical block.
+
+    The streaming entry point (:class:`repro.stream.GenerationStream`)
+    executes blocks one at a time in canonical order, so it needs the
+    finest-grained decomposition: ``shards == blocks`` under the
+    ``"windows"`` strategy, which maps shard ``k`` to exactly block ``k``.
+    The underlying workload is the same pure function of ``(model, days,
+    seed, blocks)`` as every other execution mode.
+    """
+    return plan_generation(model, days, seed=seed, shards=blocks,
+                           strategy="windows", blocks=blocks)
+
+
+def emit_horizons(plan: GenerationPlan) -> FloatArray:
+    """Per-shard emit horizons for time-ordered streaming.
+
+    ``emit_horizons(plan)[k]`` is a lower bound on the start time of every
+    transfer produced by shards *after* ``k`` (``+inf`` for the last
+    shard).  A shard's earliest transfer starts exactly at its first
+    session arrival, and arrivals are globally sorted, so the bound is the
+    arrival of the first session beyond shard ``k`` — known from the plan
+    alone, before any transfer is synthesized.  A streaming merge may
+    therefore emit everything with ``start < horizon[k]`` once shards
+    ``0..k`` have executed, and still produce the exact global start
+    order.
+    """
+    horizons = np.full(len(plan.shards), np.inf, dtype=np.float64)
+    hi = 0
+    for k, shard in enumerate(plan.shards):
+        if shard.blocks:
+            hi = shard.blocks[-1].session_hi
+        if hi < plan.arrivals.size:
+            horizons[k] = plan.arrivals[hi]
+    return horizons
+
+
 def plan_generation(model: LiveWorkloadModel, days: float, *,
                     seed: SeedLike = None, shards: int = 1,
                     strategy: str = "sessions",

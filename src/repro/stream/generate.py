@@ -1,0 +1,264 @@
+"""Chunked, time-ordered streaming generation.
+
+The batch engine (:func:`repro.parallel.generate_sharded`) materializes
+every shard's transfers and merges them into one
+:class:`~repro.trace.store.Trace` — O(trace) memory.  This module produces
+the *same* transfers, in the same global start order, as a sequence of
+bounded-size :class:`TransferBatch` chunks, holding only:
+
+* the generation plan's arrival/interest arrays (O(sessions) — the serial
+  planning stages are shared with every other execution mode);
+* the currently executing canonical block (O(trace / blocks));
+* a *pending* buffer of transfers that start beyond the next block's
+  first arrival (bounded by how far session tails outlive their block's
+  time window).
+
+The merge invariant: blocks are time windows, so block ``k``'s earliest
+transfer starts at its first session arrival — known from the plan before
+any transfer is synthesized (:func:`repro.parallel.plan.emit_horizons`).
+After executing blocks ``0..k``, everything with ``start <
+emit_horizons(plan)[k]`` can be emitted; a stable merge of the pending
+buffer with each new block reproduces exactly the stable sort by start
+the batch path applies to the concatenated blocks, so the streamed
+column concatenation is **bit-identical** to
+``generate_sharded(model, days, seed=seed, blocks=blocks).trace`` for any
+``chunk_size``.
+
+The cursor — next block index, pending buffer, emitted count — is the
+whole iterator state, which is what makes checkpoint/resume exact: blocks
+derive their random streams statelessly from the plan's spawned seed
+sequences, so re-planning on resume reproduces the remaining blocks
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray, SeedLike
+from ..core.model import LiveWorkloadModel
+from ..errors import CheckpointError
+from ..parallel.engine import generate_shard
+from ..parallel.plan import DEFAULT_BLOCKS, emit_horizons, plan_block_stream
+
+#: Default number of transfers per emitted batch.
+DEFAULT_CHUNK_SIZE = 100_000
+
+#: Pending-buffer columns carried across blocks, in checkpoint order.
+_PENDING_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("start", np.float64), ("duration", np.float64),
+    ("object_id", np.int64), ("bandwidth_bps", np.float64),
+    ("transfer_session", np.int64),
+)
+
+
+@dataclass(frozen=True)
+class TransferBatch:
+    """One bounded chunk of the global, start-ordered transfer stream.
+
+    Attributes
+    ----------
+    global_offset:
+        Trace position of the batch's first transfer: the streamed trace
+        is the concatenation of batches, and ``global_offset + i`` is row
+        ``i``'s index in the equivalent in-memory trace.
+    client_index, object_id, start, duration, bandwidth_bps:
+        The transfer columns, exactly as the batch trace holds them.
+    transfer_session:
+        Global owning-session index of each transfer.
+    horizon:
+        Lower bound on the start of every transfer in every *later*
+        batch.  Consumers use it to retire state: the log writer flushes
+        entries ending before it, the online sessionizer evicts sessions
+        it provably closes.  ``+inf`` on the final flush.
+    """
+
+    global_offset: int
+    client_index: IntArray = field(repr=False)
+    object_id: IntArray = field(repr=False)
+    start: FloatArray = field(repr=False)
+    duration: FloatArray = field(repr=False)
+    bandwidth_bps: FloatArray = field(repr=False)
+    transfer_session: IntArray = field(repr=False)
+    horizon: float = np.inf
+
+    @property
+    def n_transfers(self) -> int:
+        """Number of transfers in the batch."""
+        return int(self.start.size)
+
+
+class GenerationStream:
+    """Streaming iterator over a GISMO-live generation request.
+
+    Iterating yields :class:`TransferBatch` chunks of at most
+    ``chunk_size`` transfers in global start order; the concatenated
+    batches are bit-identical to the batch engine's trace for the same
+    ``(model, days, seed, blocks)``.  :meth:`block_steps` exposes the
+    canonical-block granularity at which the cursor
+    (:meth:`state_meta`/:meth:`state_arrays`) is valid for checkpointing.
+
+    Parameters
+    ----------
+    model:
+        The generative model.
+    days:
+        Observation-window length in days.
+    seed:
+        Request seed.  Required for resumable runs — an unseeded plan
+        cannot be re-created.
+    chunk_size:
+        Maximum transfers per emitted batch (content is invariant to it).
+    blocks:
+        Canonical block count; part of the workload's identity (see
+        :data:`repro.parallel.plan.DEFAULT_BLOCKS`).
+    """
+
+    def __init__(self, model: LiveWorkloadModel, days: float, *,
+                 seed: SeedLike = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 blocks: int = DEFAULT_BLOCKS) -> None:
+        if chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be at least 1, got {chunk_size}")
+        self.model = model
+        self.days = float(days)
+        self.chunk_size = int(chunk_size)
+        self.blocks = int(blocks)
+        self._plan = plan_block_stream(model, days, seed=seed, blocks=blocks)
+        self._horizons = emit_horizons(self._plan)
+        self._next_block = 0
+        self._n_emitted = 0
+        self._pending = {name: np.empty(0, dtype=dtype)
+                         for name, dtype in _PENDING_COLUMNS}
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        """Number of canonical blocks (block steps) in the stream."""
+        return len(self._plan.shards)
+
+    @property
+    def next_block(self) -> int:
+        """Index of the next block to execute (== blocks completed)."""
+        return self._next_block
+
+    @property
+    def n_emitted(self) -> int:
+        """Transfers emitted so far (the next batch's global offset)."""
+        return self._n_emitted
+
+    @property
+    def n_pending(self) -> int:
+        """Transfers held in the cross-block pending buffer."""
+        return int(self._pending["start"].size)
+
+    @property
+    def n_sessions(self) -> int:
+        """Total planned session count (known up front from the plan)."""
+        return self._plan.n_sessions
+
+    @property
+    def extent(self) -> float:
+        """Observation-window length in seconds."""
+        return self._plan.duration
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TransferBatch]:
+        for batches in self.block_steps():
+            yield from batches
+
+    def block_steps(self) -> Iterator[list[TransferBatch]]:
+        """Yield the batches of one canonical block at a time.
+
+        The cursor state is consistent exactly between steps: after
+        consuming a step's batches, :meth:`state_meta` and
+        :meth:`state_arrays` describe a resumable position.
+        """
+        while self._next_block < self.n_blocks:
+            yield self._advance_block()
+
+    def _advance_block(self) -> list[TransferBatch]:
+        block = self._next_block
+        result = generate_shard(self._plan.shards[block])
+        horizon = float(self._horizons[block])
+        produced = {
+            "start": result.start, "duration": result.duration,
+            "object_id": result.object_id,
+            "bandwidth_bps": result.bandwidth_bps,
+            "transfer_session": result.transfer_session,
+        }
+        # Stable merge with the pending buffer: pending rows come from
+        # earlier blocks, so keeping them first on equal starts is
+        # exactly the batch path's stable sort over blocks in order.
+        merged = {name: np.concatenate([col, produced[name]])
+                  for name, col in self._pending.items()}
+        order = np.argsort(merged["start"], kind="stable")
+        merged = {name: col[order] for name, col in merged.items()}
+        cut = int(np.searchsorted(merged["start"], horizon, side="left"))
+        # Copy the kept tail so the emitted prefix's memory can be freed.
+        self._pending = {name: col[cut:].copy()
+                         for name, col in merged.items()}
+
+        session_client = self._plan.session_client
+        batches = []
+        for lo in range(0, cut, self.chunk_size):
+            hi = min(lo + self.chunk_size, cut)
+            session = merged["transfer_session"][lo:hi]
+            batches.append(TransferBatch(
+                global_offset=self._n_emitted + lo,
+                client_index=session_client[session],
+                object_id=merged["object_id"][lo:hi],
+                start=merged["start"][lo:hi],
+                duration=merged["duration"][lo:hi],
+                bandwidth_bps=merged["bandwidth_bps"][lo:hi],
+                transfer_session=session,
+                horizon=horizon,
+            ))
+        self._n_emitted += cut
+        self._next_block = block + 1
+        return batches
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_meta(self) -> dict:
+        """The scalar cursor state (valid between block steps)."""
+        return {"next_block": self._next_block,
+                "n_emitted": self._n_emitted}
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The pending-buffer columns (valid between block steps)."""
+        return {f"gen_pending_{name}": col.copy()
+                for name, col in self._pending.items()}
+
+    def restore(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        """Restore a cursor captured by the two ``state_*`` methods.
+
+        Raises
+        ------
+        CheckpointError
+            If the cursor does not fit this stream's plan.
+        """
+        next_block = int(meta["next_block"])
+        if not 0 <= next_block <= self.n_blocks:
+            raise CheckpointError(
+                f"checkpoint block cursor {next_block} out of range for "
+                f"{self.n_blocks} blocks")
+        try:
+            pending = {name: np.asarray(arrays[f"gen_pending_{name}"],
+                                        dtype=dtype)
+                       for name, dtype in _PENDING_COLUMNS}
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint is missing generation state: {exc}") from exc
+        self._next_block = next_block
+        self._n_emitted = int(meta["n_emitted"])
+        self._pending = pending

@@ -1,0 +1,341 @@
+"""The end-to-end bounded-memory streaming pipeline.
+
+:func:`run_streaming_generation` wires the three streaming stages
+together — :class:`~repro.stream.generate.GenerationStream` produces
+start-ordered transfer batches, each batch is pushed into the
+:class:`~repro.trace.wms_log.StreamingWmsLogWriter` (log bytes identical
+to the batch writer) and the
+:class:`~repro.stream.sessionize.OnlineSessionizer` (sessions identical
+to the batch sessionizer) — while never materializing the trace.
+
+After every canonical block the pipeline state is a small, serializable
+cursor: the generator's pending buffer, the writer's in-flight reorder
+buffer, the open-session table, and the collected finalized sessions.
+With ``checkpoint_path`` set, that cursor is atomically saved after each
+block; a later call with ``resume=True`` restores it, truncates the log
+file back to the checkpointed byte offset, and continues — the finished
+artifacts are bit-identical to an uninterrupted run, which is what the
+kill-and-resume step in CI asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..core.gismo import synthetic_client_identity
+from ..core.model import LiveWorkloadModel
+from ..errors import CheckpointError
+from ..trace.wms_log import StreamingWmsLogWriter
+from ..units import DEFAULT_SESSION_TIMEOUT
+from .checkpoint import load_checkpoint, require_match, save_checkpoint
+from .generate import DEFAULT_CHUNK_SIZE, GenerationStream
+from .sessionize import (FinalizedSessions, OnlineSessionizer,
+                         merge_finalized)
+
+#: Prefix namespacing the log writer's buffer inside checkpoint archives.
+_WRITER_PREFIX = "log_"
+
+#: Prefix namespacing the collected finalized-session columns.
+_SESSIONS_PREFIX = "fin_"
+
+
+@dataclass(frozen=True)
+class StreamRunResult:
+    """Outcome of one :func:`run_streaming_generation` call.
+
+    Attributes
+    ----------
+    n_transfers:
+        Transfers emitted by the generation stream so far (across
+        resumes).
+    n_entries:
+        Log entries written so far (0 when no log was requested).
+    n_sessions:
+        Sessions finalized so far (``None`` when sessionization is off).
+    sessions:
+        The finalized sessions in canonical ``(client, start)`` order
+        when collection is on, else ``None``.  Only meaningful once
+        ``completed`` is true.
+    completed:
+        Whether the stream ran to the end of the observation window.
+        False only when ``max_blocks`` stopped the run early.
+    blocks_run:
+        Canonical blocks executed *by this call*.
+    peak_open_sessions:
+        High-water mark of the open-session table.
+    peak_log_buffered:
+        High-water mark of the log writer's reorder buffer.
+    peak_pending:
+        High-water mark of the generator's cross-block pending buffer.
+    """
+
+    n_transfers: int
+    n_entries: int
+    n_sessions: int | None
+    sessions: FinalizedSessions | None
+    completed: bool
+    blocks_run: int
+    peak_open_sessions: int
+    peak_log_buffered: int
+    peak_pending: int
+
+
+def _workload_fingerprint(model: LiveWorkloadModel, days: float,
+                          seed: int, blocks: int, timeout: float) -> dict:
+    return {
+        "model": model.to_dict(),
+        "days": float(days),
+        "seed": int(seed),
+        "blocks": int(blocks),
+        "timeout": float(timeout),
+    }
+
+
+def run_streaming_generation(
+        model: LiveWorkloadModel, days: float, *,
+        seed: SeedLike = None,
+        log_path: str | Path | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        blocks: int | None = None,
+        timeout: float = DEFAULT_SESSION_TIMEOUT,
+        sessionize: bool = True,
+        collect_sessions: bool = True,
+        checkpoint_path: str | Path | None = None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+        max_blocks: int | None = None,
+        software: str = "Windows Media Services 4.1") -> StreamRunResult:
+    """Generate a workload end to end in bounded memory.
+
+    Parameters
+    ----------
+    model, days, seed:
+        The generation request; for a fixed ``(model, days, seed,
+        blocks)`` the log file is byte-identical to
+        ``write_wms_log(generate_sharded(...).trace)`` and the collected
+        sessions match ``sessionize(trace, timeout).session_columns()``.
+    log_path:
+        WMS-style log destination; ``None`` skips log writing.
+    chunk_size:
+        Transfers per streamed batch (outputs are invariant to it).
+    blocks:
+        Canonical block count (default
+        :data:`repro.parallel.plan.DEFAULT_BLOCKS`); also the checkpoint
+        granularity.
+    timeout:
+        Sessionization silence threshold ``T_o``.
+    sessionize:
+        Run the online sessionizer.
+    collect_sessions:
+        Keep finalized sessions in memory (O(sessions)); turn off for
+        count-only paper-scale runs.
+    checkpoint_path:
+        When set, the pipeline cursor is saved here after every
+        ``checkpoint_every`` blocks (and at exit).  Requires an integer
+        ``seed`` — an unseeded request cannot be re-planned on resume.
+    resume:
+        Continue from ``checkpoint_path`` if it exists (a missing
+        checkpoint file starts from scratch, so a kill-anytime retry
+        loop needs no existence check).  The checkpoint's workload
+        fingerprint must match this call's arguments.
+    checkpoint_every:
+        Blocks between checkpoint saves.
+    max_blocks:
+        Stop after this many blocks in *this* call (test/ops hook for
+        exercising interrupted runs); the result reports
+        ``completed=False`` when the stream was cut short.
+    software:
+        Log ``#Software`` header value.
+
+    Raises
+    ------
+    CheckpointError
+        On checkpoint/argument mismatches (wrong workload fingerprint,
+        missing log file to resume into, unseeded checkpointed request).
+    """
+    if checkpoint_path is not None and not isinstance(seed, int):
+        raise CheckpointError(
+            "checkpointed streaming runs require an integer seed: an "
+            "unseeded plan cannot be re-created on resume")
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be at least 1, got {checkpoint_every}")
+
+    stream = GenerationStream(model, days, seed=seed, chunk_size=chunk_size,
+                              **({} if blocks is None
+                                 else {"blocks": blocks}))
+    sessionizer = (OnlineSessionizer(model.n_clients, timeout=timeout)
+                   if sessionize else None)
+    fingerprint = None
+    if checkpoint_path is not None:
+        fingerprint = _workload_fingerprint(model, days, seed, stream.blocks,
+                                            timeout)
+
+    collected: list[FinalizedSessions] = []
+    restored = None
+    if resume:
+        if checkpoint_path is None:
+            raise CheckpointError("resume=True requires a checkpoint_path")
+        if os.path.exists(checkpoint_path):
+            restored = load_checkpoint(checkpoint_path)
+
+    meta = None
+    if restored is not None:
+        meta, arrays = restored
+        require_match(meta, fingerprint, checkpoint_path)
+        stream.restore(meta["generator"], arrays)
+        if sessionizer is not None:
+            if meta.get("sessionizer") is None:
+                raise CheckpointError(
+                    "checkpoint was written without sessionization; "
+                    "cannot resume with sessionize=True")
+            sessionizer.restore(meta["sessionizer"], arrays)
+        if sessionizer is not None and collect_sessions:
+            try:
+                collected = [FinalizedSessions(
+                    client_index=np.asarray(
+                        arrays[f"{_SESSIONS_PREFIX}client"], dtype=np.int64),
+                    start=np.asarray(arrays[f"{_SESSIONS_PREFIX}start"],
+                                     dtype=np.float64),
+                    end=np.asarray(arrays[f"{_SESSIONS_PREFIX}end"],
+                                   dtype=np.float64),
+                    n_transfers=np.asarray(
+                        arrays[f"{_SESSIONS_PREFIX}count"], dtype=np.int64),
+                )]
+            except KeyError as exc:
+                raise CheckpointError(
+                    "checkpoint was written without collected sessions; "
+                    f"missing {exc}") from exc
+
+    own_stream: TextIO | None = None
+    writer: StreamingWmsLogWriter | None = None
+    try:
+        if log_path is not None:
+            if restored is not None:
+                offset = meta.get("log_offset")
+                if offset is None:
+                    raise CheckpointError(
+                        "checkpoint was written without a log file; "
+                        "cannot resume log output")
+                if not os.path.exists(log_path):
+                    raise CheckpointError(
+                        f"log file {os.fspath(log_path)!r} is missing; the "
+                        "checkpoint expects its first "
+                        f"{offset} bytes")
+                if os.path.getsize(log_path) < offset:
+                    raise CheckpointError(
+                        f"log file {os.fspath(log_path)!r} is shorter than "
+                        f"the checkpointed offset {offset}")
+                own_stream = open(log_path, "r+", encoding="ascii")
+                own_stream.truncate(offset)
+                own_stream.seek(offset)
+                writer = StreamingWmsLogWriter(
+                    own_stream, synthetic_client_identity,
+                    software=software, write_header=False)
+                writer.restore(
+                    int(meta["writer"]["n_written"]),
+                    {name[len(_WRITER_PREFIX):]: col
+                     for name, col in arrays.items()
+                     if name.startswith(_WRITER_PREFIX)})
+            else:
+                own_stream = open(log_path, "w", encoding="ascii")
+                writer = StreamingWmsLogWriter(
+                    own_stream, synthetic_client_identity, software=software)
+
+        peak_open = sessionizer.peak_open if sessionizer is not None else 0
+        peak_buffered = writer.n_buffered if writer is not None else 0
+        peak_pending = stream.n_pending
+        blocks_run = 0
+        since_checkpoint = 0
+
+        def checkpoint_now() -> None:
+            arrays: dict[str, np.ndarray] = {}
+            arrays.update(stream.state_arrays())
+            doc = {
+                "fingerprint": fingerprint,
+                "generator": stream.state_meta(),
+                "sessionizer": None,
+                "writer": None,
+                "log_offset": None,
+            }
+            if sessionizer is not None:
+                doc["sessionizer"] = sessionizer.state_meta()
+                arrays.update(sessionizer.state_arrays())
+            if writer is not None:
+                own_stream.flush()
+                doc["writer"] = {"n_written": writer.n_written}
+                doc["log_offset"] = own_stream.tell()
+                arrays.update({f"{_WRITER_PREFIX}{name}": col
+                               for name, col
+                               in writer.state_arrays().items()})
+            if sessionizer is not None and collect_sessions:
+                merged = merge_finalized(collected)
+                collected[:] = [merged]
+                arrays[f"{_SESSIONS_PREFIX}client"] = merged.client_index
+                arrays[f"{_SESSIONS_PREFIX}start"] = merged.start
+                arrays[f"{_SESSIONS_PREFIX}end"] = merged.end
+                arrays[f"{_SESSIONS_PREFIX}count"] = merged.n_transfers
+            save_checkpoint(checkpoint_path, doc, arrays)
+
+        for batches in stream.block_steps():
+            for batch in batches:
+                if writer is not None:
+                    writer.push(
+                        client_index=batch.client_index,
+                        object_id=batch.object_id,
+                        start=batch.start, duration=batch.duration,
+                        bandwidth_bps=batch.bandwidth_bps,
+                        global_offset=batch.global_offset,
+                        horizon=batch.horizon)
+                    peak_buffered = max(peak_buffered, writer.n_buffered)
+                if sessionizer is not None:
+                    finalized = sessionizer.push_batch(batch)
+                    if collect_sessions and finalized.n_sessions:
+                        collected.append(finalized)
+            peak_pending = max(peak_pending, stream.n_pending)
+            if sessionizer is not None:
+                peak_open = max(peak_open, sessionizer.peak_open)
+            blocks_run += 1
+            since_checkpoint += 1
+            if (checkpoint_path is not None
+                    and since_checkpoint >= checkpoint_every):
+                checkpoint_now()
+                since_checkpoint = 0
+            if max_blocks is not None and blocks_run >= max_blocks:
+                break
+
+        completed = stream.next_block >= stream.n_blocks
+        if completed:
+            if writer is not None:
+                writer.finish()
+            if sessionizer is not None:
+                finalized = sessionizer.finish()
+                if collect_sessions and finalized.n_sessions:
+                    collected.append(finalized)
+        if checkpoint_path is not None and (since_checkpoint or completed):
+            checkpoint_now()
+
+        sessions = None
+        if sessionizer is not None and collect_sessions:
+            sessions = merge_finalized(collected)
+        return StreamRunResult(
+            n_transfers=stream.n_emitted,
+            n_entries=writer.n_written if writer is not None else 0,
+            n_sessions=(sessionizer.n_finalized
+                        if sessionizer is not None else None),
+            sessions=sessions,
+            completed=completed,
+            blocks_run=blocks_run,
+            peak_open_sessions=peak_open,
+            peak_log_buffered=peak_buffered,
+            peak_pending=peak_pending,
+        )
+    finally:
+        if own_stream is not None:
+            own_stream.close()

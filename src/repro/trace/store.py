@@ -55,7 +55,10 @@ class ClientTable:
         self.ips = np.asarray(ips, dtype=np.str_)
         self.as_numbers = np.asarray(as_numbers, dtype=np.int64)
         self.countries = np.asarray(countries, dtype=np.str_)
-        self.os_names = (np.full(n, "Windows_98", dtype=np.str_)
+        # np.full(..., dtype=np.str_) would build a '<U1' array and
+        # silently truncate the default to "W"; let the fill value size
+        # the itemsize instead.
+        self.os_names = (np.full(n, "Windows_98")
                          if os_names is None else np.asarray(os_names, dtype=np.str_))
         self._index_by_player: dict[str, int] | None = None
 

@@ -293,6 +293,60 @@ class StreamingCharacterizer:
         return self
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The full accumulator state as a JSON-serializable dict.
+
+        Everything the characterizer holds is either integer counts or
+        floats whose JSON round trip is exact (Python serializes floats
+        via their shortest exact representation), so
+        ``StreamingCharacterizer.from_state_dict(c.state_dict())`` resumes
+        with *bit-identical* future summaries — the contract behind
+        ``repro characterize --checkpoint/--resume``.
+        """
+        return {
+            "length_counts": {str(display): count for display, count
+                              in self._log_length.counts.items()},
+            "bits": self._bits,
+            "n_entries": self._n_entries,
+            "n_skipped": self._n_skipped,
+            "congested": self._congested,
+            "client_counts": dict(self._client_counts),
+            "feed_counts": {str(feed): count for feed, count
+                            in self._feed_counts.items()},
+            "bandwidth_edges": self._edges.tolist(),
+            "bandwidth_histogram": self._bandwidth_hist.tolist(),
+            "diurnal_counts": self._diurnal.tolist(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StreamingCharacterizer":
+        """Rebuild a characterizer from :meth:`state_dict` output."""
+        characterizer = cls(
+            diurnal_bins=len(state["diurnal_counts"]),
+            bandwidth_edges=np.asarray(state["bandwidth_edges"],
+                                       dtype=np.float64))
+        characterizer._log_length.counts = {
+            int(display): int(count)
+            for display, count in state["length_counts"].items()}
+        characterizer._bits = float(state["bits"])
+        characterizer._n_entries = int(state["n_entries"])
+        characterizer._n_skipped = int(state["n_skipped"])
+        characterizer._congested = int(state["congested"])
+        characterizer._client_counts = {
+            str(player): int(count)
+            for player, count in state["client_counts"].items()}
+        characterizer._feed_counts = {
+            int(feed): int(count)
+            for feed, count in state["feed_counts"].items()}
+        characterizer._bandwidth_hist = np.asarray(
+            state["bandwidth_histogram"], dtype=np.float64)
+        characterizer._diurnal = np.asarray(state["diurnal_counts"],
+                                            dtype=np.float64)
+        return characterizer
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def summary(self, *, top_k: int = 10) -> StreamingSummary:

@@ -20,6 +20,9 @@ import io
 from pathlib import Path
 from typing import Callable, Iterable, TextIO
 
+import numpy as np
+
+from .._typing import FloatArray, IntArray
 from ..errors import LogParseError
 from .builder import TraceBuilder
 from .records import ClientRecord
@@ -64,6 +67,171 @@ def _format_entry(timestamp: int, ip: str, player_id: str, os_name: str,
     ))
 
 
+#: Type of the client-identity provider used by the streaming writer:
+#: maps a client index to ``(ip, player_id, os_name)``.
+ClientIdentity = Callable[[int], tuple[str, str, str]]
+
+#: Per-transfer columns buffered by :class:`StreamingWmsLogWriter`, in
+#: checkpoint/state order.
+_WRITER_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("end", np.float64), ("position", np.int64),
+    ("client_index", np.int64), ("object_id", np.int64),
+    ("duration", np.float64), ("bandwidth_bps", np.float64),
+    ("packet_loss", np.float64), ("server_cpu", np.float64),
+    ("status", np.int64),
+)
+
+
+def _table_identity(trace: Trace) -> ClientIdentity:
+    """Client identities looked up from a trace's client table."""
+    clients = trace.clients
+
+    def identity(index: int) -> tuple[str, str, str]:
+        return (str(clients.ips[index]), str(clients.player_ids[index]),
+                str(clients.os_names[index]))
+
+    return identity
+
+
+class StreamingWmsLogWriter:
+    """Writes a WMS-style log from start-ordered transfer batches.
+
+    The server logs an entry when a transfer *completes*, so the log is
+    ordered by transfer end while generation streams transfers by start.
+    The writer keeps an in-flight reorder buffer: a pushed transfer is
+    held until the caller's ``horizon`` — a lower bound on every future
+    transfer's start — guarantees no later transfer can end before it
+    (``end >= start >= horizon``).  Buffered memory is therefore bounded
+    by the workload's peak concurrency, never by the trace length, and
+    the emitted file is byte-identical to :func:`write_wms_log` over the
+    materialized trace: entries are flushed in ``(end, trace position)``
+    order, exactly the batch writer's stable sort by end.
+
+    Parameters
+    ----------
+    stream:
+        Open text stream to write to (the caller owns it).
+    identity:
+        Maps a client index to ``(ip, player_id, os_name)`` — e.g. a
+        client-table lookup, or
+        :func:`repro.core.gismo.synthetic_client_identity` for generated
+        workloads where materializing the table would defeat the memory
+        bound.
+    software:
+        The ``#Software`` header value.
+    write_header:
+        Write the three header lines immediately.  Pass ``False`` when
+        resuming into a log file that already has them.
+    """
+
+    def __init__(self, stream: TextIO, identity: ClientIdentity, *,
+                 software: str = "Windows Media Services 4.1",
+                 write_header: bool = True) -> None:
+        self._stream = stream
+        self._identity = identity
+        self.n_written = 0
+        self._buffer: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype)
+            for name, dtype in _WRITER_COLUMNS}
+        if write_header:
+            stream.write(f"#Software: {software}\n")
+            stream.write("#Version: 1.0\n")
+            stream.write(f"#Fields: {' '.join(LOG_FIELDS)}\n")
+
+    @property
+    def n_buffered(self) -> int:
+        """Number of in-flight (pushed, not yet flushed) entries."""
+        return int(self._buffer["end"].size)
+
+    def push(self, *, client_index: IntArray, object_id: IntArray,
+             start: FloatArray, duration: FloatArray,
+             bandwidth_bps: FloatArray, global_offset: int,
+             horizon: float,
+             packet_loss: FloatArray | None = None,
+             server_cpu: FloatArray | None = None,
+             status: IntArray | None = None) -> int:
+        """Buffer one batch of transfers and flush what the horizon allows.
+
+        ``global_offset`` is the trace position of the batch's first
+        transfer (positions break end-time ties exactly like the batch
+        writer's stable sort).  ``horizon`` promises that every transfer
+        of every *later* push starts at or after it; entries with
+        ``end < horizon`` are flushed now.  Returns the number of entries
+        written by this call.
+        """
+        start = np.asarray(start, dtype=np.float64)
+        n = start.size
+        new = {
+            "end": start + np.asarray(duration, dtype=np.float64),
+            "position": global_offset + np.arange(n, dtype=np.int64),
+            "client_index": np.asarray(client_index, dtype=np.int64),
+            "object_id": np.asarray(object_id, dtype=np.int64),
+            "duration": np.asarray(duration, dtype=np.float64),
+            "bandwidth_bps": np.asarray(bandwidth_bps, dtype=np.float64),
+            "packet_loss": (np.zeros(n) if packet_loss is None
+                            else np.asarray(packet_loss, dtype=np.float64)),
+            "server_cpu": (np.zeros(n) if server_cpu is None
+                           else np.asarray(server_cpu, dtype=np.float64)),
+            "status": (np.full(n, 200, dtype=np.int64) if status is None
+                       else np.asarray(status, dtype=np.int64)),
+        }
+        self._buffer = {name: np.concatenate([col, new[name]])
+                        for name, col in self._buffer.items()}
+        return self._flush_below(horizon)
+
+    def _flush_below(self, horizon: float) -> int:
+        """Write buffered entries with ``end < horizon``; keep the rest."""
+        buffer = self._buffer
+        ready = buffer["end"] < horizon
+        n_ready = int(np.count_nonzero(ready))
+        if n_ready == 0:
+            return 0
+        keep = ~ready
+        emit = {name: col[ready] for name, col in buffer.items()}
+        self._buffer = {name: col[keep].copy()
+                        for name, col in buffer.items()}
+        # (end, trace position) == the batch writer's stable sort by end.
+        order = np.lexsort((emit["position"], emit["end"]))
+        identity = self._identity
+        lines = []
+        rows = zip(*(emit[name][order].tolist()
+                     for name, _ in _WRITER_COLUMNS))
+        for end, _, client, obj, dur, bw, loss, cpu, stat in rows:
+            ip, player_id, os_name = identity(client)
+            lines.append(_format_entry(
+                timestamp=int(end), ip=ip, player_id=player_id,
+                os_name=os_name, object_id=obj,
+                duration=int(round(dur)), bandwidth=bw, loss=loss,
+                cpu=cpu, status=stat))
+        lines.append("")
+        self._stream.write("\n".join(lines))
+        self.n_written += n_ready
+        return n_ready
+
+    def finish(self) -> int:
+        """Flush every buffered entry; returns the total written so far.
+
+        The stream itself is left open (the caller owns it).
+        """
+        self._flush_below(np.inf)
+        return self.n_written
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The reorder buffer as named arrays (for checkpointing)."""
+        return {name: col.copy() for name, col in self._buffer.items()}
+
+    def restore(self, n_written: int,
+                arrays: dict[str, np.ndarray]) -> None:
+        """Restore a checkpointed buffer and written-entry count."""
+        self.n_written = int(n_written)
+        self._buffer = {
+            name: np.asarray(arrays[name], dtype=dtype)
+            for name, dtype in _WRITER_COLUMNS}
+
+
 def write_wms_log(trace: Trace, path: str | Path | TextIO, *,
                   software: str = "Windows Media Services 4.1") -> int:
     """Write ``trace`` as a WMS-style log; returns the number of entries.
@@ -72,36 +240,24 @@ def write_wms_log(trace: Trace, path: str | Path | TextIO, *,
     floored to whole seconds — the server logs a request/response when the
     transfer completes).  Durations are rounded to whole seconds, matching
     the paper's one-second resolution.
+
+    This is the one-shot front end to :class:`StreamingWmsLogWriter`: the
+    whole trace is pushed as a single batch and flushed, which is what
+    makes the incremental writer byte-identical to this function by
+    construction.
     """
     own = isinstance(path, (str, Path))
     stream: TextIO = open(path, "w", encoding="ascii") if own else path
     try:
-        stream.write(f"#Software: {software}\n")
-        stream.write("#Version: 1.0\n")
-        stream.write(f"#Fields: {' '.join(LOG_FIELDS)}\n")
-        ends = trace.end
-        order = ends.argsort(kind="stable")
-        count = 0
-        for i in order:
-            idx = int(i)
-            client = trace.clients.record(int(trace.client_index[idx]))
-            duration = int(round(float(trace.duration[idx])))
-            timestamp = int(ends[idx])
-            stream.write(_format_entry(
-                timestamp=timestamp,
-                ip=client.ip,
-                player_id=client.player_id,
-                os_name=client.os_name,
-                object_id=int(trace.object_id[idx]),
-                duration=duration,
-                bandwidth=float(trace.bandwidth_bps[idx]),
-                loss=float(trace.packet_loss[idx]),
-                cpu=float(trace.server_cpu[idx]),
-                status=int(trace.status[idx]),
-            ))
-            stream.write("\n")
-            count += 1
-        return count
+        writer = StreamingWmsLogWriter(stream, _table_identity(trace),
+                                       software=software)
+        writer.push(
+            client_index=trace.client_index, object_id=trace.object_id,
+            start=trace.start, duration=trace.duration,
+            bandwidth_bps=trace.bandwidth_bps,
+            packet_loss=trace.packet_loss, server_cpu=trace.server_cpu,
+            status=trace.status, global_offset=0, horizon=-np.inf)
+        return writer.finish()
     finally:
         if own:
             stream.close()

@@ -1,0 +1,162 @@
+"""Property-based tests of the streaming pipeline's exactness contracts.
+
+The online sessionizer and the streaming log writer must match their
+batch counterparts bit for bit on *any* input and *any* batching —
+including exact timeout-boundary gaps (integer grids make ``gap == T_o``
+common) and heavily interleaved clients.  Checkpoint round trips must be
+transparent: state serialized mid-stream and restored into a fresh
+consumer continues to the identical result.
+"""
+
+import io
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sessionizer import sessionize
+from repro.stream import OnlineSessionizer, merge_finalized
+from repro.trace.wms_log import (StreamingWmsLogWriter, _table_identity,
+                                 write_wms_log)
+
+from tests.conftest import build_trace
+
+# Integer grids make exact-timeout gaps (gap == T_o, not a boundary) and
+# end-time ties (the writer's stable-order stressor) likely.
+int_transfer_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),        # client
+        st.integers(min_value=0, max_value=1),        # object
+        st.integers(min_value=0, max_value=400),      # start
+        st.integers(min_value=0, max_value=50),       # duration
+    ),
+    min_size=1, max_size=60,
+)
+
+int_timeouts = st.integers(min_value=1, max_value=40)
+
+
+def _split_batches(data, n):
+    """Draw cut points over ``range(n)`` including empty batches."""
+    cuts = data.draw(st.lists(st.integers(min_value=0, max_value=n),
+                              max_size=6), label="cuts")
+    return [0, *sorted(cuts), n]
+
+
+def _push_all(sessionizer, trace, cutpoints, *, with_horizon, offset=0):
+    parts = []
+    n = len(trace)
+    for lo, hi in zip(cutpoints, cutpoints[1:]):
+        if with_horizon:
+            horizon = float(trace.start[hi]) if hi < n else np.inf
+        else:
+            horizon = None
+        parts.append(sessionizer.push(
+            trace.client_index[lo:hi], trace.start[lo:hi],
+            trace.duration[lo:hi], horizon=horizon,
+            global_offset=offset + lo))
+    parts.append(sessionizer.finish())
+    return parts
+
+
+def _assert_columns_equal(finalized, sessions):
+    client, start, end, count = sessions.session_columns()
+    np.testing.assert_array_equal(finalized.client_index, client)
+    np.testing.assert_array_equal(finalized.start, start)
+    np.testing.assert_array_equal(finalized.end, end)
+    np.testing.assert_array_equal(finalized.n_transfers, count)
+    assert finalized.client_index.dtype == client.dtype
+    assert finalized.start.dtype == start.dtype
+    assert finalized.end.dtype == end.dtype
+    assert finalized.n_transfers.dtype == count.dtype
+
+
+@given(transfers=int_transfer_lists, timeout=int_timeouts, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_online_matches_batch_bit_for_bit(transfers, timeout, data):
+    trace = build_trace(transfers, n_clients=5, extent=10_000.0)
+    cutpoints = _split_batches(data, len(trace))
+    with_horizon = data.draw(st.booleans(), label="with_horizon")
+    sessionizer = OnlineSessionizer(trace.n_clients, timeout=float(timeout))
+    parts = _push_all(sessionizer, trace, cutpoints,
+                      with_horizon=with_horizon)
+    merged = merge_finalized(parts)
+    batch = sessionize(trace, float(timeout))
+    _assert_columns_equal(merged, batch)
+    assert sessionizer.n_transfers == len(trace)
+    assert sessionizer.n_finalized == batch.n_sessions
+    assert sessionizer.n_open == 0
+
+
+@given(transfers=int_transfer_lists, timeout=int_timeouts, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_single_client_interleaved_feeds(transfers, timeout, data):
+    # Everything on one client: maximal overlap, running-max stressing.
+    collapsed = [(0, obj, start, dur) for _, obj, start, dur in transfers]
+    trace = build_trace(collapsed, n_clients=1, extent=10_000.0)
+    cutpoints = _split_batches(data, len(trace))
+    sessionizer = OnlineSessionizer(1, timeout=float(timeout))
+    merged = merge_finalized(_push_all(sessionizer, trace, cutpoints,
+                                       with_horizon=True))
+    _assert_columns_equal(merged, sessionize(trace, float(timeout)))
+
+
+@given(transfers=int_transfer_lists, timeout=int_timeouts, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_checkpoint_roundtrip_is_transparent(transfers, timeout, data):
+    """Serializing the open-session table mid-stream and restoring it into
+    a fresh sessionizer yields the identical finalized sessions."""
+    trace = build_trace(transfers, n_clients=5, extent=10_000.0)
+    n = len(trace)
+    split = data.draw(st.integers(min_value=0, max_value=n), label="split")
+
+    first = OnlineSessionizer(trace.n_clients, timeout=float(timeout))
+    head = [first.push(trace.client_index[:split], trace.start[:split],
+                       trace.duration[:split],
+                       horizon=float(trace.start[split])
+                       if split < n else np.inf)]
+    # The JSON round trip is part of the contract: checkpoint meta is
+    # stored as JSON and floats must survive exactly.
+    meta = json.loads(json.dumps(first.state_meta()))
+    arrays = first.state_arrays()
+
+    second = OnlineSessionizer(trace.n_clients, timeout=float(timeout))
+    second.restore(meta, arrays)
+    cutpoints = [split + c for c in
+                 _split_batches(data, n - split)]
+    tail = _push_all(second, trace, cutpoints, with_horizon=True,
+                     offset=0)
+    merged = merge_finalized(head + tail)
+    _assert_columns_equal(merged, sessionize(trace, float(timeout)))
+    assert second.n_transfers == n
+
+
+@given(transfers=int_transfer_lists, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_streaming_writer_bytes_identical(transfers, data):
+    """Pushing in arbitrary start-ordered batches with valid horizons
+    writes byte-identical logs to the one-shot batch writer — including
+    end-time ties, which the integer grid makes frequent."""
+    trace = build_trace(transfers, n_clients=5, extent=10_000.0)
+    want = io.StringIO()
+    write_wms_log(trace, want)
+
+    got = io.StringIO()
+    writer = StreamingWmsLogWriter(got, _table_identity(trace))
+    n = len(trace)
+    cutpoints = _split_batches(data, n)
+    for lo, hi in zip(cutpoints, cutpoints[1:]):
+        horizon = float(trace.start[hi]) if hi < n else np.inf
+        writer.push(
+            client_index=trace.client_index[lo:hi],
+            object_id=trace.object_id[lo:hi],
+            start=trace.start[lo:hi], duration=trace.duration[lo:hi],
+            bandwidth_bps=trace.bandwidth_bps[lo:hi],
+            packet_loss=trace.packet_loss[lo:hi],
+            server_cpu=trace.server_cpu[lo:hi],
+            status=trace.status[lo:hi],
+            global_offset=lo, horizon=horizon)
+    assert writer.finish() == n
+    assert got.getvalue() == want.getvalue()
+    assert writer.n_buffered == 0

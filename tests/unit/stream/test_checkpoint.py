@@ -1,0 +1,100 @@
+"""Unit tests for the atomic checkpoint archive format."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.stream.checkpoint import (FORMAT_VERSION, load_checkpoint,
+                                     require_match, save_checkpoint)
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "ck.npz"
+    meta = {"cursor": 7, "rate": 0.5, "nested": {"a": [1, 2]}}
+    arrays = {"xs": np.arange(5, dtype=np.int64),
+              "ys": np.asarray([1.5, -np.inf])}
+    save_checkpoint(path, meta, arrays)
+    got_meta, got_arrays = load_checkpoint(path)
+    assert got_meta["cursor"] == 7
+    assert got_meta["rate"] == 0.5
+    assert got_meta["nested"] == {"a": [1, 2]}
+    assert got_meta["format_version"] == FORMAT_VERSION
+    assert set(got_arrays) == {"xs", "ys"}
+    np.testing.assert_array_equal(got_arrays["xs"], arrays["xs"])
+    np.testing.assert_array_equal(got_arrays["ys"], arrays["ys"])
+    assert got_arrays["xs"].dtype == np.int64
+
+
+def test_write_is_atomic(tmp_path):
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, {"v": 1}, {})
+    save_checkpoint(path, {"v": 2}, {})
+    assert not os.path.exists(f"{path}.tmp")
+    meta, _ = load_checkpoint(path)
+    assert meta["v"] == 2
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(CheckpointError, match="does not exist"):
+        load_checkpoint(tmp_path / "nope.npz")
+
+
+def test_corrupt_file_raises(tmp_path):
+    path = tmp_path / "ck.npz"
+    path.write_bytes(b"this is not an archive")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        load_checkpoint(path)
+
+
+def test_truncated_file_raises(tmp_path):
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, {"v": 1}, {"xs": np.arange(1000)})
+    blob = path.read_bytes()
+    path.write_bytes(blob[:len(blob) // 2])
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path)
+
+
+def test_foreign_npz_rejected(tmp_path):
+    path = tmp_path / "trace.npz"
+    np.savez(path, xs=np.arange(3))
+    with pytest.raises(CheckpointError, match="not a streaming checkpoint"):
+        load_checkpoint(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "ck.npz"
+    import json
+    np.savez(path, __meta__=np.asarray(json.dumps(
+        {"format_version": FORMAT_VERSION + 1})))
+    with pytest.raises(CheckpointError, match="format version"):
+        load_checkpoint(path)
+
+
+def test_reserved_array_name_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="reserved"):
+        save_checkpoint(tmp_path / "ck.npz", {},
+                        {"__meta__": np.arange(3)})
+
+
+def test_require_match():
+    meta = {"fingerprint": {"seed": 7, "days": 1.0}}
+    require_match(meta, {"seed": 7, "days": 1.0})
+    with pytest.raises(CheckpointError, match="seed=7"):
+        require_match(meta, {"seed": 8})
+    with pytest.raises(CheckpointError, match="missing 'blocks'"):
+        require_match(meta, {"blocks": 64})
+    with pytest.raises(CheckpointError, match="no workload fingerprint"):
+        require_match({}, {"seed": 7})
+
+
+def test_require_match_survives_json_round_trip(tmp_path):
+    """Fingerprints are compared after a JSON round trip — nested lists
+    and floats must still compare equal."""
+    fingerprint = {"model": {"rates": [0.1, 0.2], "n": 300}, "days": 2.0}
+    path = tmp_path / "ck.npz"
+    save_checkpoint(path, {"fingerprint": fingerprint}, {})
+    meta, _ = load_checkpoint(path)
+    require_match(meta, fingerprint, path)

@@ -1,0 +1,121 @@
+"""Unit tests for the chunked time-ordered generation stream."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LiveWorkloadModel
+from repro.errors import CheckpointError
+from repro.parallel.engine import generate_sharded
+from repro.parallel.plan import emit_horizons, plan_block_stream
+from repro.stream import GenerationStream
+
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LiveWorkloadModel.paper_defaults(mean_session_rate=0.005,
+                                            n_clients=200)
+
+
+@pytest.fixture(scope="module")
+def batch_trace(model):
+    return generate_sharded(model, 1.0, seed=SEED).trace
+
+
+def _concat_stream(stream):
+    cols = {name: [] for name in ("client_index", "object_id", "start",
+                                  "duration", "bandwidth_bps")}
+    offsets = []
+    for batch in stream:
+        offsets.append((batch.global_offset, batch.n_transfers))
+        for name in cols:
+            cols[name].append(getattr(batch, name))
+    return {name: np.concatenate(parts) if parts else np.empty(0)
+            for name, parts in cols.items()}, offsets
+
+
+@pytest.mark.parametrize("chunk_size", [1000, 50])
+def test_bit_identical_to_batch_engine(model, batch_trace, chunk_size):
+    stream = GenerationStream(model, 1.0, seed=SEED, chunk_size=chunk_size)
+    cols, offsets = _concat_stream(stream)
+    for name, got in cols.items():
+        want = getattr(batch_trace, name)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == want.dtype, name
+    # Offsets tile the trace contiguously and chunks respect the bound.
+    position = 0
+    for offset, size in offsets:
+        assert offset == position
+        assert 1 <= size <= chunk_size
+        position += size
+    assert position == batch_trace.n_transfers == stream.n_emitted
+
+
+def test_horizon_bounds_future_starts(model):
+    stream = GenerationStream(model, 1.0, seed=SEED, chunk_size=200)
+    batches = list(stream)
+    for k, batch in enumerate(batches):
+        assert np.all(batch.start < batch.horizon)
+        for later in batches[k + 1:]:
+            if later.n_transfers:
+                assert later.start[0] >= batch.horizon or \
+                    later.horizon == batch.horizon
+    assert batches[-1].horizon == np.inf
+
+
+def test_block_steps_resume_round_trip(model):
+    full = GenerationStream(model, 1.0, seed=SEED, chunk_size=300)
+    want, _ = _concat_stream(full)
+
+    first = GenerationStream(model, 1.0, seed=SEED, chunk_size=300)
+    steps = first.block_steps()
+    head = []
+    for _ in range(20):
+        head.extend(next(steps))
+    meta, arrays = first.state_meta(), first.state_arrays()
+
+    second = GenerationStream(model, 1.0, seed=SEED, chunk_size=300)
+    second.restore(meta, arrays)
+    assert second.next_block == 20
+    tail = [batch for step in second.block_steps() for batch in step]
+    got = {name: np.concatenate(
+        [getattr(b, name) for b in head + tail])
+        for name in ("client_index", "start", "duration")}
+    for name, col in got.items():
+        np.testing.assert_array_equal(col, want[name])
+    assert second.n_emitted == full.n_emitted
+
+
+def test_restore_validates_cursor(model):
+    stream = GenerationStream(model, 1.0, seed=SEED)
+    with pytest.raises(CheckpointError, match="out of range"):
+        stream.restore({"next_block": 65, "n_emitted": 0},
+                       stream.state_arrays())
+    with pytest.raises(CheckpointError, match="missing generation state"):
+        stream.restore({"next_block": 0, "n_emitted": 0}, {})
+
+
+def test_chunk_size_validation(model):
+    with pytest.raises(ValueError, match="chunk_size"):
+        GenerationStream(model, 1.0, seed=SEED, chunk_size=0)
+
+
+def test_plan_block_stream_is_one_block_per_shard(model):
+    plan = plan_block_stream(model, 1.0, seed=SEED, blocks=16)
+    assert plan.n_shards == 16
+    for k, shard in enumerate(plan.shards):
+        assert shard.n_blocks == 1
+        assert shard.blocks[0].index == k
+
+
+def test_emit_horizons_bound_block_starts(model):
+    plan = plan_block_stream(model, 1.0, seed=SEED, blocks=16)
+    horizons = emit_horizons(plan)
+    assert horizons.shape == (16,)
+    assert np.all(np.diff(horizons) >= 0)
+    assert horizons[-1] == np.inf
+    for k, shard in enumerate(plan.shards):
+        block = shard.blocks[0]
+        if block.n_sessions and k > 0:
+            assert block.arrivals[0] >= horizons[k - 1]

@@ -1,0 +1,95 @@
+"""Unit tests for the streaming CLI flags (argument wiring and errors)."""
+
+from repro.cli import main
+
+GEN = ["generate", "--days", "0.25", "--rate", "0.01", "--seed", "11"]
+
+
+def test_stream_flags_require_stream_mode(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    for extra in (["--chunk-size", "100"], ["--blocks", "8"],
+                  ["--checkpoint", str(tmp_path / "ck.npz")],
+                  ["--max-blocks", "3"], ["--resume"], ["--no-sessions"]):
+        assert main([*GEN, "--out", str(out), *extra]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+
+def test_stream_checkpoint_requires_seed(tmp_path, capsys):
+    rc = main(["generate", "--stream", "--days", "0.25", "--rate", "0.01",
+               "--out", str(tmp_path / "s.log"),
+               "--checkpoint", str(tmp_path / "ck.npz")])
+    assert rc == 2
+    assert "integer seed" in capsys.readouterr().err
+
+
+def test_stream_generate_and_resume(tmp_path, capsys):
+    log = tmp_path / "s.log"
+    ck = tmp_path / "ck.npz"
+    rc = main([*GEN, "--stream", "--out", str(log), "--checkpoint", str(ck),
+               "--max-blocks", "10"])
+    assert rc == 0
+    assert "[interrupted]" in capsys.readouterr().out
+    assert ck.exists()
+    rc = main([*GEN, "--stream", "--out", str(log), "--checkpoint", str(ck),
+               "--resume"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[complete]" in out
+    assert "peak state" in out
+    assert log.read_text().startswith("#Software:")
+
+
+def test_stream_resume_fingerprint_mismatch(tmp_path, capsys):
+    log = tmp_path / "s.log"
+    ck = tmp_path / "ck.npz"
+    assert main([*GEN, "--stream", "--out", str(log),
+                 "--checkpoint", str(ck), "--max-blocks", "5"]) == 0
+    capsys.readouterr()
+    rc = main(["generate", "--stream", "--days", "0.25", "--rate", "0.01",
+               "--seed", "12", "--out", str(log),
+               "--checkpoint", str(ck), "--resume"])
+    assert rc == 2
+    assert "checkpoint error" in capsys.readouterr().err
+
+
+def test_stream_no_sessions(tmp_path, capsys):
+    rc = main([*GEN, "--stream", "--no-sessions",
+               "--out", str(tmp_path / "s.log")])
+    assert rc == 0
+    assert "sessions off" in capsys.readouterr().out
+
+
+def test_characterize_checkpoint_flag_validation(tmp_path, capsys):
+    log = tmp_path / "s.log"
+    assert main([*GEN, "--stream", "--out", str(log)]) == 0
+    capsys.readouterr()
+    rc = main(["characterize", str(log),
+               "--checkpoint", str(tmp_path / "ck.npz")])
+    assert rc == 2
+    assert "--log" in capsys.readouterr().err
+    rc = main(["characterize", "--log", str(log), "--resume"])
+    assert rc == 2
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_characterize_resumable_matches_mapreduce(tmp_path, capsys):
+    log = tmp_path / "s.log"
+    assert main([*GEN, "--stream", "--out", str(log)]) == 0
+    capsys.readouterr()
+    assert main(["characterize", "--log", str(log)]) == 0
+    want = capsys.readouterr().out
+    assert main(["characterize", "--log", str(log),
+                 "--checkpoint", str(tmp_path / "ck.npz")]) == 0
+    got = capsys.readouterr().out
+    assert got == want
+
+
+def test_stream_output_invariant_to_chunk_size(tmp_path, capsys):
+    logs = []
+    for chunk_size in (100, 100_000):
+        log = tmp_path / f"s{chunk_size}.log"
+        rc = main([*GEN, "--stream", "--chunk-size", str(chunk_size),
+                   "--out", str(log)])
+        assert rc == 0
+        logs.append(log.read_bytes())
+    assert logs[0] == logs[1]

@@ -8,7 +8,7 @@ from repro import errors
 def test_all_derive_from_repro_error():
     for name in ("ConfigError", "DistributionError", "FittingError",
                  "TraceError", "LogParseError", "SimulationError",
-                 "AnalysisError", "GenerationError"):
+                 "AnalysisError", "GenerationError", "CheckpointError"):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
 

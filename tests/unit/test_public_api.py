@@ -28,7 +28,10 @@ def test_subpackages_importable():
     import repro.core
     import repro.distributions
     import repro.experiments
+    import repro.parallel
     import repro.simulation
+    import repro.stream
     import repro.trace
 
     assert repro.experiments.ALL_EXPERIMENTS
+    assert repro.stream.__all__
