@@ -71,9 +71,10 @@ class TransferBatch:
         Global owning-session index of each transfer.
     horizon:
         Lower bound on the start of every transfer in every *later*
-        batch.  Consumers use it to retire state: the log writer flushes
-        entries ending before it, the online sessionizer evicts sessions
-        it provably closes.  ``+inf`` on the final flush.
+        batch (non-strict: a tied start may equal it).  Consumers use it
+        to retire state: the log writer flushes entries ending strictly
+        before it, the online sessionizer evicts sessions it provably
+        closes.  ``+inf`` on the final flush.
     """
 
     global_offset: int
@@ -212,6 +213,13 @@ class GenerationStream:
         for lo in range(0, cut, self.chunk_size):
             hi = min(lo + self.chunk_size, cut)
             session = merged["transfer_session"][lo:hi]
+            # Only the block's last batch may promise the block horizon:
+            # sibling batches after this one hold transfers below it.  A
+            # non-final batch's bound is the next emitted transfer's
+            # start — starts are sorted, and everything kept past ``cut``
+            # begins at or after ``horizon`` which is larger still.
+            batch_horizon = (horizon if hi == cut
+                             else float(merged["start"][hi]))
             batches.append(TransferBatch(
                 global_offset=self._n_emitted + lo,
                 client_index=session_client[session],
@@ -220,7 +228,7 @@ class GenerationStream:
                 duration=merged["duration"][lo:hi],
                 bandwidth_bps=merged["bandwidth_bps"][lo:hi],
                 transfer_session=session,
-                horizon=horizon,
+                horizon=batch_horizon,
             ))
         self._n_emitted += cut
         self._next_block = block + 1

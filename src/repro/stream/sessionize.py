@@ -110,9 +110,11 @@ def merge_finalized(parts: Sequence[FinalizedSessions]) -> FinalizedSessions:
     increasing starts — consecutive sessions are separated by a positive
     gap — so the order is total and the sort permutation unique.)
     """
-    tracked = all(part.transfer_indices is not None for part in parts)
     if not parts:
-        return _empty_finalized(tracked)
+        # No parts carries no tracking evidence; match the untracked
+        # convention (transfer_indices=None) like merge_parts does.
+        return _empty_finalized(False)
+    tracked = all(part.transfer_indices is not None for part in parts)
     client = np.concatenate([part.client_index for part in parts])
     start = np.concatenate([part.start for part in parts])
     end = np.concatenate([part.end for part in parts])

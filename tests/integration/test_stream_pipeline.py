@@ -14,7 +14,8 @@ from repro.core.sessionizer import sessionize
 from repro.errors import CheckpointError
 from repro.parallel.characterize import characterize_logs
 from repro.parallel.engine import generate_sharded
-from repro.stream import characterize_logs_resumable, run_streaming_generation
+from repro.stream import (GenerationStream, characterize_logs_resumable,
+                          run_streaming_generation)
 from repro.trace.wms_log import write_wms_log
 
 SEED = 99
@@ -46,7 +47,17 @@ def _assert_sessions_match(result, trace):
     assert result.n_sessions == client.size
 
 
-@pytest.mark.parametrize("chunk_size", [100_000, 137])
+def test_small_chunks_split_blocks(model):
+    """Guard for the equivalence parametrization below: chunk_size=7 must
+    produce sibling batches within a block — the case where a batch's
+    horizon must bound its *siblings'* starts, not just the next block's
+    (the regression that once finalized sessions early and reordered log
+    entries)."""
+    stream = GenerationStream(model, DAYS, seed=SEED, chunk_size=7)
+    assert max(len(step) for step in stream.block_steps()) > 1
+
+
+@pytest.mark.parametrize("chunk_size", [100_000, 137, 7])
 def test_streamed_artifacts_match_batch(model, batch_artifacts, tmp_path,
                                         chunk_size):
     trace, batch_log = batch_artifacts
@@ -69,7 +80,10 @@ def test_kill_and_resume_is_bit_transparent(model, batch_artifacts,
     trace, batch_log = batch_artifacts
     log = tmp_path / "resumed.log"
     ck = tmp_path / "ck.npz"
-    kwargs = dict(seed=SEED, log_path=log, chunk_size=311,
+    # chunk_size=17 splits blocks into sibling batches (see
+    # test_small_chunks_split_blocks), so resume legs also cross
+    # mid-block horizon state.
+    kwargs = dict(seed=SEED, log_path=log, chunk_size=17,
                   checkpoint_path=ck)
     # Three interrupted legs, then run to completion; a resume with a
     # missing checkpoint file (the very first leg) starts from scratch.

@@ -10,13 +10,16 @@ consumer continues to the identical result.
 
 import io
 import json
+from functools import lru_cache
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.model import LiveWorkloadModel
 from repro.core.sessionizer import sessionize
-from repro.stream import OnlineSessionizer, merge_finalized
+from repro.parallel.engine import generate_sharded
+from repro.stream import GenerationStream, OnlineSessionizer, merge_finalized
 from repro.trace.wms_log import (StreamingWmsLogWriter, _table_identity,
                                  write_wms_log)
 
@@ -130,6 +133,60 @@ def test_checkpoint_roundtrip_is_transparent(transfers, timeout, data):
     merged = merge_finalized(head + tail)
     _assert_columns_equal(merged, sessionize(trace, float(timeout)))
     assert second.n_transfers == n
+
+
+_GEN_SEED = 4242
+_GEN_DAYS = 0.5
+_GEN_BLOCKS = 6
+
+
+@lru_cache(maxsize=1)
+def _generated_workload():
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.01,
+                                             n_clients=100)
+    trace = generate_sharded(model, _GEN_DAYS, seed=_GEN_SEED,
+                             blocks=_GEN_BLOCKS).trace
+    return model, trace
+
+
+@given(chunk_size=st.integers(min_value=1, max_value=40))
+@settings(max_examples=15, deadline=None)
+def test_generator_horizons_drive_consumers_exactly(chunk_size):
+    """The horizons the generator actually stamps on its batches — not
+    hand-built next-batch-start bounds — retire consumer state without
+    changing results: log bytes and sessions match the batch path for
+    any chunk size, including sibling batches within one block (a batch
+    of a split block must bound its siblings' starts, not the block
+    emit horizon)."""
+    model, trace = _generated_workload()
+    want_log = io.StringIO()
+    write_wms_log(trace, want_log)
+
+    stream = GenerationStream(model, _GEN_DAYS, seed=_GEN_SEED,
+                              chunk_size=chunk_size, blocks=_GEN_BLOCKS)
+    got_log = io.StringIO()
+    writer = StreamingWmsLogWriter(got_log, _table_identity(trace))
+    sessionizer = OnlineSessionizer(model.n_clients)
+    parts = []
+    saw_split_block = False
+    for step in stream.block_steps():
+        saw_split_block = saw_split_block or len(step) > 1
+        for batch in step:
+            writer.push(client_index=batch.client_index,
+                        object_id=batch.object_id,
+                        start=batch.start, duration=batch.duration,
+                        bandwidth_bps=batch.bandwidth_bps,
+                        global_offset=batch.global_offset,
+                        horizon=batch.horizon)
+            parts.append(sessionizer.push_batch(batch))
+    assert writer.finish() == trace.n_transfers
+    parts.append(sessionizer.finish())
+    # Pigeonhole: if the trace outnumbers blocks * chunk, some block
+    # must have split into sibling batches — the regression case.
+    if trace.n_transfers > _GEN_BLOCKS * chunk_size:
+        assert saw_split_block
+    assert got_log.getvalue() == want_log.getvalue()
+    _assert_columns_equal(merge_finalized(parts), sessionize(trace))
 
 
 @given(transfers=int_transfer_lists, data=st.data())

@@ -52,15 +52,23 @@ def test_bit_identical_to_batch_engine(model, batch_trace, chunk_size):
     assert position == batch_trace.n_transfers == stream.n_emitted
 
 
-def test_horizon_bounds_future_starts(model):
-    stream = GenerationStream(model, 1.0, seed=SEED, chunk_size=200)
-    batches = list(stream)
-    for k, batch in enumerate(batches):
-        assert np.all(batch.start < batch.horizon)
-        for later in batches[k + 1:]:
-            if later.n_transfers:
-                assert later.start[0] >= batch.horizon or \
-                    later.horizon == batch.horizon
+@pytest.mark.parametrize("chunk_size", [200, 13])
+def test_horizon_bounds_future_starts(model, chunk_size):
+    stream = GenerationStream(model, 1.0, seed=SEED, chunk_size=chunk_size)
+    steps = list(stream.block_steps())
+    if chunk_size == 13:
+        # The stressing case: blocks split into sibling batches, whose
+        # horizons must bound the *sibling* starts, not just the block's.
+        assert max(len(step) for step in steps) > 1
+    batches = [batch for step in steps for batch in step]
+    horizons = np.array([batch.horizon for batch in batches])
+    first_starts = np.array([float(batch.start[0]) for batch in batches])
+    # Every batch's horizon is a lower bound on the start of every
+    # transfer in every later batch (suffix minimum of first starts).
+    future_min = np.minimum.accumulate(first_starts[::-1])[::-1]
+    assert np.all(horizons[:-1] <= future_min[1:])
+    for batch in batches:
+        assert np.all(batch.start <= batch.horizon)
     assert batches[-1].horizon == np.inf
 
 
