@@ -1,14 +1,49 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-core bench-parallel bench-stream experiments figures examples all
+.PHONY: install test test-all conform conform-paper conform-update coverage \
+	bench bench-core bench-parallel bench-stream experiments figures \
+	examples all
 
 install:
 	pip install -e .
 
-# Tier-1 verification command (same as ROADMAP.md): works from a clean
+# Fast developer loop: the tier-1 suite minus anything marked `slow`
+# (paper-scale conformance parametrizations). Works from a clean
 # checkout, no install step needed.
 test:
+	PYTHONPATH=src python -m pytest -x -q -m "not slow"
+
+# The whole suite, slow markers included (ROADMAP.md tier-1 command).
+test-all:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Conformance gates + cross-pipeline differential oracle against the
+# committed golden registry (src/repro/conform/golden.json). Writes
+# CONFORMANCE.json; exits non-zero with a readable failure list when a
+# gate breaks.
+conform:
+	PYTHONPATH=src python -m repro conform --scale smoke --out CONFORMANCE.json
+
+# Same, at full paper scale (~2 min: 2.4M-transfer workload).
+conform-paper:
+	PYTHONPATH=src python -m repro conform --scale paper --out CONFORMANCE.json
+
+# Re-pin the golden registry at paper scale. Deterministic: running it
+# twice yields a byte-identical golden.json. Only legitimate after an
+# intentional generator/model change — commit the registry diff
+# alongside the change that caused it.
+conform-update:
+	PYTHONPATH=src python -m repro conform --scale paper --update --out CONFORMANCE.json
+
+# Coverage with the floor recorded in pyproject.toml
+# ([tool.coverage.report] fail_under). Requires the dev extra:
+# pip install -e .[dev]
+coverage:
+	@python -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; run: pip install -e .[dev]"; \
+		  exit 1; }
+	PYTHONPATH=src python -m pytest -q -m "not slow" \
+		--cov=repro --cov-report=term --cov-report=xml
 
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only
@@ -40,4 +75,4 @@ figures:
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; PYTHONPATH=src python $$ex; done
 
-all: test bench experiments
+all: test-all conform bench experiments

@@ -9,6 +9,8 @@ Subcommands mirror the library's three faces plus the experiment harness:
 * ``repro replay`` — replay a trace against the server with admission
   control.
 * ``repro experiments`` — regenerate the paper's tables and figures.
+* ``repro conform`` — statistical conformance gates + cross-pipeline
+  differential oracle against the golden registry.
 """
 
 from __future__ import annotations
@@ -161,6 +163,30 @@ def _build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--outdir", type=Path, required=True,
                       help="directory for the exported files")
 
+    con = sub.add_parser("conform",
+                         help="statistical conformance gates + "
+                              "cross-pipeline differential oracle")
+    con.add_argument("--scale", choices=("smoke", "paper"),
+                     default="smoke",
+                     help="canonical workload matrix to run (default: "
+                          "smoke; paper adds the 28-day Table 2-scale "
+                          "workload)")
+    con.add_argument("--out", type=Path, default=None,
+                     help="write the CONFORMANCE.json report here")
+    con.add_argument("--update", action="store_true",
+                     help="re-pin the golden registry from this run "
+                          "instead of gating against it")
+    con.add_argument("--registry", type=Path, default=None,
+                     help="golden registry path (default: the "
+                          "committed src/repro/conform/golden.json)")
+    con.add_argument("--no-oracle", action="store_true",
+                     help="skip the cross-pipeline differential oracle")
+    con.add_argument("--no-mutation", action="store_true",
+                     help="skip the mutation self-check")
+    con.add_argument("--boot", type=int, default=None,
+                     help="bootstrap replicates per parameter "
+                          "(default: 200)")
+
     val = sub.add_parser("validate",
                          help="compare two traces through the calibration "
                               "lens (generator fidelity)")
@@ -277,6 +303,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     else:
         model = LiveWorkloadModel.paper_defaults(
             mean_session_rate=args.rate, n_clients=args.clients)
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(f"--chunk-size must be at least 1, got {args.chunk_size}",
+              file=sys.stderr)
+        return 2
     if args.stream:
         return _cmd_generate_stream(args, model)
     for flag, name in ((args.chunk_size, "--chunk-size"),
@@ -372,6 +402,37 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from .conform import (conformance_document, render_failures,
+                          render_summary, run_conformance)
+    from .conform.fingerprint import DEFAULT_N_BOOT
+    from .conform.registry import REGISTRY_PATH
+    from .errors import ReproError
+
+    try:
+        result = run_conformance(
+            args.scale,
+            update=args.update,
+            run_oracle=not args.no_oracle,
+            run_mutation=not args.no_mutation,
+            n_boot=DEFAULT_N_BOOT if args.boot is None else args.boot,
+            registry_path=(REGISTRY_PATH if args.registry is None
+                           else args.registry))
+    except ReproError as exc:
+        print(f"conformance error: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(result))
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(conformance_document(result), indent=2,
+                       sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if not result.passed:
+        print(render_failures(result), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .core.validate import compare_workloads
 
@@ -396,6 +457,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "replay": _cmd_replay,
     "experiments": _cmd_experiments,
+    "conform": _cmd_conform,
     "figures": _cmd_figures,
     "validate": _cmd_validate,
 }

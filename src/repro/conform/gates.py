@@ -1,0 +1,199 @@
+"""Gate evaluation: a measurement against a golden registry entry.
+
+Three families of gates, in decreasing strictness:
+
+* ``hash:*`` — bit-identity of the trace / session / log content hashes.
+  Any RNG-stream or output-format change flips these; a flip is either a
+  regression or an intentional change that must re-pin via
+  ``make conform-update``.
+* ``param:*`` — the calibrated Table 2 parameter vector must sit within
+  the golden value ± a tolerance **recorded in the registry** (derived
+  from the bootstrap confidence half-width at update time, never
+  hard-coded in tests).  These survive legitimate re-pins and are what
+  give the mutation self-check its teeth.
+* ``envelope:*`` / ``distance:*`` — the paper envelope (the measured
+  parameter must bracket the paper's published Table 2 / Figure 11
+  value within a recorded band that accounts for the documented
+  pipeline bias) and the KS / Anderson-Darling distances of the raw
+  marginals against the generating laws.
+
+Tolerance *derivation* lives here too (:func:`derive_tolerances`), so
+update runs and gate evaluation share one policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..paper import SESSION_LAYER, TABLE2
+from .fingerprint import (GATED_DISTANCES, GATED_PARAMETERS,
+                          WorkloadMeasurement)
+
+#: Gate-family prefixes (used by reports and the mutation self-check).
+HASH_GATES = ("hash:trace", "hash:sessions", "hash:log")
+
+#: Paper reference value per gated parameter (None = no published value).
+PAPER_REFERENCES: dict[str, float] = {
+    "interest_alpha": TABLE2["interest_alpha_sessions"].value,
+    "transfers_alpha": TABLE2["transfers_per_session_alpha"].value,
+    "gap_log_mu": TABLE2["intra_arrival_log_mu"].value,
+    "gap_log_sigma": TABLE2["intra_arrival_log_sigma"].value,
+    "length_log_mu": TABLE2["transfer_length_log_mu"].value,
+    "length_log_sigma": TABLE2["transfer_length_log_sigma"].value,
+    "session_on_log_mu": SESSION_LAYER["session_on_log_mu"].value,
+    "session_on_log_sigma": SESSION_LAYER["session_on_log_sigma"].value,
+}
+
+#: Absolute tolerance floors (guard against a degenerate zero-width CI).
+_PARAM_TOL_FLOOR = 0.01
+_ENVELOPE_TOL_FLOOR = 0.05
+_DISTANCE_MAX_FLOOR = 0.01
+
+
+@dataclass(frozen=True)
+class GateRecord:
+    """One evaluated gate.
+
+    Attributes
+    ----------
+    gate:
+        ``family:name`` identifier (e.g. ``param:gap_log_mu``).
+    workload:
+        Canonical workload the gate was evaluated on.
+    passed:
+        Verdict.
+    measured, expected, tolerance:
+        The numbers behind the verdict (hash gates carry the digests in
+        ``detail`` instead).
+    detail:
+        Human-readable one-liner: what drifted, by how much, against
+        which tolerance.
+    """
+
+    gate: str
+    workload: str
+    passed: bool
+    measured: float | None = None
+    expected: float | None = None
+    tolerance: float | None = None
+    detail: str = ""
+
+
+def derive_tolerances(measurement: WorkloadMeasurement) -> dict:
+    """The registry tolerance block for a freshly measured workload.
+
+    * parameter drift: ``max(2 * ci_halfwidth, 0.01)`` — roughly four
+      standard errors, so an independent re-draw of the same workload
+      (the worst legitimate case: a re-pinned RNG stream) passes while
+      a 2% shift of ``gap_log_mu`` at medium scale does not;
+    * paper envelope: ``max(1.5 * |fit - paper|, 2 * ci_halfwidth,
+      0.05)`` — brackets the *documented* calibration bias (sessionizer
+      truncation, Zipf regression weighting) with 50% headroom;
+    * distances: ``max(2 * measured, measured + 0.01)`` for KS,
+      ``max(2 * measured, measured + 1.0)`` for Anderson-Darling (A² is
+      unnormalized, its null fluctuation is O(1)).
+    """
+    params = {}
+    for name in GATED_PARAMETERS:
+        fit = measurement.parameters[name]
+        halfwidth = measurement.ci_halfwidth[name]
+        reference = PAPER_REFERENCES[name]
+        params[name] = {
+            "value": fit,
+            "ci_halfwidth": halfwidth,
+            "tol": max(2.0 * halfwidth, _PARAM_TOL_FLOOR),
+            "paper_reference": reference,
+            "paper_tol": max(1.5 * abs(fit - reference),
+                             2.0 * halfwidth, _ENVELOPE_TOL_FLOOR),
+        }
+    dists = {}
+    for name in GATED_DISTANCES:
+        value = measurement.distances[name]
+        slack = 1.0 if name.endswith("_ad") else _DISTANCE_MAX_FLOOR
+        dists[name] = {"value": value,
+                       "max": max(2.0 * value, value + slack)}
+    return {"parameters": params, "distances": dists}
+
+
+def evaluate_gates(measurement: WorkloadMeasurement,
+                   entry: dict) -> list[GateRecord]:
+    """Evaluate every gate for ``measurement`` against registry ``entry``.
+
+    ``entry`` is one workload's block of the golden registry (see
+    :mod:`repro.conform.registry` for the schema).
+    """
+    name = measurement.spec.name
+    records: list[GateRecord] = []
+
+    for gate, measured, golden in (
+            ("hash:trace", measurement.trace_sha256,
+             entry["hashes"]["trace"]),
+            ("hash:sessions", measurement.sessions_sha256,
+             entry["hashes"]["sessions"]),
+            ("hash:log", measurement.log_sha256, entry["hashes"]["log"])):
+        ok = measured == golden
+        records.append(GateRecord(
+            gate=gate, workload=name, passed=ok,
+            detail=("content hash matches golden" if ok else
+                    f"content hash drifted: {measured[:16]}… != golden "
+                    f"{golden[:16]}… (bit-identity broken; if intentional, "
+                    "re-pin with `make conform-update`)")))
+
+    counts = entry["counts"]
+    for gate, measured_count, golden_count in (
+            ("count:transfers", measurement.n_transfers,
+             counts["n_transfers"]),
+            ("count:sessions", measurement.n_sessions,
+             counts["n_sessions"])):
+        ok = measured_count == golden_count
+        records.append(GateRecord(
+            gate=gate, workload=name, passed=ok,
+            measured=float(measured_count), expected=float(golden_count),
+            tolerance=0.0,
+            detail=(f"{measured_count} == golden" if ok else
+                    f"{measured_count} != golden {golden_count}")))
+
+    for pname in GATED_PARAMETERS:
+        spec = entry["parameters"][pname]
+        fit = measurement.parameters[pname]
+
+        drift = abs(fit - spec["value"])
+        ok = drift <= spec["tol"]
+        records.append(GateRecord(
+            gate=f"param:{pname}", workload=name, passed=ok,
+            measured=fit, expected=spec["value"], tolerance=spec["tol"],
+            detail=(f"{pname} = {fit:.5f}, golden {spec['value']:.5f} "
+                    f"(drift {drift:.5f} vs tol {spec['tol']:.5f})")))
+
+        gap = abs(fit - spec["paper_reference"])
+        ok = gap <= spec["paper_tol"]
+        records.append(GateRecord(
+            gate=f"envelope:{pname}", workload=name, passed=ok,
+            measured=fit, expected=spec["paper_reference"],
+            tolerance=spec["paper_tol"],
+            detail=(f"{pname} = {fit:.5f} vs paper "
+                    f"{spec['paper_reference']:.5f} "
+                    f"(gap {gap:.5f} vs envelope {spec['paper_tol']:.5f})")))
+
+    for dname in GATED_DISTANCES:
+        spec = entry["distances"][dname]
+        value = measurement.distances[dname]
+        ok = value <= spec["max"]
+        records.append(GateRecord(
+            gate=f"distance:{dname}", workload=name, passed=ok,
+            measured=value, expected=spec["value"], tolerance=spec["max"],
+            detail=(f"{dname} = {value:.5f} vs recorded max "
+                    f"{spec['max']:.5f} (golden value {spec['value']:.5f})")))
+
+    return records
+
+
+def statistical_failures(records: list[GateRecord]) -> list[GateRecord]:
+    """The failed gates that are *statistical* (not bit-identity).
+
+    The mutation self-check must prove the statistical gates have teeth;
+    a perturbed workload trivially flips the hashes, so those do not
+    count as detection.
+    """
+    return [r for r in records
+            if not r.passed and not r.gate.startswith(("hash:", "count:"))]

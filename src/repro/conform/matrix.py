@@ -1,0 +1,109 @@
+"""The canonical workload matrix conformance runs against.
+
+Every conformance artifact — golden fingerprints, statistical gates, the
+differential oracle, the mutation self-check — is anchored to a small,
+fixed matrix of fully specified generation requests.  A workload here is
+a *request*, not data: ``(Table 2 model, days, seed)``.  Because the
+generators are deterministic, each spec names exactly one trace, one
+sessionization, and one WMS log, which is what makes content-hash
+golden fingerprints meaningful.
+
+Two scales:
+
+* ``smoke`` — the ``small`` and ``medium`` workloads; seconds of work,
+  runs in every tier-1 ``pytest`` invocation.
+* ``paper`` — adds the ``paper`` workload: 28 days at the trace's
+  session rate over 50 k clients (~2.4 M transfers), the scale at which
+  the statistical gates are held against the paper's Table 2 values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import LiveWorkloadModel
+from ..errors import ConfigError
+
+#: Scales accepted by ``repro conform --scale`` / ``--conform-scale``.
+SCALES: tuple[str, ...] = ("smoke", "paper")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One canonical generation request.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``small`` / ``medium`` / ``paper``).
+    mean_session_rate:
+        Time-averaged session arrival rate per second.
+    n_clients:
+        Client population size.
+    days:
+        Observation-window length.
+    seed:
+        The request seed; part of the workload's identity.
+    """
+
+    name: str
+    mean_session_rate: float
+    n_clients: int
+    days: float
+    seed: int
+
+    def model(self) -> LiveWorkloadModel:
+        """The Table 2 model this spec generates from."""
+        return LiveWorkloadModel.paper_defaults(
+            mean_session_rate=self.mean_session_rate,
+            n_clients=self.n_clients)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, stored in the registry for staleness checks."""
+        return {
+            "name": self.name,
+            "mean_session_rate": self.mean_session_rate,
+            "n_clients": self.n_clients,
+            "days": self.days,
+            "seed": self.seed,
+        }
+
+
+#: The matrix itself.  Seeds are arbitrary but frozen: changing any field
+#: changes the workload's identity and therefore every golden fingerprint.
+CANONICAL_MATRIX: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("small", mean_session_rate=0.01, n_clients=300,
+                 days=1.0, seed=1107),
+    WorkloadSpec("medium", mean_session_rate=0.05, n_clients=2_000,
+                 days=3.0, seed=2202),
+    WorkloadSpec("paper", mean_session_rate=0.62, n_clients=50_000,
+                 days=28.0, seed=2002),
+)
+
+#: Workloads exercised per scale.
+SCALE_WORKLOADS: dict[str, tuple[str, ...]] = {
+    "smoke": ("small", "medium"),
+    "paper": ("small", "medium", "paper"),
+}
+
+#: The workload the mutation self-check perturbs: large enough that a 2%
+#: parameter shift clears the bootstrap tolerance, small enough to run in
+#: every suite.
+MUTATION_WORKLOAD = "medium"
+
+
+def workload_spec(name: str) -> WorkloadSpec:
+    """Look up a canonical workload by name."""
+    for spec in CANONICAL_MATRIX:
+        if spec.name == name:
+            return spec
+    known = ", ".join(spec.name for spec in CANONICAL_MATRIX)
+    raise ConfigError(f"unknown canonical workload {name!r} (have: {known})")
+
+
+def scale_specs(scale: str) -> tuple[WorkloadSpec, ...]:
+    """The workload specs exercised at ``scale``."""
+    if scale not in SCALE_WORKLOADS:
+        raise ConfigError(
+            f"unknown conformance scale {scale!r} (have: {', '.join(SCALES)})")
+    return tuple(workload_spec(name) for name in SCALE_WORKLOADS[scale])

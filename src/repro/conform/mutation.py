@@ -1,0 +1,97 @@
+"""Mutation self-check: prove the statistical gates have teeth.
+
+A conformance harness that never fails is indistinguishable from one
+that never looks.  The self-check perturbs exactly one Table 2 model
+parameter (by default ``gap_log_mu`` by +2%), regenerates the canonical
+``medium`` workload from the perturbed model, and evaluates the
+*statistical* gates against the golden registry.  The perturbation must
+be **caught** — at least one ``param:``/``envelope:``/``distance:`` gate
+must fail.  Hash gates do not count: a perturbed stream trivially flips
+the content hashes, and the whole point is that the statistical gates
+would catch a drift even across a legitimate hash re-pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from ..errors import ConfigError
+from .fingerprint import measure_workload
+from .gates import GateRecord, evaluate_gates, statistical_failures
+from .matrix import MUTATION_WORKLOAD, workload_spec
+
+#: Default perturbation: the ISSUE's example (gap_log_mu by 2%).
+DEFAULT_PARAMETER = "gap_log_mu"
+DEFAULT_RELATIVE_DELTA = 0.02
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """Outcome of one mutation self-check."""
+
+    workload: str
+    parameter: str
+    relative_delta: float
+    original: float
+    perturbed: float
+    caught: bool
+    failing_gates: tuple[GateRecord, ...]
+
+    def summary(self) -> str:
+        """One-line verdict with the perturbation and the failing gates."""
+        verdict = "CAUGHT" if self.caught else "MISSED"
+        gates = ", ".join(r.gate for r in self.failing_gates) or "none"
+        return (f"mutation {self.parameter} "
+                f"{self.original:.5f} -> {self.perturbed:.5f} "
+                f"({self.relative_delta * 100:+.1f}%) on "
+                f"{self.workload}: {verdict} (failing gates: {gates})")
+
+
+def mutation_self_check(registry: dict, *,
+                        workload: str = MUTATION_WORKLOAD,
+                        parameter: str = DEFAULT_PARAMETER,
+                        relative_delta: float = DEFAULT_RELATIVE_DELTA,
+                        n_boot: int = 0) -> MutationReport:
+    """Perturb one model parameter and assert the gates notice.
+
+    Parameters
+    ----------
+    registry:
+        The loaded golden registry (gates are evaluated against it).
+    workload:
+        Canonical workload to perturb; must be pinned in the registry.
+    parameter:
+        ``LiveWorkloadModel`` scalar attribute to perturb.
+    relative_delta:
+        Relative perturbation (0.02 = +2%).
+    n_boot:
+        Bootstrap replicates for the perturbed measurement (the gates
+        use registry tolerances, so 0 keeps the check fast).
+    """
+    spec = workload_spec(workload)
+    entry = registry["workloads"].get(workload)
+    if entry is None:
+        raise ConfigError(
+            f"workload {workload!r} is not pinned in the golden registry; "
+            "run `make conform-update` first")
+    model = spec.model()
+    original = getattr(model, parameter, None)
+    if not isinstance(original, float):
+        raise ConfigError(
+            f"{parameter!r} is not a scalar model parameter")
+    perturbed_value = original * (1.0 + relative_delta)
+    perturbed_model = dc_replace(model, **{parameter: perturbed_value})
+
+    measurement = measure_workload(spec, model=perturbed_model,
+                                   n_boot=n_boot)
+    records = evaluate_gates(measurement, entry)
+    failing = tuple(statistical_failures(records))
+    return MutationReport(
+        workload=workload,
+        parameter=parameter,
+        relative_delta=relative_delta,
+        original=original,
+        perturbed=perturbed_value,
+        caught=bool(failing),
+        failing_gates=failing,
+    )

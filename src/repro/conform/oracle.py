@@ -1,0 +1,234 @@
+"""Cross-pipeline differential oracle.
+
+The repo carries three ways to produce the same workload — the batch
+engine (``repro.core``), the sharded engine (``repro.parallel``), and
+the bounded-memory streaming pipeline (``repro.stream``) — all bound by
+one determinism contract: *for a fixed (model, days, seed) every path
+yields bit-identical artifacts*.  The oracle enforces the contract by
+actually running the matrix:
+
+* ``parallel[shards=s,jobs=j]`` for several shard/job counts must equal
+  the batch trace column for column (plus the session attribution);
+* ``stream[chunk=c]`` for several chunk sizes must write byte-identical
+  WMS logs and finalize bit-identical session columns;
+* ``stream[resume@k]`` runs the streaming pipeline up to a mid-run
+  checkpoint, abandons it, resumes from the checkpoint file, and the
+  stitched artifacts must *still* be byte-identical.
+
+Each comparison is recorded individually, so a violation names the
+exact configuration and the first diverging column/byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.gismo import GismoWorkload, LiveWorkloadGenerator
+from ..core.sessionizer import sessionize
+from ..parallel import generate_sharded
+from ..stream import GenerationStream, run_streaming_generation
+from ..trace.wms_log import write_wms_log
+from .matrix import WorkloadSpec
+
+#: Default differential matrix (smoke scale).
+DEFAULT_SHARD_CONFIGS: tuple[tuple[int, int], ...] = ((2, 1), (5, 2))
+DEFAULT_CHUNK_SIZES: tuple[int, ...] = (7, 1009)
+
+#: Fraction of the canonical blocks executed before the mid-run
+#: checkpoint/resume split.
+RESUME_SPLIT_FRACTION = 1 / 3
+
+
+@dataclass(frozen=True)
+class OracleComparison:
+    """One artifact comparison between two pipeline paths."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """All differential comparisons for one canonical workload."""
+
+    workload: str
+    comparisons: tuple[OracleComparison, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.comparisons)
+
+    def failures(self) -> tuple[OracleComparison, ...]:
+        """The comparisons that found a divergence."""
+        return tuple(c for c in self.comparisons if not c.passed)
+
+
+def _compare_trace(name: str, reference: GismoWorkload,
+                   candidate: GismoWorkload) -> OracleComparison:
+    """Bit-compare two workloads' traces and session attributions."""
+    ref, cand = reference.trace, candidate.trace
+    columns = (
+        ("client_index", ref.client_index, cand.client_index),
+        ("object_id", ref.object_id, cand.object_id),
+        ("start", ref.start, cand.start),
+        ("duration", ref.duration, cand.duration),
+        ("bandwidth_bps", ref.bandwidth_bps, cand.bandwidth_bps),
+        ("transfer_session", reference.transfer_session,
+         candidate.transfer_session),
+    )
+    for column, a, b in columns:
+        if a.shape != b.shape:
+            return OracleComparison(
+                name, False,
+                f"{column}: shape {b.shape} != reference {a.shape}")
+        if a.dtype != b.dtype:
+            return OracleComparison(
+                name, False,
+                f"{column}: dtype {b.dtype} != reference {a.dtype}")
+        if not np.array_equal(a, b):
+            i = int(np.flatnonzero(a != b)[0])
+            return OracleComparison(
+                name, False,
+                f"{column}[{i}]: {b[i]!r} != reference {a[i]!r}")
+    if ref.extent != cand.extent:
+        return OracleComparison(
+            name, False, f"extent: {cand.extent} != reference {ref.extent}")
+    return OracleComparison(
+        name, True, f"{ref.n_transfers} transfers bit-identical")
+
+
+def _compare_files(name: str, reference: Path,
+                   candidate: Path) -> OracleComparison:
+    """Byte-compare two files, reporting the first diverging line."""
+    ref_bytes = reference.read_bytes()
+    cand_bytes = candidate.read_bytes()
+    if ref_bytes == cand_bytes:
+        return OracleComparison(
+            name, True, f"{len(ref_bytes)} bytes byte-identical")
+    limit = min(len(ref_bytes), len(cand_bytes))
+    view_a = np.frombuffer(ref_bytes, dtype=np.uint8, count=limit)
+    view_b = np.frombuffer(cand_bytes, dtype=np.uint8, count=limit)
+    diffs = np.flatnonzero(view_a != view_b)
+    offset = int(diffs[0]) if diffs.size else limit
+    line = ref_bytes[:offset].count(b"\n") + 1
+    return OracleComparison(
+        name, False,
+        f"first divergence at byte {offset} (line {line}); sizes "
+        f"{len(cand_bytes)} vs reference {len(ref_bytes)}")
+
+
+def _compare_sessions(name: str, reference, candidate) -> OracleComparison:
+    """Bit-compare ``(client, start, end, count)`` session columns."""
+    labels = ("client_index", "start", "end", "n_transfers")
+    for label, a, b in zip(labels, reference, candidate):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.shape != b.shape:
+            return OracleComparison(
+                name, False,
+                f"sessions.{label}: shape {b.shape} != reference {a.shape}")
+        if not np.array_equal(a, b):
+            i = int(np.flatnonzero(a != b)[0])
+            return OracleComparison(
+                name, False,
+                f"sessions.{label}[{i}]: {b[i]!r} != reference {a[i]!r}")
+    return OracleComparison(
+        name, True,
+        f"{np.asarray(reference[0]).size} sessions bit-identical")
+
+
+def run_differential_oracle(
+        spec: WorkloadSpec, workdir: str | Path, *,
+        shard_configs: tuple[tuple[int, int], ...] = DEFAULT_SHARD_CONFIGS,
+        chunk_sizes: tuple[int, ...] = DEFAULT_CHUNK_SIZES,
+        resume_split: bool = True,
+        reference: GismoWorkload | None = None) -> OracleReport:
+    """Run the full differential matrix for one canonical workload.
+
+    Parameters
+    ----------
+    spec:
+        The canonical workload.
+    workdir:
+        Scratch directory for log files and checkpoints.
+    shard_configs:
+        ``(shards, jobs)`` pairs for the parallel engine.
+    chunk_sizes:
+        Streaming batch sizes; the smallest must split at least one
+        canonical block into sibling batches (verified), or intra-block
+        horizon handling would go untested.
+    resume_split:
+        Also run the streaming pipeline with a mid-run checkpoint
+        abandon/resume and compare the stitched artifacts.
+    reference:
+        Reuse an already generated batch workload.
+    """
+    workdir = Path(workdir)
+    model = spec.model()
+    comparisons: list[OracleComparison] = []
+
+    if reference is None:
+        reference = LiveWorkloadGenerator(model).generate(
+            spec.days, seed=spec.seed)
+    ref_log = workdir / "reference.log"
+    write_wms_log(reference.trace, ref_log)
+    ref_sessions = sessionize(reference.trace).session_columns()
+
+    for shards, jobs in shard_configs:
+        candidate = generate_sharded(model, spec.days, seed=spec.seed,
+                                     shards=shards, jobs=jobs)
+        comparisons.append(_compare_trace(
+            f"parallel[shards={shards},jobs={jobs}].trace",
+            reference, candidate))
+
+    min_chunk = min(chunk_sizes)
+    probe = GenerationStream(model, spec.days, seed=spec.seed,
+                             chunk_size=min_chunk)
+    splits = max(len(step) for step in probe.block_steps())
+    comparisons.append(OracleComparison(
+        f"stream[chunk={min_chunk}].splits-blocks", splits > 1,
+        f"largest block emitted {splits} sibling batches "
+        f"(need >1 to exercise intra-block horizons)"))
+
+    for chunk in chunk_sizes:
+        log_path = workdir / f"stream_chunk{chunk}.log"
+        result = run_streaming_generation(
+            model, spec.days, seed=spec.seed, log_path=log_path,
+            chunk_size=chunk)
+        comparisons.append(_compare_files(
+            f"stream[chunk={chunk}].log", ref_log, log_path))
+        comparisons.append(_compare_sessions(
+            f"stream[chunk={chunk}].sessions", ref_sessions,
+            (result.sessions.client_index, result.sessions.start,
+             result.sessions.end, result.sessions.n_transfers)))
+
+    if resume_split:
+        chunk = min_chunk
+        split = max(1, int(probe.n_blocks * RESUME_SPLIT_FRACTION))
+        log_path = workdir / "stream_resume.log"
+        ck_path = workdir / "stream_resume.ck.npz"
+        first = run_streaming_generation(
+            model, spec.days, seed=spec.seed, log_path=log_path,
+            chunk_size=chunk, checkpoint_path=ck_path, resume=True,
+            max_blocks=split)
+        comparisons.append(OracleComparison(
+            f"stream[resume@{split}].interrupted", not first.completed,
+            f"first leg stopped after {first.blocks_run} of "
+            f"{probe.n_blocks} blocks"))
+        second = run_streaming_generation(
+            model, spec.days, seed=spec.seed, log_path=log_path,
+            chunk_size=chunk, checkpoint_path=ck_path, resume=True)
+        comparisons.append(OracleComparison(
+            f"stream[resume@{split}].completed", second.completed,
+            "resumed leg ran to the end of the window"))
+        comparisons.append(_compare_files(
+            f"stream[resume@{split}].log", ref_log, log_path))
+        comparisons.append(_compare_sessions(
+            f"stream[resume@{split}].sessions", ref_sessions,
+            (second.sessions.client_index, second.sessions.start,
+             second.sessions.end, second.sessions.n_transfers)))
+
+    return OracleReport(workload=spec.name, comparisons=tuple(comparisons))

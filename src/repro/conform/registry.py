@@ -1,0 +1,115 @@
+"""The golden-fingerprint registry (committed ``golden.json``).
+
+Schema (version 1)::
+
+    {
+      "version": 1,
+      "workloads": {
+        "<name>": {
+          "spec":   {...},                  # echo of the WorkloadSpec
+          "hashes": {"trace": ..., "sessions": ..., "log": ...},
+          "counts": {"n_transfers": ..., "n_sessions": ...},
+          "parameters": {
+            "<param>": {"value": ..., "ci_halfwidth": ..., "tol": ...,
+                        "paper_reference": ..., "paper_tol": ...}},
+          "distances": {"<name>": {"value": ..., "max": ...}}
+        }
+      }
+    }
+
+Tolerances live *here*, not in test code: a test that wants to know how
+much ``gap_log_mu`` may drift asks the registry.  ``make conform-update``
+regenerates the file deterministically (fixed seeds, seeded bootstrap,
+canonical JSON serialization), so a legitimate re-pin is a one-command,
+reviewable diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigError
+from .fingerprint import WorkloadMeasurement
+from .gates import derive_tolerances
+from .matrix import workload_spec
+
+#: The committed registry file, shipped inside the package.
+REGISTRY_PATH = Path(__file__).with_name("golden.json")
+
+#: Current schema version.
+REGISTRY_VERSION = 1
+
+
+def registry_entry(measurement: WorkloadMeasurement) -> dict:
+    """Build one workload's registry block from a fresh measurement."""
+    tolerances = derive_tolerances(measurement)
+    return {
+        "spec": measurement.spec.to_dict(),
+        "hashes": {
+            "trace": measurement.trace_sha256,
+            "sessions": measurement.sessions_sha256,
+            "log": measurement.log_sha256,
+        },
+        "counts": {
+            "n_transfers": measurement.n_transfers,
+            "n_sessions": measurement.n_sessions,
+        },
+        "parameters": tolerances["parameters"],
+        "distances": tolerances["distances"],
+    }
+
+
+def serialize_registry(registry: dict) -> str:
+    """Canonical JSON text for ``registry`` (stable across runs)."""
+    return json.dumps(registry, indent=2, sort_keys=True) + "\n"
+
+
+def save_registry(registry: dict, path: str | Path = REGISTRY_PATH) -> None:
+    """Write ``registry`` to ``path`` in canonical form."""
+    Path(path).write_text(serialize_registry(registry), encoding="ascii")
+
+
+def load_registry(path: str | Path = REGISTRY_PATH) -> dict:
+    """Load and structurally validate the golden registry."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(
+            f"golden registry {path} is missing; regenerate it with "
+            "`make conform-update`")
+    registry = json.loads(path.read_text(encoding="ascii"))
+    if registry.get("version") != REGISTRY_VERSION:
+        raise ConfigError(
+            f"golden registry {path} has version "
+            f"{registry.get('version')!r}, expected {REGISTRY_VERSION}")
+    if "workloads" not in registry or not isinstance(
+            registry["workloads"], dict):
+        raise ConfigError(f"golden registry {path} has no workload table")
+    for name, entry in registry["workloads"].items():
+        spec = workload_spec(name)  # raises on unknown workloads
+        if entry.get("spec") != spec.to_dict():
+            raise ConfigError(
+                f"golden registry entry {name!r} was pinned for a "
+                f"different spec {entry.get('spec')!r}; the canonical "
+                f"matrix now says {spec.to_dict()!r} — regenerate with "
+                "`make conform-update`")
+        for key in ("hashes", "counts", "parameters", "distances"):
+            if key not in entry:
+                raise ConfigError(
+                    f"golden registry entry {name!r} lacks {key!r}; "
+                    "regenerate with `make conform-update`")
+    return registry
+
+
+def updated_registry(measurements: list[WorkloadMeasurement],
+                     base: dict | None = None) -> dict:
+    """A registry with ``measurements`` (re-)pinned.
+
+    Entries of workloads not re-measured are carried over from ``base``,
+    so updating at smoke scale does not discard the paper-scale pin.
+    """
+    workloads = dict((base or {}).get("workloads", {}))
+    for measurement in measurements:
+        workloads[measurement.spec.name] = registry_entry(measurement)
+    return {"version": REGISTRY_VERSION,
+            "workloads": dict(sorted(workloads.items()))}

@@ -31,6 +31,7 @@ from .fitting import (
 )
 from .goodness import (
     GoodnessOfFit,
+    anderson_darling_distance,
     evaluate_fit,
     ks_distance,
     ks_statistic_table,
@@ -77,6 +78,7 @@ __all__ = [
     "fit_zipf_rank",
     "evaluate_fit",
     "hill_estimator",
+    "anderson_darling_distance",
     "ks_distance",
     "ks_statistic_table",
     "ks_two_sample",

@@ -1,0 +1,55 @@
+"""Fixtures for the conformance suite.
+
+The suite is scale-parameterized: ``pytest tests/conform`` runs the
+``smoke`` matrix (small + medium, seconds), and
+``pytest tests/conform --conform-scale=paper`` adds the 28-day
+Table 2-scale workload.  Workload measurements are generated once per
+session and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conform import load_registry, measure_workload, workload_spec
+from repro.conform.matrix import SCALE_WORKLOADS
+
+
+def pytest_generate_tests(metafunc):
+    if "conform_workload" in metafunc.fixturenames:
+        scale = metafunc.config.getoption("--conform-scale")
+        names = SCALE_WORKLOADS[scale]
+        marks = {"paper": [pytest.mark.slow]}
+        metafunc.parametrize(
+            "conform_workload",
+            [pytest.param(name, marks=marks.get(name, []))
+             for name in names])
+
+
+@pytest.fixture(scope="session")
+def conform_scale(request):
+    return request.config.getoption("--conform-scale")
+
+
+@pytest.fixture(scope="session")
+def golden_registry():
+    """The committed golden registry (schema-validated on load)."""
+    return load_registry()
+
+
+@pytest.fixture(scope="session")
+def measured():
+    """Session-cached workload measurement factory.
+
+    Bootstrap replicates are skipped (``n_boot=0``): the gates read
+    their tolerances from the registry, where the half-widths were
+    recorded at update time.
+    """
+    cache = {}
+
+    def _measure(name: str):
+        if name not in cache:
+            cache[name] = measure_workload(workload_spec(name), n_boot=0)
+        return cache[name]
+
+    return _measure

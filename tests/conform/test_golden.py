@@ -1,0 +1,73 @@
+"""Golden-fingerprint and statistical-gate conformance.
+
+Every canonical workload must (a) hash to its committed fingerprints —
+bit-identity of trace, sessions, and WMS log — and (b) calibrate to
+Table 2 parameters within the registry-recorded tolerances, including
+the paper-envelope gates that hold the fits against the paper's
+published values.  Tolerances come from ``golden.json``, never from
+this file.
+"""
+
+from __future__ import annotations
+
+from repro.conform import evaluate_gates
+from repro.conform.gates import statistical_failures
+
+
+def _evaluate(measured, golden_registry, conform_workload):
+    entry = golden_registry["workloads"].get(conform_workload)
+    assert entry is not None, (
+        f"workload {conform_workload!r} is not pinned in golden.json; "
+        "run `make conform-update`")
+    return evaluate_gates(measured(conform_workload), entry)
+
+
+def test_content_hashes_match_golden(measured, golden_registry,
+                                     conform_workload):
+    records = [r for r in _evaluate(measured, golden_registry,
+                                    conform_workload)
+               if r.gate.startswith(("hash:", "count:"))]
+    failures = [r.detail for r in records if not r.passed]
+    assert not failures, (
+        "bit-identity broken (if this change is intentional, re-pin via "
+        "`make conform-update` and justify the re-pin in the PR):\n"
+        + "\n".join(failures))
+
+
+def test_statistical_gates_pass(measured, golden_registry,
+                                conform_workload):
+    records = [r for r in _evaluate(measured, golden_registry,
+                                    conform_workload)
+               if not r.gate.startswith(("hash:", "count:"))]
+    assert records, "no statistical gates evaluated"
+    failures = [r.detail for r in records if not r.passed]
+    assert not failures, (
+        "statistical conformance drifted:\n" + "\n".join(failures))
+
+
+def test_paper_envelope_contains_table2(measured, golden_registry,
+                                        conform_workload):
+    """The calibrated fits bracket the paper's published values.
+
+    The drift gates above compare against *golden* values; this gate is
+    the absolute one — each fitted parameter must sit within the
+    recorded envelope of the Table 2 / Figure 11 reference, so a slow
+    sequence of re-pins cannot walk the model away from the paper.
+    """
+    records = [r for r in _evaluate(measured, golden_registry,
+                                    conform_workload)
+               if r.gate.startswith("envelope:")]
+    assert records
+    failures = [r.detail for r in records if not r.passed]
+    assert not failures, (
+        "calibrated parameters left the paper envelope:\n"
+        + "\n".join(failures))
+
+
+def test_no_statistical_failures_helper_consistency(measured,
+                                                    golden_registry,
+                                                    conform_workload):
+    records = _evaluate(measured, golden_registry, conform_workload)
+    assert statistical_failures(records) == [
+        r for r in records
+        if not r.passed and not r.gate.startswith(("hash:", "count:"))]

@@ -1,0 +1,50 @@
+"""Mutation self-check: the gates must have teeth.
+
+Perturbs one Table 2 model parameter by 2%, regenerates the canonical
+``medium`` workload, and asserts the *statistical* gates fail against
+the golden registry.  Hash gates do not count as detection — the point
+is that a drift survives even a legitimate fingerprint re-pin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conform import mutation_self_check
+from repro.errors import ConfigError
+
+
+def test_two_percent_gap_mu_perturbation_is_caught(golden_registry):
+    report = mutation_self_check(golden_registry, n_boot=0)
+    assert report.parameter == "gap_log_mu"
+    assert report.relative_delta == pytest.approx(0.02)
+    assert report.caught, (
+        "the statistical gates MISSED a 2% gap_log_mu perturbation — "
+        "the conformance harness has lost its teeth: " + report.summary())
+    assert any(r.gate == "param:gap_log_mu"
+               for r in report.failing_gates), report.summary()
+    # Detection must be statistical, not bit-identity.
+    assert all(not r.gate.startswith(("hash:", "count:"))
+               for r in report.failing_gates)
+
+
+def test_transfer_length_perturbation_is_caught(golden_registry):
+    report = mutation_self_check(golden_registry,
+                                 parameter="length_log_mu",
+                                 relative_delta=-0.02, n_boot=0)
+    assert report.caught, report.summary()
+    assert any(r.gate in ("param:length_log_mu",
+                          "distance:length_ks", "distance:length_ad")
+               for r in report.failing_gates), report.summary()
+
+
+def test_unpinned_workload_rejected(golden_registry):
+    registry = {"version": golden_registry["version"], "workloads": {}}
+    with pytest.raises(ConfigError):
+        mutation_self_check(registry, n_boot=0)
+
+
+def test_non_scalar_parameter_rejected(golden_registry):
+    with pytest.raises(ConfigError):
+        mutation_self_check(golden_registry, parameter="arrival_profile",
+                            n_boot=0)

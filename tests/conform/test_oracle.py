@@ -1,0 +1,40 @@
+"""Cross-pipeline differential oracle as a pytest gate.
+
+Asserts trace/session/log bit-identity of the batch, sharded, and
+streaming pipelines on the canonical matrix — including at least two
+shard counts, two chunk sizes, and one mid-run checkpoint/resume split
+per workload (the acceptance surface of the determinism contract).
+"""
+
+from __future__ import annotations
+
+from repro.conform import run_differential_oracle, workload_spec
+from repro.conform.oracle import (DEFAULT_CHUNK_SIZES,
+                                  DEFAULT_SHARD_CONFIGS)
+from repro.conform.runner import _ORACLE_SHAPES
+
+
+def test_differential_oracle_bit_identity(tmp_path, conform_workload):
+    spec = workload_spec(conform_workload)
+    shape = _ORACLE_SHAPES.get(conform_workload, {
+        "shard_configs": DEFAULT_SHARD_CONFIGS,
+        "chunk_sizes": DEFAULT_CHUNK_SIZES,
+    })
+    report = run_differential_oracle(spec, tmp_path, **shape)
+
+    names = [c.name for c in report.comparisons]
+    assert sum(1 for n in names if n.startswith("parallel[")) >= 1
+    assert len({n for n in names
+                if n.startswith("stream[chunk=") and n.endswith(".log")}) >= 2
+    assert any(n.startswith("stream[resume@") for n in names)
+
+    failures = [f"{c.name}: {c.detail}" for c in report.failures()]
+    assert not failures, (
+        "cross-pipeline determinism contract violated:\n"
+        + "\n".join(failures))
+
+
+def test_oracle_covers_two_shard_counts_at_smoke():
+    """The default differential matrix covers >= 2 shard counts."""
+    assert len({shards for shards, _ in DEFAULT_SHARD_CONFIGS}) >= 2
+    assert len(set(DEFAULT_CHUNK_SIZES)) >= 2

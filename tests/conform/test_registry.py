@@ -1,0 +1,81 @@
+"""Golden-registry integrity and regeneration determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conform import (CANONICAL_MATRIX, load_registry, save_registry,
+                           serialize_registry, updated_registry)
+from repro.conform.fingerprint import GATED_DISTANCES, GATED_PARAMETERS
+from repro.conform.registry import REGISTRY_PATH, REGISTRY_VERSION
+from repro.errors import ConfigError
+
+
+def test_all_canonical_workloads_are_pinned(golden_registry):
+    assert set(golden_registry["workloads"]) == {
+        spec.name for spec in CANONICAL_MATRIX}
+
+
+def test_entries_carry_full_gate_surface(golden_registry):
+    for name, entry in golden_registry["workloads"].items():
+        assert set(entry["hashes"]) == {"trace", "sessions", "log"}, name
+        assert set(entry["parameters"]) == set(GATED_PARAMETERS), name
+        assert set(entry["distances"]) == set(GATED_DISTANCES), name
+        for pname, spec in entry["parameters"].items():
+            assert spec["tol"] > 0, (name, pname)
+            assert spec["paper_tol"] > 0, (name, pname)
+            assert spec["ci_halfwidth"] >= 0, (name, pname)
+
+
+def test_committed_file_is_canonically_serialized(golden_registry):
+    """``make conform-update`` output is byte-stable: the committed file
+    must already be in canonical form, so re-serializing the loaded
+    registry reproduces it exactly."""
+    assert serialize_registry(golden_registry) == REGISTRY_PATH.read_text(
+        encoding="ascii")
+
+
+def test_save_load_round_trip(tmp_path, golden_registry):
+    path = tmp_path / "golden.json"
+    save_registry(golden_registry, path)
+    assert load_registry(path) == golden_registry
+
+
+def test_missing_registry_rejected(tmp_path):
+    with pytest.raises(ConfigError, match="conform-update"):
+        load_registry(tmp_path / "nope.json")
+
+
+def test_wrong_version_rejected(tmp_path, golden_registry):
+    path = tmp_path / "golden.json"
+    doc = dict(golden_registry, version=REGISTRY_VERSION + 1)
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ConfigError, match="version"):
+        load_registry(path)
+
+
+def test_stale_spec_rejected(tmp_path, golden_registry):
+    """A pin made for a different canonical spec must not silently gate."""
+    doc = json.loads(json.dumps(golden_registry))  # deep copy
+    doc["workloads"]["small"]["spec"]["seed"] += 1
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ConfigError, match="different spec"):
+        load_registry(path)
+
+
+def test_unknown_workload_rejected(tmp_path, golden_registry):
+    doc = json.loads(json.dumps(golden_registry))
+    doc["workloads"]["huge"] = doc["workloads"]["small"]
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ConfigError, match="unknown canonical workload"):
+        load_registry(path)
+
+
+def test_update_preserves_unmeasured_entries(golden_registry):
+    registry = updated_registry([], base=golden_registry)
+    assert registry["workloads"] == golden_registry["workloads"]
+    assert registry["version"] == REGISTRY_VERSION

@@ -21,6 +21,31 @@ from repro.trace.sanitize import sanitize_trace
 FIXTURE_SEED = 42
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--conform-scale", action="store", default="smoke",
+        choices=("smoke", "paper"),
+        help="canonical workload matrix for the conformance suite "
+             "(smoke: small+medium, seconds; paper: adds the 28-day "
+             "Table 2-scale workload)")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Directory-based marker split.
+
+    Everything under ``tests/property`` carries ``property`` and
+    everything under ``tests/conform`` carries ``conform``, so the suite
+    can be sliced with ``-m`` without per-file boilerplate (explicit
+    ``slow`` marks are per-test).
+    """
+    for item in items:
+        path = str(item.fspath)
+        if "/tests/property/" in path:
+            item.add_marker(pytest.mark.property)
+        if "/tests/conform/" in path:
+            item.add_marker(pytest.mark.conform)
+
+
 @pytest.fixture(scope="session")
 def smoke_result():
     """A small (2-day) simulated world with ground truth."""

@@ -1,0 +1,95 @@
+"""Error-path tests for the command-line interface.
+
+Every rejected invocation must exit non-zero and explain itself on
+stderr — a silent exit code is useless in CI logs.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestUnknownCommand:
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "command" in capsys.readouterr().err
+
+
+class TestCharacterizeConflicts:
+    def test_resume_without_checkpoint(self, capsys):
+        code = main(["characterize", "whatever.log", "--log", "--resume"])
+        assert code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_without_log(self, tmp_path, capsys):
+        code = main(["characterize", "trace.npz",
+                     "--checkpoint", str(tmp_path / "ckpt.json")])
+        assert code == 2
+        assert "--checkpoint requires --log" in capsys.readouterr().err
+
+    def test_multiple_traces_without_log(self, capsys):
+        code = main(["characterize", "a.npz", "b.npz"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestGenerateConflicts:
+    def test_chunk_size_zero(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--seed", "1", "--stream", "--chunk-size", "0",
+                     "--out", str(tmp_path / "w.log")])
+        assert code == 2
+        assert "--chunk-size must be at least 1" in capsys.readouterr().err
+
+    def test_chunk_size_negative(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--seed", "1", "--stream", "--chunk-size", "-3",
+                     "--out", str(tmp_path / "w.log")])
+        assert code == 2
+        assert "got -3" in capsys.readouterr().err
+
+    def test_chunk_size_without_stream(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--seed", "1", "--chunk-size", "64",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        assert "--chunk-size only applies with --stream" in (
+            capsys.readouterr().err)
+
+    def test_resume_without_stream(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--seed", "1", "--resume",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        assert "only apply with --stream" in capsys.readouterr().err
+
+    def test_stream_resume_without_checkpoint(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--seed", "1", "--stream", "--resume",
+                     "--out", str(tmp_path / "w.log")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err
+        assert "checkpoint_path" in err
+
+
+class TestConformErrors:
+    def test_unknown_scale_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["conform", "--scale", "galactic"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_registry_exits_2(self, tmp_path, capsys):
+        code = main(["conform", "--registry", str(tmp_path / "nope.json"),
+                     "--no-oracle", "--no-mutation", "--boot", "0"])
+        assert code == 2
+        assert "conform-update" in capsys.readouterr().err

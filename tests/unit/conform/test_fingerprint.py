@@ -1,0 +1,70 @@
+"""Unit tests for content hashing and workload measurement."""
+
+import numpy as np
+import pytest
+
+from repro.conform import measure_workload, workload_spec
+from repro.conform.fingerprint import (GATED_DISTANCES, GATED_PARAMETERS,
+                                       hash_arrays, trace_fingerprint)
+from repro.errors import ConfigError
+
+
+class TestHashArrays:
+    def test_deterministic(self):
+        arrays = (np.arange(10), np.linspace(0, 1, 5))
+        assert hash_arrays(arrays) == hash_arrays(arrays)
+
+    def test_value_sensitive(self):
+        a = np.arange(10.0)
+        b = a.copy()
+        b[3] += 1e-12
+        assert hash_arrays((a,)) != hash_arrays((b,))
+
+    def test_dtype_sensitive(self):
+        a = np.arange(10, dtype=np.int64)
+        b = a.astype(np.int32)
+        assert hash_arrays((a,)) != hash_arrays((b,))
+
+    def test_order_sensitive(self):
+        a, b = np.arange(3), np.arange(3, 6)
+        assert hash_arrays((a, b)) != hash_arrays((b, a))
+
+    def test_boundary_insensitive_concat_guard(self):
+        # [1,2],[3] must not hash like [1],[2,3]: shapes are mixed in.
+        assert (hash_arrays((np.array([1, 2]), np.array([3])))
+                != hash_arrays((np.array([1]), np.array([2, 3]))))
+
+    def test_layout_invariant(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert hash_arrays((a,)) == hash_arrays((np.asfortranarray(a),))
+
+    def test_trace_fingerprint_row_sensitive(self, tiny_trace):
+        fewer = tiny_trace.filter(
+            np.arange(len(tiny_trace)) < len(tiny_trace) - 1)
+        assert trace_fingerprint(tiny_trace) != trace_fingerprint(fewer)
+
+
+class TestMeasureWorkload:
+    def test_small_measurement_complete(self):
+        m = measure_workload(workload_spec("small"), n_boot=25)
+        assert set(m.parameters) == set(GATED_PARAMETERS)
+        assert set(m.ci_halfwidth) == set(GATED_PARAMETERS)
+        assert set(m.distances) == set(GATED_DISTANCES)
+        assert all(v > 0 for v in m.ci_halfwidth.values())
+        assert m.n_transfers > 0 and m.n_sessions > 0
+        assert len(m.trace_sha256) == 64
+        assert len(m.sessions_sha256) == 64
+        assert len(m.log_sha256) == 64
+
+    def test_measurement_deterministic(self):
+        a = measure_workload(workload_spec("small"), n_boot=10)
+        b = measure_workload(workload_spec("small"), n_boot=10)
+        assert a == b
+
+    def test_no_boot_skips_halfwidths(self):
+        m = measure_workload(workload_spec("small"), n_boot=0)
+        assert all(v == 0.0 for v in m.ci_halfwidth.values())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            workload_spec("gigantic")

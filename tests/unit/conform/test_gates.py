@@ -1,0 +1,96 @@
+"""Unit tests for gate evaluation and tolerance derivation."""
+
+import dataclasses
+
+import pytest
+
+from repro.conform import (derive_tolerances, evaluate_gates,
+                           measure_workload, registry_entry,
+                           statistical_failures, workload_spec)
+from repro.conform.fingerprint import GATED_PARAMETERS
+from repro.conform.gates import PAPER_REFERENCES
+from repro.paper import TABLE2
+
+
+@pytest.fixture(scope="module")
+def small_measurement():
+    return measure_workload(workload_spec("small"), n_boot=25)
+
+
+@pytest.fixture(scope="module")
+def small_entry(small_measurement):
+    return registry_entry(small_measurement)
+
+
+class TestDeriveTolerances:
+    def test_tol_scales_with_halfwidth(self, small_measurement):
+        tols = derive_tolerances(small_measurement)
+        for name in GATED_PARAMETERS:
+            spec = tols["parameters"][name]
+            assert spec["tol"] >= 2.0 * spec["ci_halfwidth"]
+            assert spec["tol"] >= 0.01
+
+    def test_envelope_brackets_paper_value(self, small_measurement):
+        tols = derive_tolerances(small_measurement)
+        for name in GATED_PARAMETERS:
+            spec = tols["parameters"][name]
+            assert (abs(spec["value"] - spec["paper_reference"])
+                    <= spec["paper_tol"])
+
+    def test_distance_max_exceeds_value(self, small_measurement):
+        tols = derive_tolerances(small_measurement)
+        for spec in tols["distances"].values():
+            assert spec["max"] > spec["value"]
+
+    def test_references_are_paper_constants(self):
+        assert (PAPER_REFERENCES["transfers_alpha"]
+                == TABLE2["transfers_per_session_alpha"].value)
+        assert (PAPER_REFERENCES["length_log_mu"]
+                == TABLE2["transfer_length_log_mu"].value)
+
+
+class TestEvaluateGates:
+    def test_self_evaluation_passes(self, small_measurement, small_entry):
+        records = evaluate_gates(small_measurement, small_entry)
+        assert records and all(r.passed for r in records)
+
+    def test_gate_families_present(self, small_measurement, small_entry):
+        gates = {r.gate for r in evaluate_gates(small_measurement,
+                                                small_entry)}
+        assert {"hash:trace", "hash:sessions", "hash:log",
+                "count:transfers", "count:sessions"} <= gates
+        for name in GATED_PARAMETERS:
+            assert f"param:{name}" in gates
+            assert f"envelope:{name}" in gates
+
+    def test_parameter_drift_fails_with_readable_detail(
+            self, small_measurement, small_entry):
+        drifted = dataclasses.replace(
+            small_measurement,
+            parameters=dict(small_measurement.parameters,
+                            gap_log_mu=small_measurement.parameters[
+                                "gap_log_mu"] + 1.0))
+        records = evaluate_gates(drifted, small_entry)
+        failed = [r for r in records if not r.passed]
+        assert [r.gate for r in failed] == ["param:gap_log_mu",
+                                           "envelope:gap_log_mu"]
+        assert "drift" in failed[0].detail
+        assert "tol" in failed[0].detail
+
+    def test_hash_drift_fails_with_repin_hint(self, small_measurement,
+                                              small_entry):
+        drifted = dataclasses.replace(small_measurement,
+                                      trace_sha256="0" * 64)
+        records = evaluate_gates(drifted, small_entry)
+        failed = [r for r in records if not r.passed]
+        assert [r.gate for r in failed] == ["hash:trace"]
+        assert "conform-update" in failed[0].detail
+
+    def test_statistical_failures_excludes_identity_gates(
+            self, small_measurement, small_entry):
+        drifted = dataclasses.replace(
+            small_measurement, trace_sha256="0" * 64,
+            n_transfers=small_measurement.n_transfers + 1)
+        records = evaluate_gates(drifted, small_entry)
+        assert any(not r.passed for r in records)
+        assert statistical_failures(records) == []

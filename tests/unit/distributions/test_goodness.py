@@ -8,6 +8,7 @@ from repro.distributions import (
     ExponentialDistribution,
     LognormalDistribution,
     ParetoDistribution,
+    anderson_darling_distance,
     evaluate_fit,
     ks_distance,
     ks_statistic_table,
@@ -15,6 +16,42 @@ from repro.distributions import (
     qq_points,
 )
 from repro.errors import FittingError
+
+
+class TestAndersonDarling:
+    def test_small_under_true_model(self):
+        dist = LognormalDistribution(4.4, 1.4)
+        sample = dist.sample(20_000, seed=1)
+        # Asymptotic 1% critical value for a fully specified model ~ 3.9.
+        assert anderson_darling_distance(sample, dist) < 3.9
+
+    def test_large_under_shifted_model(self):
+        dist = LognormalDistribution(4.4, 1.4)
+        sample = dist.sample(20_000, seed=1)
+        shifted = LognormalDistribution(4.5, 1.4)
+        assert anderson_darling_distance(sample, shifted) > 10.0
+
+    def test_more_tail_sensitive_than_ks(self):
+        # Fatten only the extreme upper tail: KS barely moves (it is an
+        # ECDF supremum, dominated by the body), A^2 explodes.
+        dist = ExponentialDistribution(1.0)
+        sample = np.sort(dist.sample(5_000, seed=3))
+        sample[-5:] *= 50.0
+        clean = np.sort(dist.sample(5_000, seed=3))
+        ad_jump = (anderson_darling_distance(sample, dist)
+                   - anderson_darling_distance(clean, dist))
+        ks_jump = ks_distance(sample, dist) - ks_distance(clean, dist)
+        assert ad_jump > 10.0 * max(ks_jump, 1e-9)
+
+    def test_out_of_support_point_is_finite(self):
+        dist = ParetoDistribution(alpha=2.0, xmin=1.0)
+        value = anderson_darling_distance([0.5, 2.0, 3.0], dist)
+        assert np.isfinite(value)
+        assert value > 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FittingError):
+            anderson_darling_distance([], ExponentialDistribution(1.0))
 
 
 class TestKsDistance:
