@@ -1,16 +1,43 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test test-all conform conform-paper conform-update coverage \
+.PHONY: install lint lint-custom lint-mypy lint-ruff test test-all conform \
+	conform-paper conform-update coverage \
 	bench bench-core bench-parallel bench-stream experiments figures \
 	examples all
 
 install:
 	pip install -e .
 
-# Fast developer loop: the tier-1 suite minus anything marked `slow`
-# (paper-scale conformance parametrizations). Works from a clean
-# checkout, no install step needed.
-test:
+# Static analysis, three layers (docs/LINTING.md):
+#   1. repro lint  — the repo's own AST determinism/numeric-discipline
+#      rules (RL000..). Pure stdlib, always runs.
+#   2. mypy --strict over src/repro (per-module overrides recorded in
+#      pyproject.toml). Skipped with a notice when mypy is missing.
+#   3. ruff — generic Python hygiene baseline. Skipped when missing.
+# The custom pass gates `make test`; mypy/ruff additionally gate CI.
+lint: lint-custom lint-mypy lint-ruff
+
+lint-custom:
+	PYTHONPATH=src python -m repro lint src tests
+
+lint-mypy:
+	@if python -c "import mypy" 2>/dev/null; then \
+		python -m mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[dev])"; \
+	fi
+
+lint-ruff:
+	@if python -c "import ruff" 2>/dev/null; then \
+		python -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[dev])"; \
+	fi
+
+# Fast developer loop: the custom lint pass plus the tier-1 suite minus
+# anything marked `slow` (paper-scale conformance parametrizations).
+# Works from a clean checkout, no install step needed.
+test: lint-custom
 	PYTHONPATH=src python -m pytest -x -q -m "not slow"
 
 # The whole suite, slow markers included (ROADMAP.md tier-1 command).

@@ -19,8 +19,10 @@ IntArray = npt.NDArray[np.int64]
 #: Seconds since the start of the trace.  All trace timestamps are relative.
 Seconds = float
 
-#: A seed acceptable by :func:`numpy.random.default_rng`.
-SeedLike = Union[int, np.random.Generator, None]
+#: A seed acceptable by :func:`numpy.random.default_rng`.  ``SeedSequence``
+#: is included so deterministically derived children (entropy-pinned or
+#: spawned) can be handed to :func:`repro.rng.make_rng` directly.
+SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
 
 
 def as_float_array(values: ArrayLike, *, name: str = "values") -> FloatArray:

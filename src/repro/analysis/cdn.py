@@ -15,7 +15,7 @@ a few well-placed relays absorb most of the unicast load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -100,7 +100,9 @@ def relay_placement_curve(trace: Trace, relay_counts: list[int], *,
 
     transfer_as = trace.clients.as_numbers[trace.client_index]
     as_numbers, as_counts = np.unique(transfer_as, return_counts=True)
-    ranked_ases = as_numbers[np.argsort(as_counts)[::-1]]
+    # Stable sort so equal-traffic ASes rank in a platform-independent
+    # order (ties fall back to ascending AS number, reversed).
+    ranked_ases = as_numbers[np.argsort(as_counts, kind="stable")[::-1]]
 
     # Per-(AS, feed) concurrency for the ASes any deployment could touch;
     # everything else only ever needs its total concurrency.

@@ -59,7 +59,7 @@ def share_by_key(keys: ArrayLike, *, top: int | None = None
     """
     unique, counts = group_counts(keys)
     shares = counts / counts.sum()
-    order = np.argsort(shares)[::-1]
+    order = np.argsort(shares, kind="stable")[::-1]
     if top is not None:
         if top < 1:
             raise AnalysisError(f"top must be positive, got {top}")

@@ -11,6 +11,8 @@ Subcommands mirror the library's three faces plus the experiment harness:
 * ``repro experiments`` — regenerate the paper's tables and figures.
 * ``repro conform`` — statistical conformance gates + cross-pipeline
   differential oracle against the golden registry.
+* ``repro lint`` — AST-based determinism & numeric-discipline linter
+  (rules RL000…; see ``docs/LINTING.md``).
 """
 
 from __future__ import annotations
@@ -186,6 +188,23 @@ def _build_parser() -> argparse.ArgumentParser:
     con.add_argument("--boot", type=int, default=None,
                      help="bootstrap replicates per parameter "
                           "(default: 200)")
+
+    lnt = sub.add_parser("lint",
+                         help="AST-based determinism & numeric-discipline "
+                              "linter (rules RL000..)")
+    lnt.add_argument("paths", type=Path, nargs="*",
+                     help="files or directories to lint "
+                          "(default: src/ tests/)")
+    lnt.add_argument("--format", choices=("text", "json"), default="text",
+                     help="report format (default: text)")
+    lnt.add_argument("--select", action="append", default=None,
+                     metavar="RLxxx[,RLxxx...]",
+                     help="run only these rule IDs (repeatable)")
+    lnt.add_argument("--ignore", action="append", default=None,
+                     metavar="RLxxx[,RLxxx...]",
+                     help="skip these rule IDs (repeatable)")
+    lnt.add_argument("--out", type=Path, default=None,
+                     help="also write the report to this file")
 
     val = sub.add_parser("validate",
                          help="compare two traces through the calibration "
@@ -433,6 +452,34 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_rule_ids(values: list[str] | None) -> list[str] | None:
+    """Flatten repeatable comma-separated ``--select``/``--ignore`` args."""
+    if values is None:
+        return None
+    return [token for value in values
+            for token in value.split(",") if token]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .errors import LintError
+    from .lint import lint_paths, render_json, render_text
+
+    paths = [str(p) for p in args.paths] or ["src", "tests"]
+    try:
+        result = lint_paths(paths,
+                            select=_split_rule_ids(args.select),
+                            ignore=_split_rule_ids(args.ignore))
+    except LintError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    report = (render_json(result) if args.format == "json"
+              else render_text(result) + "\n")
+    print(report, end="")
+    if args.out is not None:
+        args.out.write_text(report)
+    return 0 if result.clean else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .core.validate import compare_workloads
 
@@ -459,6 +506,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "conform": _cmd_conform,
     "figures": _cmd_figures,
+    "lint": _cmd_lint,
     "validate": _cmd_validate,
 }
 

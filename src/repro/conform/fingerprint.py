@@ -34,6 +34,7 @@ from ..core.model import LiveWorkloadModel
 from ..core.sessionizer import Sessions, sessionize
 from ..distributions.fitting import fit_lognormal, fit_zipf_pmf, fit_zipf_rank
 from ..distributions.goodness import anderson_darling_distance, ks_distance
+from ..rng import make_rng
 from ..trace.store import Trace
 from ..trace.wms_log import write_wms_log
 from ..units import log_display_time
@@ -235,7 +236,7 @@ def measure_workload(spec: WorkloadSpec, *,
     if n_boot:
         # One independent, spec-seeded stream per measurement run keeps
         # the half-widths (and therefore golden.json) reproducible.
-        rng = np.random.default_rng(np.random.SeedSequence(
+        rng = make_rng(np.random.SeedSequence(
             entropy=(0xC04F0041, spec.seed)))
 
         def lognormal_stat(resample):

@@ -47,7 +47,7 @@ class CategoricalChoice(ContinuousDistribution):
                 f"({vals.size} != {wts.size})")
         if np.any(wts < 0) or wts.sum() <= 0:
             raise DistributionError("weights must be non-negative with positive sum")
-        order = np.argsort(vals)
+        order = np.argsort(vals, kind="stable")
         self._values = vals[order]
         self._probs = (wts / wts.sum())[order]
         self._cdf = np.cumsum(self._probs)

@@ -153,7 +153,7 @@ class TwoRegimePareto(ContinuousDistribution):
             return math.inf
         # Body contribution: integral of x * pdf over [xmin, xb).
         a, xm, xb = self.alpha_body, self.xmin, self.breakpoint
-        if a == 1.0:
+        if a == 1.0:  # reprolint: disable=RL007, exact mathematical branch: the a=1 integral is logarithmic
             body = xm * math.log(xb / xm)
         else:
             body = a * xm**a / (a - 1.0) * (xm ** (1.0 - a) - xb ** (1.0 - a))

@@ -72,3 +72,12 @@ class AnalysisError(ReproError):
 
 class GenerationError(ReproError):
     """The synthetic workload generator was asked for an impossible output."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass was invoked with bad inputs.
+
+    Raised for unknown rule IDs in ``--select``/``--ignore`` and for
+    nonexistent or non-Python paths.  Rule *violations* are not errors —
+    they are data (see :class:`repro.lint.Violation`).
+    """

@@ -1,0 +1,150 @@
+"""File discovery, per-file rule applicability, and orchestration.
+
+The engine turns paths into a deterministic file list (sorted recursive
+walk — the linter obeys its own ordering rules), classifies each file as
+``library`` or ``test`` context, applies the per-rule package and
+exemption filters, runs the AST pass, and folds in suppression handling.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import LintError
+from .rules import RULES, Violation, active_rule_ids, check_tree, rule
+from .rules import LIBRARY, TEST
+from .suppressions import apply_suppressions, extract_suppressions
+
+_KNOWN_IDS = frozenset(r.id for r in RULES)
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def discover_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Raises
+    ------
+    LintError
+        If a path does not exist or a file argument is not Python source.
+    """
+    seen: dict[str, Path] = {}
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"path does not exist: {path}")
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = (path,)
+        else:
+            raise LintError(f"not a Python file: {path}")
+        for candidate in candidates:
+            seen.setdefault(candidate.resolve().as_posix(), candidate)
+    return [seen[key] for key in sorted(seen)]
+
+
+def classify_context(path: Path) -> str:
+    """``test`` for anything under a ``tests`` directory, else ``library``."""
+    return TEST if "tests" in path.resolve().parts else LIBRARY
+
+
+def module_path(path: Path) -> str | None:
+    """Dotted module path rooted at the ``repro`` package, when present."""
+    parts = path.resolve().with_suffix("").parts
+    try:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    except ValueError:
+        return None
+    module = parts[anchor:]
+    if module and module[-1] == "__init__":
+        module = module[:-1]
+    return ".".join(module)
+
+
+def _applicable_ids(path: Path, context: str,
+                    selected: frozenset[str]) -> frozenset[str]:
+    posix = path.resolve().as_posix()
+    module = module_path(path)
+    applicable = set()
+    for rule_id in selected:
+        spec = rule(rule_id)
+        if context not in spec.contexts:
+            continue
+        if any(posix.endswith(suffix) for suffix in spec.exempt):
+            continue
+        if spec.packages is not None:
+            if module is None or not any(
+                    module == pkg or module.startswith(pkg + ".")
+                    for pkg in spec.packages):
+                continue
+        applicable.add(rule_id)
+    return frozenset(applicable)
+
+
+def lint_source(source: str, *, path: str = "<string>",
+                context: str = LIBRARY,
+                module: str | None = None,
+                select: Iterable[str] | None = None,
+                ignore: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one source string (unit-test and fixture entry point).
+
+    ``context`` is ``library`` or ``test``; ``module`` is the dotted
+    module path used for package-scoped rules (defaults to a guess from
+    ``path`` when it contains a ``repro`` component).
+    """
+    selected = active_rule_ids(select, ignore)
+    fake = Path(path if path != "<string>" else "string.py")
+    if module is not None:
+        # Honour an explicit module path by faking a file location for it.
+        fake = Path("/".join(module.split("."))).with_suffix(".py")
+    applicable = _applicable_ids(fake, context, selected)
+    return _lint_text(source, path, applicable)
+
+
+def lint_paths(paths: Sequence[Path | str], *,
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None) -> LintResult:
+    """Lint files and directories; the library/CLI entry point."""
+    selected = active_rule_ids(select, ignore)
+    files = discover_files([Path(p) for p in paths])
+    result = LintResult()
+    for file_path in files:
+        context = classify_context(file_path)
+        applicable = _applicable_ids(file_path, context, selected)
+        source = file_path.read_text(encoding="utf-8")
+        result.violations.extend(
+            _lint_text(source, file_path.as_posix(), applicable))
+        result.files_checked += 1
+    result.violations.sort(
+        key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return result
+
+
+def _lint_text(source: str, path: str,
+               applicable: frozenset[str]) -> list[Violation]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        if "RL000" not in applicable:
+            return []
+        return [Violation(path, exc.lineno or 1, (exc.offset or 0) + 1,
+                          "RL000", f"syntax error: {exc.msg}")]
+    raw = [v for v in check_tree(tree, path) if v.rule_id in applicable]
+    suppressions = extract_suppressions(source, path)
+    outcome = apply_suppressions(raw, suppressions,
+                                 active_ids=applicable,
+                                 known_ids=_KNOWN_IDS)
+    return outcome.kept + outcome.hygiene

@@ -1,0 +1,138 @@
+"""Inline suppression comments and their hygiene checks.
+
+Grammar (one comment per line, anywhere after code)::
+
+    # reprolint: disable=RL007
+    # reprolint: disable=RL007,RL012
+    # reprolint: disable=RL007, exact mathematical special case
+
+Rule IDs are comma/whitespace separated; the first token that is not
+shaped like an ID starts the free-text reason.  Comments are discovered
+with :mod:`tokenize`, so a ``# reprolint:`` inside a string literal is
+never mistaken for a directive.
+
+Suppressions are themselves linted (rule ``RL010``):
+
+* a directive with no parseable rule IDs is malformed;
+* an ID that is not a registered rule is unknown;
+* an ID that suppressed no violation on its line is *stale* — the code
+  was fixed but the comment lingers (staleness is only judged for rules
+  active in the current run, so ``--select`` slices do not cry wolf).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .rules import Violation, is_rule_id
+
+_DIRECTIVE_RE = re.compile(r"#\s*reprolint:\s*disable=(?P<body>.*)$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# reprolint: disable=...`` directive."""
+
+    path: str
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    malformed: bool = False
+
+
+@dataclass
+class SuppressionOutcome:
+    """What suppression application produced."""
+
+    kept: list[Violation] = field(default_factory=list)
+    hygiene: list[Violation] = field(default_factory=list)
+
+
+def extract_suppressions(source: str, path: str) -> list[Suppression]:
+    """Scan ``source`` for directives via the token stream."""
+    found: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE_RE.search(tok.string)
+            if match is None:
+                continue
+            found.append(_parse_directive(
+                match.group("body"), path,
+                tok.start[0], tok.start[1] + 1))
+    except tokenize.TokenizeError:
+        # The AST pass reports the syntax problem (RL000); nothing to do.
+        return []
+    return found
+
+
+def _parse_directive(body: str, path: str, line: int,
+                     col: int) -> Suppression:
+    ids: list[str] = []
+    reason = ""
+    tokens = [t for t in re.split(r"[,\s]+", body.strip()) if t]
+    for index, token in enumerate(tokens):
+        if is_rule_id(token):
+            ids.append(token)
+        else:
+            reason = " ".join(tokens[index:])
+            break
+    return Suppression(path=path, line=line, col=col,
+                       rule_ids=tuple(ids), reason=reason,
+                       malformed=not ids)
+
+
+def apply_suppressions(violations: list[Violation],
+                       suppressions: list[Suppression],
+                       active_ids: frozenset[str],
+                       known_ids: frozenset[str]) -> SuppressionOutcome:
+    """Filter ``violations`` through ``suppressions``; emit RL010 hygiene.
+
+    A directive silences violations of its rule IDs on its own line.
+    ``RL010`` itself can be suppressed (``disable=RL010``), and such
+    entries are exempt from staleness so the escape hatch cannot recurse.
+    """
+    outcome = SuppressionOutcome()
+    used: set[tuple[int, str]] = set()
+
+    by_line: dict[int, set[str]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.line, set()).update(sup.rule_ids)
+
+    for violation in violations:
+        silencers = by_line.get(violation.line, set())
+        if violation.rule_id in silencers:
+            used.add((violation.line, violation.rule_id))
+        else:
+            outcome.kept.append(violation)
+
+    hygiene_active = "RL010" in active_ids
+    rl010_silenced: set[int] = {
+        sup.line for sup in suppressions if "RL010" in sup.rule_ids}
+
+    def emit(sup: Suppression, message: str) -> None:
+        if not hygiene_active or sup.line in rl010_silenced:
+            return
+        outcome.hygiene.append(Violation(
+            sup.path, sup.line, sup.col, "RL010", message))
+
+    for sup in suppressions:
+        if sup.malformed:
+            emit(sup, "malformed suppression: no rule IDs after 'disable='")
+            continue
+        for rule_id in sup.rule_ids:
+            if rule_id not in known_ids:
+                emit(sup, f"unknown rule id {rule_id} in suppression")
+            elif rule_id == "RL010":
+                continue  # the escape hatch is never judged stale
+            elif (rule_id in active_ids
+                  and (sup.line, rule_id) not in used):
+                emit(sup, f"stale suppression: {rule_id} no longer fires "
+                          f"on line {sup.line}")
+    return outcome

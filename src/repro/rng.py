@@ -17,9 +17,10 @@ from ._typing import SeedLike
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for the given seed.
 
-    ``None`` yields a non-deterministic generator, an ``int`` a deterministic
-    one, and an existing :class:`~numpy.random.Generator` is passed through
-    unchanged (shared, not copied).
+    ``None`` yields a non-deterministic generator, an ``int`` or
+    :class:`~numpy.random.SeedSequence` a deterministic one, and an existing
+    :class:`~numpy.random.Generator` is passed through unchanged (shared,
+    not copied).
     """
     if isinstance(seed, np.random.Generator):
         return seed

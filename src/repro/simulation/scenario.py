@@ -208,7 +208,7 @@ class LiveShowScenario:
 
         process = PiecewiseStationaryPoissonProcess(
             self.arrival_profile(), window=cfg.arrival_window)
-        if cfg.audience_trend == 1.0:
+        if cfg.audience_trend == 1.0:  # reprolint: disable=RL007, exact config sentinel: 1.0 means "no ramp"
             arrivals = process.generate(duration, arrival_rng)
         else:
             # Popularity ramp by thinning: oversample at the ramp's peak,

@@ -443,7 +443,7 @@ class OnlineSessionizer:
             raise CheckpointError(
                 f"checkpoint has {meta['n_clients']} clients, "
                 f"sessionizer has {self.n_clients}")
-        if float(meta["timeout"]) != self.timeout:
+        if float(meta["timeout"]) != self.timeout:  # reprolint: disable=RL007, checkpoint identity requires exact equality
             raise CheckpointError(
                 f"checkpoint timeout {meta['timeout']} != {self.timeout}")
         try:

@@ -135,7 +135,8 @@ def overload_profile(trace: Trace, *, bin_width: float = 1.0,
     idx = np.minimum((trace.start / bin_width).astype(np.int64), n_bins - 1)
     sums = np.bincount(idx, weights=trace.server_cpu, minlength=n_bins)
     counts = np.bincount(idx, minlength=n_bins)
-    means = np.divide(sums, counts, out=np.zeros(n_bins), where=counts > 0)
+    means = np.divide(sums, counts, out=np.zeros(n_bins, dtype=np.float64),
+                      where=counts > 0)
     time_fraction = float(np.mean(means > threshold))
     transfer_fraction = float(np.mean(trace.server_cpu > threshold))
     return time_fraction, transfer_fraction

@@ -58,8 +58,9 @@ class ClientTable:
         # np.full(..., dtype=np.str_) would build a '<U1' array and
         # silently truncate the default to "W"; let the fill value size
         # the itemsize instead.
-        self.os_names = (np.full(n, "Windows_98")
-                         if os_names is None else np.asarray(os_names, dtype=np.str_))
+        self.os_names = (
+            np.full(n, "Windows_98")  # reprolint: disable=RL008, fill value must size the itemsize
+            if os_names is None else np.asarray(os_names, dtype=np.str_))
         self._index_by_player: dict[str, int] | None = None
 
     def __len__(self) -> int:

@@ -163,8 +163,9 @@ class StreamingCharacterizer:
         self._edges = (DEFAULT_BANDWIDTH_EDGES if bandwidth_edges is None
                        else np.asarray(bandwidth_edges, dtype=np.float64))
         self._edge_list = self._edges.tolist()
-        self._bandwidth_hist = np.zeros(self._edges.size - 1)
-        self._diurnal = np.zeros(diurnal_bins)
+        self._bandwidth_hist = np.zeros(self._edges.size - 1,
+                                        dtype=np.float64)
+        self._diurnal = np.zeros(diurnal_bins, dtype=np.float64)
         self._bin_width = DAY / diurnal_bins
 
     # ------------------------------------------------------------------

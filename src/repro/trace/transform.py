@@ -170,7 +170,8 @@ def merge_traces(traces: Sequence[Trace], *,
         columns["status"].append(trace.status)
         extent = max(extent, trace.extent + offset)
 
-    stacked = {name: np.concatenate(parts) if parts else np.empty(0)
+    stacked = {name: (np.concatenate(parts) if parts
+                      else np.empty(0, dtype=np.float64))
                for name, parts in columns.items()}
     return Trace(clients=merged_clients, extent=extent, **stacked)
 
@@ -229,6 +230,7 @@ def _reference_merge_traces(traces: Sequence[Trace], *,
 
     merged_clients = ClientTable(player_ids, ips, as_numbers, countries,
                                  os_names)
-    stacked = {name: np.concatenate(parts) if parts else np.empty(0)
+    stacked = {name: (np.concatenate(parts) if parts
+                      else np.empty(0, dtype=np.float64))
                for name, parts in columns.items()}
     return Trace(clients=merged_clients, extent=extent, **stacked)

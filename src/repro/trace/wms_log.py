@@ -168,9 +168,11 @@ class StreamingWmsLogWriter:
             "object_id": np.asarray(object_id, dtype=np.int64),
             "duration": np.asarray(duration, dtype=np.float64),
             "bandwidth_bps": np.asarray(bandwidth_bps, dtype=np.float64),
-            "packet_loss": (np.zeros(n) if packet_loss is None
+            "packet_loss": (np.zeros(n, dtype=np.float64)
+                            if packet_loss is None
                             else np.asarray(packet_loss, dtype=np.float64)),
-            "server_cpu": (np.zeros(n) if server_cpu is None
+            "server_cpu": (np.zeros(n, dtype=np.float64)
+                           if server_cpu is None
                            else np.asarray(server_cpu, dtype=np.float64)),
             "status": (np.full(n, 200, dtype=np.int64) if status is None
                        else np.asarray(status, dtype=np.int64)),

@@ -7,7 +7,6 @@ suite pays for them once.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.characterize import characterize

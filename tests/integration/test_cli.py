@@ -113,3 +113,48 @@ class TestFigures:
         assert (outdir / "index.txt").exists()
         assert (outdir / "fig09_sessions_vs_timeout.dat").exists()
         assert (outdir / "fig09.gp").exists()
+
+
+class TestLint:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("import numpy as np\nx = np.float64(1)\n")
+        code = main(["lint", str(good)])
+        assert code == 0
+        assert "clean: 1 files checked" in capsys.readouterr().out
+
+    def test_violation_exits_1_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        code = main(["lint", str(bad)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert f"{bad.as_posix()}:2:9: RL004" in out
+
+    def test_json_format_and_out_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("order = values.argsort()\n")
+        report = tmp_path / "lint.json"
+        code = main(["lint", str(bad), "--format", "json",
+                     "--out", str(report)])
+        assert code == 1
+        document = json.loads(report.read_text())
+        assert document["clean"] is False
+        assert document["violations"][0]["rule"] == "RL012"
+        assert json.loads(capsys.readouterr().out) == document
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nkey = hash(time.time())\n")
+        code = main(["lint", str(bad), "--select", "RL011"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RL011" in out
+        assert "RL004" not in out
+
+    def test_ignore_drops_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        code = main(["lint", str(bad), "--ignore", "RL004"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out

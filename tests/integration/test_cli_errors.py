@@ -93,3 +93,37 @@ class TestConformErrors:
                      "--no-oracle", "--no-mutation", "--boot", "0"])
         assert code == 2
         assert "conform-update" in capsys.readouterr().err
+
+
+class TestLintErrors:
+    def test_unknown_select_rule_exits_2(self, capsys):
+        code = main(["lint", "src", "--select", "RL999"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "lint error" in err
+        assert "RL999" in err
+
+    def test_unknown_ignore_rule_exits_2(self, capsys):
+        code = main(["lint", "src", "--ignore", "RL007,BOGUS"])
+        assert code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_nonexistent_path_exits_2(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "missing_dir")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "lint error" in err
+        assert "does not exist" in err
+
+    def test_non_python_file_exits_2(self, tmp_path, capsys):
+        payload = tmp_path / "data.csv"
+        payload.write_text("a,b\n")
+        code = main(["lint", str(payload)])
+        assert code == 2
+        assert "not a Python file" in capsys.readouterr().err
+
+    def test_bad_format_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "src", "--format", "xml"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.rng import make_rng
 from repro.trace.sanitize import sanitize_trace
 from repro.trace.wms_log import log_round_trip
 
@@ -65,7 +66,7 @@ def test_sanitize_idempotent(transfers):
 @settings(max_examples=100, deadline=None)
 def test_filter_preserves_column_alignment(transfers, mask_seed):
     trace = build_trace(transfers, n_clients=4, extent=20_000.0)
-    rng = np.random.default_rng(mask_seed)
+    rng = make_rng(mask_seed)
     mask = rng.random(len(trace)) < 0.5
     subset = trace.filter(mask)
     assert len(subset) == int(mask.sum())

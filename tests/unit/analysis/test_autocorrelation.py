@@ -5,16 +5,17 @@ import pytest
 
 from repro.analysis.autocorrelation import acf, dominant_period
 from repro.errors import AnalysisError
+from repro.rng import make_rng
 
 
 class TestAcf:
     def test_lag_zero_is_one(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         values = acf(rng.random(1_000), 10)
         assert values[0] == pytest.approx(1.0)
 
     def test_white_noise_decorrelated(self):
-        rng = np.random.default_rng(2)
+        rng = make_rng(2)
         values = acf(rng.random(50_000), 20)
         assert np.all(np.abs(values[1:]) < 0.05)
 
@@ -26,7 +27,7 @@ class TestAcf:
         assert values[50] < -0.9
 
     def test_matches_naive_estimator(self):
-        rng = np.random.default_rng(3)
+        rng = make_rng(3)
         series = rng.normal(size=500)
         values = acf(series, 5)
         centered = series - series.mean()
@@ -67,7 +68,7 @@ class TestDominantPeriod:
 
     def test_daily_lag_on_diurnal_counts(self):
         """A Poisson count series with a planted daily rate peaks at 1440."""
-        rng = np.random.default_rng(4)
+        rng = make_rng(4)
         minutes = np.arange(1440 * 14)
         rate = 5.0 + 4.0 * np.sin(2 * np.pi * minutes / 1440.0)
         counts = rng.poisson(rate)

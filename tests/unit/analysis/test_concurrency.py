@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.concurrency import mean_concurrency_bins, sampled_concurrency
 from repro.errors import AnalysisError
+from repro.rng import make_rng
 
 
 class TestSampledConcurrency:
@@ -35,7 +36,7 @@ class TestSampledConcurrency:
             sampled_concurrency([1.0, 2.0], [3.0], extent=10.0)
 
     def test_matches_brute_force(self):
-        rng = np.random.default_rng(7)
+        rng = make_rng(7)
         starts = rng.uniform(0, 100, size=200)
         ends = starts + rng.exponential(10, size=200)
         counts = sampled_concurrency(starts, ends, extent=100.0, step=1.0)
@@ -62,7 +63,7 @@ class TestMeanConcurrencyBins:
         np.testing.assert_allclose(means, [1.0, 1.0])
 
     def test_mass_conservation(self):
-        rng = np.random.default_rng(8)
+        rng = make_rng(8)
         starts = rng.uniform(0, 80, size=300)
         ends = np.minimum(starts + rng.exponential(5, size=300), 100.0)
         means = mean_concurrency_bins(starts, ends, extent=100.0,
@@ -71,7 +72,7 @@ class TestMeanConcurrencyBins:
         assert float(means.sum() * 10.0) == pytest.approx(total_time)
 
     def test_agrees_with_fine_sampling(self):
-        rng = np.random.default_rng(9)
+        rng = make_rng(9)
         starts = rng.uniform(0, 900, size=500)
         ends = np.minimum(starts + rng.exponential(60, size=500), 1000.0)
         means = mean_concurrency_bins(starts, ends, extent=1000.0,
@@ -107,7 +108,7 @@ class TestMeanConcurrencyBins:
         np.testing.assert_allclose(means, np.ones(expected_bins))
 
     def test_mass_conserved_with_collapsed_bin(self):
-        rng = np.random.default_rng(11)
+        rng = make_rng(11)
         starts = rng.uniform(0, 0.8, size=50)
         ends = np.minimum(starts + rng.exponential(0.1, size=50), 0.9)
         means = mean_concurrency_bins(starts, ends, extent=0.9,

@@ -9,6 +9,7 @@ from repro.analysis.correlation import (
     variance_explained_by_bins,
 )
 from repro.errors import AnalysisError
+from repro.rng import make_rng
 from repro.units import DAY, HOUR
 
 
@@ -19,7 +20,7 @@ class TestPearson:
         assert pearson_r(x, -x) == pytest.approx(-1.0)
 
     def test_independent_near_zero(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         assert abs(pearson_r(rng.random(20_000), rng.random(20_000))) < 0.03
 
     def test_constant_rejected(self):
@@ -57,20 +58,20 @@ class TestBinnedConditionalMean:
 class TestVarianceExplained:
     def test_fully_explained(self):
         # Value is a function of the hour.
-        rng = np.random.default_rng(2)
+        rng = make_rng(2)
         times = rng.uniform(0, 7 * DAY, size=20_000)
         hours = (times % DAY / HOUR).astype(int)
         values = hours.astype(float)
         assert variance_explained_by_bins(times, values) > 0.99
 
     def test_unexplained(self):
-        rng = np.random.default_rng(3)
+        rng = make_rng(3)
         times = rng.uniform(0, 7 * DAY, size=20_000)
         values = rng.normal(size=20_000)
         assert variance_explained_by_bins(times, values) < 0.01
 
     def test_bounds(self):
-        rng = np.random.default_rng(4)
+        rng = make_rng(4)
         times = rng.uniform(0, DAY, size=5_000)
         values = np.sin(times) + rng.normal(size=5_000)
         eta2 = variance_explained_by_bins(times, values)

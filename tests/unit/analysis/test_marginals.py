@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.marginals import Marginal, binned_frequency
 from repro.errors import AnalysisError
+from repro.rng import make_rng
 
 
 class TestConstruction:
@@ -70,7 +71,7 @@ class TestSummaries:
 
 class TestLogBinnedFrequency:
     def test_fractions_sum_to_one(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         marginal = Marginal(rng.lognormal(3.0, 1.0, size=10_000))
         _, freq = marginal.log_binned_frequency(40)
         assert float(freq.sum()) == pytest.approx(1.0)

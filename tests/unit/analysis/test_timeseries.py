@@ -9,6 +9,7 @@ from repro.analysis.timeseries import (
     fold_series,
 )
 from repro.errors import AnalysisError
+from repro.rng import make_rng
 
 
 class TestBinnedSeries:
@@ -26,7 +27,7 @@ class TestBinnedSeries:
             binned_series([10.0], extent=5.0, bin_width=1.0)
 
     def test_total_preserved(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         times = rng.uniform(0, 100, size=500)
         counts = binned_series(times, extent=100.0, bin_width=7.0)
         assert int(counts.sum()) == 500

@@ -6,7 +6,7 @@ import pytest
 from repro.core.client_layer import characterize_client_layer, characterize_topology
 from repro.core.session_layer import characterize_session_layer
 from repro.core.transfer_layer import characterize_transfer_layer
-from repro.units import DAY, FIFTEEN_MINUTES
+from repro.units import FIFTEEN_MINUTES
 
 
 @pytest.fixture(scope="module")

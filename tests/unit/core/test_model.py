@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.model import LiveWorkloadModel
 from repro.errors import ConfigError
+from repro.rng import make_rng
 from repro.units import DAY, HOUR
 from repro.distributions import DiurnalProfile
 
@@ -63,7 +64,7 @@ class TestComponentViews:
         assert self.model.bandwidth_law() is None
 
     def test_with_bandwidth(self):
-        sample = np.random.default_rng(1).lognormal(10.0, 1.0, size=5_000)
+        sample = make_rng(1).lognormal(10.0, 1.0, size=5_000)
         model = self.model.with_bandwidth(sample)
         law = model.bandwidth_law()
         assert law is not None

@@ -6,6 +6,7 @@ import pytest
 from repro.distributions import LognormalDistribution, fit_lognormal
 from repro.distributions.fitting import BootstrapInterval, bootstrap_ci
 from repro.errors import FittingError
+from repro.rng import make_rng
 
 
 class TestBootstrapCi:
@@ -31,14 +32,14 @@ class TestBootstrapCi:
         assert large.width < small.width
 
     def test_mean_estimator(self):
-        rng = np.random.default_rng(9)
+        rng = make_rng(9)
         sample = rng.exponential(10.0, size=2_000)
         interval = bootstrap_ci(sample, np.mean, confidence=0.9, seed=10)
         assert interval.confidence == 0.9
         assert interval.contains(float(sample.mean()))
 
     def test_deterministic_given_seed(self):
-        sample = np.random.default_rng(11).normal(size=500)
+        sample = make_rng(11).normal(size=500)
         a = bootstrap_ci(sample, np.mean, seed=12)
         b = bootstrap_ci(sample, np.mean, seed=12)
         assert (a.lower, a.upper) == (b.lower, b.upper)

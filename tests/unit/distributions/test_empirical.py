@@ -5,6 +5,7 @@ import pytest
 
 from repro.distributions import EmpiricalDistribution
 from repro.errors import DistributionError
+from repro.rng import make_rng
 
 
 class TestConstruction:
@@ -61,7 +62,7 @@ class TestQuantiles:
         assert q[0] == 1.0 and q[1] == 100.0
 
     def test_pdf_is_nonnegative_histogram(self):
-        dist = EmpiricalDistribution(np.random.default_rng(1).normal(size=500))
+        dist = EmpiricalDistribution(make_rng(1).normal(size=500))
         pdf = dist.pdf(np.linspace(-4, 4, 50))
         assert np.all(pdf >= 0)
 

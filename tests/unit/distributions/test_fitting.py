@@ -23,6 +23,7 @@ from repro.distributions import (
     hill_estimator,
 )
 from repro.errors import FittingError
+from repro.rng import make_rng
 from repro.units import DAY
 
 
@@ -187,7 +188,7 @@ class TestFitDiurnalProfile:
         assert fit.exposure[1] == pytest.approx(DAY / 2.0)  # one half-day
 
     def test_counts_sum_to_arrivals(self):
-        rng = np.random.default_rng(12)
+        rng = make_rng(12)
         arrivals = np.sort(rng.random(1_000) * 3 * DAY)
         fit = fit_diurnal_profile(arrivals, 3 * DAY, n_bins=96)
         assert int(fit.counts.sum()) == 1_000

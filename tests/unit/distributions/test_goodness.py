@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.distributions import (
-    EmpiricalDistribution,
     ExponentialDistribution,
     LognormalDistribution,
     ParetoDistribution,
@@ -16,6 +15,7 @@ from repro.distributions import (
     qq_points,
 )
 from repro.errors import FittingError
+from repro.rng import make_rng
 
 
 class TestAndersonDarling:
@@ -92,7 +92,7 @@ class TestKsTwoSample:
         assert ks_two_sample([1.0, 2.0], [10.0, 20.0]) == 1.0
 
     def test_symmetry(self):
-        rng = np.random.default_rng(3)
+        rng = make_rng(3)
         a, b = rng.random(500), rng.random(700) + 0.1
         assert ks_two_sample(a, b) == pytest.approx(ks_two_sample(b, a))
 

@@ -1,0 +1,52 @@
+"""Text and JSON report rendering."""
+
+import json
+
+from repro.lint import lint_paths, render_json, render_text
+from repro.lint.report import JSON_SCHEMA_VERSION
+
+
+def _result_with_violation(tmp_path):
+    f = tmp_path / "f.py"
+    f.write_text("import time\nt = time.time()\n")
+    return lint_paths([f])
+
+
+def _clean_result(tmp_path):
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    return lint_paths([f])
+
+
+class TestText:
+    def test_violation_lines_and_summary(self, tmp_path):
+        text = render_text(_result_with_violation(tmp_path))
+        lines = text.splitlines()
+        assert lines[0].endswith("RL004 call to time.time")
+        assert lines[-1] == "1 violation in 1 file (1 checked)"
+
+    def test_clean_summary(self, tmp_path):
+        assert render_text(_clean_result(tmp_path)) == \
+            "clean: 1 files checked"
+
+
+class TestJson:
+    def test_schema(self, tmp_path):
+        document = json.loads(render_json(_result_with_violation(tmp_path)))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["files_checked"] == 1
+        assert document["clean"] is False
+        (violation,) = document["violations"]
+        assert violation["rule"] == "RL004"
+        assert violation["line"] == 2
+        assert "RL004" in document["rules"]
+        assert document["rules"]["RL004"]["name"] == "wall-clock"
+
+    def test_clean_document(self, tmp_path):
+        document = json.loads(render_json(_clean_result(tmp_path)))
+        assert document["clean"] is True
+        assert document["violations"] == []
+
+    def test_deterministic_serialization(self, tmp_path):
+        result = _result_with_violation(tmp_path)
+        assert render_json(result) == render_json(result)

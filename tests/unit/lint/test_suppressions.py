@@ -1,0 +1,102 @@
+"""Suppression-comment handling: parsing, application, hygiene (RL010)."""
+
+from repro.lint import lint_source
+from repro.lint.suppressions import extract_suppressions
+
+
+def ids_of(source, **kwargs):
+    """Rule IDs emitted for ``source``."""
+    return [v.rule_id for v in lint_source(source, **kwargs)]
+
+
+class TestParsing:
+    def test_single_id(self):
+        (sup,) = extract_suppressions(
+            "x = 1  # reprolint: disable=RL007\n", "f.py")
+        assert sup.rule_ids == ("RL007",)
+        assert sup.reason == ""
+        assert not sup.malformed
+
+    def test_multiple_ids(self):
+        (sup,) = extract_suppressions(
+            "x = 1  # reprolint: disable=RL007,RL012\n", "f.py")
+        assert sup.rule_ids == ("RL007", "RL012")
+
+    def test_reason_after_comma(self):
+        (sup,) = extract_suppressions(
+            "x = 1  # reprolint: disable=RL007, exact sentinel check\n",
+            "f.py")
+        assert sup.rule_ids == ("RL007",)
+        assert sup.reason == "exact sentinel check"
+
+    def test_no_ids_is_malformed(self):
+        (sup,) = extract_suppressions(
+            "x = 1  # reprolint: disable=\n", "f.py")
+        assert sup.malformed
+
+    def test_directive_inside_string_is_ignored(self):
+        text = 'msg = "# reprolint: disable=RL007"\n'
+        assert extract_suppressions(text, "f.py") == []
+
+    def test_line_number_is_recorded(self):
+        (sup,) = extract_suppressions(
+            "a = 1\nb = 2  # reprolint: disable=RL011\n", "f.py")
+        assert sup.line == 2
+
+
+class TestApplication:
+    def test_suppression_silences_matching_rule(self):
+        src = "if x == 1.5:  # reprolint: disable=RL007, special case\n    pass\n"
+        assert ids_of(src) == []
+
+    def test_suppression_only_covers_its_line(self):
+        src = ("y = 1  # reprolint: disable=RL007, nothing here\n"
+               "if x == 1.5:\n"
+               "    pass\n")
+        # The float-eq on line 2 still fires; the line-1 directive is stale.
+        assert sorted(ids_of(src)) == ["RL007", "RL010"]
+
+    def test_suppression_of_other_rule_does_not_silence(self):
+        src = "if x == 1.5:  # reprolint: disable=RL011\n    pass\n"
+        assert sorted(ids_of(src)) == ["RL007", "RL010"]
+
+    def test_multiple_ids_silence_multiple_rules(self):
+        src = ("import numpy as np\n"
+               "o = np.argsort(a) if x == 1.5 else None"
+               "  # reprolint: disable=RL007,RL012, fixture\n")
+        assert ids_of(src) == []
+
+
+class TestHygiene:
+    def test_stale_suppression_fires_rl010(self):
+        src = "x = 1  # reprolint: disable=RL007, obsolete\n"
+        (violation,) = lint_source(src)
+        assert violation.rule_id == "RL010"
+        assert "stale" in violation.message
+
+    def test_unknown_rule_id_fires_rl010(self):
+        src = "x = 1  # reprolint: disable=RL999\n"
+        (violation,) = lint_source(src)
+        assert violation.rule_id == "RL010"
+        assert "unknown rule id RL999" in violation.message
+
+    def test_malformed_directive_fires_rl010(self):
+        src = "x = 1  # reprolint: disable=\n"
+        (violation,) = lint_source(src)
+        assert violation.rule_id == "RL010"
+        assert "malformed" in violation.message
+
+    def test_staleness_ignores_inactive_rules(self):
+        # With RL007 deselected, its suppression must not be called stale.
+        src = "if x == 1.5:  # reprolint: disable=RL007\n    pass\n"
+        assert ids_of(src, select=["RL010", "RL011"]) == []
+
+    def test_rl010_escape_hatch(self):
+        # disable=RL010 silences hygiene findings on its line and is
+        # itself never judged stale.
+        src = "x = 1  # reprolint: disable=RL999,RL010\n"
+        assert ids_of(src) == []
+
+    def test_valid_suppression_is_not_stale(self):
+        src = "key = hash(name)  # reprolint: disable=RL011, ephemeral\n"
+        assert ids_of(src) == []

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
+from repro.rng import make_rng
 from repro.simulation.network import BandwidthModel, NetworkConfig
 
 
@@ -59,7 +60,7 @@ class TestSampling:
 
     def test_bimodality(self):
         """Figure 20's two modes: client-bound spikes plus a low mode."""
-        rng = np.random.default_rng(7)
+        rng = make_rng(7)
         tiers = np.asarray([28_800.0, 33_600.0, 56_000.0, 128_000.0])
         access = rng.choice(tiers, size=100_000)
         bw, _, _ = self.model.sample(access, seed=8)

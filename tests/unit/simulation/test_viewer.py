@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
+from repro.rng import make_rng
 from repro.simulation.viewer import SessionBehavior, generate_sessions
 
 
@@ -37,7 +38,7 @@ class TestSessionBehaviorValidation:
 
 class TestGenerateSessions:
     behavior = SessionBehavior()
-    arrivals = np.sort(np.random.default_rng(0).uniform(0, 86_400, 5_000))
+    arrivals = np.sort(make_rng(0).uniform(0, 86_400, 5_000))
 
     def test_one_session_per_arrival(self):
         batch = generate_sessions(self.behavior, self.arrivals, seed=1)

@@ -5,6 +5,7 @@ import numpy as np
 from repro.experiments.fig04 import _hour_means
 from repro.experiments.fig12 import _day_ripple_ratio
 from repro.experiments.fig20 import _spike_mass
+from repro.rng import make_rng
 from repro.units import DAY
 
 
@@ -33,7 +34,7 @@ class TestDayRippleRatio:
     def test_flat_distribution_near_one(self):
         # Support chosen so every +-3 h comparison window lies fully
         # inside it (the k + 0.5 windows reach up to 3.5 d + 3 h).
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         off = rng.uniform(0.5 * DAY, 4.5 * DAY, size=200_000)
         ratio = _day_ripple_ratio(off)
         assert 0.9 < ratio < 1.1

@@ -16,7 +16,6 @@ from repro.trace.wms_log import read_wms_log, write_wms_log
 from repro.units import DAY, log_display_time
 from repro.distributions.fitting import fit_lognormal
 
-from tests.conftest import build_trace
 
 
 @pytest.fixture(scope="module")
