@@ -28,6 +28,8 @@ import time
 
 from repro.core.model import LiveWorkloadModel
 from repro.stream import run_streaming_generation
+from repro.trace.codecs import read_binary_trace
+from repro.trace.wms_log import read_wms_log
 
 #: Bytes per transfer the batch path must hold resident: the eight
 #: float64/int64 trace columns (start, duration, client_index,
@@ -41,6 +43,77 @@ def _peak_rss_bytes() -> int:
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     # ru_maxrss is kilobytes on Linux but bytes on macOS.
     return peak if sys.platform == "darwin" else peak * 1024
+
+
+def _codec_report(model: LiveWorkloadModel, args: argparse.Namespace,
+                  text_log: str) -> dict:
+    """Compare the text and binary trace codecs on the same workload.
+
+    Re-streams the identical workload through the binary codec, then
+    times a full decode of each artifact back into a ``Trace``.  The
+    per-line W3C parser is the baseline the binary codec's memory-mapped
+    column reads are measured against.
+    """
+    handle, bin_path = tempfile.mkstemp(suffix=".rtb",
+                                        prefix="bench_stream_")
+    os.close(handle)
+    try:
+        kwargs = {"seed": args.seed, "log_path": bin_path,
+                  "collect_sessions": False, "codec": "binary"}
+        if args.chunk_size is not None:
+            kwargs["chunk_size"] = args.chunk_size
+        t0 = time.perf_counter()
+        run_streaming_generation(model, args.days, **kwargs)
+        binary_gen_seconds = time.perf_counter() - t0
+
+        text_bytes = os.path.getsize(text_log)
+        binary_bytes = os.path.getsize(bin_path)
+
+        t0 = time.perf_counter()
+        n_entries = len(read_wms_log(text_log))
+        text_parse_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        n_binary = len(read_binary_trace(bin_path))
+        binary_parse_seconds = time.perf_counter() - t0
+        if n_binary != n_entries:
+            raise RuntimeError(
+                f"codec disagreement: binary decoded {n_binary} entries, "
+                f"text decoded {n_entries}")
+    finally:
+        os.unlink(bin_path)
+
+    parse_speedup = text_parse_seconds / binary_parse_seconds
+    size_ratio = text_bytes / binary_bytes
+    print(f"codec comparison over {n_entries:,} entries:")
+    print(f"  text    {text_bytes:>13,} B  parsed in "
+          f"{text_parse_seconds:8.2f}s "
+          f"({n_entries / text_parse_seconds:>11,.0f} entries/s)")
+    print(f"  binary  {binary_bytes:>13,} B  parsed in "
+          f"{binary_parse_seconds:8.2f}s "
+          f"({n_entries / binary_parse_seconds:>11,.0f} entries/s)")
+    print(f"  binary is {parse_speedup:.1f}x faster to parse and "
+          f"{size_ratio:.1f}x smaller on disk")
+    return {
+        "n_entries": int(n_entries),
+        "text": {
+            "bytes": int(text_bytes),
+            "parse_seconds": round(text_parse_seconds, 4),
+            "parse_entries_per_second":
+                round(n_entries / text_parse_seconds, 1),
+        },
+        "binary": {
+            "bytes": int(binary_bytes),
+            "generation_seconds": round(binary_gen_seconds, 4),
+            "parse_seconds": round(binary_parse_seconds, 4),
+            "parse_entries_per_second":
+                round(n_entries / binary_parse_seconds, 1),
+        },
+        "parse_speedup": round(parse_speedup, 2),
+        "size_ratio": round(size_ratio, 2),
+        "parse_speedup_target_5x_met": bool(parse_speedup >= 5.0),
+        "size_ratio_target_4x_met": bool(size_ratio >= 4.0),
+    }
 
 
 def main() -> int:
@@ -64,6 +137,9 @@ def main() -> int:
                              "(default: temp file, deleted afterwards)")
     parser.add_argument("--no-log", action="store_true",
                         help="skip log writing; sessionize only")
+    parser.add_argument("--no-codecs", action="store_true",
+                        help="skip the text-vs-binary codec comparison "
+                             "phase (requires a written log)")
     args = parser.parse_args()
 
     model = LiveWorkloadModel.paper_defaults(mean_session_rate=args.rate,
@@ -89,11 +165,15 @@ def main() -> int:
         result = run_streaming_generation(model, args.days, **kwargs)
         elapsed = time.perf_counter() - t0
         log_bytes = os.path.getsize(log_path) if log_path else 0
+        # Sample peak RSS before the codec phase: decoding whole traces
+        # below deliberately materializes the full transfer table, and
+        # the bounded-memory claim is about the streaming run only.
+        peak_rss = _peak_rss_bytes()
+        codecs = (_codec_report(model, args, log_path)
+                  if log_path and not args.no_codecs else None)
     finally:
         if log_path and not keep_log:
             os.unlink(log_path)
-
-    peak_rss = _peak_rss_bytes()
     delta_rss = peak_rss - baseline_rss
     n = result.n_transfers
     batch_footprint = n * BATCH_BYTES_PER_TRANSFER
@@ -140,6 +220,8 @@ def main() -> int:
             "comparison is therefore conservative.",
         ],
     }
+    if codecs is not None:
+        report["codecs"] = codecs
     with open(args.out, "w", encoding="ascii") as stream:
         json.dump(report, stream, indent=2)
         stream.write("\n")

@@ -84,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--resume", action="store_true",
                      help="with --checkpoint: continue from the "
                           "checkpoint if it exists")
+    cha.add_argument("--codec", choices=("auto", "text", "binary"),
+                     default="auto",
+                     help="with --log: expected trace codec of the "
+                          "inputs; 'auto' (default) sniffs each file, "
+                          "naming one fails fast on a mismatch")
 
     cal = sub.add_parser("calibrate",
                          help="fit the Table 2 generative model from a trace")
@@ -144,6 +149,11 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--max-blocks", type=int, default=None,
                      help="stop after this many blocks (--stream only; "
                           "for exercising interrupted runs)")
+    gen.add_argument("--codec", choices=("text", "binary"), default=None,
+                     help="trace serialization for --stream output: "
+                          "'text' (WMS log, default) or 'binary' (the "
+                          "columnar format; ~5x smaller, decodes to the "
+                          "identical trace)")
 
     rep = sub.add_parser("replay",
                          help="replay a trace against the unicast server")
@@ -266,7 +276,20 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.codec != "auto" and not args.log:
+        print("--codec requires --log (npz traces have no codec)",
+              file=sys.stderr)
+        return 2
     if args.log:
+        if args.codec != "auto":
+            from .trace.codecs import detect_codec
+
+            for path in args.trace:
+                detected = detect_codec(path)
+                if detected != args.codec:
+                    print(f"{path}: detected codec {detected!r} does not "
+                          f"match --codec {args.codec}", file=sys.stderr)
+                    return 2
         if args.checkpoint is not None:
             from .errors import CheckpointError
             from .stream import characterize_logs_resumable
@@ -331,7 +354,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     for flag, name in ((args.chunk_size, "--chunk-size"),
                        (args.blocks, "--blocks"),
                        (args.checkpoint, "--checkpoint"),
-                       (args.max_blocks, "--max-blocks")):
+                       (args.max_blocks, "--max-blocks"),
+                       (args.codec, "--codec")):
         if flag is not None:
             print(f"{name} only applies with --stream", file=sys.stderr)
             return 2
@@ -361,7 +385,8 @@ def _cmd_generate_stream(args: argparse.Namespace,
             blocks=args.blocks, timeout=args.timeout,
             sessionize=not args.no_sessions, collect_sessions=False,
             checkpoint_path=args.checkpoint, resume=args.resume,
-            max_blocks=args.max_blocks)
+            max_blocks=args.max_blocks,
+            codec=args.codec if args.codec is not None else "text")
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2

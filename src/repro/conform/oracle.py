@@ -13,7 +13,14 @@ actually running the matrix:
   WMS logs and finalize bit-identical session columns;
 * ``stream[resume@k]`` runs the streaming pipeline up to a mid-run
   checkpoint, abandons it, resumes from the checkpoint file, and the
-  stitched artifacts must *still* be byte-identical.
+  stitched artifacts must *still* be byte-identical;
+* ``binary[...]`` re-runs the streaming pipeline with the columnar
+  binary codec (:mod:`repro.trace.codecs`) and proves it interchangeable
+  with the text log three ways: the decoded :class:`~repro.trace.Trace`
+  is bit-identical to the parsed text log (client table included), the
+  binary entry stream re-formatted through the text formatter reproduces
+  the text log's data lines byte for byte, and a mid-run kill/resume
+  yields a byte-identical binary file.
 
 Each comparison is recorded individually, so a violation names the
 exact configuration and the first diverging column/byte.
@@ -30,7 +37,9 @@ from ..core.gismo import GismoWorkload, LiveWorkloadGenerator
 from ..core.sessionizer import sessionize
 from ..parallel import generate_sharded
 from ..stream import GenerationStream, run_streaming_generation
-from ..trace.wms_log import write_wms_log
+from ..trace.codecs import (BinaryTraceReader, format_quantized_entry,
+                            read_binary_trace)
+from ..trace.wms_log import read_wms_log, write_wms_log
 from .matrix import WorkloadSpec
 
 #: Default differential matrix (smoke scale).
@@ -140,11 +149,86 @@ def _compare_sessions(name: str, reference, candidate) -> OracleComparison:
         f"{np.asarray(reference[0]).size} sessions bit-identical")
 
 
+def _compare_decoded(name: str, reference, candidate) -> OracleComparison:
+    """Bit-compare two fully decoded traces, client tables included.
+
+    Unlike :func:`_compare_trace` (generator output), this covers every
+    persisted column — the quantized loss/cpu/status fields and the
+    client identity strings — because codec interchangeability is a
+    claim about the *decoded artifact*, not just the generator state.
+    """
+    columns = [(column, getattr(reference, column), getattr(candidate, column))
+               for column in ("client_index", "object_id", "start",
+                              "duration", "bandwidth_bps", "packet_loss",
+                              "server_cpu", "status")]
+    columns += [(f"clients.{column}",
+                 getattr(reference.clients, column),
+                 getattr(candidate.clients, column))
+                for column in ("player_ids", "ips", "os_names")]
+    for column, a, b in columns:
+        if a.shape != b.shape:
+            return OracleComparison(
+                name, False,
+                f"{column}: shape {b.shape} != reference {a.shape}")
+        if not np.array_equal(a, b):
+            i = int(np.flatnonzero(a != b)[0])
+            return OracleComparison(
+                name, False,
+                f"{column}[{i}]: {b[i]!r} != reference {a[i]!r}")
+    if reference.extent != candidate.extent:
+        return OracleComparison(
+            name, False,
+            f"extent: {candidate.extent} != reference {reference.extent}")
+    return OracleComparison(
+        name, True,
+        f"{reference.n_transfers} transfers + {len(reference.clients)} "
+        f"clients bit-identical after decode")
+
+
+def _compare_entry_streams(name: str, text_log: Path,
+                           binary_path: Path) -> OracleComparison:
+    """Re-format the binary entry stream and compare to the text log.
+
+    Every entry of every binary segment, walked in file order and pushed
+    through the text formatter with the binary file's own client
+    identities, must reproduce the text log's data lines byte for byte.
+    This pins the quantization contract (truncated timestamps, half-even
+    rounding, 4-decimal ratios) to the text format itself rather than to
+    whatever both decoders happen to agree on.
+    """
+    with open(text_log, "r", encoding="ascii") as stream:
+        text_lines = [line.rstrip("\n") for line in stream
+                      if not line.startswith("#")]
+    formatted: list[str] = []
+    with BinaryTraceReader(binary_path) as reader:
+        identity = reader.identity_lookup()
+        for quantized in reader.iter_quantized():
+            rows = int(quantized["timestamp"].shape[0])
+            formatted.extend(
+                format_quantized_entry(quantized, row, identity)
+                for row in range(rows))
+    if len(formatted) != len(text_lines):
+        return OracleComparison(
+            name, False,
+            f"entry count {len(formatted)} != text data lines "
+            f"{len(text_lines)}")
+    for i, (got, want) in enumerate(zip(formatted, text_lines)):
+        if got != want:
+            return OracleComparison(
+                name, False,
+                f"entry {i}: formatted {got!r} != text line {want!r}")
+    return OracleComparison(
+        name, True,
+        f"{len(formatted)} binary entries re-format to the exact text "
+        f"data lines")
+
+
 def run_differential_oracle(
         spec: WorkloadSpec, workdir: str | Path, *,
         shard_configs: tuple[tuple[int, int], ...] = DEFAULT_SHARD_CONFIGS,
         chunk_sizes: tuple[int, ...] = DEFAULT_CHUNK_SIZES,
         resume_split: bool = True,
+        binary_codec: bool = True,
         reference: GismoWorkload | None = None) -> OracleReport:
     """Run the full differential matrix for one canonical workload.
 
@@ -163,6 +247,10 @@ def run_differential_oracle(
     resume_split:
         Also run the streaming pipeline with a mid-run checkpoint
         abandon/resume and compare the stitched artifacts.
+    binary_codec:
+        Also run the streaming pipeline with the columnar binary codec
+        and prove decode bit-identity, entry-stream byte identity
+        against the text log, and binary kill/resume byte identity.
     reference:
         Reuse an already generated batch workload.
     """
@@ -230,5 +318,40 @@ def run_differential_oracle(
             f"stream[resume@{split}].sessions", ref_sessions,
             (second.sessions.client_index, second.sessions.start,
              second.sessions.end, second.sessions.n_transfers)))
+
+    if binary_codec:
+        chunk = min_chunk
+        bin_path = workdir / f"binary_chunk{chunk}.rtb"
+        bin_result = run_streaming_generation(
+            model, spec.days, seed=spec.seed, log_path=bin_path,
+            chunk_size=chunk, codec="binary")
+        comparisons.append(_compare_sessions(
+            f"binary[chunk={chunk}].sessions", ref_sessions,
+            (bin_result.sessions.client_index, bin_result.sessions.start,
+             bin_result.sessions.end, bin_result.sessions.n_transfers)))
+        comparisons.append(_compare_decoded(
+            f"binary[chunk={chunk}].decode",
+            read_wms_log(ref_log), read_binary_trace(bin_path)))
+        comparisons.append(_compare_entry_streams(
+            f"binary[chunk={chunk}].entry-stream", ref_log, bin_path))
+
+        if resume_split:
+            split = max(1, int(probe.n_blocks * RESUME_SPLIT_FRACTION))
+            resume_path = workdir / "binary_resume.rtb"
+            ck_path = workdir / "binary_resume.ck.npz"
+            first = run_streaming_generation(
+                model, spec.days, seed=spec.seed, log_path=resume_path,
+                chunk_size=chunk, codec="binary", checkpoint_path=ck_path,
+                resume=True, max_blocks=split)
+            comparisons.append(OracleComparison(
+                f"binary[resume@{split}].interrupted", not first.completed,
+                f"first leg stopped after {first.blocks_run} of "
+                f"{probe.n_blocks} blocks"))
+            run_streaming_generation(
+                model, spec.days, seed=spec.seed, log_path=resume_path,
+                chunk_size=chunk, codec="binary", checkpoint_path=ck_path,
+                resume=True)
+            comparisons.append(_compare_files(
+                f"binary[resume@{split}].file", bin_path, resume_path))
 
     return OracleReport(workload=spec.name, comparisons=tuple(comparisons))

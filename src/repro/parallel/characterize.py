@@ -1,12 +1,13 @@
-"""Map-reduce characterization of WMS-style logs.
+"""Map-reduce characterization of WMS-style logs and binary traces.
 
 A month-long log is one long sequential read for
 :class:`~repro.trace.streaming.StreamingCharacterizer`; this module turns
 it into a map-reduce: :func:`plan_log_chunks` splits each file into
-line-aligned byte ranges, workers characterize chunks independently, and
-the exact-merge contract of
-:meth:`~repro.trace.streaming.StreamingCharacterizer.merge` reduces the
-per-chunk accumulators to the identical
+chunks — line-aligned byte ranges for text logs, runs of footer-indexed
+segments for columnar binary traces (the codec is sniffed per file) —
+workers characterize chunks independently, and the exact-merge contract
+of :meth:`~repro.trace.streaming.StreamingCharacterizer.merge` reduces
+the per-chunk accumulators to the identical
 :class:`~repro.trace.streaming.StreamingSummary` the serial path yields.
 
 Determinism: the chunk plan depends only on the input files and
@@ -20,12 +21,16 @@ import functools
 import math
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from .._typing import FloatArray
 from ..errors import LogParseError
+from ..trace.codecs import (ENTRY_COLUMNS, _DTYPE_SIZES, BinaryTraceReader,
+                            detect_codec)
 from ..trace.streaming import StreamingCharacterizer, StreamingSummary
 from ..trace.wms_log import _parse_fields_header, iter_log_lines
 from .pool import logger, map_ordered
@@ -36,7 +41,7 @@ DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
 
 @dataclass(frozen=True)
 class LogChunk:
-    """One line-aligned byte range of a log file.
+    """One independently characterizable piece of a trace file.
 
     Attributes
     ----------
@@ -44,12 +49,21 @@ class LogChunk:
         Global position of the chunk across the whole plan; reductions
         run in this order.
     path:
-        The log file the range refers to.
+        The trace file the chunk refers to.
     byte_lo, byte_hi:
-        Half-open byte range ``[lo, hi)``, aligned to line boundaries.
+        Half-open byte range ``[lo, hi)``.  For text chunks these are
+        file offsets aligned to line boundaries; for binary chunks they
+        are cumulative *payload* bytes (the summed on-disk size of the
+        covered segments), kept for size accounting.
     fields:
-        The file's ``#Fields`` layout, extracted once by the planner so
-        chunks past the header remain parseable on their own.
+        The file's ``#Fields`` layout (text chunks only), extracted once
+        by the planner so chunks past the header remain parseable on
+        their own.  Empty for binary chunks.
+    codec:
+        ``"text"`` or ``"binary"``.
+    segments:
+        The footer segment indices the chunk covers (binary chunks
+        only; in file order).
     """
 
     index: int
@@ -57,6 +71,8 @@ class LogChunk:
     byte_lo: int
     byte_hi: int
     fields: tuple[str, ...]
+    codec: str = "text"
+    segments: tuple[int, ...] = field(default=())
 
     @property
     def n_bytes(self) -> int:
@@ -71,7 +87,7 @@ def _scan_fields(path: str | Path) -> tuple[str, ...] | None:
     to characterize).  Raises :class:`~repro.errors.LogParseError` if a
     data line precedes the header, mirroring the serial reader.
     """
-    with open(path, "r", encoding="ascii") as stream:
+    with open(path, "r", encoding="ascii", errors="replace") as stream:
         for number, line in iter_log_lines(stream):
             if line.startswith("#"):
                 if line.startswith("#Fields:"):
@@ -104,6 +120,9 @@ def plan_log_chunks(paths: Sequence[str | Path], *,
         raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
     chunks: list[LogChunk] = []
     for path in paths:
+        if detect_codec(path) == "binary":
+            _plan_binary_chunks(path, chunk_bytes, chunks)
+            continue
         fields = _scan_fields(path)
         if fields is None:
             continue
@@ -124,6 +143,82 @@ def plan_log_chunks(paths: Sequence[str | Path], *,
     return chunks
 
 
+def _segment_payload_bytes(segment: dict) -> int:
+    """On-disk payload bytes of one binary segment (excluding padding)."""
+    total = 0
+    for name in ENTRY_COLUMNS:
+        descriptor = segment["columns"][name]
+        if descriptor["dtype"] is not None:
+            total += int(segment["rows"]) * _DTYPE_SIZES[descriptor["dtype"]]
+    return total
+
+
+def _plan_binary_chunks(path: str | Path, chunk_bytes: int,
+                        chunks: list[LogChunk]) -> None:
+    """Group a binary trace's segments into roughly ``chunk_bytes`` runs.
+
+    Segments are indivisible (they are the writer's flush batches), so
+    the planner packs consecutive segments greedily until a chunk reaches
+    the byte target.  Like the text planner, the result depends only on
+    the file and ``chunk_bytes``.
+    """
+    with BinaryTraceReader(path) as reader:
+        segments = reader.footer["segments"]
+    group: list[int] = []
+    group_bytes = 0
+    cursor = 0
+    for index, segment in enumerate(segments):
+        group.append(index)
+        group_bytes += max(1, _segment_payload_bytes(segment))
+        if group_bytes >= chunk_bytes:
+            chunks.append(LogChunk(
+                index=len(chunks), path=str(path), byte_lo=cursor,
+                byte_hi=cursor + group_bytes, fields=(), codec="binary",
+                segments=tuple(group)))
+            cursor += group_bytes
+            group = []
+            group_bytes = 0
+    if group:
+        chunks.append(LogChunk(
+            index=len(chunks), path=str(path), byte_lo=cursor,
+            byte_hi=cursor + group_bytes, fields=(), codec="binary",
+            segments=tuple(group)))
+
+
+def consume_chunk(characterizer: StreamingCharacterizer,
+                  chunk: LogChunk) -> int:
+    """Fold one chunk into ``characterizer``; returns entries consumed.
+
+    Text chunks read their byte range and feed
+    :meth:`~repro.trace.streaming.StreamingCharacterizer.consume_lines`
+    (undecodable bytes become skipped lines, as in the serial reader);
+    binary chunks materialize each covered segment's columns from the
+    memory map and feed the vectorized
+    :meth:`~repro.trace.streaming.StreamingCharacterizer.consume_columns`
+    path — no row dicts, no per-line Python.
+    """
+    if chunk.codec == "binary":
+        parsed = 0
+        with BinaryTraceReader(chunk.path) as reader:
+            identities = reader.client_identity_map()
+            players = np.asarray(
+                [identities.get(i, ("", "", ""))[1]
+                 for i in range((max(identities) + 1) if identities else 0)],
+                dtype=np.str_)
+            for index in chunk.segments:
+                columns = reader.segment_columns(index)
+                client = np.asarray(columns["client_index"], dtype=np.int64)
+                parsed += characterizer.consume_columns(
+                    columns, players[client])
+        return parsed
+    with open(chunk.path, "rb") as stream:
+        stream.seek(chunk.byte_lo)
+        blob = stream.read(chunk.n_bytes)
+    return characterizer.consume_lines(
+        blob.decode("ascii", errors="replace").splitlines(),
+        list(chunk.fields))
+
+
 def characterize_chunk(chunk: LogChunk, *, diurnal_bins: int = 96,
                        bandwidth_edges: FloatArray | None = None
                        ) -> StreamingCharacterizer:
@@ -135,11 +230,7 @@ def characterize_chunk(chunk: LogChunk, *, diurnal_bins: int = 96,
     """
     characterizer = StreamingCharacterizer(diurnal_bins=diurnal_bins,
                                            bandwidth_edges=bandwidth_edges)
-    with open(chunk.path, "rb") as stream:
-        stream.seek(chunk.byte_lo)
-        blob = stream.read(chunk.n_bytes)
-    characterizer.consume_lines(blob.decode("ascii").splitlines(),
-                                list(chunk.fields))
+    consume_chunk(characterizer, chunk)
     return characterizer
 
 

@@ -22,7 +22,8 @@ import numpy as np
 
 from .._typing import FloatArray
 from ..errors import CheckpointError
-from ..parallel.characterize import DEFAULT_CHUNK_BYTES, plan_log_chunks
+from ..parallel.characterize import (DEFAULT_CHUNK_BYTES, consume_chunk,
+                                     plan_log_chunks)
 from ..trace.streaming import StreamingCharacterizer, StreamingSummary
 from .checkpoint import load_checkpoint, require_match, save_checkpoint
 
@@ -129,12 +130,7 @@ def characterize_logs_resumable(
     while next_chunk < len(chunks):
         if max_chunks is not None and processed >= max_chunks:
             break
-        chunk = chunks[next_chunk]
-        with open(chunk.path, "rb") as stream:
-            stream.seek(chunk.byte_lo)
-            blob = stream.read(chunk.n_bytes)
-        characterizer.consume_lines(blob.decode("ascii").splitlines(),
-                                    list(chunk.fields))
+        consume_chunk(characterizer, chunks[next_chunk])
         next_chunk += 1
         processed += 1
         since_checkpoint += 1

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import zipfile
 from typing import Mapping
 
@@ -54,9 +55,17 @@ def save_checkpoint(path: str | os.PathLike, meta: Mapping,
     payload = {_META_KEY: np.asarray(json.dumps(document))}
     payload.update(arrays)
     path = os.fspath(path)
-    tmp = f"{path}.tmp"
+    # A unique temp name per call: concurrent writers targeting the same
+    # checkpoint path must not share (or unlink) each other's in-flight
+    # temp file — a fixed "<path>.tmp" sibling would let one run clobber
+    # another's half-written archive and the cleanup below delete it.
+    # mkstemp in the target directory keeps os.replace on one filesystem
+    # (and therefore atomic).
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=f"{os.path.basename(path)}.", suffix=".tmp", dir=directory)
     try:
-        with open(tmp, "wb") as stream:
+        with os.fdopen(fd, "wb") as stream:
             np.savez(stream, **payload)
             stream.flush()
             os.fsync(stream.fileno())

@@ -2,11 +2,12 @@
 
 :func:`run_streaming_generation` wires the three streaming stages
 together — :class:`~repro.stream.generate.GenerationStream` produces
-start-ordered transfer batches, each batch is pushed into the
-:class:`~repro.trace.wms_log.StreamingWmsLogWriter` (log bytes identical
-to the batch writer) and the
-:class:`~repro.stream.sessionize.OnlineSessionizer` (sessions identical
-to the batch sessionizer) — while never materializing the trace.
+start-ordered transfer batches, each batch is pushed into the selected
+codec's incremental trace writer (text log bytes identical to the batch
+writer; the columnar binary codec shares the same reorder buffer) and
+the :class:`~repro.stream.sessionize.OnlineSessionizer` (sessions
+identical to the batch sessionizer) — while never materializing the
+trace.
 
 After every canonical block the pipeline state is a small, serializable
 cursor: the generator's pending buffer, the writer's in-flight reorder
@@ -23,7 +24,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TextIO
+from typing import IO, Any
 
 import numpy as np
 
@@ -31,7 +32,8 @@ from .._typing import SeedLike
 from ..core.gismo import synthetic_client_identity
 from ..core.model import LiveWorkloadModel
 from ..errors import CheckpointError
-from ..trace.wms_log import StreamingWmsLogWriter
+from ..trace.codecs import get_codec
+from ..trace.wms_log import StreamingTraceWriter
 from ..units import DEFAULT_SESSION_TIMEOUT
 from .checkpoint import load_checkpoint, require_match, save_checkpoint
 from .generate import DEFAULT_CHUNK_SIZE, GenerationStream
@@ -87,13 +89,15 @@ class StreamRunResult:
 
 
 def _workload_fingerprint(model: LiveWorkloadModel, days: float,
-                          seed: int, blocks: int, timeout: float) -> dict:
+                          seed: int, blocks: int, timeout: float,
+                          codec: str) -> dict:
     return {
         "model": model.to_dict(),
         "days": float(days),
         "seed": int(seed),
         "blocks": int(blocks),
         "timeout": float(timeout),
+        "codec": str(codec),
     }
 
 
@@ -110,6 +114,7 @@ def run_streaming_generation(
         resume: bool = False,
         checkpoint_every: int = 1,
         max_blocks: int | None = None,
+        codec: str = "text",
         software: str = "Windows Media Services 4.1") -> StreamRunResult:
     """Generate a workload end to end in bounded memory.
 
@@ -150,8 +155,14 @@ def run_streaming_generation(
         Stop after this many blocks in *this* call (test/ops hook for
         exercising interrupted runs); the result reports
         ``completed=False`` when the stream was cut short.
+    codec:
+        Trace serialization for ``log_path``: ``"text"`` (the WMS log)
+        or ``"binary"`` (the columnar format of
+        :mod:`repro.trace.codecs`).  Part of the checkpoint fingerprint —
+        a run cannot resume under a different codec.
     software:
-        Log ``#Software`` header value.
+        Log ``#Software`` header value (recorded in the binary header
+        too).
 
     Raises
     ------
@@ -166,6 +177,7 @@ def run_streaming_generation(
     if checkpoint_every < 1:
         raise ValueError(
             f"checkpoint_every must be at least 1, got {checkpoint_every}")
+    codec_impl = get_codec(codec)
 
     stream = GenerationStream(model, days, seed=seed, chunk_size=chunk_size,
                               **({} if blocks is None
@@ -175,7 +187,7 @@ def run_streaming_generation(
     fingerprint = None
     if checkpoint_path is not None:
         fingerprint = _workload_fingerprint(model, days, seed, stream.blocks,
-                                            timeout)
+                                            timeout, codec)
 
     collected: list[FinalizedSessions] = []
     restored = None
@@ -213,8 +225,8 @@ def run_streaming_generation(
                     "checkpoint was written without collected sessions; "
                     f"missing {exc}") from exc
 
-    own_stream: TextIO | None = None
-    writer: StreamingWmsLogWriter | None = None
+    own_stream: IO[Any] | None = None
+    writer: StreamingTraceWriter | None = None
     try:
         if log_path is not None:
             if restored is not None:
@@ -232,20 +244,18 @@ def run_streaming_generation(
                     raise CheckpointError(
                         f"log file {os.fspath(log_path)!r} is shorter than "
                         f"the checkpointed offset {offset}")
-                own_stream = open(log_path, "r+", encoding="ascii")
-                own_stream.truncate(offset)
-                own_stream.seek(offset)
-                writer = StreamingWmsLogWriter(
+                own_stream = codec_impl.reopen_stream(log_path, int(offset))
+                writer = codec_impl.make_writer(
                     own_stream, synthetic_client_identity,
                     software=software, write_header=False)
                 writer.restore(
-                    int(meta["writer"]["n_written"]),
+                    meta["writer"],
                     {name[len(_WRITER_PREFIX):]: col
                      for name, col in arrays.items()
                      if name.startswith(_WRITER_PREFIX)})
             else:
-                own_stream = open(log_path, "w", encoding="ascii")
-                writer = StreamingWmsLogWriter(
+                own_stream = codec_impl.open_stream(log_path)
+                writer = codec_impl.make_writer(
                     own_stream, synthetic_client_identity, software=software)
 
         peak_open = sessionizer.peak_open if sessionizer is not None else 0
@@ -269,7 +279,7 @@ def run_streaming_generation(
                 arrays.update(sessionizer.state_arrays())
             if writer is not None:
                 own_stream.flush()
-                doc["writer"] = {"n_written": writer.n_written}
+                doc["writer"] = writer.state_meta()
                 doc["log_offset"] = own_stream.tell()
                 arrays.update({f"{_WRITER_PREFIX}{name}": col
                                for name, col

@@ -12,12 +12,15 @@ from __future__ import annotations
 
 from functools import cached_property
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from .._typing import FloatArray, IntArray
 from ..arrayops import segment_starts
+
+#: Shape/dtype-generic array (string columns, narrow sort keys, masks).
+_AnyArray = np.ndarray[Any, np.dtype[Any]]
 from ..errors import TraceError
 from .records import ClientRecord, TransferRecord
 
@@ -39,9 +42,11 @@ class ClientTable:
         Operating-system strings; defaults to a constant when omitted.
     """
 
-    def __init__(self, player_ids: Sequence[str], ips: Sequence[str],
-                 as_numbers: Sequence[int], countries: Sequence[str],
-                 os_names: Sequence[str] | None = None) -> None:
+    def __init__(self, player_ids: Sequence[str] | _AnyArray,
+                 ips: Sequence[str] | _AnyArray,
+                 as_numbers: Sequence[int] | _AnyArray,
+                 countries: Sequence[str] | _AnyArray,
+                 os_names: Sequence[str] | _AnyArray | None = None) -> None:
         n = len(player_ids)
         for name, col in (("ips", ips), ("as_numbers", as_numbers),
                           ("countries", countries)):
@@ -131,13 +136,15 @@ class Trace:
         latest transfer end.
     """
 
-    def __init__(self, clients: ClientTable, client_index: Sequence[int],
-                 object_id: Sequence[int], start: Sequence[float],
-                 duration: Sequence[float],
-                 bandwidth_bps: Sequence[float] | None = None,
-                 packet_loss: Sequence[float] | None = None,
-                 server_cpu: Sequence[float] | None = None,
-                 status: Sequence[int] | None = None,
+    def __init__(self, clients: ClientTable,
+                 client_index: Sequence[int] | _AnyArray,
+                 object_id: Sequence[int] | _AnyArray,
+                 start: Sequence[float] | _AnyArray,
+                 duration: Sequence[float] | _AnyArray,
+                 bandwidth_bps: Sequence[float] | _AnyArray | None = None,
+                 packet_loss: Sequence[float] | _AnyArray | None = None,
+                 server_cpu: Sequence[float] | _AnyArray | None = None,
+                 status: Sequence[int] | _AnyArray | None = None,
                  extent: float | None = None) -> None:
         self.clients = clients
         self.client_index = np.asarray(client_index, dtype=np.int64)
@@ -152,8 +159,8 @@ class Trace:
                 raise TraceError(
                     f"column {name} has length {col.size}, expected {n}")
 
-        def _column(values: Sequence[float] | None, fill: float,
-                    dtype: type) -> np.ndarray:
+        def _column(values: Sequence[float] | _AnyArray | None, fill: float,
+                    dtype: type) -> _AnyArray:
             if values is None:
                 return np.full(n, fill, dtype=dtype)
             arr = np.asarray(values, dtype=dtype)
@@ -275,7 +282,7 @@ class Trace:
     # ------------------------------------------------------------------
     # Columnar batch export
     # ------------------------------------------------------------------
-    def columns(self) -> dict[str, np.ndarray]:
+    def columns(self) -> dict[str, _AnyArray]:
         """The per-transfer columns as ``{name: array}``, without copying.
 
         The batch-export counterpart of :meth:`record`/``__iter__``:
@@ -285,7 +292,7 @@ class Trace:
         """
         return {name: getattr(self, name) for name in TRANSFER_COLUMNS}
 
-    def to_rows(self) -> list[tuple]:
+    def to_rows(self) -> list[tuple[Any, ...]]:
         """All transfers as plain-Python tuples in :data:`TRANSFER_COLUMNS`
         order.
 
@@ -313,7 +320,7 @@ class Trace:
         """Number of clients with at least one transfer in the trace."""
         return int(np.count_nonzero(self.transfers_per_client()))
 
-    def filter(self, mask: np.ndarray) -> "Trace":
+    def filter(self, mask: _AnyArray) -> "Trace":
         """Return a new trace containing only the transfers where ``mask``.
 
         The client table is shared (not copied); client indices keep their

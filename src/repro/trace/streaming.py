@@ -36,14 +36,18 @@ import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import Any, Iterable, Mapping, Sequence, TextIO
 
 import numpy as np
 
 from .._typing import FloatArray
+
+#: Shape/dtype-generic array (decoded binary segment columns).
+_AnyArray = np.ndarray[Any, np.dtype[Any]]
 from ..errors import LogParseError
 from ..units import DAY
-from .wms_log import _URI_PREFIX, _parse_fields_header, iter_log_lines
+from .wms_log import (_REPLACEMENT, _URI_PREFIX, _parse_fields_header,
+                      iter_log_lines)
 
 #: Default log-spaced bandwidth histogram edges (bits/second).
 DEFAULT_BANDWIDTH_EDGES = np.logspace(3, 7, 41)
@@ -176,27 +180,30 @@ class StreamingCharacterizer:
 
         Malformed data lines are counted and skipped (a streaming consumer
         cannot afford to abort mid-harvest); a missing ``#Fields`` header
-        still raises, since nothing after it could be interpreted.
+        still raises, since nothing after it could be interpreted.  Paths
+        are opened with ``errors="replace"`` so undecodable bytes in a
+        corrupt harvest count as skipped lines instead of aborting.
         """
-        own = isinstance(source, (str, Path))
-        stream = open(source, "r", encoding="ascii") if own else source
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="ascii",
+                      errors="replace") as stream:
+                return self._consume_stream(stream)
+        return self._consume_stream(source)
+
+    def _consume_stream(self, stream: TextIO | Iterable[str]) -> int:
         parsed = 0
-        try:
-            fields: list[str] | None = None
-            for number, line in iter_log_lines(stream):
-                if line.startswith("#"):
-                    if line.startswith("#Fields:"):
-                        fields = _parse_fields_header(line, number)
-                    continue
-                if fields is None:
-                    raise LogParseError("data before #Fields header",
-                                        line_number=number, line=line)
-                if self._consume_line(line, fields):
-                    parsed += 1
-            return parsed
-        finally:
-            if own:
-                stream.close()
+        fields: list[str] | None = None
+        for number, line in iter_log_lines(stream):
+            if line.startswith("#"):
+                if line.startswith("#Fields:"):
+                    fields = _parse_fields_header(line, number)
+                continue
+            if fields is None:
+                raise LogParseError("data before #Fields header",
+                                    line_number=number, line=line)
+            if self._consume_line(line, fields):
+                parsed += 1
+        return parsed
 
     def consume_lines(self, lines: Iterable[str],
                       fields: list[str]) -> int:
@@ -218,7 +225,72 @@ class StreamingCharacterizer:
                 parsed += 1
         return parsed
 
+    def consume_columns(self, columns: Mapping[str, _AnyArray],
+                        players: Sequence[str] | _AnyArray) -> int:
+        """Consume one decoded binary segment as column arrays.
+
+        The vectorized counterpart of :meth:`consume_lines` for the
+        binary codec: ``columns`` is one segment's decoded trace-domain
+        columns (see
+        :meth:`repro.trace.codecs.BinaryTraceReader.segment_columns`)
+        and ``players`` the per-entry player-ID strings (the caller maps
+        ``client_index`` through the file's client blocks).  Every
+        accumulator update reproduces the per-line path exactly — the
+        decoded doubles are bit-identical to the parsed text fields, so
+        histogram binning and the diurnal fold agree entry for entry;
+        only the ``bytes_served`` float accumulation order differs.
+        Returns the number of entries consumed.
+        """
+        duration = np.maximum(
+            np.asarray(columns["duration"], dtype=np.float64), 0.0)
+        bandwidth = np.asarray(columns["bandwidth_bps"], dtype=np.float64)
+        timestamp = np.asarray(columns["timestamp"], dtype=np.int64)
+        feed = np.asarray(columns["object_id"], dtype=np.int64)
+        n = int(duration.size)
+        if n == 0:
+            return 0
+
+        self._n_entries += n
+        display = np.floor(duration).astype(np.int64) + 1
+        for value, count in zip(*(arr.tolist() for arr in
+                                  np.unique(display, return_counts=True))):
+            self._log_length.counts[value] = (
+                self._log_length.counts.get(value, 0) + count)
+        self._bits += float(np.dot(duration, np.maximum(bandwidth, 0.0)))
+        for player, count in zip(*(arr.tolist() for arr in
+                                   np.unique(np.asarray(players,
+                                                        dtype=np.str_),
+                                             return_counts=True))):
+            self._client_counts[player] = (
+                self._client_counts.get(player, 0) + count)
+        for value, count in zip(*(arr.tolist() for arr in
+                                  np.unique(feed, return_counts=True))):
+            self._feed_counts[value] = self._feed_counts.get(value, 0) + count
+        self._congested += int(
+            np.count_nonzero(bandwidth < CONGESTION_THRESHOLD_BPS))
+        # searchsorted(side="right") - 1 == bisect_right(edges, bw) - 1.
+        bin_idx = np.searchsorted(self._edges, bandwidth,
+                                  side="right").astype(np.int64) - 1
+        in_range = (bin_idx >= 0) & (bin_idx < self._bandwidth_hist.size)
+        self._bandwidth_hist += np.bincount(
+            bin_idx[in_range], minlength=self._bandwidth_hist.size
+            ).astype(np.float64)
+        # start = timestamp - duration, exactly the per-line arithmetic.
+        phase = (timestamp.astype(np.float64)
+                 - np.asarray(columns["duration"], dtype=np.float64)) % DAY
+        diurnal_idx = np.minimum(
+            (phase / self._bin_width).astype(np.int64),
+            self._diurnal.size - 1)
+        self._diurnal += np.bincount(
+            diurnal_idx, minlength=self._diurnal.size).astype(np.float64)
+        return n
+
     def _consume_line(self, line: str, fields: list[str]) -> bool:
+        if _REPLACEMENT in line:
+            # Undecodable bytes (a well-formed log is pure ASCII): the
+            # fields cannot be trusted even if the line still splits.
+            self._n_skipped += 1
+            return False
         parts = line.split()
         if len(parts) != len(fields):
             self._n_skipped += 1
@@ -296,7 +368,7 @@ class StreamingCharacterizer:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """The full accumulator state as a JSON-serializable dict.
 
         Everything the characterizer holds is either integer counts or
@@ -322,7 +394,8 @@ class StreamingCharacterizer:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "StreamingCharacterizer":
+    def from_state_dict(cls, state: dict[str, Any]
+                        ) -> "StreamingCharacterizer":
         """Rebuild a characterizer from :meth:`state_dict` output."""
         characterizer = cls(
             diurnal_bins=len(state["diurnal_counts"]),

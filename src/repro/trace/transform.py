@@ -11,13 +11,16 @@ re-interning clients by player ID.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from .._typing import IntArray
 from ..errors import TraceError
 from .store import ClientTable, Trace
+
+#: Shape/dtype-generic array (per-trace column fragments pre-concat).
+_AnyArray = np.ndarray[Any, np.dtype[Any]]
 
 
 def time_slice(trace: Trace, start: float, end: float, *,
@@ -75,7 +78,7 @@ def daily_slices(trace: Trace, *, day_seconds: float = 86_400.0) -> list[Trace]:
     """
     if day_seconds <= 0:
         raise TraceError("day_seconds must be positive")
-    out = []
+    out: list[Trace] = []
     t = 0.0
     while t < trace.extent:
         end = min(t + day_seconds, trace.extent)
@@ -154,9 +157,10 @@ def merge_traces(traces: Sequence[Trace], *,
 
     merged_clients, merged_of_local, bounds = _merged_client_mapping(traces)
 
-    columns = {name: [] for name in
-               ("client_index", "object_id", "start", "duration",
-                "bandwidth_bps", "packet_loss", "server_cpu", "status")}
+    columns: dict[str, list[_AnyArray]] = {
+        name: [] for name in
+        ("client_index", "object_id", "start", "duration",
+         "bandwidth_bps", "packet_loss", "server_cpu", "status")}
     extent = 0.0
     for k, (trace, offset) in enumerate(zip(traces, offsets)):
         local_to_merged = merged_of_local[bounds[k]:bounds[k + 1]]
@@ -198,9 +202,10 @@ def _reference_merge_traces(traces: Sequence[Trace], *,
     countries: list[str] = []
     os_names: list[str] = []
 
-    columns = {name: [] for name in
-               ("client_index", "object_id", "start", "duration",
-                "bandwidth_bps", "packet_loss", "server_cpu", "status")}
+    columns: dict[str, list[_AnyArray]] = {
+        name: [] for name in
+        ("client_index", "object_id", "start", "duration",
+         "bandwidth_bps", "packet_loss", "server_cpu", "status")}
     extent = 0.0
     for trace, offset in zip(traces, offsets):
         # Map this trace's client indices into the merged table.

@@ -12,13 +12,18 @@ The log intentionally does *not* carry autonomous-system or country columns:
 the paper derived those by tracing IPs back to ASes with external routing
 data (Section 3.1).  :func:`read_wms_log` accepts an optional ``resolver``
 callable standing in for that external mapping.
+
+The text format implemented here is one of the interchangeable trace
+codecs registered in :mod:`repro.trace.codecs`; the columnar binary codec
+shares this module's :class:`StreamingTraceWriter` reorder buffer, so both
+emit entries in the identical ``(end, trace position)`` order.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Callable, Iterable, TextIO
+from typing import Any, Callable, Iterable, Iterator, Mapping, TextIO
 
 import numpy as np
 
@@ -27,6 +32,9 @@ from ..errors import LogParseError
 from .builder import TraceBuilder
 from .records import ClientRecord
 from .store import Trace
+
+#: An ndarray of any dtype (the reorder buffer mixes floats and ints).
+_AnyArray = np.ndarray[Any, np.dtype[Any]]
 
 #: Columns written by :func:`write_wms_log`, in order.
 LOG_FIELDS: tuple[str, ...] = (
@@ -44,6 +52,11 @@ LOG_FIELDS: tuple[str, ...] = (
 )
 
 _URI_PREFIX = "/live/feed"
+
+#: The Unicode replacement character: the marker ``errors="replace"``
+#: decoding leaves behind for undecodable bytes.  A well-formed log is
+#: pure ASCII, so its presence identifies a corrupt line unambiguously.
+_REPLACEMENT = "�"
 
 #: Type of the optional IP -> (as_number, country) resolver.
 IpResolver = Callable[[str], tuple[int, str]]
@@ -67,11 +80,11 @@ def _format_entry(timestamp: int, ip: str, player_id: str, os_name: str,
     ))
 
 
-#: Type of the client-identity provider used by the streaming writer:
+#: Type of the client-identity provider used by the streaming writers:
 #: maps a client index to ``(ip, player_id, os_name)``.
 ClientIdentity = Callable[[int], tuple[str, str, str]]
 
-#: Per-transfer columns buffered by :class:`StreamingWmsLogWriter`, in
+#: Per-transfer columns buffered by :class:`StreamingTraceWriter`, in
 #: checkpoint/state order.
 _WRITER_COLUMNS: tuple[tuple[str, type], ...] = (
     ("end", np.float64), ("position", np.int64),
@@ -93,50 +106,40 @@ def _table_identity(trace: Trace) -> ClientIdentity:
     return identity
 
 
-class StreamingWmsLogWriter:
-    """Writes a WMS-style log from start-ordered transfer batches.
+class StreamingTraceWriter:
+    """Reorder buffer shared by every incremental trace codec writer.
 
-    The server logs an entry when a transfer *completes*, so the log is
-    ordered by transfer end while generation streams transfers by start.
-    The writer keeps an in-flight reorder buffer: a pushed transfer is
-    held until the caller's ``horizon`` — a lower bound on every future
-    transfer's start — guarantees no later transfer can end before it
-    (``end >= start >= horizon``).  Buffered memory is therefore bounded
-    by the workload's peak concurrency, never by the trace length, and
-    the emitted file is byte-identical to :func:`write_wms_log` over the
-    materialized trace: entries are flushed in ``(end, trace position)``
-    order, exactly the batch writer's stable sort by end.
+    The server logs an entry when a transfer *completes*, so the emitted
+    stream is ordered by transfer end while generation streams transfers
+    by start.  The writer keeps an in-flight reorder buffer: a pushed
+    transfer is held until the caller's ``horizon`` — a lower bound on
+    every future transfer's start — guarantees no later transfer can end
+    before it (``end >= start >= horizon``).  Buffered memory is
+    therefore bounded by the workload's peak concurrency, never by the
+    trace length, and entries are handed to the codec-specific
+    :meth:`_emit_entries` in ``(end, trace position)`` order — exactly
+    the batch writer's stable sort by end.
+
+    Subclasses implement :meth:`_emit_entries` (and may extend the
+    checkpoint state via :meth:`state_meta` / :meth:`state_arrays` /
+    :meth:`restore`).
 
     Parameters
     ----------
-    stream:
-        Open text stream to write to (the caller owns it).
     identity:
         Maps a client index to ``(ip, player_id, os_name)`` — e.g. a
         client-table lookup, or
         :func:`repro.core.gismo.synthetic_client_identity` for generated
         workloads where materializing the table would defeat the memory
         bound.
-    software:
-        The ``#Software`` header value.
-    write_header:
-        Write the three header lines immediately.  Pass ``False`` when
-        resuming into a log file that already has them.
     """
 
-    def __init__(self, stream: TextIO, identity: ClientIdentity, *,
-                 software: str = "Windows Media Services 4.1",
-                 write_header: bool = True) -> None:
-        self._stream = stream
+    def __init__(self, identity: ClientIdentity) -> None:
         self._identity = identity
         self.n_written = 0
-        self._buffer: dict[str, np.ndarray] = {
+        self._buffer: dict[str, _AnyArray] = {
             name: np.empty(0, dtype=dtype)
             for name, dtype in _WRITER_COLUMNS}
-        if write_header:
-            stream.write(f"#Software: {software}\n")
-            stream.write("#Version: 1.0\n")
-            stream.write(f"#Fields: {' '.join(LOG_FIELDS)}\n")
 
     @property
     def n_buffered(self) -> int:
@@ -161,7 +164,7 @@ class StreamingWmsLogWriter:
         """
         start = np.asarray(start, dtype=np.float64)
         n = start.size
-        new = {
+        new: dict[str, _AnyArray] = {
             "end": start + np.asarray(duration, dtype=np.float64),
             "position": global_offset + np.arange(n, dtype=np.int64),
             "client_index": np.asarray(client_index, dtype=np.int64),
@@ -182,7 +185,7 @@ class StreamingWmsLogWriter:
         return self._flush_below(horizon)
 
     def _flush_below(self, horizon: float) -> int:
-        """Write buffered entries with ``end < horizon``; keep the rest."""
+        """Emit buffered entries with ``end < horizon``; keep the rest."""
         buffer = self._buffer
         ready = buffer["end"] < horizon
         n_ready = int(np.count_nonzero(ready))
@@ -194,10 +197,80 @@ class StreamingWmsLogWriter:
                         for name, col in buffer.items()}
         # (end, trace position) == the batch writer's stable sort by end.
         order = np.lexsort((emit["position"], emit["end"]))
+        self._emit_entries({name: col[order] for name, col in emit.items()})
+        self.n_written += n_ready
+        return n_ready
+
+    def _emit_entries(self, emit: Mapping[str, _AnyArray]) -> None:
+        """Write one flushed batch, already in ``(end, position)`` order.
+
+        ``emit`` holds the :data:`_WRITER_COLUMNS` arrays; codec
+        subclasses serialize them however their format requires.
+        """
+        raise NotImplementedError
+
+    def finish(self) -> int:
+        """Flush every buffered entry; returns the total written so far.
+
+        The output stream itself is left open (the caller owns it).
+        """
+        self._flush_below(np.inf)
+        return self.n_written
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_meta(self) -> dict[str, Any]:
+        """JSON-serializable scalar writer state (for checkpointing)."""
+        return {"n_written": self.n_written}
+
+    def state_arrays(self) -> dict[str, _AnyArray]:
+        """The reorder buffer as named arrays (for checkpointing)."""
+        return {name: col.copy() for name, col in self._buffer.items()}
+
+    def restore(self, meta: Mapping[str, Any],
+                arrays: Mapping[str, _AnyArray]) -> None:
+        """Restore a checkpointed buffer and written-entry count."""
+        self.n_written = int(meta["n_written"])
+        self._buffer = {
+            name: np.asarray(arrays[name], dtype=dtype)
+            for name, dtype in _WRITER_COLUMNS}
+
+
+class StreamingWmsLogWriter(StreamingTraceWriter):
+    """Writes a WMS-style text log from start-ordered transfer batches.
+
+    The emitted file is byte-identical to :func:`write_wms_log` over the
+    materialized trace (see :class:`StreamingTraceWriter` for the
+    ordering argument).
+
+    Parameters
+    ----------
+    stream:
+        Open text stream to write to (the caller owns it).
+    identity:
+        See :class:`StreamingTraceWriter`.
+    software:
+        The ``#Software`` header value.
+    write_header:
+        Write the three header lines immediately.  Pass ``False`` when
+        resuming into a log file that already has them.
+    """
+
+    def __init__(self, stream: TextIO, identity: ClientIdentity, *,
+                 software: str = "Windows Media Services 4.1",
+                 write_header: bool = True) -> None:
+        super().__init__(identity)
+        self._stream = stream
+        if write_header:
+            stream.write(f"#Software: {software}\n")
+            stream.write("#Version: 1.0\n")
+            stream.write(f"#Fields: {' '.join(LOG_FIELDS)}\n")
+
+    def _emit_entries(self, emit: Mapping[str, _AnyArray]) -> None:
         identity = self._identity
         lines = []
-        rows = zip(*(emit[name][order].tolist()
-                     for name, _ in _WRITER_COLUMNS))
+        rows = zip(*(emit[name].tolist() for name, _ in _WRITER_COLUMNS))
         for end, _, client, obj, dur, bw, loss, cpu, stat in rows:
             ip, player_id, os_name = identity(client)
             lines.append(_format_entry(
@@ -207,31 +280,6 @@ class StreamingWmsLogWriter:
                 cpu=cpu, status=stat))
         lines.append("")
         self._stream.write("\n".join(lines))
-        self.n_written += n_ready
-        return n_ready
-
-    def finish(self) -> int:
-        """Flush every buffered entry; returns the total written so far.
-
-        The stream itself is left open (the caller owns it).
-        """
-        self._flush_below(np.inf)
-        return self.n_written
-
-    # ------------------------------------------------------------------
-    # Checkpoint support
-    # ------------------------------------------------------------------
-    def state_arrays(self) -> dict[str, np.ndarray]:
-        """The reorder buffer as named arrays (for checkpointing)."""
-        return {name: col.copy() for name, col in self._buffer.items()}
-
-    def restore(self, n_written: int,
-                arrays: dict[str, np.ndarray]) -> None:
-        """Restore a checkpointed buffer and written-entry count."""
-        self.n_written = int(n_written)
-        self._buffer = {
-            name: np.asarray(arrays[name], dtype=dtype)
-            for name, dtype in _WRITER_COLUMNS}
 
 
 def write_wms_log(trace: Trace, path: str | Path | TextIO, *,
@@ -249,7 +297,8 @@ def write_wms_log(trace: Trace, path: str | Path | TextIO, *,
     construction.
     """
     own = isinstance(path, (str, Path))
-    stream: TextIO = open(path, "w", encoding="ascii") if own else path
+    stream: TextIO = (open(path, "w", encoding="ascii")
+                      if isinstance(path, (str, Path)) else path)
     try:
         writer = StreamingWmsLogWriter(stream, _table_identity(trace),
                                        software=software)
@@ -274,7 +323,7 @@ def _parse_fields_header(line: str, line_number: int) -> list[str]:
     return fields
 
 
-def iter_log_lines(stream: Iterable[str]) -> Iterable[tuple[int, str]]:
+def iter_log_lines(stream: Iterable[str]) -> Iterator[tuple[int, str]]:
     """Yield ``(line_number, stripped_line)`` skipping blanks."""
     for number, raw in enumerate(stream, start=1):
         line = raw.strip()
@@ -292,7 +341,11 @@ def read_wms_log(path: str | Path | TextIO, *,
     Parameters
     ----------
     path:
-        Log file path or open text stream.
+        Log file path or open text stream.  Paths are opened with
+        ``errors="replace"`` so undecodable (non-ASCII) bytes surface as
+        per-line parse errors instead of aborting the whole read; pass an
+        open stream with the same error handling to get identical
+        behaviour for corrupt bytes.
     resolver:
         Optional ``ip -> (as_number, country)`` mapping standing in for the
         external IP-to-AS traceback the paper performed; unresolved clients
@@ -303,8 +356,8 @@ def read_wms_log(path: str | Path | TextIO, *,
     on_error:
         ``"raise"`` (default) aborts on the first malformed data line;
         ``"skip"`` drops malformed lines and continues — real month-long
-        logs contain truncated lines at harvest boundaries.  A missing or
-        incomplete ``#Fields`` header always raises.
+        logs contain truncated or corrupt lines at harvest boundaries.  A
+        missing or incomplete ``#Fields`` header always raises.
     error_sink:
         With ``on_error="skip"``, an optional list that collects the
         :class:`LogParseError` for every skipped line.
@@ -318,7 +371,8 @@ def read_wms_log(path: str | Path | TextIO, *,
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     own = isinstance(path, (str, Path))
-    stream: TextIO = open(path, "r", encoding="ascii") if own else path
+    stream: TextIO = (open(path, "r", encoding="ascii", errors="replace")
+                      if isinstance(path, (str, Path)) else path)
     try:
         builder = TraceBuilder()
         fields: list[str] | None = None
@@ -331,6 +385,10 @@ def read_wms_log(path: str | Path | TextIO, *,
                 raise LogParseError("data before #Fields header",
                                     line_number=number, line=line)
             try:
+                if _REPLACEMENT in line:
+                    raise LogParseError(
+                        "undecodable bytes (non-ASCII) in entry",
+                        line_number=number, line=line)
                 parts = line.split()
                 if len(parts) != len(fields):
                     raise LogParseError(

@@ -27,6 +27,11 @@ def test_differential_oracle_bit_identity(tmp_path, conform_workload):
     assert len({n for n in names
                 if n.startswith("stream[chunk=") and n.endswith(".log")}) >= 2
     assert any(n.startswith("stream[resume@") for n in names)
+    assert any(n.endswith(".decode") and n.startswith("binary[")
+               for n in names)
+    assert any(n.endswith(".entry-stream") and n.startswith("binary[")
+               for n in names)
+    assert any(n.startswith("binary[resume@") for n in names)
 
     failures = [f"{c.name}: {c.detail}" for c in report.failures()]
     assert not failures, (

@@ -36,6 +36,51 @@ def test_write_is_atomic(tmp_path):
     assert meta["v"] == 2
 
 
+def test_unrelated_tmp_sibling_left_alone(tmp_path):
+    """Regression: the writer used to stage through the *fixed* name
+    ``<path>.tmp``, so two concurrent runs sharing a checkpoint path
+    clobbered each other's half-written archive.  Staging now goes
+    through a unique ``tempfile`` name; a sibling that happens to carry
+    the old fixed name is someone else's file and stays untouched."""
+    path = tmp_path / "ck.npz"
+    sibling = tmp_path / "ck.npz.tmp"
+    sibling.write_bytes(b"another process's half-written checkpoint")
+    save_checkpoint(path, {"v": 1}, {})
+    assert sibling.read_bytes() == b"another process's half-written checkpoint"
+    meta, _ = load_checkpoint(path)
+    assert meta["v"] == 1
+
+
+def test_concurrent_saves_never_corrupt(tmp_path):
+    """Many writers racing on one checkpoint path: every interleaving
+    must leave a loadable archive written wholly by one of them."""
+    import threading
+
+    path = tmp_path / "ck.npz"
+    errors = []
+
+    def writer(k):
+        try:
+            for i in range(10):
+                save_checkpoint(path, {"writer": k, "i": i},
+                                {"xs": np.arange(200, dtype=np.int64)})
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(k,)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    meta, arrays = load_checkpoint(path)
+    assert meta["i"] == 9
+    np.testing.assert_array_equal(arrays["xs"],
+                                  np.arange(200, dtype=np.int64))
+    leftovers = [p for p in sorted(os.listdir(tmp_path)) if p != "ck.npz"]
+    assert leftovers == []
+
+
 def test_missing_file_raises(tmp_path):
     with pytest.raises(CheckpointError, match="does not exist"):
         load_checkpoint(tmp_path / "nope.npz")

@@ -81,13 +81,13 @@ def test_state_round_trip_preserves_bytes():
                 start=trace.start[:3], duration=trace.duration[:3],
                 bandwidth_bps=trace.bandwidth_bps[:3],
                 global_offset=0, horizon=30.0)
-    n_written, arrays = writer.n_written, writer.state_arrays()
+    meta, arrays = writer.state_meta(), writer.state_arrays()
 
     second = io.StringIO()
     second.write(first.getvalue())
     resumed = StreamingWmsLogWriter(second, _table_identity(trace),
                                     write_header=False)
-    resumed.restore(n_written, arrays)
+    resumed.restore(meta, arrays)
     assert resumed.n_buffered == writer.n_buffered
     resumed.push(client_index=trace.client_index[3:],
                  object_id=trace.object_id[3:],

@@ -1,0 +1,150 @@
+"""Unit tests for the trace codec registry and the binary codec."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.codecs import (BINARY_MAGIC, BinaryTraceReader,
+                                available_codecs, detect_codec,
+                                format_quantized_entry, get_codec,
+                                read_binary_trace, write_binary_trace)
+from repro.trace.store import TRANSFER_COLUMNS, ClientTable, Trace
+from repro.trace.wms_log import read_wms_log, write_wms_log
+
+from tests.conftest import build_trace
+
+
+def _assert_traces_bit_identical(a, b):
+    for column in TRANSFER_COLUMNS:
+        assert np.array_equal(getattr(a, column), getattr(b, column)), column
+    for column in ("player_ids", "ips", "os_names"):
+        assert np.array_equal(getattr(a.clients, column),
+                              getattr(b.clients, column)), column
+    assert a.extent == b.extent
+
+
+class TestRegistry:
+    def test_both_codecs_registered(self):
+        assert set(available_codecs()) >= {"text", "binary"}
+
+    def test_get_codec_round_trip_names(self):
+        assert get_codec("text").name == "text"
+        assert get_codec("binary").name == "binary"
+
+    def test_unknown_codec_names_available(self):
+        with pytest.raises(TraceError, match="binary.*text|text.*binary"):
+            get_codec("parquet")
+
+    def test_suffixes_differ(self):
+        assert get_codec("text").suffix != get_codec("binary").suffix
+
+
+class TestDetect:
+    def test_detects_binary(self, tmp_path):
+        path = tmp_path / "t.rtb"
+        write_binary_trace(build_trace([(0, 0, 1.0, 5.0)]), path)
+        assert detect_codec(path) == "binary"
+        assert path.read_bytes().startswith(BINARY_MAGIC)
+
+    def test_detects_text(self, tmp_path):
+        path = tmp_path / "t.log"
+        write_wms_log(build_trace([(0, 0, 1.0, 5.0)]), path)
+        assert detect_codec(path) == "text"
+
+
+class TestBinaryRoundTrip:
+    def test_empty_trace(self, tmp_path):
+        trace = Trace(ClientTable([], [], [], []), [], [], [], [],
+                      extent=0.0)
+        path = tmp_path / "empty.rtb"
+        assert write_binary_trace(trace, path) == 0
+        parsed = read_binary_trace(path)
+        assert parsed.n_transfers == 0
+        assert len(parsed.clients) == 0
+        with BinaryTraceReader(path) as reader:
+            assert reader.n_entries == 0
+            assert reader.n_segments == 0
+
+    def test_single_client(self, tmp_path):
+        trace = build_trace([(0, 0, 3.0, 10.0), (0, 1, 20.0, 5.0)],
+                            n_clients=1, extent=100.0)
+        path = tmp_path / "one.rtb"
+        write_binary_trace(trace, path)
+        parsed = read_binary_trace(path, extent=trace.extent)
+
+        text = io.StringIO()
+        write_wms_log(trace, text)
+        text.seek(0)
+        expected = read_wms_log(text, extent=trace.extent)
+        _assert_traces_bit_identical(expected, parsed)
+
+    def test_max_width_identity_strings(self, tmp_path):
+        # One short and one very wide identity per column: the per-batch
+        # fixed-width S arrays must size to the widest and pad the rest.
+        wide_player = "p" * 128
+        wide_os = "O" * 96
+        clients = ClientTable(
+            player_ids=["a", wide_player],
+            ips=["10.0.0.1", "203.0.113.255"],
+            as_numbers=[1, 2], countries=["US", "BR"],
+            os_names=["", wide_os])
+        trace = Trace(clients, [0, 1], [0, 1], [0.0, 5.0], [10.0, 10.0],
+                      extent=60.0)
+        path = tmp_path / "wide.rtb"
+        write_binary_trace(trace, path)
+        parsed = read_binary_trace(path, extent=trace.extent)
+        assert wide_player in parsed.clients.player_ids
+        assert wide_os in parsed.clients.os_names
+        # Empty os_name decodes as the text format's "-" placeholder.
+        assert "-" in parsed.clients.os_names
+
+    def test_entry_stream_matches_text_lines(self, tmp_path):
+        trace = build_trace([(i % 3, i % 2, float(i) * 7.0, 5.5)
+                             for i in range(20)],
+                            n_clients=3, extent=500.0)
+        text = io.StringIO()
+        write_wms_log(trace, text)
+        data_lines = [line for line in text.getvalue().splitlines()
+                      if not line.startswith("#")]
+
+        path = tmp_path / "t.rtb"
+        write_binary_trace(trace, path)
+        with BinaryTraceReader(path) as reader:
+            identity = reader.identity_lookup()
+            formatted = [
+                format_quantized_entry(quantized, row, identity)
+                for quantized in reader.iter_quantized()
+                for row in range(int(quantized["timestamp"].shape[0]))]
+        assert formatted == data_lines
+
+
+class TestCodecObjects:
+    def test_text_codec_write_read(self, tmp_path):
+        codec = get_codec("text")
+        trace = build_trace([(0, 0, 1.0, 9.0)], extent=50.0)
+        path = tmp_path / f"t{codec.suffix}"
+        codec.write(trace, path)
+        parsed = codec.read(path, extent=trace.extent)
+        assert parsed.n_transfers == 1
+
+    def test_binary_codec_write_read(self, tmp_path):
+        codec = get_codec("binary")
+        trace = build_trace([(0, 0, 1.0, 9.0)], extent=50.0)
+        path = tmp_path / f"t{codec.suffix}"
+        codec.write(trace, path)
+        parsed = codec.read(path, extent=trace.extent)
+        assert parsed.n_transfers == 1
+
+    def test_codecs_decode_identically(self, tmp_path):
+        trace = build_trace([(i % 4, 0, float(i) * 3.0, 2.0 + i)
+                             for i in range(12)],
+                            n_clients=4, extent=200.0)
+        decoded = {}
+        for name in ("text", "binary"):
+            codec = get_codec(name)
+            path = tmp_path / f"t{codec.suffix}"
+            codec.write(trace, path)
+            decoded[name] = codec.read(path, extent=trace.extent)
+        _assert_traces_bit_identical(decoded["text"], decoded["binary"])

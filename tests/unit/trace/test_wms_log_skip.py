@@ -50,3 +50,42 @@ class TestSkipMode:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError):
             read_wms_log(io.StringIO(""), on_error="ignore")
+
+
+class TestNonAsciiBytes:
+    """Undecodable bytes are a *skippable* parse error, not a crash.
+
+    Regression: the parser used to open files with strict ASCII decoding,
+    so a corrupt byte raised ``UnicodeDecodeError`` from the line
+    iterator itself — bypassing the ``on_error="skip"`` handling entirely.
+    """
+
+    def _write_corrupt(self, path, n_good=5):
+        trace = build_trace([(0, 0, float(i) * 100.0, 10.0)
+                             for i in range(n_good)], extent=10_000.0)
+        write_wms_log(trace, path)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        data = [i for i, l in enumerate(lines) if not l.startswith(b"#")]
+        # Clobber a byte mid-line with a non-ASCII value, as bit rot or a
+        # bad harvest would.
+        target = bytearray(lines[data[1]])
+        target[5] = 0xFF
+        lines[data[1]] = bytes(target)
+        path.write_bytes(b"".join(lines))
+
+    def test_skip_mode_survives_non_ascii(self, tmp_path):
+        path = tmp_path / "corrupt.log"
+        self._write_corrupt(path)
+        errors: list[LogParseError] = []
+        trace = read_wms_log(path, on_error="skip", error_sink=errors)
+        assert trace.n_transfers == 4
+        assert len(errors) == 1
+        assert errors[0].line_number is not None
+        assert "undecodable" in str(errors[0])
+
+    def test_raise_mode_reports_line(self, tmp_path):
+        path = tmp_path / "corrupt.log"
+        self._write_corrupt(path)
+        with pytest.raises(LogParseError):
+            read_wms_log(path)
