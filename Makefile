@@ -2,7 +2,8 @@
 
 .PHONY: install lint lint-custom lint-mypy lint-ruff test test-all conform \
 	conform-paper conform-update coverage \
-	bench bench-core bench-parallel bench-stream experiments figures \
+	bench bench-core bench-parallel bench-stream bench-serve \
+	experiments figures \
 	examples all
 
 install:
@@ -92,6 +93,12 @@ bench-parallel:
 # estimated in-memory footprint the batch path would have needed.
 bench-stream:
 	PYTHONPATH=src python benchmarks/bench_stream.py --out BENCH_stream.json
+
+# Live-service replay: boots repro.serve, replays a generated log over
+# real sockets through both wire codecs and records sustained aggregate
+# lines/sec plus p50/p99 ingest latency to BENCH_serve.json.
+bench-serve:
+	PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
 
 experiments:
 	PYTHONPATH=src python -m repro experiments

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Replay load benchmark for the live characterization service.
+
+Boots ``repro.serve`` on ephemeral ports, replays a generated
+multi-hundred-thousand-line WMS log through the ingest path with the
+``repro.serve.load`` harness — text codec and binary codec, partitioned
+across several feeds — and records sustained aggregate throughput plus
+p50/p99 ingest latency (enqueue to characterized) to a JSON report.
+
+The service, its per-feed workers and the replay clients share one
+process and one event loop, so the measured rate is a conservative
+lower bound on what separate processes would sustain.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import tempfile
+import time
+
+from repro.core.model import LiveWorkloadModel
+from repro.serve import CharacterizationService, ServeConfig, run_load_async
+from repro.stream import run_streaming_generation
+
+#: Aggregate sustained ingest floor the subsystem promises.
+TARGET_LINES_PER_SEC = 100_000.0
+
+
+async def _replay(log_path: str, feeds: int, batch_lines: int,
+                  speedup: float) -> dict:
+    """One full replay against a fresh service; returns the metrics row."""
+    service = CharacterizationService(ServeConfig(tcp_port=0, http_port=0))
+    await service.start()
+    try:
+        t0 = time.perf_counter()
+        report = await run_load_async(
+            log_path, tcp_port=service.tcp_port,
+            http_port=service.http_port, feeds=feeds,
+            batch_lines=batch_lines, speedup=speedup)
+        wall = time.perf_counter() - t0
+        shed = sum(worker.shed_lines + worker.shed_events
+                   for worker in service.workers.values())
+        errors = sum(worker.feed_errors
+                     for worker in service.workers.values())
+        ingested = sum(worker.lines_ingested
+                       for worker in service.workers.values())
+        entries = sum(worker.entries_ingested
+                      for worker in service.workers.values())
+    finally:
+        await service.stop()
+    if errors:
+        raise RuntimeError(f"replay hit {errors} feed errors")
+    return {
+        "codec": report.codec,
+        "feeds": feeds,
+        "lines_sent": int(report.lines_sent),
+        "frames_sent": int(report.frames_sent),
+        "lines_ingested": int(ingested),
+        "entries_ingested": int(entries),
+        "shed": int(shed),
+        "retries": int(report.retries),
+        "wall_seconds": round(wall, 4),
+        "lines_per_sec": round(report.lines_sent / wall, 1),
+        "latency_p50_s": report.latency_p50_s,
+        "latency_p99_s": report.latency_p99_s,
+    }
+
+
+def main() -> int:
+    """Run the benchmark and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="workload length in days (default: 2)")
+    parser.add_argument("--rate", type=float, default=0.3,
+                        help="mean session arrival rate per second")
+    parser.add_argument("--clients", type=int, default=5_000,
+                        help="client population size")
+    parser.add_argument("--seed", type=int, default=2002,
+                        help="generation seed")
+    parser.add_argument("--feeds", type=int, default=4,
+                        help="feeds to partition the replay across")
+    parser.add_argument("--batch-lines", type=int, default=2048,
+                        help="text lines per send batch")
+    parser.add_argument("--speedup", type=float, default=0.0,
+                        help="replay pacing (0 = unpaced, full speed)")
+    args = parser.parse_args()
+
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=args.rate,
+                                             n_clients=args.clients)
+    handle, text_log = tempfile.mkstemp(suffix=".log",
+                                        prefix="bench_serve_")
+    os.close(handle)
+    handle, bin_log = tempfile.mkstemp(suffix=".rtb",
+                                       prefix="bench_serve_")
+    os.close(handle)
+    try:
+        t0 = time.perf_counter()
+        result = run_streaming_generation(model, args.days, seed=args.seed,
+                                          log_path=text_log,
+                                          collect_sessions=False)
+        run_streaming_generation(model, args.days, seed=args.seed,
+                                 log_path=bin_log,
+                                 collect_sessions=False, codec="binary")
+        gen_seconds = time.perf_counter() - t0
+        print(f"generated {result.n_transfers:,} transfers "
+              f"({os.path.getsize(text_log):,} text bytes) "
+              f"in {gen_seconds:.1f}s")
+
+        rows = []
+        for log_path in (text_log, bin_log):
+            row = asyncio.run(_replay(log_path, args.feeds,
+                                      args.batch_lines, args.speedup))
+            rows.append(row)
+            p99 = ("-" if row["latency_p99_s"] is None
+                   else f"{row['latency_p99_s']:.6f}s")
+            print(f"  {row['codec']:<6} codec: "
+                  f"{row['lines_sent']:>9,} lines in "
+                  f"{row['wall_seconds']:7.2f}s -> "
+                  f"{row['lines_per_sec']:>11,.0f} lines/s  "
+                  f"(p99 {p99}, {row['shed']} shed, "
+                  f"{row['retries']} retries)")
+    finally:
+        os.unlink(text_log)
+        os.unlink(bin_log)
+
+    best = max(row["lines_per_sec"] for row in rows)
+    target_met = best >= TARGET_LINES_PER_SEC
+    print(f"peak sustained ingest: {best:,.0f} lines/s "
+          f"(target {TARGET_LINES_PER_SEC:,.0f}: "
+          f"{'MET' if target_met else 'MISSED'})")
+
+    report = {
+        "benchmark": "serve_replay",
+        "workload": {
+            "days": args.days,
+            "mean_session_rate": args.rate,
+            "n_clients": args.clients,
+            "seed": args.seed,
+            "n_transfers": int(result.n_transfers),
+        },
+        "generation_seconds": round(gen_seconds, 4),
+        "replays": rows,
+        "peak_lines_per_sec": best,
+        "target_lines_per_sec": TARGET_LINES_PER_SEC,
+        "target_100k_met": bool(target_met),
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,10 +21,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import resource
 import sys
 import tempfile
 import time
+
+import resource
 
 from repro.core.model import LiveWorkloadModel
 from repro.stream import run_streaming_generation

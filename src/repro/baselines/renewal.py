@@ -30,13 +30,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._typing import SeedLike
-from ..errors import ConfigError, GenerationError
-from ..rng import make_rng, spawn
-from ..trace.store import Trace
-from ..units import DAY
 from ..core.gismo import GismoWorkload, _synthetic_client_table
 from ..distributions.zipf import ZipfLaw
+from ..errors import ConfigError, GenerationError
+from ..rng import make_rng, spawn
 from ..simulation.viewer import SessionBehavior, generate_sessions
+from ..trace.store import Trace
+from ..units import DAY
 
 
 @dataclass(frozen=True)

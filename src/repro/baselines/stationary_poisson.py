@@ -19,12 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._typing import ArrayLike, FloatArray, SeedLike, as_float_array
-from ..errors import ConfigError
-from ..rng import make_rng
-from ..units import log_display_time
 from ..distributions.diurnal import DiurnalProfile
 from ..distributions.goodness import ks_two_sample
 from ..distributions.piecewise_poisson import PiecewiseStationaryPoissonProcess
+from ..errors import ConfigError
+from ..rng import make_rng
+from ..units import log_display_time
 
 
 class StationaryPoissonBaseline:

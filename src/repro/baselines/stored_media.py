@@ -24,12 +24,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._typing import FloatArray, IntArray, SeedLike
+from ..distributions.lognormal import LognormalDistribution
+from ..distributions.zipf import ZipfLaw
 from ..errors import ConfigError, GenerationError
 from ..rng import make_rng, spawn
 from ..trace.store import ClientTable, Trace
 from ..units import DAY
-from ..distributions.lognormal import LognormalDistribution
-from ..distributions.zipf import ZipfLaw
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,10 @@ Subcommands mirror the library's three faces plus the experiment harness:
   differential oracle against the golden registry.
 * ``repro lint`` — AST-based determinism & numeric-discipline linter
   (rules RL000…; see ``docs/LINTING.md``).
+* ``repro serve`` — live characterization service (asyncio ingest +
+  metrics endpoint + checkpointing).
+* ``repro serve-load`` — replay a trace log into a running service and
+  report sustained throughput and ingest latency.
 """
 
 from __future__ import annotations
@@ -215,6 +219,76 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="skip these rule IDs (repeatable)")
     lnt.add_argument("--out", type=Path, default=None,
                      help="also write the report to this file")
+
+    srv = sub.add_parser("serve",
+                         help="live characterization service: TCP/HTTP "
+                              "ingest, JSON metrics, checkpointing")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--tcp-port", type=int, default=7070,
+                     help="TCP ingest port; 0 picks an ephemeral port "
+                          "(default: 7070)")
+    srv.add_argument("--http-port", type=int, default=8080,
+                     help="HTTP metrics/ingest port; 0 picks an "
+                          "ephemeral port (default: 8080)")
+    srv.add_argument("--checkpoint", type=Path, default=None,
+                     help="periodically checkpoint service state to "
+                          "this .npz file")
+    srv.add_argument("--checkpoint-interval", type=float, default=30.0,
+                     help="seconds between periodic checkpoints "
+                          "(default: 30)")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore state from --checkpoint before "
+                          "serving")
+    srv.add_argument("--timeout", type=float,
+                     default=DEFAULT_SESSION_TIMEOUT,
+                     help="session timeout T_o in seconds "
+                          "(default: 1500)")
+    srv.add_argument("--lateness", type=float, default=None,
+                     help="reorder-buffer lateness bound in seconds "
+                          "(default: 86400)")
+    srv.add_argument("--queue-batches", type=int, default=64,
+                     help="per-feed worker queue capacity in batches; "
+                          "a full queue sheds input (default: 64)")
+    srv.add_argument("--golden", default=None, metavar="WORKLOAD",
+                     help="golden-registry workload for /metrics "
+                          "parameter drift (e.g. 'small')")
+
+    lod = sub.add_parser("serve-load",
+                         help="replay a trace log into a running "
+                              "service (load harness)")
+    lod.add_argument("log", type=Path,
+                     help="trace log to replay (text or binary codec)")
+    lod.add_argument("--host", default="127.0.0.1",
+                     help="service address (default: 127.0.0.1)")
+    lod.add_argument("--tcp-port", type=int, default=7070,
+                     help="service TCP ingest port (default: 7070)")
+    lod.add_argument("--http-port", type=int, default=None,
+                     help="service HTTP port; enables drain/latency "
+                          "readout and backpressure recovery")
+    lod.add_argument("--feeds", type=int, default=1,
+                     help="partition the log across this many feeds "
+                          "by object id (default: 1)")
+    lod.add_argument("--speedup", type=float, default=0.0,
+                     help="replay pacing: data seconds per wall second; "
+                          "0 replays unpaced (default: 0)")
+    lod.add_argument("--batch-lines", type=int, default=512,
+                     help="text lines per send batch (default: 512)")
+    lod.add_argument("--transport", choices=("tcp", "http"),
+                     default="tcp",
+                     help="ingest transport (http carries text only; "
+                          "default: tcp)")
+    lod.add_argument("--codec", choices=("auto", "text", "binary"),
+                     default="auto",
+                     help="log codec (default: sniff the file)")
+    lod.add_argument("--resume-from-service", action="store_true",
+                     help="ask /metrics how far each feed got and "
+                          "replay only the remainder")
+    lod.add_argument("--max-retries", type=int, default=3,
+                     help="reconnect attempts per feed after "
+                          "backpressure sheds (default: 3)")
+    lod.add_argument("--out", type=Path, default=None,
+                     help="write the JSON load report here")
 
     val = sub.add_parser("validate",
                          help="compare two traces through the calibration "
@@ -505,6 +579,94 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import ReproError
+    from .serve.config import DEFAULT_LATENESS, ServeConfig
+    from .serve.service import CharacterizationService
+
+    config = ServeConfig(
+        host=args.host,
+        tcp_port=args.tcp_port,
+        http_port=args.http_port,
+        checkpoint_path=(None if args.checkpoint is None
+                         else str(args.checkpoint)),
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
+        timeout=args.timeout,
+        lateness=(DEFAULT_LATENESS if args.lateness is None
+                  else args.lateness),
+        queue_batches=args.queue_batches,
+        golden_workload=args.golden,
+    )
+    try:
+        config.validate()
+    except ReproError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> int:
+        service = CharacterizationService(config)
+        try:
+            await service.start()
+        except ReproError as exc:
+            print(f"serve error: {exc}", file=sys.stderr)
+            return 2
+        print(f"repro-serve listening "
+              f"tcp={service.tcp_port} http={service.http_port}",
+              flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+        finally:
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .serve.load import run_load
+
+    try:
+        report = run_load(
+            args.log,
+            host=args.host,
+            tcp_port=args.tcp_port,
+            http_port=args.http_port,
+            feeds=args.feeds,
+            speedup=args.speedup,
+            batch_lines=args.batch_lines,
+            transport=args.transport,
+            codec=None if args.codec == "auto" else args.codec,
+            resume_from_service=args.resume_from_service,
+            max_retries=args.max_retries,
+        )
+    except ReproError as exc:
+        print(f"serve-load error: {exc}", file=sys.stderr)
+        return 2
+    print(f"replayed {report.lines_sent} lines "
+          f"({report.codec} codec, {report.n_feeds} feeds) in "
+          f"{report.wall_seconds:.2f}s -> "
+          f"{report.lines_per_sec:.0f} lines/s")
+    if report.latency_p99_s is not None:
+        print(f"  ingest latency        p50={report.latency_p50_s:.6f}s "
+              f"p99={report.latency_p99_s:.6f}s")
+    if report.retries:
+        print(f"  backpressure retries  {report.retries}")
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .core.validate import compare_workloads
 
@@ -532,6 +694,8 @@ _COMMANDS = {
     "conform": _cmd_conform,
     "figures": _cmd_figures,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "serve-load": _cmd_serve_load,
     "validate": _cmd_validate,
 }
 

@@ -33,8 +33,8 @@ from .fingerprint import (
     measure_workload,
 )
 from .gates import (
-    GateRecord,
     PAPER_REFERENCES,
+    GateRecord,
     derive_tolerances,
     evaluate_gates,
     statistical_failures,

@@ -26,8 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..paper import SESSION_LAYER, TABLE2
-from .fingerprint import (GATED_DISTANCES, GATED_PARAMETERS,
-                          WorkloadMeasurement)
+from .fingerprint import GATED_DISTANCES, GATED_PARAMETERS, WorkloadMeasurement
 
 #: Gate-family prefixes (used by reports and the mutation self-check).
 HASH_GATES = ("hash:trace", "hash:sessions", "hash:log")

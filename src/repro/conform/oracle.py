@@ -37,8 +37,7 @@ from ..core.gismo import GismoWorkload, LiveWorkloadGenerator
 from ..core.sessionizer import sessionize
 from ..parallel import generate_sharded
 from ..stream import GenerationStream, run_streaming_generation
-from ..trace.codecs import (BinaryTraceReader, format_quantized_entry,
-                            read_binary_trace)
+from ..trace.codecs import BinaryTraceReader, format_quantized_entry, read_binary_trace
 from ..trace.wms_log import read_wms_log, write_wms_log
 from .matrix import WorkloadSpec
 

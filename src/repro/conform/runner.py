@@ -17,15 +17,17 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.gismo import LiveWorkloadGenerator
-from .fingerprint import (DEFAULT_N_BOOT, WorkloadMeasurement,
-                          measure_workload)
+from .fingerprint import DEFAULT_N_BOOT, WorkloadMeasurement, measure_workload
 from .gates import GateRecord, evaluate_gates
 from .matrix import MUTATION_WORKLOAD, WorkloadSpec, scale_specs
 from .mutation import MutationReport, mutation_self_check
-from .oracle import (DEFAULT_CHUNK_SIZES, DEFAULT_SHARD_CONFIGS,
-                     OracleReport, run_differential_oracle)
-from .registry import (REGISTRY_PATH, load_registry, save_registry,
-                       updated_registry)
+from .oracle import (
+    DEFAULT_CHUNK_SIZES,
+    DEFAULT_SHARD_CONFIGS,
+    OracleReport,
+    run_differential_oracle,
+)
+from .registry import REGISTRY_PATH, load_registry, save_registry, updated_registry
 
 #: Differential-oracle shapes per workload.  The paper-scale workload
 #: uses chunk sizes that still split the ~38 k-transfer canonical blocks

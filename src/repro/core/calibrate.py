@@ -14,9 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import FittingError
-from ..trace.store import Trace
-from ..units import DAY, DEFAULT_SESSION_TIMEOUT, FIFTEEN_MINUTES, log_display_time
 from ..distributions.exponential import ExponentialDistribution
 from ..distributions.fitting import (
     DiurnalFit,
@@ -28,6 +25,9 @@ from ..distributions.fitting import (
     fit_zipf_rank,
 )
 from ..distributions.lognormal import LognormalDistribution
+from ..errors import FittingError
+from ..trace.store import Trace
+from ..units import DAY, DEFAULT_SESSION_TIMEOUT, FIFTEEN_MINUTES, log_display_time
 from .model import LiveWorkloadModel
 from .sessionizer import Sessions, sessionize
 

@@ -21,14 +21,14 @@ from ..analysis.autocorrelation import acf, dominant_period
 from ..analysis.concurrency import mean_concurrency_bins, sampled_concurrency
 from ..analysis.ranks import group_counts, rank_frequency, share_by_key
 from ..analysis.timeseries import fold_series
-from ..trace.store import Trace
-from ..units import DAY, FIFTEEN_MINUTES, MINUTE, WEEK
 from ..distributions.fitting import (
     DiurnalFit,
     ZipfFit,
     fit_diurnal_profile,
     fit_zipf_rank,
 )
+from ..trace.store import Trace
+from ..units import DAY, FIFTEEN_MINUTES, MINUTE, WEEK
 from .sessionizer import Sessions
 
 

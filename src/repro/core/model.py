@@ -28,14 +28,14 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import ConfigError
-from ..units import DAY, FIFTEEN_MINUTES
 from ..distributions.diurnal import REALITY_SHOW_HOURLY_SHAPE, DiurnalProfile
 from ..distributions.empirical import EmpiricalDistribution
 from ..distributions.lognormal import LognormalDistribution
 from ..distributions.piecewise_poisson import PiecewiseStationaryPoissonProcess
 from ..distributions.zipf import ZetaDistribution, ZipfLaw
+from ..errors import ConfigError
 from ..simulation.viewer import SessionBehavior
+from ..units import DAY, FIFTEEN_MINUTES
 
 #: Number of quantiles kept when serializing an empirical bandwidth model.
 _BANDWIDTH_QUANTILES = 512

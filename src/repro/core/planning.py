@@ -23,11 +23,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._typing import SeedLike
+from ..analysis.concurrency import sampled_concurrency
 from ..errors import GenerationError
 from ..rng import make_rng, spawn
 from ..simulation.replay import replay_trace
 from ..simulation.server import ServerConfig
-from ..analysis.concurrency import sampled_concurrency
 from .gismo import LiveWorkloadGenerator
 from .model import LiveWorkloadModel
 

@@ -15,7 +15,6 @@ import numpy as np
 
 from .._typing import FloatArray, IntArray
 from ..analysis.correlation import binned_conditional_mean, variance_explained_by_bins
-from ..units import DAY, log_display_time
 from ..distributions.exponential import ExponentialDistribution
 from ..distributions.fitting import (
     ZipfFit,
@@ -25,6 +24,7 @@ from ..distributions.fitting import (
 )
 from ..distributions.goodness import GoodnessOfFit, evaluate_fit
 from ..distributions.lognormal import LognormalDistribution
+from ..units import DAY, log_display_time
 from .sessionizer import Sessions
 
 

@@ -21,8 +21,8 @@ from functools import cached_property
 
 import numpy as np
 
-from ..arrayops import _scan_running_max
 from .._typing import FloatArray, IntArray
+from ..arrayops import _scan_running_max
 from ..errors import AnalysisError
 from ..trace.store import Trace
 from ..units import DEFAULT_SESSION_TIMEOUT

@@ -14,10 +14,7 @@ import numpy as np
 
 from .._typing import FloatArray
 from ..analysis.concurrency import mean_concurrency_bins, sampled_concurrency
-from ..errors import FittingError
 from ..analysis.timeseries import binned_mean_of_events, fold_series
-from ..trace.store import Trace
-from ..units import DAY, FIFTEEN_MINUTES, MINUTE, WEEK, log_display_time
 from ..distributions.fitting import (
     TwoRegimeTailFit,
     fit_lognormal,
@@ -25,6 +22,9 @@ from ..distributions.fitting import (
 )
 from ..distributions.goodness import GoodnessOfFit, evaluate_fit
 from ..distributions.lognormal import LognormalDistribution
+from ..errors import FittingError
+from ..trace.store import Trace
+from ..units import DAY, FIFTEEN_MINUTES, MINUTE, WEEK, log_display_time
 
 #: Bandwidths below this many bits/second count as congestion bound — well
 #: under the slowest access tier once protocol efficiency is accounted for.

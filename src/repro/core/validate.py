@@ -18,9 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..distributions.goodness import ks_two_sample
 from ..trace.store import Trace
 from ..units import DEFAULT_SESSION_TIMEOUT, log_display_time
-from ..distributions.goodness import ks_two_sample
 from .calibrate import calibrate_model
 
 #: The Table 2 scalar parameters compared, as model attribute names.

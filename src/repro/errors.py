@@ -74,6 +74,25 @@ class GenerationError(ReproError):
     """The synthetic workload generator was asked for an impossible output."""
 
 
+class ServeError(ReproError):
+    """The live characterization service was misconfigured or misused.
+
+    Raised for invalid service configuration (bad ports, unknown feeds,
+    missing checkpoint directories) and for service-level operational
+    failures that are not wire-protocol violations.
+    """
+
+
+class ProtocolError(ServeError):
+    """A client violated the ingest wire protocol.
+
+    Raised while decoding a handshake line or a binary ingest frame:
+    unknown frame types, truncated payloads, oversized frames, or
+    malformed JSON metadata.  The server reports the message back to the
+    offending connection and closes it; other feeds are unaffected.
+    """
+
+
 class LintError(ReproError):
     """The static-analysis pass was invoked with bad inputs.
 

@@ -19,7 +19,6 @@ import numpy as np
 
 from ..baselines.stationary_poisson import interarrival_ks_comparison
 from ..core.sessionizer import sessionize
-from ..units import log_display_time
 from ..distributions.fitting import (
     fit_exponential,
     fit_lognormal,
@@ -27,6 +26,7 @@ from ..distributions.fitting import (
     fit_zipf_pmf,
     fit_zipf_rank,
 )
+from ..units import log_display_time
 from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt, get_context
 
 #: Timeouts swept by the T_o ablation (seconds).

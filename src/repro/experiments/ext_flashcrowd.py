@@ -19,7 +19,7 @@ from ..simulation.population import PopulationConfig
 from ..simulation.replay import demand_peak, replay_trace
 from ..simulation.scenario import LiveShowScenario, ScenarioConfig
 from ..simulation.server import ServerConfig
-from ..simulation.show import ShowSchedule, ShowEvent, default_reality_show_events
+from ..simulation.show import ShowEvent, ShowSchedule, default_reality_show_events
 from ..trace.sanitize import sanitize_trace
 from ..units import HOUR
 from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt

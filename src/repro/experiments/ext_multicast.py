@@ -10,7 +10,6 @@ direction of Chesire et al. [11] for the live case.
 
 from __future__ import annotations
 
-
 from ..analysis.multicast import compare_unicast_multicast
 from .common import Experiment, ExperimentContext, fmt, get_context
 

@@ -22,11 +22,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.transfer_layer import CONGESTION_BOUND_THRESHOLD_BPS
-from ..units import log_display_time
 from ..distributions.fitting import fit_lognormal
 from ..simulation.population import PopulationConfig
 from ..simulation.scenario import LiveShowScenario, ScenarioConfig
 from ..trace.sanitize import sanitize_trace
+from ..units import log_display_time
 from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt
 
 #: The stored-media-like coupling strength used for the contrast run.

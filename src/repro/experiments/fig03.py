@@ -8,7 +8,6 @@ spanning several decades.
 
 from __future__ import annotations
 
-
 from ..analysis.marginals import Marginal
 from .common import Experiment, ExperimentContext, fmt, get_context
 

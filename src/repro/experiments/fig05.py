@@ -9,7 +9,6 @@ tails (see :mod:`repro.experiments.fig06`).
 
 from __future__ import annotations
 
-
 from ..analysis.marginals import Marginal
 from .common import Experiment, ExperimentContext, fmt, get_context
 

@@ -9,11 +9,10 @@ process is not.  We quantify "similar" with KS distances.
 
 from __future__ import annotations
 
-
-from ..baselines.stationary_poisson import interarrival_ks_comparison
-from ..units import log_display_time
 from ..analysis.marginals import Marginal
+from ..baselines.stationary_poisson import interarrival_ks_comparison
 from ..distributions.piecewise_poisson import PiecewiseStationaryPoissonProcess
+from ..units import log_display_time
 from .common import EXPERIMENT_SEED, Experiment, ExperimentContext, fmt, get_context
 
 

@@ -8,7 +8,6 @@ side — the duality with stored-content object popularity.
 
 from __future__ import annotations
 
-
 from .. import paper
 from ..analysis.ranks import rank_frequency
 from .common import Experiment, ExperimentContext, fmt, get_context

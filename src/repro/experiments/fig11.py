@@ -11,9 +11,9 @@ import numpy as np
 
 from .. import paper
 from ..analysis.marginals import Marginal
-from ..units import log_display_time
 from ..distributions.goodness import ks_distance
 from ..distributions.pareto import ParetoDistribution
+from ..units import log_display_time
 from .common import Experiment, ExperimentContext, fmt, get_context
 
 

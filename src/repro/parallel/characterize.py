@@ -29,8 +29,7 @@ import numpy as np
 
 from .._typing import FloatArray
 from ..errors import LogParseError
-from ..trace.codecs import (ENTRY_COLUMNS, _DTYPE_SIZES, BinaryTraceReader,
-                            detect_codec)
+from ..trace.codecs import ENTRY_COLUMNS, _DTYPE_SIZES, BinaryTraceReader, detect_codec
 from ..trace.streaming import StreamingCharacterizer, StreamingSummary
 from ..trace.wms_log import _parse_fields_header, iter_log_lines
 from .pool import logger, map_ordered

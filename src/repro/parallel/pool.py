@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from concurrent.futures import ProcessPoolExecutor
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")

@@ -1,0 +1,146 @@
+"""Metrics snapshots and Table 2 parameter drift for the live service.
+
+Two kinds of readout are deliberately separated:
+
+* ``/state`` (built from each worker's ``state_meta``/``state_arrays``)
+  is a pure function of the processed input — the document two service
+  runs over the same stream must agree on byte for byte.
+* ``/metrics`` (built here) adds timing-dependent operational data —
+  rates, latency quantiles, queue depths — plus the fitted Table 2
+  parameter drift of each feed against the conform golden registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from ..conform.registry import load_registry
+from ..distributions.fitting import fit_zipf_rank
+from ..errors import FittingError, ServeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .feed import FeedWorker
+
+#: Golden-registry parameters the live service can estimate, mapped to
+#: how each is read off a feed worker.
+DRIFT_PARAMETERS = ("gap_log_mu", "gap_log_sigma", "interest_alpha",
+                    "length_log_mu", "length_log_sigma",
+                    "session_on_log_mu")
+
+
+def live_parameters(worker: "FeedWorker") -> dict[str, float | None]:
+    """Current Table 2 parameter estimates for one feed.
+
+    Estimates that are not yet identifiable (too few sessions or gaps)
+    come back as ``None`` rather than a garbage fit.
+    """
+    gap_mu, gap_sigma = worker.gap_moments()
+    on_mu, _on_sigma = worker.on_time_moments()
+    summary = worker.characterizer.summary(top_k=1)
+    counts = worker.sessions_per_client()
+    counts = counts[counts > 0]
+    alpha: float | None = None
+    if counts.size >= 2 and np.unique(counts).size >= 2:
+        try:
+            alpha = float(fit_zipf_rank(counts).alpha)
+        except FittingError:  # pragma: no cover - defensive
+            alpha = None
+    gap_n = worker.gap_moments_count()
+    return {
+        "gap_log_mu": gap_mu if gap_n >= 2 else None,
+        "gap_log_sigma": gap_sigma if gap_n >= 2 else None,
+        "interest_alpha": alpha,
+        "length_log_mu": (summary.length_log_mu
+                          if summary.n_entries >= 2 else None),
+        "length_log_sigma": (summary.length_log_sigma
+                             if summary.n_entries >= 2 else None),
+        "session_on_log_mu": (on_mu if worker.sessionizer.n_finalized >= 2
+                              else None),
+    }
+
+
+def parameter_drift(live: Mapping[str, float | None], workload: str,
+                    *, registry: Mapping[str, Any] | None = None
+                    ) -> dict[str, dict[str, float | bool | None]]:
+    """Compare live parameter estimates against the golden registry.
+
+    Parameters
+    ----------
+    live:
+        Estimates from :func:`live_parameters` (``None`` = not yet
+        identifiable).
+    workload:
+        Workload key in the registry (``small``/``medium``/``paper``).
+    registry:
+        Pre-loaded registry (defaults to the committed golden file).
+
+    Returns
+    -------
+    dict
+        Per parameter: ``live``, ``golden``, ``drift`` (live − golden),
+        ``tol`` (the registry's statistical tolerance), and ``within``
+        (``None`` while the live estimate is unavailable).
+
+    Raises
+    ------
+    ServeError
+        If the workload is not pinned in the registry.
+    """
+    if registry is None:
+        registry = load_registry()
+    workloads = registry.get("workloads", {})
+    if workload not in workloads:
+        raise ServeError(
+            f"workload {workload!r} is not in the golden registry "
+            f"(have: {sorted(workloads)})")
+    parameters = workloads[workload]["parameters"]
+    drift: dict[str, dict[str, float | bool | None]] = {}
+    for name in DRIFT_PARAMETERS:
+        if name not in parameters:
+            continue
+        golden = float(parameters[name]["value"])
+        tol = float(parameters[name]["tol"])
+        value = live.get(name)
+        if value is None:
+            drift[name] = {"live": None, "golden": golden, "drift": None,
+                           "tol": tol, "within": None}
+        else:
+            delta = float(value) - golden
+            drift[name] = {"live": float(value), "golden": golden,
+                           "drift": delta, "tol": tol,
+                           "within": bool(abs(delta) <= tol)}
+    return drift
+
+
+def feed_metrics(worker: "FeedWorker", *, lines_per_sec: float,
+                 workload: str | None = None,
+                 registry: Mapping[str, Any] | None = None
+                 ) -> dict[str, Any]:
+    """One feed's ``/metrics`` block."""
+    conc = worker.concurrency()
+    bins, counts = conc.curve(last_bins=60)
+    block: dict[str, Any] = {
+        "counters": worker.counters(),
+        "queue_depth": worker.queue_depth,
+        "lines_per_sec": lines_per_sec,
+        "latency_p50_s": worker.latency.p50,
+        "latency_p99_s": worker.latency.p99,
+        "sessions": {
+            "active": worker.sessionizer.n_open,
+            "completed": worker.sessionizer.n_finalized,
+            "peak_open": worker.sessionizer.peak_open,
+        },
+        "concurrency": {
+            "current": conc.current(),
+            "peak": conc.peak(),
+            "curve_t": bins.tolist(),
+            "curve_c": counts.tolist(),
+        },
+        "parameters": live_parameters(worker),
+    }
+    if workload is not None:
+        block["drift"] = parameter_drift(block["parameters"], workload,
+                                         registry=registry)
+    return block

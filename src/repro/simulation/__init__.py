@@ -30,7 +30,7 @@ from .population import ClientPopulation, PopulationConfig
 from .scenario import LiveShowScenario, ScenarioConfig
 from .server import ReplayResult, ServerConfig, ServerLoadModel, StreamingServer
 from .show import CompositeRateProfile, ShowEvent, ShowSchedule
-from .viewer import SessionBehavior, SessionBatch
+from .viewer import SessionBatch, SessionBehavior
 
 __all__ = [
     "BandwidthModel",

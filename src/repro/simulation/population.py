@@ -23,10 +23,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._typing import SeedLike
+from ..distributions.zipf import ZipfLaw
 from ..errors import ConfigError
 from ..rng import make_rng, spawn
 from ..trace.store import ClientTable
-from ..distributions.zipf import ZipfLaw
 
 #: 2002-era access-link tiers as ``(bits_per_second, weight)``.
 DEFAULT_ACCESS_TIERS: tuple[tuple[float, float], ...] = (

@@ -21,16 +21,16 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from .._typing import FloatArray, IntArray, SeedLike
-from ..errors import ConfigError
-from ..rng import make_rng, spawn
-from ..trace.store import Trace
-from ..units import DAY, FIFTEEN_MINUTES
 from ..distributions.diurnal import (
     REALITY_SHOW_WEEKDAY_SHAPE,
     DiurnalProfile,
     WeeklyProfile,
 )
 from ..distributions.piecewise_poisson import PiecewiseStationaryPoissonProcess
+from ..errors import ConfigError
+from ..rng import make_rng, spawn
+from ..trace.store import Trace
+from ..units import DAY, FIFTEEN_MINUTES
 from .network import BandwidthModel, NetworkConfig
 from .population import ClientPopulation, PopulationConfig
 from .server import ServerConfig, ServerLoadModel

@@ -27,11 +27,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._typing import FloatArray, SeedLike
+from ..analysis.concurrency import sampled_concurrency
+from ..distributions.selfsimilar import FractionalGaussianNoise
 from ..errors import ConfigError
 from ..rng import make_rng, spawn
 from ..trace.store import Trace
-from ..analysis.concurrency import sampled_concurrency
-from ..distributions.selfsimilar import FractionalGaussianNoise
 
 
 @dataclass(frozen=True)

@@ -21,10 +21,10 @@ import numpy as np
 
 from .._typing import FloatArray, IntArray, SeedLike
 from ..arrayops import alternate_on_switch, expand_by_segment, segmented_cumsum
-from ..errors import ConfigError
-from ..rng import make_rng, spawn
 from ..distributions.lognormal import LognormalDistribution
 from ..distributions.zipf import ZetaDistribution
+from ..errors import ConfigError
+from ..rng import make_rng, spawn
 
 #: Type of the stickiness-multiplier hook (transfer start times -> factor).
 StickinessFn = Callable[[FloatArray], FloatArray]

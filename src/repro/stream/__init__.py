@@ -8,12 +8,11 @@ granularity.  See ``docs/API.md`` ("Streaming at paper scale") for the
 memory-bound argument and usage.
 """
 
-from .checkpoint import load_checkpoint, require_match, save_checkpoint
 from .characterize import characterize_logs_resumable
+from .checkpoint import load_checkpoint, require_match, save_checkpoint
 from .generate import DEFAULT_CHUNK_SIZE, GenerationStream, TransferBatch
 from .pipeline import StreamRunResult, run_streaming_generation
-from .sessionize import (FinalizedSessions, OnlineSessionizer,
-                         merge_finalized)
+from .sessionize import FinalizedSessions, OnlineSessionizer, merge_finalized
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",

@@ -16,14 +16,13 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from .._typing import FloatArray
 from ..errors import CheckpointError
-from ..parallel.characterize import (DEFAULT_CHUNK_BYTES, consume_chunk,
-                                     plan_log_chunks)
+from ..parallel.characterize import DEFAULT_CHUNK_BYTES, consume_chunk, plan_log_chunks
 from ..trace.streaming import StreamingCharacterizer, StreamingSummary
 from .checkpoint import load_checkpoint, require_match, save_checkpoint
 
@@ -33,7 +32,7 @@ DEFAULT_CHECKPOINT_EVERY = 4
 
 def _log_fingerprint(paths: Sequence[str | Path],
                      chunk_bytes: int, diurnal_bins: int,
-                     edges: FloatArray | None) -> dict:
+                     edges: FloatArray | None) -> dict[str, Any]:
     """Identity of a characterization request: the exact inputs.
 
     File sizes stand in for content hashes — rewriting a log mid-run is
@@ -119,6 +118,7 @@ def characterize_logs_resumable(
                 meta["characterizer"])
 
     def checkpoint_now() -> None:
+        assert checkpoint_path is not None
         save_checkpoint(checkpoint_path, {
             "fingerprint": fingerprint,
             "next_chunk": next_chunk,

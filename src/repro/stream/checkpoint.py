@@ -19,9 +19,10 @@ import json
 import os
 import tempfile
 import zipfile
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..errors import CheckpointError
 
@@ -32,8 +33,8 @@ _META_KEY = "__meta__"
 FORMAT_VERSION = 1
 
 
-def save_checkpoint(path: str | os.PathLike, meta: Mapping,
-                    arrays: Mapping[str, np.ndarray]) -> None:
+def save_checkpoint(path: str | os.PathLike[str], meta: Mapping[str, Any],
+                    arrays: Mapping[str, NDArray[Any]]) -> None:
     """Atomically write ``meta`` + ``arrays`` to ``path``.
 
     Parameters
@@ -52,7 +53,8 @@ def save_checkpoint(path: str | os.PathLike, meta: Mapping,
             f"array name {_META_KEY!r} is reserved for checkpoint metadata")
     document = dict(meta)
     document["format_version"] = FORMAT_VERSION
-    payload = {_META_KEY: np.asarray(json.dumps(document))}
+    payload: dict[str, NDArray[Any]] = {
+        _META_KEY: np.asarray(json.dumps(document))}
     payload.update(arrays)
     path = os.fspath(path)
     # A unique temp name per call: concurrent writers targeting the same
@@ -75,8 +77,8 @@ def save_checkpoint(path: str | os.PathLike, meta: Mapping,
             os.unlink(tmp)
 
 
-def load_checkpoint(path: str | os.PathLike) -> tuple[dict,
-                                                      dict[str, np.ndarray]]:
+def load_checkpoint(path: str | os.PathLike[str]
+                    ) -> tuple[dict[str, Any], dict[str, NDArray[Any]]]:
     """Load a checkpoint written by :func:`save_checkpoint`.
 
     Returns ``(meta, arrays)``.
@@ -93,9 +95,10 @@ def load_checkpoint(path: str | os.PathLike) -> tuple[dict,
                 raise CheckpointError(
                     f"{path!r} is not a streaming checkpoint "
                     f"(no {_META_KEY} member)")
-            meta = json.loads(str(archive[_META_KEY][()]))
-            arrays = {name: archive[name] for name in archive.files
-                      if name != _META_KEY}
+            meta: dict[str, Any] = json.loads(str(archive[_META_KEY][()]))
+            arrays: dict[str, NDArray[Any]] = {
+                name: archive[name] for name in archive.files
+                if name != _META_KEY}
     except FileNotFoundError as exc:
         raise CheckpointError(f"checkpoint {path!r} does not exist") from exc
     except (zipfile.BadZipFile, ValueError, OSError,
@@ -110,8 +113,8 @@ def load_checkpoint(path: str | os.PathLike) -> tuple[dict,
     return meta, arrays
 
 
-def require_match(meta: Mapping, expected: Mapping[str, object],
-                  path: str | os.PathLike = "<checkpoint>") -> None:
+def require_match(meta: Mapping[str, Any], expected: Mapping[str, object],
+                  path: str | os.PathLike[str] = "<checkpoint>") -> None:
     """Check that a checkpoint's fingerprint matches the current request.
 
     ``expected`` maps fingerprint keys (model/seed/chunking identity) to

@@ -34,9 +34,10 @@ bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator, Mapping
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .._typing import FloatArray, IntArray, SeedLike
 from ..core.model import LiveWorkloadModel
@@ -48,7 +49,7 @@ from ..parallel.plan import DEFAULT_BLOCKS, emit_horizons, plan_block_stream
 DEFAULT_CHUNK_SIZE = 100_000
 
 #: Pending-buffer columns carried across blocks, in checkpoint order.
-_PENDING_COLUMNS: tuple[tuple[str, type], ...] = (
+_PENDING_COLUMNS: tuple[tuple[str, type[Any]], ...] = (
     ("start", np.float64), ("duration", np.float64),
     ("object_id", np.int64), ("bandwidth_bps", np.float64),
     ("transfer_session", np.int64),
@@ -209,7 +210,7 @@ class GenerationStream:
                          for name, col in merged.items()}
 
         session_client = self._plan.session_client
-        batches = []
+        batches: list[TransferBatch] = []
         for lo in range(0, cut, self.chunk_size):
             hi = min(lo + self.chunk_size, cut)
             session = merged["transfer_session"][lo:hi]
@@ -237,17 +238,18 @@ class GenerationStream:
     # ------------------------------------------------------------------
     # Checkpoint support
     # ------------------------------------------------------------------
-    def state_meta(self) -> dict:
+    def state_meta(self) -> dict[str, int]:
         """The scalar cursor state (valid between block steps)."""
         return {"next_block": self._next_block,
                 "n_emitted": self._n_emitted}
 
-    def state_arrays(self) -> dict[str, np.ndarray]:
+    def state_arrays(self) -> dict[str, NDArray[Any]]:
         """The pending-buffer columns (valid between block steps)."""
         return {f"gen_pending_{name}": col.copy()
                 for name, col in self._pending.items()}
 
-    def restore(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    def restore(self, meta: Mapping[str, Any],
+                arrays: Mapping[str, NDArray[Any]]) -> None:
         """Restore a cursor captured by the two ``state_*`` methods.
 
         Raises

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import IO, Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .._typing import SeedLike
 from ..core.gismo import synthetic_client_identity
@@ -37,8 +38,7 @@ from ..trace.wms_log import StreamingTraceWriter
 from ..units import DEFAULT_SESSION_TIMEOUT
 from .checkpoint import load_checkpoint, require_match, save_checkpoint
 from .generate import DEFAULT_CHUNK_SIZE, GenerationStream
-from .sessionize import (FinalizedSessions, OnlineSessionizer,
-                         merge_finalized)
+from .sessionize import FinalizedSessions, OnlineSessionizer, merge_finalized
 
 #: Prefix namespacing the log writer's buffer inside checkpoint archives.
 _WRITER_PREFIX = "log_"
@@ -90,7 +90,7 @@ class StreamRunResult:
 
 def _workload_fingerprint(model: LiveWorkloadModel, days: float,
                           seed: int, blocks: int, timeout: float,
-                          codec: str) -> dict:
+                          codec: str) -> dict[str, Any]:
     return {
         "model": model.to_dict(),
         "days": float(days),
@@ -184,21 +184,23 @@ def run_streaming_generation(
                                  else {"blocks": blocks}))
     sessionizer = (OnlineSessionizer(model.n_clients, timeout=timeout)
                    if sessionize else None)
-    fingerprint = None
+    fingerprint: dict[str, Any] | None = None
     if checkpoint_path is not None:
+        assert isinstance(seed, int)  # enforced above
         fingerprint = _workload_fingerprint(model, days, seed, stream.blocks,
                                             timeout, codec)
 
     collected: list[FinalizedSessions] = []
-    restored = None
+    restored: tuple[dict[str, Any], dict[str, NDArray[Any]]] | None = None
     if resume:
         if checkpoint_path is None:
             raise CheckpointError("resume=True requires a checkpoint_path")
         if os.path.exists(checkpoint_path):
             restored = load_checkpoint(checkpoint_path)
 
-    meta = None
+    meta: dict[str, Any] | None = None
     if restored is not None:
+        assert checkpoint_path is not None and fingerprint is not None
         meta, arrays = restored
         require_match(meta, fingerprint, checkpoint_path)
         stream.restore(meta["generator"], arrays)
@@ -230,6 +232,7 @@ def run_streaming_generation(
     try:
         if log_path is not None:
             if restored is not None:
+                assert meta is not None
                 offset = meta.get("log_offset")
                 if offset is None:
                     raise CheckpointError(
@@ -265,9 +268,10 @@ def run_streaming_generation(
         since_checkpoint = 0
 
         def checkpoint_now() -> None:
-            arrays: dict[str, np.ndarray] = {}
+            assert checkpoint_path is not None
+            arrays: dict[str, NDArray[Any]] = {}
             arrays.update(stream.state_arrays())
-            doc = {
+            doc: dict[str, Any] = {
                 "fingerprint": fingerprint,
                 "generator": stream.state_meta(),
                 "sessionizer": None,
@@ -278,6 +282,7 @@ def run_streaming_generation(
                 doc["sessionizer"] = sessionizer.state_meta()
                 arrays.update(sessionizer.state_arrays())
             if writer is not None:
+                assert own_stream is not None
                 own_stream.flush()
                 doc["writer"] = writer.state_meta()
                 doc["log_offset"] = own_stream.tell()

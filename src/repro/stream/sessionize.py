@@ -32,15 +32,19 @@ number of sessions genuinely open around the time frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .._typing import FloatArray, IntArray
 from ..arrayops import _scan_running_max
 from ..errors import AnalysisError
 from ..trace.records import SessionRecord
 from ..units import DEFAULT_SESSION_TIMEOUT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .generate import TransferBatch
 
 
 @dataclass(frozen=True)
@@ -120,9 +124,10 @@ def merge_finalized(parts: Sequence[FinalizedSessions]) -> FinalizedSessions:
     end = np.concatenate([part.end for part in parts])
     count = np.concatenate([part.n_transfers for part in parts])
     order = np.lexsort((start, client))
-    indices = None
+    indices: tuple[tuple[int, ...], ...] | None = None
     if tracked:
-        flat = [idx for part in parts for idx in part.transfer_indices]
+        flat = [idx for part in parts
+                for idx in (part.transfer_indices or ())]
         indices = tuple(flat[k] for k in order.tolist())
     return FinalizedSessions(client_index=client[order], start=start[order],
                              end=end[order], n_transfers=count[order],
@@ -179,10 +184,42 @@ class OnlineSessionizer:
         """Number of currently open sessions."""
         return int(np.count_nonzero(self._open))
 
+    def grow(self, n_clients: int) -> None:
+        """Widen the client index space to ``n_clients`` slots.
+
+        Growth appends fresh closed slots only — existing open-session
+        state (and therefore every finalized session) is unchanged.
+        Live ingest uses this when a feed declares clients beyond the
+        current capacity.
+
+        Raises
+        ------
+        AnalysisError
+            If ``n_clients`` would shrink the table.
+        """
+        n_clients = int(n_clients)
+        if n_clients < self.n_clients:
+            raise AnalysisError(
+                f"cannot shrink the client space from {self.n_clients} "
+                f"to {n_clients}")
+        if n_clients == self.n_clients:
+            return
+        extra = n_clients - self.n_clients
+        self._open = np.concatenate(
+            [self._open, np.zeros(extra, dtype=bool)])
+        self._session_start = np.concatenate(
+            [self._session_start, np.zeros(extra, dtype=np.float64)])
+        self._run_max = np.concatenate(
+            [self._run_max, np.full(extra, -np.inf, dtype=np.float64)])
+        self._count = np.concatenate(
+            [self._count, np.zeros(extra, dtype=np.int64)])
+        self.n_clients = n_clients
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def push_batch(self, batch, *, evict: bool = True) -> FinalizedSessions:
+    def push_batch(self, batch: "TransferBatch", *,
+                   evict: bool = True) -> FinalizedSessions:
         """Consume one :class:`~repro.stream.generate.TransferBatch`.
 
         Uses the batch's global offset for index tracking and, with
@@ -247,7 +284,7 @@ class OnlineSessionizer:
         # Group the batch by client exactly like the batch sessionizer:
         # a stable argsort on the (narrowed) client column realizes
         # (client, start) order because the batch is start-sorted.
-        key = client
+        key: NDArray[Any] = client
         if self.n_clients <= 1 << 8:
             key = client.astype(np.uint8)
         elif self.n_clients <= 1 << 16:
@@ -301,8 +338,9 @@ class OnlineSessionizer:
             cl = seg_client[carried_close]
             prev = true_run[np.maximum(p - 1, 0)]
             end_val = np.where(p > f, prev, self._run_max[cl])
-            indices = None
+            indices: tuple[tuple[int, ...], ...] | None = None
             if tracked:
+                assert gidx is not None
                 indices = tuple(
                     tuple(self._indices.pop(int(cl_k))
                           + gidx[f_k:p_k].tolist())
@@ -326,9 +364,10 @@ class OnlineSessionizer:
             if j.size:
                 p0 = bpos[j]
                 p1 = bpos[j + 1]
-                indices = None
+                inner: tuple[tuple[int, ...], ...] | None = None
                 if tracked:
-                    indices = tuple(
+                    assert gidx is not None
+                    inner = tuple(
                         tuple(gidx[lo:hi].tolist())
                         for lo, hi in zip(p0.tolist(), p1.tolist()))
                 parts.append(FinalizedSessions(
@@ -336,7 +375,7 @@ class OnlineSessionizer:
                     start=s[p0],
                     end=true_run[p1 - 1],
                     n_transfers=(p1 - p0).astype(np.int64),
-                    transfer_indices=indices,
+                    transfer_indices=inner,
                 ))
 
         # (c) Update the open-session table.
@@ -351,6 +390,7 @@ class OnlineSessionizer:
             self._session_start[cl] = s[p_star]
             self._count[cl] = seg_end[opened] - p_star
             if tracked:
+                assert gidx is not None
                 for cl_k, lo, hi in zip(cl.tolist(), p_star.tolist(),
                                         seg_end[opened].tolist()):
                     self._indices[cl_k] = gidx[lo:hi].tolist()
@@ -360,6 +400,7 @@ class OnlineSessionizer:
             cl = seg_client[extended]
             self._count[cl] += seg_end[extended] - firsts[extended]
             if tracked:
+                assert gidx is not None
                 for cl_k, lo, hi in zip(cl.tolist(),
                                         firsts[extended].tolist(),
                                         seg_end[extended].tolist()):
@@ -382,7 +423,7 @@ class OnlineSessionizer:
         if idx.size == 0:
             return _empty_finalized(self.track_transfer_indices)
         self._open[idx] = False
-        indices = None
+        indices: tuple[tuple[int, ...], ...] | None = None
         if self.track_transfer_indices:
             indices = tuple(tuple(self._indices.pop(int(cl)))
                             for cl in idx.tolist())
@@ -403,7 +444,7 @@ class OnlineSessionizer:
     # ------------------------------------------------------------------
     # Checkpoint support
     # ------------------------------------------------------------------
-    def state_meta(self) -> dict:
+    def state_meta(self) -> dict[str, Any]:
         """Scalar state (counters and the ordering cursor)."""
         if self.track_transfer_indices:
             from ..errors import CheckpointError
@@ -420,7 +461,7 @@ class OnlineSessionizer:
             "peak_open": self.peak_open,
         }
 
-    def state_arrays(self) -> dict[str, np.ndarray]:
+    def state_arrays(self) -> dict[str, NDArray[Any]]:
         """The open-session table as named arrays."""
         return {
             "sess_open": self._open.copy(),
@@ -429,7 +470,8 @@ class OnlineSessionizer:
             "sess_count": self._count.copy(),
         }
 
-    def restore(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    def restore(self, meta: Mapping[str, Any],
+                arrays: Mapping[str, NDArray[Any]]) -> None:
         """Restore state captured by the two ``state_*`` methods.
 
         Raises
@@ -487,10 +529,10 @@ def merge_parts(parts: Sequence[FinalizedSessions]) -> FinalizedSessions:
     if len(parts) == 1:
         return parts[0]
     tracked = all(part.transfer_indices is not None for part in parts)
-    indices = None
+    indices: tuple[tuple[int, ...], ...] | None = None
     if tracked:
         indices = tuple(idx for part in parts
-                        for idx in part.transfer_indices)
+                        for idx in (part.transfer_indices or ()))
     return FinalizedSessions(
         client_index=np.concatenate([p.client_index for p in parts]),
         start=np.concatenate([p.start for p in parts]),

@@ -18,17 +18,30 @@ the Windows Media Server (Section 2.3).  This subpackage provides:
 """
 
 from .builder import TraceBuilder
-from .codecs import (BinaryTraceReader, BinaryTraceWriter, TraceCodec,
-                     available_codecs, detect_codec, get_codec,
-                     read_binary_trace, register_codec, write_binary_trace)
+from .codecs import (
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    TraceCodec,
+    available_codecs,
+    detect_codec,
+    get_codec,
+    read_binary_trace,
+    register_codec,
+    write_binary_trace,
+)
 from .csvio import read_csv, write_csv
 from .records import ClientRecord, TransferRecord
 from .sanitize import SanitizationReport, sanitize_trace
 from .store import ClientTable, Trace
 from .streaming import StreamingCharacterizer, StreamingSummary
 from .transform import daily_slices, merge_traces, time_slice
-from .wms_log import (StreamingTraceWriter, StreamingWmsLogWriter,
-                      log_round_trip, read_wms_log, write_wms_log)
+from .wms_log import (
+    StreamingTraceWriter,
+    StreamingWmsLogWriter,
+    log_round_trip,
+    read_wms_log,
+    write_wms_log,
+)
 
 __all__ = [
     "BinaryTraceReader",

@@ -56,9 +56,16 @@ import numpy as np
 from .._typing import FloatArray, IntArray
 from ..errors import LogParseError, TraceError
 from .store import ClientTable, Trace
-from .wms_log import (ClientIdentity, IpResolver, StreamingTraceWriter,
-                      StreamingWmsLogWriter, _format_entry, _table_identity,
-                      read_wms_log, write_wms_log)
+from .wms_log import (
+    ClientIdentity,
+    IpResolver,
+    StreamingTraceWriter,
+    StreamingWmsLogWriter,
+    _format_entry,
+    _table_identity,
+    read_wms_log,
+    write_wms_log,
+)
 
 #: File magic opening every binary trace.
 BINARY_MAGIC = b"RTRCB01\n"

@@ -33,12 +33,12 @@ reduce without changing any reported statistic.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence, TextIO
 
 import numpy as np
+from bisect import bisect_right
 
 from .._typing import FloatArray
 
@@ -46,8 +46,7 @@ from .._typing import FloatArray
 _AnyArray = np.ndarray[Any, np.dtype[Any]]
 from ..errors import LogParseError
 from ..units import DAY
-from .wms_log import (_REPLACEMENT, _URI_PREFIX, _parse_fields_header,
-                      iter_log_lines)
+from .wms_log import _REPLACEMENT, _URI_PREFIX, _parse_fields_header, iter_log_lines
 
 #: Default log-spaced bandwidth histogram edges (bits/second).
 DEFAULT_BANDWIDTH_EDGES = np.logspace(3, 7, 41)

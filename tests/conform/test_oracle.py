@@ -9,8 +9,7 @@ per workload (the acceptance surface of the determinism contract).
 from __future__ import annotations
 
 from repro.conform import run_differential_oracle, workload_spec
-from repro.conform.oracle import (DEFAULT_CHUNK_SIZES,
-                                  DEFAULT_SHARD_CONFIGS)
+from repro.conform.oracle import DEFAULT_CHUNK_SIZES, DEFAULT_SHARD_CONFIGS
 from repro.conform.runner import _ORACLE_SHAPES
 
 

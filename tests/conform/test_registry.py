@@ -6,8 +6,13 @@ import json
 
 import pytest
 
-from repro.conform import (CANONICAL_MATRIX, load_registry, save_registry,
-                           serialize_registry, updated_registry)
+from repro.conform import (
+    CANONICAL_MATRIX,
+    load_registry,
+    save_registry,
+    serialize_registry,
+    updated_registry,
+)
 from repro.conform.fingerprint import GATED_DISTANCES, GATED_PARAMETERS
 from repro.conform.registry import REGISTRY_PATH, REGISTRY_VERSION
 from repro.errors import ConfigError

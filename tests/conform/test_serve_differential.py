@@ -1,0 +1,64 @@
+"""Differential gate: live service ingest vs batch characterization.
+
+The serve subsystem's core claim: the characterizer state a running
+service reaches by ingesting a log over real sockets is bit-identical
+to the batch pipeline consuming the same log — for both the text and
+the binary wire codec, at every conformance scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.conform import workload_spec
+from repro.serve import CharacterizationService, ServeConfig, run_load_async
+from repro.stream import run_streaming_generation
+from repro.trace.streaming import StreamingCharacterizer
+from repro.trace.wms_log import LOG_FIELDS
+
+
+def _batch_state(text_path):
+    characterizer = StreamingCharacterizer()
+    with open(text_path, "r", encoding="utf-8") as stream:
+        characterizer.consume_lines([line.rstrip("\n") for line in stream],
+                                    list(LOG_FIELDS))
+    return json.dumps(characterizer.state_dict(), sort_keys=True,
+                      default=str)
+
+
+def _live_state(log_path):
+    """Boot a service, replay the log over TCP, render its state."""
+    async def runner():
+        service = CharacterizationService(
+            ServeConfig(tcp_port=0, http_port=0))
+        await service.start()
+        try:
+            report = await run_load_async(log_path,
+                                          tcp_port=service.tcp_port,
+                                          http_port=service.http_port)
+            worker = service.workers["feed0"]
+            await worker.drain()
+            assert report.retries == 0
+            assert worker.feed_errors == 0
+            assert worker.shed_events == 0
+            return json.dumps(worker.characterizer.state_dict(),
+                              sort_keys=True, default=str)
+        finally:
+            await service.stop()
+
+    return asyncio.run(runner())
+
+
+def test_live_ingest_bit_identical_to_batch(tmp_path, conform_workload):
+    spec = workload_spec(conform_workload)
+    text_path = tmp_path / f"{spec.name}.log"
+    bin_path = tmp_path / f"{spec.name}.rtb"
+    run_streaming_generation(spec.model(), spec.days, seed=spec.seed,
+                             log_path=text_path)
+    run_streaming_generation(spec.model(), spec.days, seed=spec.seed,
+                             log_path=bin_path, codec="binary")
+
+    batch = _batch_state(text_path)
+    assert _live_state(text_path) == batch, "text codec diverged from batch"
+    assert _live_state(bin_path) == batch, "binary codec diverged from batch"

@@ -14,8 +14,7 @@ from repro.core.sessionizer import sessionize
 from repro.errors import CheckpointError
 from repro.parallel.characterize import characterize_logs
 from repro.parallel.engine import generate_sharded
-from repro.stream import (GenerationStream, characterize_logs_resumable,
-                          run_streaming_generation)
+from repro.stream import GenerationStream, characterize_logs_resumable, run_streaming_generation
 from repro.trace.wms_log import write_wms_log
 
 SEED = 99

@@ -14,8 +14,12 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trace.codecs import (BinaryTraceReader, format_quantized_entry,
-                                read_binary_trace, write_binary_trace)
+from repro.trace.codecs import (
+    BinaryTraceReader,
+    format_quantized_entry,
+    read_binary_trace,
+    write_binary_trace,
+)
 from repro.trace.store import TRANSFER_COLUMNS, ClientTable, Trace
 from repro.trace.wms_log import read_wms_log, write_wms_log
 

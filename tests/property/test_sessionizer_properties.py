@@ -11,7 +11,6 @@ from repro.core.sessionizer import (
     sessionize,
     silence_gaps,
 )
-
 from tests.conftest import build_trace
 
 #: The Figure 9 timeout sweep grid (seconds) used for equivalence checks.

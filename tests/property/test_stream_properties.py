@@ -20,9 +20,7 @@ from repro.core.model import LiveWorkloadModel
 from repro.core.sessionizer import sessionize
 from repro.parallel.engine import generate_sharded
 from repro.stream import GenerationStream, OnlineSessionizer, merge_finalized
-from repro.trace.wms_log import (StreamingWmsLogWriter, _table_identity,
-                                 write_wms_log)
-
+from repro.trace.wms_log import StreamingWmsLogWriter, _table_identity, write_wms_log
 from tests.conftest import build_trace
 
 # Integer grids make exact-timeout gaps (gap == T_o, not a boundary) and

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.rng import make_rng
 from repro.trace.sanitize import sanitize_trace
 from repro.trace.wms_log import log_round_trip
-
 from tests.conftest import build_trace
 
 finite = dict(allow_nan=False, allow_infinity=False)

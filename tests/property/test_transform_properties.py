@@ -12,7 +12,6 @@ from repro.trace.transform import (
     merge_traces,
     time_slice,
 )
-
 from tests.conftest import build_trace
 
 finite = dict(allow_nan=False, allow_infinity=False)

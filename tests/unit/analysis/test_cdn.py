@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis.cdn import relay_placement_curve
 from repro.errors import AnalysisError
-
 from tests.conftest import build_trace
 
 

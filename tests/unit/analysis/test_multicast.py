@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis.multicast import compare_unicast_multicast
 from repro.errors import AnalysisError
-
 from tests.conftest import build_trace
 
 

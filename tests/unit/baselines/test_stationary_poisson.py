@@ -7,9 +7,9 @@ from repro.baselines.stationary_poisson import (
     StationaryPoissonBaseline,
     interarrival_ks_comparison,
 )
+from repro.distributions import DiurnalProfile, PiecewiseStationaryPoissonProcess
 from repro.errors import ConfigError
 from repro.units import DAY
-from repro.distributions import DiurnalProfile, PiecewiseStationaryPoissonProcess
 
 
 class TestBaseline:

@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 
 from repro.conform import measure_workload, workload_spec
-from repro.conform.fingerprint import (GATED_DISTANCES, GATED_PARAMETERS,
-                                       hash_arrays, trace_fingerprint)
+from repro.conform.fingerprint import (
+    GATED_DISTANCES,
+    GATED_PARAMETERS,
+    hash_arrays,
+    trace_fingerprint,
+)
 from repro.errors import ConfigError
 
 

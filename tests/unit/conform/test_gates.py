@@ -4,9 +4,14 @@ import dataclasses
 
 import pytest
 
-from repro.conform import (derive_tolerances, evaluate_gates,
-                           measure_workload, registry_entry,
-                           statistical_failures, workload_spec)
+from repro.conform import (
+    derive_tolerances,
+    evaluate_gates,
+    measure_workload,
+    registry_entry,
+    statistical_failures,
+    workload_spec,
+)
 from repro.conform.fingerprint import GATED_PARAMETERS
 from repro.conform.gates import PAPER_REFERENCES
 from repro.paper import TABLE2

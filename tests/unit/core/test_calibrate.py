@@ -6,7 +6,6 @@ import pytest
 from repro.core.calibrate import calibrate_model
 from repro.core.sessionizer import sessionize
 from repro.errors import FittingError
-
 from tests.conftest import build_trace
 
 

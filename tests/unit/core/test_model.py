@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core.model import LiveWorkloadModel
+from repro.distributions import DiurnalProfile
 from repro.errors import ConfigError
 from repro.rng import make_rng
 from repro.units import DAY, HOUR
-from repro.distributions import DiurnalProfile
 
 
 class TestConstruction:

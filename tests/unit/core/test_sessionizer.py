@@ -10,7 +10,6 @@ from repro.core.sessionizer import (
     silence_gaps,
 )
 from repro.errors import AnalysisError
-
 from tests.conftest import build_trace
 
 

@@ -1,11 +1,12 @@
 """Engine-level behavior: discovery, contexts, scoping, select/ignore."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.errors import LintError
 from repro.lint import RULES, active_rule_ids, lint_paths, lint_source
 from repro.lint.engine import classify_context, discover_files, module_path
-from pathlib import Path
 
 
 class TestDiscovery:

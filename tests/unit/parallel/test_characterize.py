@@ -14,7 +14,6 @@ from repro.parallel.characterize import (
 )
 from repro.trace.streaming import StreamingCharacterizer
 from repro.trace.wms_log import write_wms_log
-
 from tests.conftest import build_trace
 
 

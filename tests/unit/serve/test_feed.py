@@ -1,0 +1,327 @@
+"""Unit tests for the per-feed ingest worker.
+
+The worker's synchronous ``ingest_*`` methods are driven directly (no
+event loop) and compared against the batch pipeline on the same log:
+the characterizer state must be bit-identical and the finalized
+sessions must reproduce the batch sessionizer's canonical columns.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import LiveWorkloadModel
+from repro.core.sessionizer import sessionize
+from repro.errors import ProtocolError
+from repro.serve.feed import FeedWorker
+from repro.stream import run_streaming_generation
+from repro.trace.codecs import BinaryTraceReader
+from repro.trace.streaming import StreamingCharacterizer
+from repro.trace.wms_log import LOG_FIELDS, read_wms_log
+
+SEED = 31415
+TIMEOUT = 1500.0
+
+
+@pytest.fixture(scope="module")
+def logs(tmp_path_factory):
+    """One small workload written through both codecs."""
+    root = tmp_path_factory.mktemp("serve_feed")
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.05,
+                                            n_clients=120)
+    text_path = root / "run.log"
+    bin_path = root / "run.rtb"
+    run_streaming_generation(model, 1.0, seed=SEED, log_path=text_path)
+    run_streaming_generation(model, 1.0, seed=SEED, log_path=bin_path,
+                             codec="binary")
+    return text_path, bin_path
+
+
+def text_worker(path, **kwargs):
+    """A worker fed the whole text log in uneven line batches."""
+    worker = FeedWorker("feed0", timeout=TIMEOUT, **kwargs)
+    with open(path, "r", encoding="utf-8") as stream:
+        lines = [line.rstrip("\n") for line in stream]
+    step = 173
+    for lo in range(0, len(lines), step):
+        worker.ingest_lines(lines[lo:lo + step])
+    return worker, lines
+
+
+def binary_worker(path, **kwargs):
+    """A worker fed the binary trace frame-per-segment."""
+    worker = FeedWorker("feed0", timeout=TIMEOUT, **kwargs)
+    with BinaryTraceReader(path) as reader:
+        identity = reader.client_identity_map()
+        worker.ingest_clients(
+            [(index, ip, player, os_name)
+             for index, (ip, player, os_name) in sorted(identity.items())])
+        for segment in range(reader.n_segments):
+            worker.ingest_entries(reader.segment_quantized(segment))
+    return worker
+
+
+def canonical_state(worker):
+    return json.dumps(worker.characterizer.state_dict(), sort_keys=True,
+                      default=str)
+
+
+def session_rows(client_names, finalized):
+    """Hashable (player, start, end, count) rows for comparison."""
+    return sorted(zip(
+        (client_names[k] for k in finalized.client_index.tolist()),
+        finalized.start.tolist(), finalized.end.tolist(),
+        finalized.n_transfers.tolist()))
+
+
+# ----------------------------------------------------------------------
+# Differential vs the batch pipeline
+# ----------------------------------------------------------------------
+def test_text_ingest_matches_batch_characterizer(logs):
+    text_path, _ = logs
+    worker, lines = text_worker(text_path)
+    reference = StreamingCharacterizer()
+    reference.consume_lines(lines, list(LOG_FIELDS))
+    assert canonical_state(worker) == json.dumps(
+        reference.state_dict(), sort_keys=True, default=str)
+    assert worker.lines_ingested == len(lines)
+    assert worker.entries_ingested == reference.summary(top_k=1).n_entries
+    assert worker.feed_errors == 0
+
+
+def test_binary_ingest_matches_text_ingest(logs):
+    text_path, bin_path = logs
+    text, _ = text_worker(text_path, keep_sessions=True)
+    binary = binary_worker(bin_path, keep_sessions=True)
+    assert canonical_state(text) == canonical_state(binary)
+    text_sessions = text.finish()
+    binary_sessions = binary.finish()
+    text_names = text.intern_table()
+    binary_names = [player for _, player, _ in
+                    (binary._identities[k]
+                     for k in range(len(binary._identities)))]
+    assert session_rows(text_names, text_sessions) == session_rows(
+        binary_names, binary_sessions)
+
+
+def test_finish_matches_batch_sessionizer(logs):
+    text_path, _ = logs
+    worker, _ = text_worker(text_path, keep_sessions=True)
+    finalized = worker.finish()
+    trace = read_wms_log(text_path)
+    sessions = sessionize(trace, timeout=TIMEOUT)
+    client, start, end, count = sessions.session_columns()
+    batch_rows = sorted(zip(
+        (trace.clients.player_ids[k] for k in client.tolist()),
+        start.tolist(), end.tolist(), count.tolist()))
+    assert session_rows(worker.intern_table(), finalized) == batch_rows
+    assert worker.late_drops == 0
+
+
+def test_gap_and_on_time_moments_populated(logs):
+    text_path, _ = logs
+    worker, _ = text_worker(text_path)
+    worker.finish()
+    assert worker.gap_moments_count() > 0
+    mu, sigma = worker.gap_moments()
+    assert np.isfinite(mu) and np.isfinite(sigma)
+    on_mu, on_sigma = worker.on_time_moments()
+    assert np.isfinite(on_mu) and np.isfinite(on_sigma)
+    counts = worker.sessions_per_client()
+    assert int(counts.sum()) == int(worker.sessionizer.n_finalized)
+
+
+# ----------------------------------------------------------------------
+# Protocol and mode guards
+# ----------------------------------------------------------------------
+def test_entries_before_clients_is_protocol_error():
+    worker = FeedWorker("feed0")
+    quantized = {name: np.zeros(1, dtype=np.int64)
+                 for name in ("timestamp", "client_index", "object_id",
+                              "duration", "bandwidth_bps", "packet_loss_q",
+                              "server_cpu_q", "status")}
+    with pytest.raises(ProtocolError):
+        worker.ingest_entries(quantized)
+
+
+def test_entries_referencing_undeclared_client_is_protocol_error():
+    worker = FeedWorker("feed0")
+    worker.ingest_clients([(0, "10.0.0.1", "player-a", "WinNT")])
+    quantized = {name: np.zeros(1, dtype=np.int64)
+                 for name in ("timestamp", "client_index", "object_id",
+                              "duration", "bandwidth_bps", "packet_loss_q",
+                              "server_cpu_q", "status")}
+    quantized["client_index"] = np.asarray([7], dtype=np.int64)
+    with pytest.raises(ProtocolError):
+        worker.ingest_entries(quantized)
+    quantized["client_index"] = np.asarray([-1], dtype=np.int64)
+    with pytest.raises(ProtocolError):
+        worker.ingest_entries(quantized)
+
+
+def test_mode_conflicts_are_counted_not_fatal(logs):
+    text_path, _ = logs
+    worker, _ = text_worker(text_path)
+    before = worker.entries_ingested
+    worker.ingest_clients([(0, "ip", "player", "os")])
+    assert worker.mode_conflicts == 1
+    assert worker.entries_ingested == before  # the frame was ignored
+
+
+def test_clients_frames_do_not_advance_the_resume_cursor(logs):
+    _, bin_path = logs
+    worker = binary_worker(bin_path)
+    with BinaryTraceReader(bin_path) as reader:
+        assert worker.frames_ingested == reader.n_segments
+    assert worker.clients_frames == 1
+    # Idempotent re-send (a reconnecting client always re-declares).
+    worker.ingest_clients([(0, "ip", "player", "os")])
+    assert worker.clients_frames == 2
+    with BinaryTraceReader(bin_path) as reader:
+        assert worker.frames_ingested == reader.n_segments
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+def test_full_queue_sheds_offers():
+    async def scenario():
+        worker = FeedWorker("feed0", queue_batches=2)
+        assert worker.offer_lines(["a", "b"])
+        assert worker.offer_lines(["c"])
+        assert not worker.offer_lines(["d", "e", "f"])
+        assert worker.shed_lines == 3
+        assert worker.shed_events == 1
+        assert not worker.offer_entries({})
+        assert not worker.offer_clients([])
+        assert worker.shed_frames == 2
+        assert worker.shed_events == 3
+        assert worker.queue_depth == 2
+
+    asyncio.run(scenario())
+
+
+def test_consumer_loop_processes_and_drains(logs):
+    text_path, _ = logs
+
+    async def scenario():
+        worker = FeedWorker("feed0", timeout=TIMEOUT)
+        task = asyncio.ensure_future(worker.run())
+        with open(text_path, "r", encoding="utf-8") as stream:
+            lines = [line.rstrip("\n") for line in stream]
+        assert worker.offer_lines(lines)
+        await worker.drain()
+        assert worker.lines_ingested == len(lines)
+        assert worker.latency.count == 1
+        await worker.shutdown()
+        await task
+        return worker
+
+    worker = asyncio.run(scenario())
+    reference, _ = text_worker(text_path)
+    assert canonical_state(worker) == canonical_state(reference)
+
+
+def test_bad_batch_is_counted_not_fatal():
+    async def scenario():
+        worker = FeedWorker("feed0")
+        task = asyncio.ensure_future(worker.run())
+        quantized = {name: np.zeros(1, dtype=np.int64)
+                     for name in ("timestamp", "client_index", "object_id",
+                                  "duration", "bandwidth_bps",
+                                  "packet_loss_q", "server_cpu_q",
+                                  "status")}
+        assert worker.offer_entries(quantized)  # ENTRIES before CLIENTS
+        await worker.drain()
+        assert worker.feed_errors == 1
+        assert worker.last_error is not None
+        assert "CLIENTS" in worker.last_error
+        # The worker keeps serving afterwards.
+        assert worker.offer_clients([(0, "ip", "player", "os")])
+        assert worker.offer_entries(quantized)
+        await worker.drain()
+        assert worker.feed_errors == 1
+        assert worker.entries_ingested == 1
+        await worker.shutdown()
+        await task
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Lateness
+# ----------------------------------------------------------------------
+def test_late_entries_are_dropped_and_counted():
+    worker = FeedWorker("feed0", lateness=1.0)
+    worker.ingest_clients([(k, f"10.0.0.{k}", f"player-{k}", "WinNT")
+                           for k in range(3)])
+    base = {name: np.zeros(3, dtype=np.int64)
+            for name in ("object_id", "bandwidth_bps", "packet_loss_q",
+                         "server_cpu_q", "status")}
+    first = dict(base,
+                 timestamp=np.asarray([100, 101, 102], dtype=np.int64),
+                 client_index=np.asarray([0, 1, 2], dtype=np.int64),
+                 duration=np.asarray([1, 1, 1], dtype=np.int64))
+    worker.ingest_entries(first)
+    assert worker.late_drops == 0
+    # Far below the released floor: session tracking must drop it.
+    late = dict(base,
+                timestamp=np.asarray([10], dtype=np.int64),
+                client_index=np.asarray([0], dtype=np.int64),
+                duration=np.asarray([1], dtype=np.int64))
+    late = {key: value[:1] for key, value in late.items()}
+    worker.ingest_entries(late)
+    worker.finish()
+    assert worker.late_drops == 1
+    # The characterizer is order-blind: it still counted the entry.
+    assert worker.entries_ingested == 4
+
+
+# ----------------------------------------------------------------------
+# Checkpoint round trip
+# ----------------------------------------------------------------------
+def test_checkpoint_round_trip_mid_stream(logs):
+    text_path, _ = logs
+    with open(text_path, "r", encoding="utf-8") as stream:
+        lines = [line.rstrip("\n") for line in stream]
+    half = len(lines) // 2
+
+    original = FeedWorker("feed0", timeout=TIMEOUT)
+    original.ingest_lines(lines[:half])
+    restored = FeedWorker("feed0", timeout=TIMEOUT)
+    restored.restore(original.state_meta(), original.state_arrays())
+    assert restored.counters() == original.counters()
+
+    for worker in (original, restored):
+        worker.ingest_lines(lines[half:])
+    assert canonical_state(original) == canonical_state(restored)
+    assert json.dumps(original.state_meta(), sort_keys=True) == json.dumps(
+        restored.state_meta(), sort_keys=True)
+    for key, value in original.state_arrays().items():
+        np.testing.assert_array_equal(value, restored.state_arrays()[key],
+                                      err_msg=key)
+
+
+def test_checkpoint_round_trip_binary(logs):
+    _, bin_path = logs
+    original = FeedWorker("feed0", timeout=TIMEOUT)
+    with BinaryTraceReader(bin_path) as reader:
+        identity = reader.client_identity_map()
+        rows = [(index, ip, player, os_name)
+                for index, (ip, player, os_name) in sorted(identity.items())]
+        half = reader.n_segments // 2
+        original.ingest_clients(rows)
+        for segment in range(half):
+            original.ingest_entries(reader.segment_quantized(segment))
+
+        restored = FeedWorker("feed0", timeout=TIMEOUT)
+        restored.restore(original.state_meta(), original.state_arrays())
+        for segment in range(half, reader.n_segments):
+            quantized = reader.segment_quantized(segment)
+            original.ingest_entries(quantized)
+            restored.ingest_entries(quantized)
+    assert canonical_state(original) == canonical_state(restored)
+    assert json.dumps(original.state_meta(), sort_keys=True) == json.dumps(
+        restored.state_meta(), sort_keys=True)

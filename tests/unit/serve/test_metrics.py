@@ -1,0 +1,80 @@
+"""Unit tests for live Table 2 parameter estimates and drift readout."""
+
+import pytest
+
+from repro.conform.registry import load_registry
+from repro.core.model import LiveWorkloadModel
+from repro.errors import ServeError
+from repro.serve.feed import FeedWorker
+from repro.serve.metrics import (
+    DRIFT_PARAMETERS,
+    feed_metrics,
+    live_parameters,
+    parameter_drift,
+)
+from repro.stream import run_streaming_generation
+
+SEED = 27182
+
+
+@pytest.fixture(scope="module")
+def fed_worker(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve_metrics")
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.05,
+                                            n_clients=120)
+    log_path = root / "run.log"
+    run_streaming_generation(model, 1.0, seed=SEED, log_path=log_path)
+    worker = FeedWorker("feed0", timeout=1500.0, lateness=30.0)
+    with open(log_path, "r", encoding="utf-8") as stream:
+        worker.ingest_lines([line.rstrip("\n") for line in stream])
+    return worker
+
+
+def test_live_parameters_on_empty_worker_are_none():
+    parameters = live_parameters(FeedWorker("feed0"))
+    assert set(parameters) == set(DRIFT_PARAMETERS)
+    assert all(value is None for value in parameters.values())
+
+
+def test_live_parameters_identifiable_after_ingest(fed_worker):
+    parameters = live_parameters(fed_worker)
+    for name in ("gap_log_mu", "gap_log_sigma", "interest_alpha",
+                 "length_log_mu", "length_log_sigma", "session_on_log_mu"):
+        assert parameters[name] is not None, name
+        assert isinstance(parameters[name], float)
+
+
+def test_parameter_drift_against_golden_registry(fed_worker):
+    registry = load_registry()
+    live = live_parameters(fed_worker)
+    drift = parameter_drift(live, "small", registry=registry)
+    assert set(drift) <= set(DRIFT_PARAMETERS)
+    for name, row in drift.items():
+        assert row["golden"] == pytest.approx(float(
+            registry["workloads"]["small"]["parameters"][name]["value"]))
+        if row["live"] is None:
+            assert row["drift"] is None and row["within"] is None
+        else:
+            assert row["drift"] == pytest.approx(row["live"] - row["golden"])
+            assert row["within"] == (abs(row["drift"]) <= row["tol"])
+
+
+def test_parameter_drift_unknown_workload_raises():
+    with pytest.raises(ServeError):
+        parameter_drift({}, "nonexistent", registry={"workloads": {}})
+
+
+def test_feed_metrics_document_shape(fed_worker):
+    block = feed_metrics(fed_worker, lines_per_sec=123.0, workload="small",
+                         registry=load_registry())
+    assert block["lines_per_sec"] == 123.0
+    assert block["counters"]["lines_ingested"] > 0
+    assert block["queue_depth"] == 0
+    assert block["sessions"]["completed"] >= 0
+    assert block["sessions"]["active"] >= 0
+    assert block["concurrency"]["peak"] >= block["concurrency"]["current"]
+    assert len(block["concurrency"]["curve_t"]) == len(
+        block["concurrency"]["curve_c"])
+    assert "drift" in block
+    block_plain = feed_metrics(fed_worker, lines_per_sec=0.0)
+    assert "drift" not in block_plain

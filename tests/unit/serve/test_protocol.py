@@ -1,0 +1,218 @@
+"""Unit tests for the ingest wire protocol (handshake + frames)."""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    FRAME_CLIENTS,
+    FRAME_END,
+    FRAME_ENTRIES,
+    FRAME_META,
+    MAX_FRAME_BYTES,
+    format_handshake,
+    pack_clients,
+    pack_end,
+    pack_entries,
+    pack_frame,
+    pack_meta,
+    parse_frame_header,
+    parse_handshake,
+    read_frame,
+    unpack_clients,
+    unpack_entries,
+    unpack_meta,
+    valid_feed_name,
+)
+from repro.trace.codecs import ENTRY_COLUMNS
+
+
+def make_quantized(rows):
+    """Deterministic quantized entry columns with negative values mixed in."""
+    return {name: (np.arange(rows, dtype=np.int64) * (k + 1)
+                   - (7 * k if k % 2 else 0))
+            for k, name in enumerate(ENTRY_COLUMNS)}
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def test_handshake_round_trip():
+    for codec in ("text", "binary"):
+        line = format_handshake(codec, "feed-0.a_B")
+        assert parse_handshake(line) == (codec, "feed-0.a_B")
+
+
+@pytest.mark.parametrize("line", [
+    b"",
+    b"\n",
+    b"REPRO-SERVE/2 text feed\n",
+    b"REPRO-SERVE/1 text\n",
+    b"REPRO-SERVE/1 gzip feed\n",
+    b"REPRO-SERVE/1 text bad/feed\n",
+    b"REPRO-SERVE/1 text " + b"f" * 65 + b"\n",
+    b"\xff\xfe text feed\n",
+])
+def test_handshake_rejects_malformed_lines(line):
+    with pytest.raises(ProtocolError):
+        parse_handshake(line)
+
+
+def test_format_handshake_rejects_bad_inputs():
+    with pytest.raises(ProtocolError):
+        format_handshake("gzip", "feed")
+    with pytest.raises(ProtocolError):
+        format_handshake("text", "bad feed")
+
+
+def test_valid_feed_name():
+    assert valid_feed_name("feed0")
+    assert valid_feed_name("a.b_c-d")
+    assert not valid_feed_name("")
+    assert not valid_feed_name("spaced name")
+    assert not valid_feed_name("x" * 65)
+
+
+# ----------------------------------------------------------------------
+# Frame packing / unpacking
+# ----------------------------------------------------------------------
+def test_meta_round_trip():
+    frame = pack_meta({"software": "test", "n": 3})
+    frame_type, length = parse_frame_header(frame[:5])
+    assert frame_type == FRAME_META
+    assert unpack_meta(frame[5:5 + length]) == {"software": "test", "n": 3}
+
+
+def test_clients_round_trip():
+    rows = [(0, "10.0.0.1", "player-a", "WinNT"),
+            (5, "10.0.0.2", "player-b", "Win98")]
+    frame = pack_clients(rows)
+    frame_type, length = parse_frame_header(frame[:5])
+    assert frame_type == FRAME_CLIENTS
+    assert unpack_clients(frame[5:5 + length]) == rows
+
+
+@pytest.mark.parametrize("payload", [
+    b"{}",                       # object, not array
+    b"[[1, 2, 3, 4]]",           # non-string fields
+    b'[["a", "b", "c", "d"]]',   # non-int index
+    b'[[1, "a", "b"]]',          # short row
+    b"\xff\xfe",                 # not UTF-8
+    b"[",                        # not JSON
+])
+def test_unpack_clients_rejects_malformed(payload):
+    with pytest.raises(ProtocolError):
+        unpack_clients(payload)
+
+
+def test_unpack_meta_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        unpack_meta(b"[1, 2]")
+    with pytest.raises(ProtocolError):
+        unpack_meta(b"{")
+
+
+def test_entries_round_trip():
+    quantized = make_quantized(13)
+    frame = pack_entries(quantized)
+    frame_type, length = parse_frame_header(frame[:5])
+    assert frame_type == FRAME_ENTRIES
+    decoded = unpack_entries(frame[5:5 + length])
+    assert set(decoded) == set(ENTRY_COLUMNS)
+    for name in ENTRY_COLUMNS:
+        np.testing.assert_array_equal(decoded[name], quantized[name],
+                                      err_msg=name)
+        assert decoded[name].dtype == np.int64
+
+
+def test_entries_round_trip_empty():
+    quantized = make_quantized(0)
+    frame = pack_entries(quantized)
+    _, length = parse_frame_header(frame[:5])
+    decoded = unpack_entries(frame[5:5 + length])
+    for name in ENTRY_COLUMNS:
+        assert decoded[name].size == 0
+
+
+def test_pack_entries_rejects_ragged_columns():
+    quantized = make_quantized(4)
+    quantized["status"] = np.arange(3, dtype=np.int64)
+    with pytest.raises(ProtocolError):
+        pack_entries(quantized)
+
+
+def test_unpack_entries_rejects_size_mismatch():
+    good = pack_entries(make_quantized(4))[5:]
+    with pytest.raises(ProtocolError):
+        unpack_entries(good[:-8])          # truncated column data
+    with pytest.raises(ProtocolError):
+        unpack_entries(good + b"\x00" * 8)  # trailing garbage
+    with pytest.raises(ProtocolError):
+        unpack_entries(b"\x01")            # no room for the row count
+
+
+def test_pack_frame_rejects_unknown_type_and_oversize():
+    with pytest.raises(ProtocolError):
+        pack_frame(99, b"")
+    with pytest.raises(ProtocolError):
+        pack_frame(FRAME_META, b"x" * (MAX_FRAME_BYTES + 1))
+
+
+def test_parse_frame_header_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        parse_frame_header(b"\x01\x00")                    # short
+    with pytest.raises(ProtocolError):
+        parse_frame_header(struct.pack("<BI", 99, 0))      # unknown type
+    with pytest.raises(ProtocolError):
+        parse_frame_header(struct.pack("<BI", FRAME_META,
+                                       MAX_FRAME_BYTES + 1))
+
+
+# ----------------------------------------------------------------------
+# Async frame reading
+# ----------------------------------------------------------------------
+def _reader_with(data):
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_read_frame_stream():
+    async def scenario():
+        data = (pack_meta({"k": 1}) + pack_clients([(0, "a", "b", "c")])
+                + pack_end())
+        reader = _reader_with(data)
+        frames = []
+        for _ in range(3):
+            frames.append(await read_frame(reader))
+        with pytest.raises(EOFError):
+            await read_frame(reader)
+        return frames
+
+    frames = asyncio.run(scenario())
+    assert [frame_type for frame_type, _ in frames] == [
+        FRAME_META, FRAME_CLIENTS, FRAME_END]
+    assert frames[2][1] == b""
+
+
+def test_read_frame_eof_mid_header_is_protocol_error():
+    async def scenario():
+        reader = _reader_with(b"\x01\x00")
+        with pytest.raises(ProtocolError):
+            await read_frame(reader)
+
+    asyncio.run(scenario())
+
+
+def test_read_frame_eof_mid_payload_is_protocol_error():
+    async def scenario():
+        whole = pack_meta({"k": 1})
+        reader = _reader_with(whole[:-2])
+        with pytest.raises(ProtocolError):
+            await read_frame(reader)
+
+    asyncio.run(scenario())

@@ -5,7 +5,6 @@ import pytest
 
 from repro.simulation.replay import demand_peak, provisioning_sweep, replay_trace
 from repro.simulation.server import ServerConfig
-
 from tests.conftest import build_trace
 
 

@@ -10,7 +10,6 @@ from repro.simulation.vbr import (
     per_feed_concurrency,
     unicast_egress_series,
 )
-
 from tests.conftest import build_trace
 
 

@@ -8,7 +8,6 @@ summary the text parser produces.
 """
 
 import filecmp
-
 import numpy as np
 import pytest
 
@@ -16,8 +15,7 @@ from repro.core.model import LiveWorkloadModel
 from repro.parallel import characterize_logs
 from repro.parallel.characterize import plan_log_chunks
 from repro.stream import run_streaming_generation
-from repro.trace.codecs import (BinaryTraceReader, detect_codec,
-                                read_binary_trace)
+from repro.trace.codecs import BinaryTraceReader, detect_codec, read_binary_trace
 from repro.trace.store import TRANSFER_COLUMNS
 from repro.trace.wms_log import read_wms_log
 

@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import CheckpointError
-from repro.stream.checkpoint import (FORMAT_VERSION, load_checkpoint,
-                                     require_match, save_checkpoint)
+from repro.stream.checkpoint import FORMAT_VERSION, load_checkpoint, require_match, save_checkpoint
 
 
 def test_round_trip(tmp_path):

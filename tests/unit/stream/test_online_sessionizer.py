@@ -7,7 +7,6 @@ from repro.core.sessionizer import sessionize
 from repro.errors import AnalysisError, CheckpointError
 from repro.stream import FinalizedSessions, OnlineSessionizer, merge_finalized
 from repro.stream.sessionize import merge_parts
-
 from tests.conftest import build_trace
 
 

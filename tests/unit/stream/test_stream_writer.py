@@ -5,9 +5,7 @@ import io
 import numpy as np
 
 from repro.core.gismo import synthetic_client_identity
-from repro.trace.wms_log import (StreamingWmsLogWriter, _table_identity,
-                                 read_wms_log, write_wms_log)
-
+from repro.trace.wms_log import StreamingWmsLogWriter, _table_identity, read_wms_log, write_wms_log
 from tests.conftest import build_trace
 
 

@@ -7,6 +7,7 @@ debt fails CI instead of accumulating.
 
 import importlib
 import inspect
+
 import pkgutil
 
 import repro

@@ -6,13 +6,18 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.trace.codecs import (BINARY_MAGIC, BinaryTraceReader,
-                                available_codecs, detect_codec,
-                                format_quantized_entry, get_codec,
-                                read_binary_trace, write_binary_trace)
+from repro.trace.codecs import (
+    BINARY_MAGIC,
+    BinaryTraceReader,
+    available_codecs,
+    detect_codec,
+    format_quantized_entry,
+    get_codec,
+    read_binary_trace,
+    write_binary_trace,
+)
 from repro.trace.store import TRANSFER_COLUMNS, ClientTable, Trace
 from repro.trace.wms_log import read_wms_log, write_wms_log
-
 from tests.conftest import build_trace
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import TraceError
 from repro.trace.csvio import read_csv, write_csv
-
 from tests.conftest import build_trace
 
 

@@ -9,7 +9,6 @@ import io
 
 from repro.trace.streaming import StreamingCharacterizer
 from repro.trace.wms_log import read_wms_log, write_wms_log
-
 from tests.conftest import build_trace
 
 

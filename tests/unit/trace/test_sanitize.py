@@ -9,7 +9,6 @@ from repro.trace.sanitize import (
     sanitize_trace,
 )
 from repro.trace.store import Trace
-
 from tests.conftest import build_trace
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import TraceError
 from repro.trace.store import TRANSFER_COLUMNS, ClientTable, Trace
-
 from tests.conftest import build_trace
 
 

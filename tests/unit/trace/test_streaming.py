@@ -10,11 +10,11 @@ import io
 import numpy as np
 import pytest
 
+from repro.distributions.fitting import fit_lognormal
 from repro.errors import LogParseError
 from repro.trace.streaming import StreamingCharacterizer
 from repro.trace.wms_log import read_wms_log, write_wms_log
 from repro.units import DAY, log_display_time
-from repro.distributions.fitting import fit_lognormal
 
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import TraceError
 from repro.trace.transform import daily_slices, merge_traces, time_slice
-
 from tests.conftest import build_trace
 
 

@@ -12,7 +12,6 @@ from repro.trace.wms_log import (
     read_wms_log,
     write_wms_log,
 )
-
 from tests.conftest import build_trace
 
 

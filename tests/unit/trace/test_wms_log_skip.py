@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import LogParseError
 from repro.trace.wms_log import read_wms_log, write_wms_log
-
 from tests.conftest import build_trace
 
 
