@@ -2,8 +2,8 @@
 
 .PHONY: install lint lint-custom lint-mypy lint-ruff test test-all conform \
 	conform-paper conform-update coverage \
-	bench bench-core bench-parallel bench-stream bench-serve \
-	experiments figures \
+	bench bench-core bench-parallel bench-stream bench-serve bench-cdn \
+	bench-summary experiments figures \
 	examples all
 
 install:
@@ -73,8 +73,13 @@ coverage:
 	PYTHONPATH=src python -m pytest -q -m "not slow" \
 		--cov=repro --cov-report=term --cov-report=xml
 
-bench:
-	PYTHONPATH=src pytest benchmarks/ --benchmark-only
+# The full benchmark battery: every subsystem's JSON-recorded benchmark
+# followed by the one-table summary of all BENCH_*.json artifacts.
+bench: bench-core bench-parallel bench-stream bench-serve bench-cdn \
+	bench-summary
+
+bench-summary:
+	python benchmarks/bench_summary.py
 
 # Core hot-path throughput only, with a JSON record so successive PRs
 # can compare perf trajectories (BENCH_perf_core.json).
@@ -99,6 +104,12 @@ bench-stream:
 # lines/sec plus p50/p99 ingest latency to BENCH_serve.json.
 bench-serve:
 	PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+# CDN deployment-sweep throughput: a >=12-config sweep through the
+# two-tier delivery simulation, serial vs sharded (bit-identical),
+# plus the single-simulation hot path, recorded to BENCH_cdn.json.
+bench-cdn:
+	PYTHONPATH=src python benchmarks/bench_cdn.py --out BENCH_cdn.json
 
 experiments:
 	PYTHONPATH=src python -m repro experiments

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Deployment-sweep throughput for ``repro.cdn``.
+
+Generates a paper-scale GISMO-live workload, runs a >=8-configuration
+deployment sweep through :func:`repro.cdn.plan_deployment` serially and
+sharded across worker processes, verifies the reports are bit-identical
+(the planner's determinism contract), and records sweep throughput to a
+JSON file so successive PRs can compare.
+
+Also measures the single-simulation hot path — the vectorized epoch
+engine on a capped topology with an edge failure at peak — and records
+transfers/second through admission, since that is what bounds how big a
+sweep grid stays interactive.
+
+Run:  PYTHONPATH=src python benchmarks/bench_cdn.py --out BENCH_cdn.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.analysis.concurrency import sampled_concurrency
+from repro.cdn import (
+    CdnTopology,
+    EdgeFailure,
+    FailurePlan,
+    plan_deployment,
+    simulate_cdn,
+)
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.model import LiveWorkloadModel
+
+#: The sweep grid: 4 edge counts x 3 bandwidths = 12 configurations.
+EDGE_COUNTS = (1, 2, 4, 8)
+BANDWIDTHS_BPS = (10e6, 50e6, 200e6)
+
+#: Worker counts measured against the serial sweep.
+JOBS = (2, 4)
+
+
+def _workload_model() -> LiveWorkloadModel:
+    """A model sized to produce >= 500k transfers over two days."""
+    return LiveWorkloadModel.paper_defaults(mean_session_rate=2.0,
+                                            n_clients=10_000)
+
+
+def main() -> int:
+    """Run the benchmark and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_cdn.json",
+                        help="output JSON path")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="workload length in days (default: 2)")
+    parser.add_argument("--seed", type=int, default=2002,
+                        help="generation seed")
+    args = parser.parse_args()
+
+    cpu_count = os.cpu_count() or 1
+    model = _workload_model()
+    t0 = time.perf_counter()
+    workload = LiveWorkloadGenerator(model).generate(args.days, args.seed)
+    trace = workload.trace
+    gen_s = time.perf_counter() - t0
+    n_transfers = trace.n_transfers
+    print(f"workload: {n_transfers} transfers in {gen_s:.2f}s")
+    assert n_transfers >= 500_000, (
+        f"benchmark workload too small: {n_transfers} transfers")
+
+    # Single-simulation hot path: capped tier, edge failure at peak.
+    single = sampled_concurrency(trace.start, trace.end,
+                                 extent=trace.extent, step=60.0)
+    t_fail = float(np.argmax(single)) * 60.0 + 30.0
+    peak = int(single.max())
+    topology = CdnTopology.uniform(4, max_connections=max(1, peak // 3))
+    plan = FailurePlan((EdgeFailure(edge=0, at=t_fail),))
+    t0 = time.perf_counter()
+    result = simulate_cdn(trace, topology, policy="as-hash", failures=plan)
+    sim_s = time.perf_counter() - t0
+    print(f"simulate: {n_transfers} transfers through a capped failing "
+          f"tier in {sim_s:.2f}s ({n_transfers / sim_s:,.0f} transfers/s, "
+          f"{result.n_rejected} rejected, "
+          f"{result.n_reassigned} reassigned)")
+
+    with tempfile.TemporaryDirectory(prefix="bench-cdn-") as tmp:
+        trace_path = os.path.join(tmp, "trace.npz")
+        trace.save_npz(trace_path)
+        # The sweep runs failure-free: the grid includes a 1-edge
+        # deployment, where a permanent edge-0 failure would leave no
+        # edge alive (the failure path is measured above instead).
+        sweep_kwargs = dict(
+            policy="as-hash", slo=0.01, edge_counts=EDGE_COUNTS,
+            bandwidths_bps=BANDWIDTHS_BPS)
+        n_configs = len(EDGE_COUNTS) * len(BANDWIDTHS_BPS)
+
+        t0 = time.perf_counter()
+        serial = plan_deployment(trace_path, jobs=1, **sweep_kwargs)
+        serial_s = time.perf_counter() - t0
+        serial_doc = json.dumps(serial.to_dict(), sort_keys=True)
+        print(f"serial sweep: {n_configs} configs in {serial_s:.2f}s "
+              f"({n_configs / serial_s:.2f} configs/s)")
+
+        runs = []
+        for jobs in JOBS:
+            t0 = time.perf_counter()
+            sharded = plan_deployment(trace_path, jobs=jobs,
+                                      **sweep_kwargs)
+            elapsed = time.perf_counter() - t0
+            sharded_doc = json.dumps(sharded.to_dict(), sort_keys=True)
+            assert sharded_doc == serial_doc, (
+                f"jobs={jobs} sweep diverged from the serial report")
+            speedup = serial_s / elapsed
+            runs.append({
+                "jobs": jobs,
+                "seconds": round(elapsed, 4),
+                "configs_per_second": round(n_configs / elapsed, 3),
+                "speedup_vs_serial": round(speedup, 3),
+                "identical_to_serial": True,
+            })
+            print(f"jobs={jobs}: {elapsed:.2f}s "
+                  f"(speedup {speedup:.2f}x, bit-identical)")
+
+    best = serial.best
+    report = {
+        "benchmark": "repro.cdn deployment sweep",
+        "cpu_count": cpu_count,
+        "days": args.days,
+        "seed": args.seed,
+        "n_transfers": int(n_transfers),
+        "n_configs": n_configs,
+        "edge_counts": list(EDGE_COUNTS),
+        "bandwidths_bps": list(BANDWIDTHS_BPS),
+        "simulate_seconds": round(sim_s, 4),
+        "simulate_transfers_per_second": round(n_transfers / sim_s, 1),
+        "simulate_rejected": result.n_rejected,
+        "simulate_reassigned": result.n_reassigned,
+        "serial_sweep_seconds": round(serial_s, 4),
+        "serial_configs_per_second": round(n_configs / serial_s, 3),
+        "runs": runs,
+        "best_deployment": None if best is None else best.to_dict(),
+        "notes": ([] if cpu_count >= 4 else
+                  [f"host has {cpu_count} core(s): sharded sweeps "
+                   f"timeshare one CPU; numbers document the ceiling."]),
+    }
+    with open(args.out, "w", encoding="ascii") as stream:
+        json.dump(report, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

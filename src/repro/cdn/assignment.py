@@ -1,0 +1,117 @@
+"""Client->edge assignment policies.
+
+Three policies cover the spectrum a live delivery tier actually uses:
+
+* ``"as-hash"`` — geographic affinity: every client of one autonomous
+  system lands on the same edge (clients without AS annotation fall back
+  to a per-client key).  This is the policy that makes the origin
+  fan-out argument work best: co-located viewers share an edge, so each
+  feed crosses the backbone once per region.
+* ``"sticky"`` — session stickiness: a per-client key pins each client
+  to one edge regardless of AS, spreading large ASes across the tier.
+* ``"least-loaded"`` — dynamic dispatch: each request goes to the alive
+  edge with the fewest admitted active transfers at its start instant
+  (ties break toward the lowest edge id).  Inherently sequential — the
+  decision depends on every earlier admission — so it is evaluated
+  inside the event sweep of :mod:`repro.cdn.engine` rather than here.
+
+Hash assignment must be deterministic across processes and Python
+versions, so it never touches the builtin ``hash`` (salted per process);
+keys go through a fixed SplitMix64 mixer instead, vectorized over the
+whole transfer column at once.  Re-assignment after an edge failure
+re-mixes the same key over the surviving edges, so a client's failover
+target is a pure function of ``(key, alive set)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+from .._typing import IntArray
+from ..errors import CdnError
+from ..trace.store import Trace
+
+#: Assignment policies accepted by the engine, the planner, and the CLI.
+POLICIES: tuple[str, ...] = ("as-hash", "sticky", "least-loaded")
+
+#: Policies whose assignment is a pure per-transfer function (computable
+#: vectorized, ahead of admission).  ``least-loaded`` is the exception.
+STATIC_POLICIES: tuple[str, ...] = ("as-hash", "sticky")
+
+#: Offset separating the per-client fallback key space from AS numbers,
+#: so an AS-keyed client can never collide with a client-keyed one.
+_CLIENT_KEY_OFFSET = np.int64(1) << np.int64(32)
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` unchanged or raise :class:`~repro.errors.CdnError`."""
+    if policy not in POLICIES:
+        known = ", ".join(POLICIES)
+        raise CdnError(f"unknown assignment policy {policy!r} "
+                       f"(have: {known})")
+    return policy
+
+
+def mix64(keys: IntArray) -> npt.NDArray[np.uint64]:
+    """SplitMix64 finalizer over an integer key column.
+
+    A fixed, platform-independent avalanche mixer (Steele et al.,
+    "Fast splittable pseudorandom number generators"): every input bit
+    flips each output bit with probability ~1/2, which is what makes
+    ``mix64(key) % n_edges`` a balanced assignment even for dense
+    sequential keys.  Pure integer arithmetic — no RNG state, no salt.
+    """
+    mixed = np.asarray(keys, dtype=np.uint64).copy()
+    # uint64 arithmetic wraps by definition; silence lint's overflow
+    # worry explicitly for older NumPy builds that warn on it.
+    with np.errstate(over="ignore"):
+        mixed += np.uint64(0x9E3779B97F4A7C15)
+        mixed ^= mixed >> np.uint64(30)
+        mixed *= np.uint64(0xBF58476D1CE4E5B9)
+        mixed ^= mixed >> np.uint64(27)
+        mixed *= np.uint64(0x94D049BB133111EB)
+        mixed ^= mixed >> np.uint64(31)
+    return mixed
+
+
+def assignment_keys(trace: Trace, policy: str) -> IntArray:
+    """The per-transfer hash key of a static policy.
+
+    ``"as-hash"`` keys a transfer by its client's autonomous system;
+    clients with no AS annotation (``as_number <= 0``, e.g. synthetic
+    GISMO populations) key by client index instead, offset into a
+    disjoint range.  ``"sticky"`` always keys by client index.
+    """
+    validate_policy(policy)
+    if policy == "least-loaded":
+        raise CdnError("least-loaded assignment has no static key; it is "
+                       "resolved inside the admission sweep")
+    client_key = trace.client_index + _CLIENT_KEY_OFFSET
+    if policy == "sticky":
+        return np.asarray(client_key, dtype=np.int64)
+    as_numbers = trace.clients.as_numbers[trace.client_index]
+    return np.asarray(np.where(as_numbers > 0, as_numbers, client_key),
+                      dtype=np.int64)
+
+
+def assign_static(keys: IntArray, alive: IntArray) -> IntArray:
+    """Map hash keys onto the alive edge ids.
+
+    Parameters
+    ----------
+    keys:
+        Per-transfer keys from :func:`assignment_keys`.
+    alive:
+        Sorted edge ids currently accepting traffic (at least one).
+
+    Returns
+    -------
+    IntArray
+        Per-transfer edge id, each an element of ``alive``.
+    """
+    alive = np.asarray(alive, dtype=np.int64)
+    if alive.size == 0:
+        raise CdnError("cannot assign transfers: no edge is alive")
+    slots = (mix64(keys) % np.uint64(alive.size)).astype(np.int64)
+    return np.asarray(alive[slots], dtype=np.int64)

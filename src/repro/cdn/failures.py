@@ -1,0 +1,164 @@
+"""Failure scenarios: edge loss mid-show, optional recovery.
+
+A failure plan is a set of per-edge down intervals ``[at, until)``
+(``until=None`` keeps the edge down for the rest of the run).  The plan
+partitions the timeline into **epochs** — maximal intervals over which
+the alive-edge set is constant — which is the shape the engine consumes:
+within an epoch nothing changes; at an epoch boundary dying edges hand
+their active clients over to the survivors (see
+:mod:`repro.cdn.engine`).
+
+Plans are deliberately strict: an edge id must exist in the topology,
+down intervals of one edge must not overlap, and no epoch may leave the
+tier empty — each violation raises :class:`~repro.errors.CdnError` up
+front rather than producing a silently degenerate simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import IntArray
+from ..errors import CdnError
+
+
+@dataclass(frozen=True)
+class EdgeFailure:
+    """One edge-down interval.
+
+    Attributes
+    ----------
+    edge:
+        Edge id (index into the topology's edge tuple).
+    at:
+        Failure instant (seconds since trace start).
+    until:
+        Recovery instant, exclusive; ``None`` means the edge never
+        comes back.
+    """
+
+    edge: int
+    at: float
+    until: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.edge < 0:
+            raise CdnError(f"edge id must be non-negative, got {self.edge}")
+        if self.at < 0:
+            raise CdnError(
+                f"failure time must be non-negative, got {self.at}")
+        if self.until is not None and self.until <= self.at:
+            raise CdnError(
+                f"recovery time {self.until} must be after the failure "
+                f"at {self.at}")
+
+    def down_at(self, t: float) -> bool:
+        """Whether the edge is down at instant ``t``."""
+        if t < self.at:
+            return False
+        return self.until is None or t < self.until
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """A maximal interval ``[t_lo, t_hi)`` with a constant alive set."""
+
+    t_lo: float
+    t_hi: float
+    alive: IntArray = field(repr=False)
+
+    @property
+    def closes(self) -> bool:
+        """Whether the epoch ends at a boundary (vs. running forever)."""
+        return math.isfinite(self.t_hi)
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """All edge failures of one simulation run."""
+
+    failures: tuple[EdgeFailure, ...] = ()
+
+    def validate(self, n_edges: int) -> None:
+        """Check the plan against a topology of ``n_edges`` edges."""
+        per_edge: dict[int, list[EdgeFailure]] = {}
+        for failure in self.failures:
+            if failure.edge >= n_edges:
+                raise CdnError(
+                    f"failure names edge {failure.edge}, but the topology "
+                    f"has {n_edges} edge(s)")
+            per_edge.setdefault(failure.edge, []).append(failure)
+        for edge, group in per_edge.items():
+            group.sort(key=lambda f: f.at)
+            for prev, cur in zip(group, group[1:], strict=False):
+                if prev.until is None or cur.at < prev.until:
+                    raise CdnError(
+                        f"edge {edge} has overlapping down intervals "
+                        f"(at={prev.at} and at={cur.at})")
+
+    def boundaries(self) -> tuple[float, ...]:
+        """All instants at which the alive set changes, ascending."""
+        times = {f.at for f in self.failures}
+        times.update(f.until for f in self.failures if f.until is not None)
+        return tuple(sorted(t for t in times if t > 0))
+
+    def epochs(self, n_edges: int) -> tuple[Epoch, ...]:
+        """Partition ``[0, inf)`` into constant-alive-set epochs.
+
+        Raises
+        ------
+        CdnError
+            If the plan is inconsistent (via :meth:`validate`) or some
+            epoch has no alive edge left to serve clients.
+        """
+        self.validate(n_edges)
+        bounds = self.boundaries()
+        edges = list(bounds) + [math.inf]
+        out: list[Epoch] = []
+        t_lo = 0.0
+        for t_hi in edges:
+            alive = np.asarray(
+                [e for e in range(n_edges)
+                 if not any(f.edge == e and f.down_at(t_lo)
+                            for f in self.failures)],
+                dtype=np.int64)
+            if alive.size == 0:
+                raise CdnError(
+                    f"failure plan leaves no edge alive at t={t_lo}")
+            out.append(Epoch(t_lo=t_lo, t_hi=t_hi, alive=alive))
+            t_lo = t_hi
+        return tuple(out)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready description of the plan."""
+        return {
+            "failures": [
+                {"edge": f.edge, "at": f.at, "until": f.until}
+                for f in self.failures
+            ],
+        }
+
+
+def parse_failure(spec: str) -> EdgeFailure:
+    """Parse an ``EDGE@AT`` or ``EDGE@AT:UNTIL`` CLI failure spec."""
+    head, sep, rest = spec.partition("@")
+    if not sep:
+        raise CdnError(
+            f"malformed failure spec {spec!r} (expected EDGE@AT or "
+            f"EDGE@AT:UNTIL)")
+    try:
+        edge = int(head)
+    except ValueError:
+        raise CdnError(f"malformed failure spec {spec!r}: edge id "
+                       f"{head!r} is not an integer") from None
+    at_text, sep, until_text = rest.partition(":")
+    try:
+        at = float(at_text)
+        until = float(until_text) if sep else None
+    except ValueError:
+        raise CdnError(f"malformed failure spec {spec!r}: times must "
+                       f"be numbers") from None
+    return EdgeFailure(edge=edge, at=at, until=until)

@@ -1,0 +1,137 @@
+"""Delivery-hierarchy topology: one origin fanning out to N edges.
+
+The paper motivates live-workload characterization with capacity
+planning for "live content delivery infrastructures (e.g., servers,
+network, CDN)" (Section 1).  :class:`CdnTopology` is the planning
+object: an origin that fans each live feed out to a set of edge
+servers, each edge carrying its own admission capacities.
+
+Capacities are expressed per edge as an optional concurrent-connection
+limit and an optional egress-bandwidth limit; ``None`` disables the
+corresponding check.  Live delivery makes the origin side cheap by
+construction — the origin serves *one* stream per (edge, feed) with at
+least one active viewer, never one per client — which is exactly why a
+two-tier hierarchy multiplies how many clients a deployment can carry.
+
+Bandwidth admission is accounted in whole bits per second
+(:func:`quantize_bandwidth`): integer arithmetic keeps the admission
+engine's vectorized bounds exactly equal to its sequential sweep, with
+no float-accumulation drift (see :mod:`repro.cdn.admission`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray
+from ..errors import CdnError
+
+#: Origin encoding rate used for the per-(edge, feed) fan-out streams,
+#: matching the trace's dominant 300 kbit/s encoding (Section 4).
+DEFAULT_ORIGIN_STREAM_BPS = 300_000.0
+
+
+@dataclass(frozen=True)
+class EdgeConfig:
+    """Capacities of one edge server.
+
+    Attributes
+    ----------
+    max_connections:
+        Admission limit on simultaneously served transfers; ``None``
+        disables connection-count admission control.
+    bandwidth_bps:
+        Admission limit on summed transfer bandwidth (bits per second);
+        ``None`` disables bandwidth admission control.
+    """
+
+    max_connections: int | None = None
+    bandwidth_bps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_connections is not None and self.max_connections < 1:
+            raise CdnError(
+                f"max_connections must be positive when set, "
+                f"got {self.max_connections}")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise CdnError(
+                f"bandwidth_bps must be positive when set, "
+                f"got {self.bandwidth_bps}")
+
+    @property
+    def bandwidth_cap_bps(self) -> int | None:
+        """The bandwidth limit in whole bits per second (admission units)."""
+        if self.bandwidth_bps is None:
+            return None
+        return max(1, int(np.rint(self.bandwidth_bps)))
+
+
+@dataclass(frozen=True)
+class CdnTopology:
+    """An origin plus a tuple of edge servers.
+
+    Attributes
+    ----------
+    edges:
+        Per-edge capacities; the tuple index is the edge id used by
+        assignment policies, failure plans, and reports.
+    origin_stream_bps:
+        Encoding rate of each origin->edge fan-out stream.
+    """
+
+    edges: tuple[EdgeConfig, ...]
+    origin_stream_bps: float = DEFAULT_ORIGIN_STREAM_BPS
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise CdnError("a topology needs at least one edge")
+        if self.origin_stream_bps <= 0:
+            raise CdnError(
+                f"origin_stream_bps must be positive, "
+                f"got {self.origin_stream_bps}")
+
+    @classmethod
+    def uniform(cls, n_edges: int, *, max_connections: int | None = None,
+                bandwidth_bps: float | None = None,
+                origin_stream_bps: float = DEFAULT_ORIGIN_STREAM_BPS
+                ) -> CdnTopology:
+        """A topology of ``n_edges`` identically provisioned edges."""
+        if n_edges < 1:
+            raise CdnError(f"n_edges must be positive, got {n_edges}")
+        edge = EdgeConfig(max_connections=max_connections,
+                          bandwidth_bps=bandwidth_bps)
+        return cls(edges=(edge,) * n_edges,
+                   origin_stream_bps=origin_stream_bps)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges in the topology."""
+        return len(self.edges)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready description of the topology."""
+        return {
+            "n_edges": self.n_edges,
+            "origin_stream_bps": self.origin_stream_bps,
+            "edges": [
+                {"max_connections": edge.max_connections,
+                 "bandwidth_bps": edge.bandwidth_bps}
+                for edge in self.edges
+            ],
+        }
+
+
+def quantize_bandwidth(bandwidth_bps: FloatArray) -> IntArray:
+    """Per-transfer bandwidth in whole bits per second (admission units).
+
+    Rounds half to even (NumPy's :func:`~numpy.rint`), mirroring the
+    trace codecs' rate quantization, so admission arithmetic is exact
+    integer math: the vectorized admission bounds and the sequential
+    sweep can never disagree through float accumulation order.
+    """
+    rates = np.asarray(bandwidth_bps, dtype=np.float64)
+    if rates.size and float(rates.min()) < 0:
+        raise CdnError("transfer bandwidths must be non-negative")
+    return np.rint(rates).astype(np.int64)

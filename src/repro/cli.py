@@ -17,6 +17,9 @@ Subcommands mirror the library's three faces plus the experiment harness:
   metrics endpoint + checkpointing).
 * ``repro serve-load`` — replay a trace log into a running service and
   report sustained throughput and ingest latency.
+* ``repro plan`` — sweep CDN deployments (edge counts x per-edge
+  bandwidths) through the two-tier delivery simulation and report the
+  minimal deployment meeting a rejection-rate SLO.
 """
 
 from __future__ import annotations
@@ -289,6 +292,51 @@ def _build_parser() -> argparse.ArgumentParser:
                           "backpressure sheds (default: 3)")
     lod.add_argument("--out", type=Path, default=None,
                      help="write the JSON load report here")
+
+    pln = sub.add_parser("plan",
+                         help="sweep CDN deployments for the minimal one "
+                              "meeting a rejection-rate SLO")
+    pln.add_argument("--trace", type=Path, default=None,
+                     help=".npz trace to plan for (default: generate a "
+                          "workload from the model defaults)")
+    pln.add_argument("--days", type=float, default=1.0,
+                     help="generated workload length in days when no "
+                          "--trace is given (default: 1)")
+    pln.add_argument("--rate", type=float, default=0.05,
+                     help="mean session rate for the generated workload "
+                          "(default: 0.05)")
+    pln.add_argument("--clients", type=int, default=2000,
+                     help="client population for the generated workload "
+                          "(default: 2000)")
+    pln.add_argument("--seed", type=int, default=None,
+                     help="random seed for the generated workload")
+    pln.add_argument("--policy", default="as-hash",
+                     help="client->edge assignment policy: as-hash, "
+                          "sticky, or least-loaded (default: as-hash)")
+    pln.add_argument("--slo", type=float, default=0.01,
+                     help="max acceptable rejection rate in [0, 1] "
+                          "(default: 0.01)")
+    pln.add_argument("--edges", default="1:4:1",
+                     help="edge-count sweep: 'a,b,c' or 'lo:hi:step' "
+                          "(default: 1:4:1)")
+    pln.add_argument("--bandwidth-mbps", default=None,
+                     help="per-edge bandwidth sweep in Mbit/s: 'a,b,c' "
+                          "or 'lo:hi:step' (default: unlimited)")
+    pln.add_argument("--max-connections", type=int, default=None,
+                     help="per-edge connection cap (default: unlimited)")
+    pln.add_argument("--fail-edge", action="append", default=None,
+                     metavar="EDGE@AT[:UNTIL]",
+                     help="kill an edge at time AT seconds (optionally "
+                          "reviving at UNTIL); repeatable")
+    pln.add_argument("--step", type=float, default=60.0,
+                     help="concurrency sampling period in seconds "
+                          "(default: 60)")
+    pln.add_argument("--jobs", type=int, default=1,
+                     help="worker processes sharding the sweep "
+                          "(default: 1, inline; output is identical "
+                          "for any value)")
+    pln.add_argument("--out", type=Path, default=None,
+                     help="write the full JSON plan report here")
 
     val = sub.add_parser("validate",
                          help="compare two traces through the calibration "
@@ -667,6 +715,94 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_bandwidth(bps: float | None) -> str:
+    return "unlimited" if bps is None else f"{bps / 1e6:g} Mbit/s"
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .cdn import (parse_failure, parse_sweep, plan_deployment,
+                      sweep_configs, validate_policy)
+    from .cdn.failures import FailurePlan
+    from .errors import CdnError
+
+    try:
+        validate_policy(args.policy)
+        if not 0.0 <= args.slo <= 1.0:
+            raise CdnError(f"--slo must be within [0, 1], got {args.slo}")
+        edge_counts = tuple(
+            int(v) for v in parse_sweep(args.edges, integral=True))
+        bandwidths = (None if args.bandwidth_mbps is None else tuple(
+            v * 1e6 for v in parse_sweep(args.bandwidth_mbps)))
+        # Validate the whole candidate grid up front, before the
+        # (potentially slow) workload generation below.
+        sweep_configs(edge_counts, bandwidths,
+                      max_connections=args.max_connections)
+        failures = FailurePlan(tuple(
+            parse_failure(spec) for spec in (args.fail_edge or ())))
+        failures.validate(min(edge_counts) if edge_counts else 0)
+    except CdnError as exc:
+        print(f"plan error: {exc}", file=sys.stderr)
+        return 2
+
+    # The sweep always reads the workload from an .npz file — a
+    # generated workload is materialized to a temp file first — so the
+    # worker processes see the exact same bytes as the inline path and
+    # the report is identical for any --jobs value.
+    if args.trace is not None:
+        trace_path, cleanup = args.trace, None
+    else:
+        model = LiveWorkloadModel.paper_defaults(
+            mean_session_rate=args.rate, n_clients=args.clients)
+        workload = LiveWorkloadGenerator(model).generate(
+            args.days, seed=args.seed)
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".npz", delete=False)
+        handle.close()
+        workload.trace.save_npz(handle.name)
+        trace_path, cleanup = Path(handle.name), Path(handle.name)
+        print(f"generated {workload.trace.n_transfers} transfers over "
+              f"{args.days} days (rate={args.rate}, "
+              f"clients={args.clients}, seed={args.seed})")
+    try:
+        report = plan_deployment(
+            trace_path, policy=args.policy, slo=args.slo,
+            edge_counts=edge_counts, bandwidths_bps=bandwidths,
+            max_connections=args.max_connections, failures=failures,
+            step=args.step, jobs=args.jobs)
+    except CdnError as exc:
+        print(f"plan error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cleanup is not None:
+            cleanup.unlink(missing_ok=True)
+
+    print(f"swept {len(report.outcomes)} deployments "
+          f"(policy={report.policy}, slo={report.slo:g})")
+    print(f"{'edges':>6} {'bandwidth':>14} {'requests':>9} "
+          f"{'rejected':>9} {'rate':>8} {'reassigned':>10}")
+    for o in report.outcomes:
+        marker = " <- frontier" if o in report.frontier else ""
+        print(f"{o.n_edges:>6} {_fmt_bandwidth(o.bandwidth_bps):>14} "
+              f"{o.n_requests:>9} {o.n_rejected:>9} "
+              f"{o.rejection_rate:>8.4f} {o.n_reassigned:>10}{marker}")
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if report.best is None:
+        print(f"no swept deployment meets the {args.slo:g} "
+              f"rejection-rate SLO", file=sys.stderr)
+        return 1
+    best = report.best
+    print(f"minimal deployment: {best.n_edges} edge(s) at "
+          f"{_fmt_bandwidth(best.bandwidth_bps)} "
+          f"(rejection rate {best.rejection_rate:.4f}, "
+          f"origin peak {best.origin_peak_streams} streams)")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .core.validate import compare_workloads
 
@@ -696,6 +832,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "serve": _cmd_serve,
     "serve-load": _cmd_serve_load,
+    "plan": _cmd_plan,
     "validate": _cmd_validate,
 }
 

@@ -1,0 +1,104 @@
+"""Hierarchy reconciliation oracle: the CDN tier must conserve work.
+
+Splitting a workload across edge servers must not create, drop, or
+double-count service: with no capacity caps, every transfer is admitted
+by exactly one edge, and the per-edge concurrency profiles are an exact
+partition of the single-box profile — ``sum_e c_e(t) == c(t)`` sample
+for sample, even when an edge failure splits transfers into truncated
+legs plus failover legs.  These comparisons run the canonical
+conformance workloads through :func:`~repro.cdn.engine.simulate_cdn`
+and check the conservation laws bit-exactly, alongside the
+cross-pipeline differential oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import FloatArray
+from ..analysis.concurrency import sampled_concurrency
+from ..cdn import CdnTopology, EdgeFailure, FailurePlan, simulate_cdn
+from ..core.gismo import GismoWorkload
+from ..trace.store import Trace
+from .oracle import OracleComparison
+
+#: Edge count of the reconciliation topology (unlimited capacities).
+RECONCILE_EDGES = 4
+
+#: Assignment policies exercised by the reconciliation oracle.  The
+#: static policies cover the vectorized epoch path; ``least-loaded``
+#: covers the sequential sweep.
+RECONCILE_POLICIES = ("as-hash", "sticky", "least-loaded")
+
+#: Sampling period of the reconciliation c(t) grids in seconds.
+RECONCILE_STEP = 60.0
+
+
+def _first_divergence(expected: FloatArray, actual: FloatArray) -> str:
+    idx = int(np.flatnonzero(expected != actual)[0])
+    return (f"first divergence at sample {idx}: "
+            f"single-box {expected[idx]!r}, summed edges {actual[idx]!r}")
+
+
+def _reconcile_run(policy: str, label: str, trace: Trace,
+                   single: FloatArray,
+                   failures: FailurePlan | None
+                   ) -> list[OracleComparison]:
+    topology = CdnTopology.uniform(RECONCILE_EDGES)
+    result = simulate_cdn(trace, topology, policy=policy,
+                          failures=failures, step=RECONCILE_STEP)
+    prefix = f"cdn[{policy}{label}]"
+    out: list[OracleComparison] = []
+
+    # A failover splits a displaced transfer into two admitted legs
+    # (the truncated one plus the handover), so the exact expectation
+    # is one leg per transfer plus one per re-assignment.
+    expected_legs = trace.n_transfers + result.n_reassigned
+    admitted_ok = (result.n_admitted == expected_legs
+                   and result.n_rejected == 0)
+    out.append(OracleComparison(
+        name=f"{prefix}:transfers",
+        passed=admitted_ok,
+        detail=(f"all {trace.n_transfers} transfers admitted "
+                f"({result.n_reassigned} failover splits, 0 rejected)"
+                if admitted_ok else
+                f"uncapped edges admitted {result.n_admitted} legs, "
+                f"expected {expected_legs} ({trace.n_transfers} "
+                f"transfers + {result.n_reassigned} failovers; "
+                f"{result.n_rejected} rejected)")))
+
+    summed = np.zeros_like(single)
+    for edge in result.edges:
+        summed = summed + edge.sampled_concurrency
+    profile_ok = np.array_equal(single, summed)
+    out.append(OracleComparison(
+        name=f"{prefix}:concurrency",
+        passed=profile_ok,
+        detail=("per-edge c(t) profiles partition the single-box "
+                f"profile across {len(single)} samples"
+                if profile_ok else _first_divergence(single, summed))))
+    return out
+
+
+def cdn_reconciliation_comparisons(workload: GismoWorkload
+                                   ) -> tuple[OracleComparison, ...]:
+    """Conservation-law comparisons for one canonical workload.
+
+    Every assignment policy is reconciled against the single-box
+    characterization through an uncapped topology, and the busiest
+    policy additionally through an edge-failure scenario placed at the
+    workload's peak concurrency — failover legs must still partition
+    ``c(t)`` exactly.
+    """
+    trace = workload.trace
+    single = sampled_concurrency(trace.start, trace.end,
+                                 extent=trace.extent, step=RECONCILE_STEP)
+    out: list[OracleComparison] = []
+    for policy in RECONCILE_POLICIES:
+        out.extend(_reconcile_run(policy, "", trace, single, None))
+    # Failure scenario at the peak-concurrency instant: the busiest
+    # moment to lose an edge, so failover legs actually exist.
+    t_fail = float(np.argmax(single)) * RECONCILE_STEP + RECONCILE_STEP / 2
+    plan = FailurePlan((EdgeFailure(edge=0, at=t_fail),))
+    out.extend(_reconcile_run("as-hash", ",fail@peak", trace, single, plan))
+    return tuple(out)

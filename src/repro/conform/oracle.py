@@ -132,7 +132,7 @@ def _compare_files(name: str, reference: Path,
 def _compare_sessions(name: str, reference, candidate) -> OracleComparison:
     """Bit-compare ``(client, start, end, count)`` session columns."""
     labels = ("client_index", "start", "end", "n_transfers")
-    for label, a, b in zip(labels, reference, candidate):
+    for label, a, b in zip(labels, reference, candidate, strict=True):
         a, b = np.asarray(a), np.asarray(b)
         if a.shape != b.shape:
             return OracleComparison(
@@ -211,7 +211,8 @@ def _compare_entry_streams(name: str, text_log: Path,
             name, False,
             f"entry count {len(formatted)} != text data lines "
             f"{len(text_lines)}")
-    for i, (got, want) in enumerate(zip(formatted, text_lines)):
+    for i, (got, want) in enumerate(zip(formatted, text_lines,
+                                        strict=True)):
         if got != want:
             return OracleComparison(
                 name, False,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.gismo import LiveWorkloadGenerator
+from .cdn import cdn_reconciliation_comparisons
 from .fingerprint import DEFAULT_N_BOOT, WorkloadMeasurement, measure_workload
 from .gates import GateRecord, evaluate_gates
 from .matrix import MUTATION_WORKLOAD, WorkloadSpec, scale_specs
@@ -136,9 +137,16 @@ def run_conformance(scale: str = "smoke", *,
             for spec in specs:
                 scratch = Path(workdir) / spec.name
                 scratch.mkdir(parents=True, exist_ok=True)
-                oracles.append(run_differential_oracle(
+                report = run_differential_oracle(
                     spec, scratch, reference=references[spec.name],
-                    **_oracle_shape(spec)))
+                    **_oracle_shape(spec))
+                # The hierarchy reconciliation rides in the same report:
+                # the CDN tier must conserve the single-box work exactly.
+                oracles.append(OracleReport(
+                    workload=report.workload,
+                    comparisons=report.comparisons
+                    + cdn_reconciliation_comparisons(
+                        references[spec.name])))
         finally:
             if own_tmp is not None:
                 own_tmp.cleanup()

@@ -130,7 +130,8 @@ class MixtureDistribution(ContinuousDistribution):
         rng = make_rng(seed)
         counts = rng.multinomial(n, self._weights)
         parts = [comp.sample(int(c), rng)
-                 for comp, c in zip(self._components, counts) if c]
+                 for comp, c in zip(self._components, counts, strict=True)
+                 if c]
         if not parts:
             return np.empty(0)
         out = np.concatenate([np.asarray(p, dtype=np.float64) for p in parts])
@@ -140,21 +141,22 @@ class MixtureDistribution(ContinuousDistribution):
     def cdf(self, x: ArrayLike) -> FloatArray:
         arr = self._as_array(x)
         out = np.zeros_like(arr)
-        for w, comp in zip(self._weights, self._components):
+        for w, comp in zip(self._weights, self._components, strict=True):
             out += w * comp.cdf(arr)
         return out
 
     def pdf(self, x: ArrayLike) -> FloatArray:
         arr = self._as_array(x)
         out = np.zeros_like(arr)
-        for w, comp in zip(self._weights, self._components):
+        for w, comp in zip(self._weights, self._components, strict=True):
             pdf = getattr(comp, "pdf", None) or getattr(comp, "pmf")
             out += w * pdf(arr)
         return out
 
     def mean(self) -> float:
         return float(sum(w * comp.mean()
-                         for w, comp in zip(self._weights, self._components)))
+                         for w, comp in zip(self._weights, self._components,
+                                            strict=True)))
 
     def params(self) -> dict[str, float]:
         out: dict[str, float] = {"n_components": float(len(self._components))}

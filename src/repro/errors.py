@@ -93,6 +93,15 @@ class ProtocolError(ServeError):
     """
 
 
+class CdnError(ReproError):
+    """The simulated delivery hierarchy was misconfigured or misused.
+
+    Raised for inconsistent topologies (no edges, negative capacities),
+    failure plans that leave no edge alive, unknown assignment policies,
+    and capacity-planner sweeps over empty or malformed grids.
+    """
+
+
 class LintError(ReproError):
     """The static-analysis pass was invoked with bad inputs.
 

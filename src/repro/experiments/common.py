@@ -184,7 +184,7 @@ def series_preview(x: np.ndarray, y: np.ndarray,
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     if x.size <= n_points:
-        return list(zip(x.tolist(), y.tolist()))
+        return list(zip(x.tolist(), y.tolist(), strict=True))
     idx = np.unique(np.logspace(0, np.log10(x.size), n_points
                                 ).astype(np.int64)) - 1
     return [(float(x[i]), float(y[i])) for i in idx]

@@ -40,7 +40,7 @@ def write_series(outdir: Path, experiment: Experiment) -> list[Path]:
             stream.write(f"# reproduces: {experiment.paper_ref}\n")
             stream.write(f"# series: {name}  ({xa.size} points)\n")
             stream.write("# x y\n")
-            for xv, yv in zip(xa, ya):
+            for xv, yv in zip(xa, ya, strict=True):
                 if np.isnan(yv):
                     continue
                 stream.write(f"{xv:.10g} {yv:.10g}\n")

@@ -23,7 +23,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -134,7 +134,7 @@ def plan_log_chunks(paths: Sequence[str | Path], *,
                 stream.readline()
                 cuts.append(min(stream.tell(), size))
         cuts.append(size)
-        for lo, hi in zip(cuts, cuts[1:]):
+        for lo, hi in zip(cuts, cuts[1:], strict=False):
             if lo < hi:
                 chunks.append(LogChunk(index=len(chunks), path=str(path),
                                        byte_lo=lo, byte_hi=hi,
@@ -142,7 +142,7 @@ def plan_log_chunks(paths: Sequence[str | Path], *,
     return chunks
 
 
-def _segment_payload_bytes(segment: dict) -> int:
+def _segment_payload_bytes(segment: dict[str, Any]) -> int:
     """On-disk payload bytes of one binary segment (excluding padding)."""
     total = 0
     for name in ENTRY_COLUMNS:

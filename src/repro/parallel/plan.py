@@ -156,8 +156,8 @@ def _shard_cuts(bounds: IntArray, n_blocks: int, shards: int,
         n_sessions = int(bounds[-1])
         targets = [(n_sessions * k) / shards for k in range(1, shards)]
         interior = np.searchsorted(bounds, targets, side="left")
-        cuts = [0, *np.minimum(interior, n_blocks).tolist(), n_blocks]
-        cuts = np.maximum.accumulate(cuts).tolist()
+        raw = [0, *np.minimum(interior, n_blocks).tolist(), n_blocks]
+        cuts = [int(c) for c in np.maximum.accumulate(raw)]
     return cuts
 
 

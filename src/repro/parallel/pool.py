@@ -56,9 +56,9 @@ def map_ordered(fn: Callable[[_T], _R], items: Iterable[_T], *,
     tasks: Sequence[_T] = list(items)
     workers = min(jobs, len(tasks))
     started = time.perf_counter()
+    results: list[_R] = []
     if workers <= 1:
         logger.info("running %d %s(s) inline", len(tasks), label)
-        results = []
         for index, task in enumerate(tasks):
             t0 = time.perf_counter()
             results.append(fn(task))
@@ -69,7 +69,6 @@ def map_ordered(fn: Callable[[_T], _R], items: Iterable[_T], *,
                     len(tasks), label, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(fn, task) for task in tasks]
-            results = []
             for index, future in enumerate(futures):
                 results.append(future.result())
                 logger.debug("%s %d/%d collected", label, index + 1,

@@ -471,7 +471,8 @@ class FeedWorker:
         on_times = finalized.end - finalized.start
         displays = np.floor(np.maximum(on_times, 0.0)).astype(np.int64) + 1
         values, counts = np.unique(displays, return_counts=True)
-        for value, count in zip(values.tolist(), counts.tolist()):
+        for value, count in zip(values.tolist(), counts.tolist(),
+                                strict=True):
             self._on_moments.counts[value] = (
                 self._on_moments.counts.get(value, 0) + count)
         self._conc.observe(finalized.start, finalized.end)
@@ -656,7 +657,8 @@ class FeedWorker:
         self._on_moments = _OnlineLogMoments()
         for value, count in zip(
                 np.asarray(arrays["on_display"], dtype=np.int64).tolist(),
-                np.asarray(arrays["on_count"], dtype=np.int64).tolist()):
+                np.asarray(arrays["on_count"], dtype=np.int64).tolist(),
+                strict=True):
             self._on_moments.counts[value] = count
         self._spc = np.asarray(arrays["spc"], dtype=np.int64).copy()
 

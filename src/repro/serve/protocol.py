@@ -153,7 +153,7 @@ def pack_entries(quantized: Mapping[str, IntArray]) -> bytes:
                                                dtype=np.int64))
                for name in ENTRY_COLUMNS]
     rows = int(columns[0].size)
-    for name, column in zip(ENTRY_COLUMNS, columns):
+    for name, column in zip(ENTRY_COLUMNS, columns, strict=True):
         if int(column.size) != rows:
             raise ProtocolError(
                 f"entry column {name!r} has {column.size} rows, "

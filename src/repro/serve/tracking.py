@@ -267,7 +267,8 @@ class GapMoments:
             displays = (np.floor(np.maximum(intra, 0.0)).astype(np.int64)
                         + 1)
             values, counts = np.unique(displays, return_counts=True)
-            for value, count in zip(values.tolist(), counts.tolist()):
+            for value, count in zip(values.tolist(), counts.tolist(),
+                                    strict=True):
                 self._moments.counts[value] = (
                     self._moments.counts.get(value, 0) + count)
 
@@ -319,7 +320,8 @@ class GapMoments:
         for value, count in zip(
                 np.asarray(arrays["gap_display"],
                            dtype=np.int64).tolist(),
-                np.asarray(arrays["gap_count"], dtype=np.int64).tolist()):
+                np.asarray(arrays["gap_count"], dtype=np.int64).tolist(),
+                strict=True):
             self._moments.counts[value] = count
 
 

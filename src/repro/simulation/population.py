@@ -172,7 +172,7 @@ class ClientPopulation:
             members = np.nonzero(as_rank == as_number)[0]
             n_ips = max(int(round(members.size / config.users_per_ip)), 1)
             host_idx = ip_rng.integers(0, n_ips, size=members.size)
-            for client, host in zip(members, host_idx):
+            for client, host in zip(members, host_idx, strict=True):
                 ips[client] = _ip_string(int(as_number), int(host))
 
         access = _weighted_choice(access_rng, n, config.access_tiers
@@ -217,7 +217,7 @@ class ClientPopulation:
         """
         mapping = {str(ip): (int(asn), str(country))
                    for ip, asn, country in zip(self.ips, self.as_numbers,
-                                               self.countries)}
+                                               self.countries, strict=True)}
 
         def resolve(ip: str) -> tuple[int, str]:
             return mapping.get(ip, (0, ""))

@@ -186,7 +186,7 @@ class StreamingServer:
         bandwidths = np.asarray(bandwidths, dtype=np.float64)
         if not (starts.size == durations.size == bandwidths.size):
             raise SimulationError("workload arrays must have equal length")
-        for s, d, b in zip(starts, durations, bandwidths):
+        for s, d, b in zip(starts, durations, bandwidths, strict=True):
             self.submit(float(s), float(d), float(b))
 
     def _record_concurrency(self) -> None:

@@ -129,7 +129,9 @@ def unicast_egress_series(trace: Trace, *, step: float = 60.0,
     times = np.arange(n_steps) * step
     egress = np.zeros(n_steps)
     feed_rngs = spawn(rng, len(concurrency))
-    for feed_rng, (feed, counts) in zip(feed_rngs, sorted(concurrency.items())):
+    for feed_rng, (_feed, counts) in zip(feed_rngs,
+                                         sorted(concurrency.items()),
+                                         strict=True):
         if encoder is None:
             rates = VbrEncoder().constant_series(n_steps)
         else:

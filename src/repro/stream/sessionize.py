@@ -345,7 +345,7 @@ class OnlineSessionizer:
                     tuple(self._indices.pop(int(cl_k))
                           + gidx[f_k:p_k].tolist())
                     for cl_k, f_k, p_k in zip(cl.tolist(), f.tolist(),
-                                              p.tolist()))
+                                              p.tolist(), strict=True))
             parts.append(FinalizedSessions(
                 client_index=cl.copy(),
                 start=self._session_start[cl].copy(),
@@ -369,7 +369,8 @@ class OnlineSessionizer:
                     assert gidx is not None
                     inner = tuple(
                         tuple(gidx[lo:hi].tolist())
-                        for lo, hi in zip(p0.tolist(), p1.tolist()))
+                        for lo, hi in zip(p0.tolist(), p1.tolist(),
+                                          strict=True))
                 parts.append(FinalizedSessions(
                     client_index=c[p0],
                     start=s[p0],
@@ -392,7 +393,8 @@ class OnlineSessionizer:
             if tracked:
                 assert gidx is not None
                 for cl_k, lo, hi in zip(cl.tolist(), p_star.tolist(),
-                                        seg_end[opened].tolist()):
+                                        seg_end[opened].tolist(),
+                                        strict=True):
                     self._indices[cl_k] = gidx[lo:hi].tolist()
         # ...and segments that only extend their carried session.
         extended = np.flatnonzero(carried_open & ~has_b)
@@ -403,7 +405,8 @@ class OnlineSessionizer:
                 assert gidx is not None
                 for cl_k, lo, hi in zip(cl.tolist(),
                                         firsts[extended].tolist(),
-                                        seg_end[extended].tolist()):
+                                        seg_end[extended].tolist(),
+                                        strict=True):
                     self._indices[cl_k].extend(gidx[lo:hi].tolist())
         # Every touched segment's running max advances to the batch's.
         self._run_max[seg_client] = true_run[seg_end - 1]

@@ -45,6 +45,7 @@ def write_csv(trace: Trace, transfers_path: str | Path,
             map(repr, cols["packet_loss"].tolist()),
             map(repr, cols["server_cpu"].tolist()),
             cols["status"].tolist(),
+            strict=True,
         ))
     clients = trace.clients
     with open(clients_path, "w", encoding="ascii", newline="") as stream:
@@ -53,7 +54,7 @@ def write_csv(trace: Trace, transfers_path: str | Path,
         writer.writerows(zip(
             clients.player_ids.tolist(), clients.ips.tolist(),
             clients.as_numbers.tolist(), clients.countries.tolist(),
-            clients.os_names.tolist(),
+            clients.os_names.tolist(), strict=True,
         ))
 
 
@@ -98,7 +99,8 @@ def read_csv(transfers_path: str | Path,
         rows = list(reader)
 
     try:
-        columns = list(zip(*rows)) if rows else [[] for _ in TRANSFER_COLUMNS]
+        columns = (list(zip(*rows, strict=True)) if rows
+                   else [[] for _ in TRANSFER_COLUMNS])
         return Trace(
             clients=clients,
             client_index=np.asarray(columns[0], dtype=np.int64),

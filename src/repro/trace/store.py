@@ -302,7 +302,7 @@ class Trace:
         scalars for a whole trace.
         """
         return list(zip(*(getattr(self, name).tolist()
-                          for name in TRANSFER_COLUMNS)))
+                          for name in TRANSFER_COLUMNS), strict=True))
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -252,18 +252,21 @@ class StreamingCharacterizer:
         self._n_entries += n
         display = np.floor(duration).astype(np.int64) + 1
         for value, count in zip(*(arr.tolist() for arr in
-                                  np.unique(display, return_counts=True))):
+                                  np.unique(display, return_counts=True)),
+                                strict=True):
             self._log_length.counts[value] = (
                 self._log_length.counts.get(value, 0) + count)
         self._bits += float(np.dot(duration, np.maximum(bandwidth, 0.0)))
         for player, count in zip(*(arr.tolist() for arr in
                                    np.unique(np.asarray(players,
                                                         dtype=np.str_),
-                                             return_counts=True))):
+                                             return_counts=True)),
+                                 strict=True):
             self._client_counts[player] = (
                 self._client_counts.get(player, 0) + count)
         for value, count in zip(*(arr.tolist() for arr in
-                                  np.unique(feed, return_counts=True))):
+                                  np.unique(feed, return_counts=True)),
+                                strict=True):
             self._feed_counts[value] = self._feed_counts.get(value, 0) + count
         self._congested += int(
             np.count_nonzero(bandwidth < CONGESTION_THRESHOLD_BPS))
@@ -294,7 +297,7 @@ class StreamingCharacterizer:
         if len(parts) != len(fields):
             self._n_skipped += 1
             return False
-        row = dict(zip(fields, parts))
+        row = dict(zip(fields, parts, strict=True))
         try:
             duration = float(row["x-duration"])
             bandwidth = float(row["avg-bandwidth"])

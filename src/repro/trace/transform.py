@@ -162,7 +162,7 @@ def merge_traces(traces: Sequence[Trace], *,
         ("client_index", "object_id", "start", "duration",
          "bandwidth_bps", "packet_loss", "server_cpu", "status")}
     extent = 0.0
-    for k, (trace, offset) in enumerate(zip(traces, offsets)):
+    for k, (trace, offset) in enumerate(zip(traces, offsets, strict=True)):
         local_to_merged = merged_of_local[bounds[k]:bounds[k + 1]]
         columns["client_index"].append(local_to_merged[trace.client_index])
         columns["object_id"].append(trace.object_id)
@@ -207,7 +207,7 @@ def _reference_merge_traces(traces: Sequence[Trace], *,
         ("client_index", "object_id", "start", "duration",
          "bandwidth_bps", "packet_loss", "server_cpu", "status")}
     extent = 0.0
-    for trace, offset in zip(traces, offsets):
+    for trace, offset in zip(traces, offsets, strict=True):
         # Map this trace's client indices into the merged table.
         local_to_merged = np.empty(trace.n_clients, dtype=np.int64)
         table = trace.clients

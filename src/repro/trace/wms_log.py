@@ -270,7 +270,8 @@ class StreamingWmsLogWriter(StreamingTraceWriter):
     def _emit_entries(self, emit: Mapping[str, _AnyArray]) -> None:
         identity = self._identity
         lines = []
-        rows = zip(*(emit[name].tolist() for name, _ in _WRITER_COLUMNS))
+        rows = zip(*(emit[name].tolist() for name, _ in _WRITER_COLUMNS),
+                   strict=True)
         for end, _, client, obj, dur, bw, loss, cpu, stat in rows:
             ip, player_id, os_name = identity(client)
             lines.append(_format_entry(
@@ -394,7 +395,7 @@ def read_wms_log(path: str | Path | TextIO, *,
                     raise LogParseError(
                         f"expected {len(fields)} columns, got {len(parts)}",
                         line_number=number, line=line)
-                row = dict(zip(fields, parts))
+                row = dict(zip(fields, parts, strict=True))
                 try:
                     timestamp = int(row["x-timestamp"])
                     duration = float(row["x-duration"])

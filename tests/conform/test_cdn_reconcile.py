@@ -1,0 +1,79 @@
+"""Hierarchy reconciliation as a pytest gate.
+
+Asserts the CDN conservation laws on the canonical matrix — per-edge
+aggregates reconciling exactly with the single-box characterization —
+and that the gate is *falsifiable*: an edge failure visibly shifts the
+rejection and re-assignment metrics of a capacity-limited tier, so a
+simulation that quietly ignored its failure plan could not pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.concurrency import sampled_concurrency
+from repro.cdn import CdnTopology, EdgeFailure, FailurePlan, simulate_cdn
+from repro.conform import workload_spec
+from repro.conform.cdn import (
+    RECONCILE_POLICIES,
+    cdn_reconciliation_comparisons,
+)
+from repro.core.gismo import LiveWorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def conform_references():
+    cache: dict[str, object] = {}
+
+    def build(name):
+        if name not in cache:
+            spec = workload_spec(name)
+            cache[name] = LiveWorkloadGenerator(spec.model()).generate(
+                spec.days, seed=spec.seed)
+        return cache[name]
+
+    return build
+
+
+def test_reconciliation_comparisons_all_pass(conform_workload,
+                                             conform_references):
+    workload = conform_references(conform_workload)
+    comparisons = cdn_reconciliation_comparisons(workload)
+    # Transfer conservation + c(t) partition, per policy, plus the
+    # failure scenario.
+    assert len(comparisons) == 2 * (len(RECONCILE_POLICIES) + 1)
+    failures = [f"{c.name}: {c.detail}"
+                for c in comparisons if not c.passed]
+    assert not failures, (
+        "hierarchy reconciliation violated:\n" + "\n".join(failures))
+
+
+def test_failure_scenario_is_falsifiable(conform_workload,
+                                         conform_references):
+    """The mutation-style self-check: failures must move the needle.
+
+    On a capacity-limited tier, killing an edge at peak must strictly
+    raise rejections and produce re-assignments — proving the gate's
+    failure path actually simulates the failure rather than vacuously
+    passing.
+    """
+    trace = conform_references(conform_workload).trace
+    single = sampled_concurrency(trace.start, trace.end,
+                                 extent=trace.extent, step=60.0)
+    t_fail = float(np.argmax(single)) * 60.0 + 30.0
+    peak = int(single.max())
+    # Caps sized so the healthy tier mostly copes but the survivors of
+    # an edge loss cannot absorb the displaced audience.
+    cap = max(1, peak // 4)
+    topology = CdnTopology.uniform(4, max_connections=cap)
+    plan = FailurePlan((EdgeFailure(edge=0, at=t_fail),))
+
+    baseline = simulate_cdn(trace, topology, policy="as-hash")
+    failed = simulate_cdn(trace, topology, policy="as-hash",
+                          failures=plan)
+
+    assert baseline.n_reassigned == 0
+    assert failed.n_reassigned > 0
+    assert failed.n_rejected > baseline.n_rejected
+    assert failed.edges[0].n_requests < baseline.edges[0].n_requests

@@ -127,3 +127,52 @@ class TestLintErrors:
             main(["lint", "src", "--format", "xml"])
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestPlanErrors:
+    """Every invalid ``repro plan`` invocation exits 2 before any work."""
+
+    def test_unknown_policy_exits_2(self, capsys):
+        code = main(["plan", "--policy", "round-robin"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "plan error" in err
+        assert "round-robin" in err
+
+    @pytest.mark.parametrize("slo", ["-0.1", "1.5"])
+    def test_slo_outside_unit_interval_exits_2(self, slo, capsys):
+        code = main(["plan", "--slo", slo])
+        assert code == 2
+        assert "--slo must be within [0, 1]" in capsys.readouterr().err
+
+    def test_zero_edges_exits_2(self, capsys):
+        code = main(["plan", "--edges", "0"])
+        assert code == 2
+        assert "at least one edge" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("sweep", ["1:4", "4:1:1", "1:4:0", "a,b"])
+    def test_malformed_edge_sweep_exits_2(self, sweep, capsys):
+        code = main(["plan", "--edges", sweep])
+        assert code == 2
+        assert "sweep" in capsys.readouterr().err
+
+    def test_fractional_edge_sweep_exits_2(self, capsys):
+        code = main(["plan", "--edges", "1.5,2"])
+        assert code == 2
+        assert "whole numbers" in capsys.readouterr().err
+
+    def test_malformed_bandwidth_sweep_exits_2(self, capsys):
+        code = main(["plan", "--bandwidth-mbps", "5:1:1"])
+        assert code == 2
+        assert "descending" in capsys.readouterr().err
+
+    def test_failure_beyond_smallest_deployment_exits_2(self, capsys):
+        code = main(["plan", "--edges", "1:2:1",
+                     "--fail-edge", "3@100"])
+        assert code == 2
+        assert "names edge 3" in capsys.readouterr().err
+
+    def test_malformed_failure_spec_exits_2(self, capsys):
+        code = main(["plan", "--fail-edge", "0@noon"])
+        assert code == 2
+        assert "malformed failure spec" in capsys.readouterr().err

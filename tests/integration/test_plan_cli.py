@@ -1,0 +1,96 @@
+"""Integration tests of ``repro plan``: the sharded deployment sweep.
+
+The determinism contract is tested where users see it: the JSON report
+written with ``--jobs 1`` and ``--jobs 4`` must be byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.gismo import LiveWorkloadGenerator
+from repro.core.model import LiveWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    model = LiveWorkloadModel.paper_defaults(mean_session_rate=0.02,
+                                             n_clients=300)
+    workload = LiveWorkloadGenerator(model).generate(0.5, seed=11)
+    path = tmp_path_factory.mktemp("plan-cli") / "trace.npz"
+    workload.trace.save_npz(path)
+    return path
+
+
+SWEEP = ["--edges", "1:3:1", "--bandwidth-mbps", "1,2,5",
+         "--slo", "0.05"]
+
+
+class TestPlanSweep:
+    def test_reports_are_byte_identical_across_jobs(self, trace_path,
+                                                    tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main(["plan", "--trace", str(trace_path), *SWEEP,
+                     "--jobs", "1", "--out", str(serial)]) == 0
+        assert main(["plan", "--trace", str(trace_path), *SWEEP,
+                     "--jobs", "4", "--out", str(sharded)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == sharded.read_bytes()
+
+    def test_report_shape(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert main(["plan", "--trace", str(trace_path), *SWEEP,
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["n_configs"] == 9
+        assert len(doc["outcomes"]) == 9
+        assert doc["best"] is not None
+        assert doc["best"]["rejection_rate"] <= doc["slo"]
+        stdout = capsys.readouterr().out
+        assert "minimal deployment" in stdout
+        assert "frontier" in stdout
+
+    def test_generated_workload_path(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        argv = ["plan", "--days", "0.25", "--rate", "0.02",
+                "--clients", "200", "--seed", "3",
+                "--edges", "1,2", "--jobs", "2", "--out", str(out)]
+        assert main(argv) == 0
+        first = out.read_bytes()
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Same seed, same sweep: the whole report reproduces.
+        assert out.read_bytes() == first
+
+    def test_edge_failure_scenario_shifts_the_plan(self, trace_path,
+                                                   tmp_path, capsys):
+        import numpy as np
+
+        from repro.analysis.concurrency import sampled_concurrency
+        from repro.trace.store import Trace
+
+        trace = Trace.load_npz(trace_path)
+        single = sampled_concurrency(trace.start, trace.end,
+                                     extent=trace.extent, step=60.0)
+        t_fail = float(np.argmax(single)) * 60.0 + 30.0
+        base = tmp_path / "base.json"
+        failed = tmp_path / "failed.json"
+        common = ["plan", "--trace", str(trace_path), "--edges", "4",
+                  "--max-connections", "6", "--slo", "1"]
+        assert main([*common, "--out", str(base)]) == 0
+        assert main([*common, "--fail-edge", f"0@{t_fail}",
+                     "--out", str(failed)]) == 0
+        capsys.readouterr()
+        base_doc = json.loads(base.read_text())["outcomes"][0]
+        failed_doc = json.loads(failed.read_text())["outcomes"][0]
+        assert failed_doc["n_reassigned"] > 0
+        assert base_doc["n_reassigned"] == 0
+
+    def test_unmeetable_slo_exits_1(self, trace_path, capsys):
+        code = main(["plan", "--trace", str(trace_path),
+                     "--edges", "1", "--max-connections", "1",
+                     "--slo", "0"])
+        assert code == 1
+        assert "no swept deployment meets" in capsys.readouterr().err

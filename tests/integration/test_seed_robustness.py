@@ -41,7 +41,7 @@ def recovered_models():
 @pytest.mark.parametrize("attribute,planted,rtol", EXPECTED)
 def test_parameter_recovered_across_seeds(recovered_models, attribute,
                                           planted, rtol):
-    for seed, model in zip(SEEDS, recovered_models):
+    for seed, model in zip(SEEDS, recovered_models, strict=True):
         value = getattr(model, attribute)
         assert value == pytest.approx(planted, rel=rtol), \
             f"{attribute} off at seed {seed}: {value} vs {planted}"

@@ -81,7 +81,7 @@ class TestConcurrencyProperties:
         ends = np.asarray([s + d for s, d in intervals])
         counts = sampled_concurrency(starts, ends, extent=500.0, step=step)
         times = np.arange(counts.size) * step
-        for t, count in zip(times[:20], counts[:20]):
+        for t, count in zip(times[:20], counts[:20], strict=True):
             brute = int(np.sum((starts <= t) & (t < ends)))
             assert count == brute
 

@@ -133,7 +133,7 @@ def test_alternate_on_switch_matches_loop(lengths, n_choices, data):
     # Reference: explicit walk.
     expected = []
     pos = 0
-    for seg, start_state in zip(lengths, first):
+    for seg, start_state in zip(lengths, first, strict=True):
         state = start_state
         for i in range(seg):
             if i > 0 and switch[pos + i]:

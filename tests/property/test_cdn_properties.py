@@ -1,0 +1,128 @@
+"""Property-based tests of the CDN admission and assignment primitives.
+
+The admission engine is compared against an independently written
+sequential reference over arbitrary request columns; assignment is
+checked for totality and determinism over arbitrary key/alive sets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdn import active_peaks, admit_requests, assign_static, mix64
+
+request_columns = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),    # start offset
+        st.integers(min_value=0, max_value=30),    # duration
+        st.integers(min_value=1, max_value=10),    # rate
+    ),
+    min_size=0, max_size=60)
+
+caps = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=6)),
+    st.one_of(st.none(), st.integers(min_value=1, max_value=40)))
+
+
+def _columns(rows):
+    rows = sorted(rows, key=lambda r: r[0])
+    start = np.asarray([r[0] for r in rows], dtype=np.float64)
+    duration = np.asarray([r[1] for r in rows], dtype=np.float64)
+    rate = np.asarray([r[2] for r in rows], dtype=np.int64)
+    return start, duration, rate
+
+
+def _sequential(start, duration, rate, max_connections, bandwidth_cap):
+    end = start + duration
+    events = []
+    for i in range(len(start)):
+        events.append((start[i], 1, i))
+        if duration[i] > 0:
+            events.append((end[i], 0, i))
+    events.sort(key=lambda event: (event[0], event[1], event[2]))
+    admitted = [False] * len(start)
+    active = set()
+    load = 0
+    for _, kind, i in events:
+        if kind == 0:
+            if i in active:
+                active.discard(i)
+                load -= rate[i]
+        else:
+            ok = True
+            if max_connections is not None and \
+                    len(active) >= max_connections:
+                ok = False
+            if bandwidth_cap is not None and load + rate[i] > bandwidth_cap:
+                ok = False
+            admitted[i] = ok
+            if ok and duration[i] > 0:
+                active.add(i)
+                load += rate[i]
+    return np.asarray(admitted)
+
+
+class TestAdmissionProperties:
+    @given(rows=request_columns, limits=caps)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_sequential_reference(self, rows, limits):
+        max_connections, bandwidth_cap = limits
+        start, duration, rate = _columns(rows)
+        outcome = admit_requests(start, duration, rate,
+                                 max_connections=max_connections,
+                                 bandwidth_cap_bps=bandwidth_cap)
+        expected = _sequential(start, duration, rate,
+                               max_connections, bandwidth_cap)
+        assert np.array_equal(outcome.admitted, expected)
+
+    @given(rows=request_columns, limits=caps)
+    @settings(max_examples=100, deadline=None)
+    def test_admitted_peaks_respect_the_caps(self, rows, limits):
+        max_connections, bandwidth_cap = limits
+        start, duration, rate = _columns(rows)
+        outcome = admit_requests(start, duration, rate,
+                                 max_connections=max_connections,
+                                 bandwidth_cap_bps=bandwidth_cap)
+        if max_connections is not None:
+            assert outcome.peak_connections <= max_connections
+        if bandwidth_cap is not None:
+            assert outcome.peak_bandwidth_bps <= bandwidth_cap
+
+    @given(rows=request_columns)
+    @settings(max_examples=100, deadline=None)
+    def test_uncapped_admits_everything(self, rows):
+        start, duration, rate = _columns(rows)
+        outcome = admit_requests(start, duration, rate)
+        assert outcome.admitted.all()
+        assert outcome.n_swept == 0
+
+    @given(rows=request_columns)
+    @settings(max_examples=100, deadline=None)
+    def test_peaks_match_active_peaks(self, rows):
+        start, duration, rate = _columns(rows)
+        outcome = admit_requests(start, duration, rate)
+        expected = active_peaks(start, start + duration, rate)
+        assert (outcome.peak_connections,
+                outcome.peak_bandwidth_bps) == expected
+
+
+class TestAssignmentProperties:
+    @given(keys=st.lists(st.integers(min_value=-2**62, max_value=2**62),
+                         min_size=1, max_size=100),
+           alive=st.sets(st.integers(min_value=0, max_value=15),
+                         min_size=1, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_assignment_total_and_deterministic(self, keys, alive):
+        key_col = np.asarray(keys, dtype=np.int64)
+        alive_col = np.asarray(sorted(alive), dtype=np.int64)
+        first = assign_static(key_col, alive_col)
+        second = assign_static(key_col, alive_col)
+        assert np.array_equal(first, second)
+        assert set(np.unique(first)) <= alive
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=2**63 - 1),
+                         min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_mix64_is_a_function(self, keys):
+        key_col = np.asarray(keys, dtype=np.int64)
+        assert np.array_equal(mix64(key_col), mix64(key_col))

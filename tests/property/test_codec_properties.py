@@ -52,7 +52,8 @@ def _build_trace(transfers):
         ips=[f"10.9.0.{i}" for i in range(4)],
         as_numbers=[7, 7, 9, 11], countries=["US", "BR", "US", "DE"],
         os_names=["Windows_98", "Windows_2000", "", "Mac_OS"])
-    columns = list(zip(*transfers)) if transfers else [[]] * 8
+    columns = (list(zip(*transfers, strict=True)) if transfers
+               else [[]] * 8)
     return Trace(clients, columns[0], columns[1], columns[2], columns[3],
                  bandwidth_bps=columns[4], packet_loss=columns[5],
                  server_cpu=columns[6], status=columns[7],

@@ -158,6 +158,6 @@ def test_timeout_sweep_consistent_with_direct(transfers):
     trace = build_trace(transfers, n_clients=5, extent=120_000.0)
     grid = np.asarray([10.0, 100.0, 1_000.0, 9_000.0])
     counts = session_count_for_timeouts(trace, grid)
-    for timeout, count in zip(grid, counts):
+    for timeout, count in zip(grid, counts, strict=True):
         assert sessionize(trace, timeout).n_sessions == count
     assert np.all(np.diff(counts) <= 0)

@@ -48,7 +48,7 @@ def _split_batches(data, n):
 def _push_all(sessionizer, trace, cutpoints, *, with_horizon, offset=0):
     parts = []
     n = len(trace)
-    for lo, hi in zip(cutpoints, cutpoints[1:]):
+    for lo, hi in zip(cutpoints, cutpoints[1:], strict=False):
         if with_horizon:
             horizon = float(trace.start[hi]) if hi < n else np.inf
         else:
@@ -201,7 +201,7 @@ def test_streaming_writer_bytes_identical(transfers, data):
     writer = StreamingWmsLogWriter(got, _table_identity(trace))
     n = len(trace)
     cutpoints = _split_batches(data, n)
-    for lo, hi in zip(cutpoints, cutpoints[1:]):
+    for lo, hi in zip(cutpoints, cutpoints[1:], strict=False):
         horizon = float(trace.start[hi]) if hi < n else np.inf
         writer.push(
             client_index=trace.client_index[lo:hi],

@@ -1,0 +1,153 @@
+"""Unit tests for repro.cdn.admission.
+
+The hybrid engine's contract is exactness: its vectorized
+classification plus sparse sweep must reproduce, decision for decision,
+the obvious sequential event-order reference.  The reference is
+re-implemented here independently and the two are compared across a
+randomized matrix of cap configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdn import active_peaks, admit_requests
+from repro.rng import make_rng
+from repro.errors import CdnError
+
+
+def sequential_reference(start, duration, rate, max_connections,
+                         bandwidth_cap, carry_end=(), carry_rate=()):
+    """Obvious event-order admission: completions first, then arrivals."""
+    n = len(start)
+    end = start + duration
+    events = []
+    for i, (ce, _) in enumerate(zip(carry_end, carry_rate, strict=True)):
+        events.append((ce, 0, -1 - i))
+    for i in range(n):
+        events.append((start[i], 1, i))
+        if duration[i] > 0:
+            events.append((end[i], 0, i))
+    events.sort(key=lambda event: (event[0], event[1], event[2]))
+    admitted = [False] * n
+    active = {(-1 - i) for i in range(len(carry_end))}
+    load = sum(carry_rate)
+    for _, kind, i in events:
+        if kind == 0:
+            if i in active:
+                active.discard(i)
+                load -= carry_rate[-1 - i] if i < 0 else rate[i]
+        else:
+            ok = True
+            if max_connections is not None and len(active) >= \
+                    max_connections:
+                ok = False
+            if bandwidth_cap is not None and load + rate[i] > bandwidth_cap:
+                ok = False
+            admitted[i] = ok
+            if ok and duration[i] > 0:
+                active.add(i)
+                load += rate[i]
+    return np.asarray(admitted)
+
+
+def random_requests(rng, n):
+    start = np.sort(rng.integers(0, 60, n)).astype(np.float64)
+    duration = rng.integers(0, 25, n).astype(np.float64)
+    rate = rng.integers(1, 12, n).astype(np.int64)
+    return start, duration, rate
+
+
+class TestAgainstSequentialReference:
+    @pytest.mark.parametrize("max_connections", [None, 1, 3, 8])
+    @pytest.mark.parametrize("bandwidth_cap", [None, 10, 40])
+    def test_randomized_matrix(self, max_connections, bandwidth_cap):
+        rng = make_rng(991)
+        for _ in range(40):
+            start, duration, rate = random_requests(
+                rng, int(rng.integers(1, 80)))
+            outcome = admit_requests(
+                start, duration, rate,
+                max_connections=max_connections,
+                bandwidth_cap_bps=bandwidth_cap)
+            expected = sequential_reference(
+                start, duration, rate, max_connections, bandwidth_cap)
+            assert np.array_equal(outcome.admitted, expected)
+            assert outcome.n_admitted + outcome.n_rejected == start.size
+
+    def test_carry_occupies_capacity(self):
+        rng = make_rng(1212)
+        for _ in range(40):
+            start, duration, rate = random_requests(
+                rng, int(rng.integers(1, 50)))
+            n_carry = int(rng.integers(0, 6))
+            carry_end = rng.integers(1, 60, n_carry).astype(np.float64)
+            carry_rate = rng.integers(1, 12, n_carry).astype(np.int64)
+            outcome = admit_requests(
+                start, duration, rate, max_connections=4,
+                bandwidth_cap_bps=35,
+                carry_end=carry_end, carry_rate=carry_rate)
+            expected = sequential_reference(
+                start, duration, rate, 4, 35,
+                carry_end=carry_end.tolist(),
+                carry_rate=carry_rate.tolist())
+            assert np.array_equal(outcome.admitted, expected)
+
+
+class TestAdmitRequestsShape:
+    def test_uncapped_admits_everything(self):
+        start = np.asarray([0.0, 1.0, 1.0])
+        outcome = admit_requests(start, np.full(3, 5.0),
+                                 np.full(3, 7, dtype=np.int64))
+        assert outcome.admitted.all()
+        assert outcome.n_swept == 0
+        assert outcome.peak_connections == 3
+        assert outcome.peak_bandwidth_bps == 21
+
+    def test_zero_duration_transfer_is_admitted_without_occupying(self):
+        start = np.asarray([0.0, 0.0])
+        duration = np.asarray([0.0, 10.0])
+        rate = np.asarray([5, 5], dtype=np.int64)
+        outcome = admit_requests(start, duration, rate, max_connections=1)
+        assert outcome.admitted.all()
+
+    def test_unsorted_starts_rejected(self):
+        with pytest.raises(CdnError, match="non-decreasing"):
+            admit_requests(np.asarray([5.0, 1.0]), np.full(2, 1.0),
+                           np.full(2, 1, dtype=np.int64))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(CdnError):
+            admit_requests(np.zeros(3), np.zeros(2),
+                           np.zeros(3, dtype=np.int64))
+
+    def test_back_to_back_reuses_capacity(self):
+        # The first transfer ends exactly when the second starts:
+        # completions free capacity before same-instant arrivals.
+        start = np.asarray([0.0, 10.0])
+        duration = np.asarray([10.0, 10.0])
+        rate = np.asarray([1, 1], dtype=np.int64)
+        outcome = admit_requests(start, duration, rate, max_connections=1)
+        assert outcome.admitted.all()
+
+
+class TestActivePeaks:
+    def test_empty(self):
+        peak_conn, peak_rate = active_peaks(
+            np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int64))
+        assert (peak_conn, peak_rate) == (0, 0)
+
+    def test_overlap_counts_and_rates(self):
+        start = np.asarray([0.0, 5.0, 20.0])
+        end = np.asarray([10.0, 15.0, 30.0])
+        rate = np.asarray([3, 4, 5], dtype=np.int64)
+        peak_conn, peak_rate = active_peaks(start, end, rate)
+        assert peak_conn == 2
+        assert peak_rate == 7
+
+    def test_touching_intervals_do_not_stack(self):
+        start = np.asarray([0.0, 10.0])
+        end = np.asarray([10.0, 20.0])
+        rate = np.asarray([2, 2], dtype=np.int64)
+        peak_conn, peak_rate = active_peaks(start, end, rate)
+        assert peak_conn == 1
+        assert peak_rate == 2

@@ -1,0 +1,106 @@
+"""Unit tests for repro.cdn.failures."""
+
+import math
+
+import pytest
+
+from repro.cdn import EdgeFailure, FailurePlan, parse_failure
+from repro.errors import CdnError
+
+
+class TestEdgeFailure:
+    def test_down_interval_is_half_open(self):
+        failure = EdgeFailure(edge=0, at=10.0, until=20.0)
+        assert not failure.down_at(9.9)
+        assert failure.down_at(10.0)
+        assert failure.down_at(19.9)
+        assert not failure.down_at(20.0)
+
+    def test_permanent_failure(self):
+        failure = EdgeFailure(edge=1, at=5.0)
+        assert failure.down_at(1e12)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"edge": -1, "at": 0.0},
+        {"edge": 0, "at": -1.0},
+        {"edge": 0, "at": 10.0, "until": 10.0},
+        {"edge": 0, "at": 10.0, "until": 5.0},
+    ])
+    def test_invalid_failures_rejected(self, kwargs):
+        with pytest.raises(CdnError):
+            EdgeFailure(**kwargs)
+
+
+class TestFailurePlan:
+    def test_empty_plan_is_one_infinite_epoch(self):
+        epochs = FailurePlan().epochs(3)
+        assert len(epochs) == 1
+        assert epochs[0].t_lo == 0.0
+        assert math.isinf(epochs[0].t_hi)
+        assert not epochs[0].closes
+        assert epochs[0].alive.tolist() == [0, 1, 2]
+
+    def test_epochs_partition_the_timeline(self):
+        plan = FailurePlan((
+            EdgeFailure(edge=0, at=100.0, until=200.0),
+            EdgeFailure(edge=1, at=150.0),
+        ))
+        epochs = plan.epochs(3)
+        assert [ep.t_lo for ep in epochs] == [0.0, 100.0, 150.0, 200.0]
+        assert [ep.alive.tolist() for ep in epochs] == [
+            [0, 1, 2], [1, 2], [2], [0, 2]]
+        # Consecutive epochs tile [0, inf) exactly.
+        for prev, cur in zip(epochs, epochs[1:], strict=False):
+            assert prev.t_hi == cur.t_lo
+        assert math.isinf(epochs[-1].t_hi)
+
+    def test_unknown_edge_rejected(self):
+        plan = FailurePlan((EdgeFailure(edge=5, at=1.0),))
+        with pytest.raises(CdnError, match="names edge 5"):
+            plan.validate(2)
+
+    def test_overlapping_downtimes_rejected(self):
+        plan = FailurePlan((
+            EdgeFailure(edge=0, at=10.0, until=30.0),
+            EdgeFailure(edge=0, at=20.0),
+        ))
+        with pytest.raises(CdnError, match="overlapping"):
+            plan.validate(2)
+
+    def test_permanent_then_anything_overlaps(self):
+        plan = FailurePlan((
+            EdgeFailure(edge=0, at=10.0),
+            EdgeFailure(edge=0, at=50.0, until=60.0),
+        ))
+        with pytest.raises(CdnError, match="overlapping"):
+            plan.validate(1)
+
+    def test_all_edges_down_rejected(self):
+        plan = FailurePlan((
+            EdgeFailure(edge=0, at=10.0),
+            EdgeFailure(edge=1, at=10.0),
+        ))
+        with pytest.raises(CdnError, match="no edge alive"):
+            plan.epochs(2)
+
+    def test_to_dict(self):
+        plan = FailurePlan((EdgeFailure(edge=1, at=2.0, until=3.0),))
+        assert plan.to_dict() == {
+            "failures": [{"edge": 1, "at": 2.0, "until": 3.0}]}
+
+
+class TestParseFailure:
+    def test_permanent(self):
+        failure = parse_failure("2@3600")
+        assert (failure.edge, failure.at, failure.until) == (2, 3600.0, None)
+
+    def test_with_recovery(self):
+        failure = parse_failure("0@100:250.5")
+        assert (failure.edge, failure.at, failure.until) == (0, 100.0, 250.5)
+
+    @pytest.mark.parametrize("spec", [
+        "nope", "x@100", "0@abc", "0@1:xyz", "0@", "@5",
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(CdnError, match="malformed failure spec"):
+            parse_failure(spec)

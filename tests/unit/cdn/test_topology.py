@@ -1,0 +1,71 @@
+"""Unit tests for repro.cdn.topology."""
+
+import numpy as np
+import pytest
+
+from repro.cdn import CdnTopology, EdgeConfig, quantize_bandwidth
+from repro.errors import CdnError
+
+
+class TestEdgeConfig:
+    def test_defaults_are_unlimited(self):
+        config = EdgeConfig()
+        assert config.max_connections is None
+        assert config.bandwidth_bps is None
+        assert config.bandwidth_cap_bps is None
+
+    def test_bandwidth_cap_rounds_to_whole_bps(self):
+        assert EdgeConfig(bandwidth_bps=1e6 + 0.4).bandwidth_cap_bps == \
+            1_000_000
+        assert EdgeConfig(bandwidth_bps=0.2).bandwidth_cap_bps == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_connections": 0},
+        {"max_connections": -3},
+        {"bandwidth_bps": 0.0},
+        {"bandwidth_bps": -1.0},
+    ])
+    def test_invalid_capacities_rejected(self, kwargs):
+        with pytest.raises(CdnError):
+            EdgeConfig(**kwargs)
+
+
+class TestCdnTopology:
+    def test_uniform_replicates_the_edge(self):
+        topo = CdnTopology.uniform(3, max_connections=10,
+                                   bandwidth_bps=2e6)
+        assert topo.n_edges == 3
+        assert len(set(topo.edges)) == 1
+        assert topo.edges[0].max_connections == 10
+
+    def test_needs_at_least_one_edge(self):
+        with pytest.raises(CdnError):
+            CdnTopology.uniform(0)
+        with pytest.raises(CdnError):
+            CdnTopology(edges=())
+
+    def test_origin_rate_must_be_positive(self):
+        with pytest.raises(CdnError):
+            CdnTopology.uniform(2, origin_stream_bps=0.0)
+
+    def test_to_dict_round_trips_the_shape(self):
+        topo = CdnTopology.uniform(2, bandwidth_bps=5e6)
+        doc = topo.to_dict()
+        assert doc["n_edges"] == 2
+        assert len(doc["edges"]) == 2
+        assert doc["edges"][0]["bandwidth_bps"] == 5e6
+
+
+class TestQuantizeBandwidth:
+    def test_rounds_half_to_even(self):
+        rates = np.asarray([0.5, 1.5, 2.5, 300_000.2])
+        out = quantize_bandwidth(rates)
+        assert out.dtype == np.int64
+        assert out.tolist() == [0, 2, 2, 300_000]
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(CdnError):
+            quantize_bandwidth(np.asarray([1.0, -2.0]))
+
+    def test_empty_column(self):
+        assert quantize_bandwidth(np.zeros(0)).size == 0

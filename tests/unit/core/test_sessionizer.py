@@ -174,7 +174,7 @@ class TestTimeoutSweep:
     def test_matches_direct_sessionization(self, smoke_trace):
         timeouts = np.asarray([300.0, 1_500.0, 3_000.0])
         counts = session_count_for_timeouts(smoke_trace, timeouts)
-        for timeout, count in zip(timeouts, counts):
+        for timeout, count in zip(timeouts, counts, strict=True):
             assert sessionize(smoke_trace, timeout).n_sessions == count
 
     def test_invalid_inputs(self, tiny_trace):

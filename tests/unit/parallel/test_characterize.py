@@ -46,7 +46,7 @@ class TestPlanLogChunks:
         chunks = plan_log_chunks([log_path], chunk_bytes=1024)
         assert len(chunks) > 1
         assert chunks[0].byte_lo == 0
-        for a, b in zip(chunks, chunks[1:]):
+        for a, b in zip(chunks, chunks[1:], strict=False):
             assert a.byte_hi == b.byte_lo
         assert chunks[-1].byte_hi == os.path.getsize(log_path)
 

@@ -28,7 +28,7 @@ class TestPlanStructure:
         # Contiguous, non-overlapping, covering [0, n_sessions).
         assert ranges[0][0] == 0
         assert ranges[-1][1] == plan.n_sessions
-        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:], strict=False):
             assert hi == lo
         assert sum(hi - lo for lo, hi in ranges) == plan.n_sessions
         assert sum(shard.n_sessions for shard in plan.shards) == \
@@ -59,7 +59,8 @@ class TestPlanStructure:
             clone = pickle.loads(pickle.dumps(spec))
             assert clone.index == spec.index
             assert clone.n_sessions == spec.n_sessions
-            for block, other in zip(spec.blocks, clone.blocks):
+            for block, other in zip(spec.blocks, clone.blocks,
+                                    strict=True):
                 np.testing.assert_array_equal(block.arrivals, other.arrivals)
                 assert block.seed_seq.spawn_key == other.seed_seq.spawn_key
 

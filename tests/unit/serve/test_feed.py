@@ -73,7 +73,7 @@ def session_rows(client_names, finalized):
     return sorted(zip(
         (client_names[k] for k in finalized.client_index.tolist()),
         finalized.start.tolist(), finalized.end.tolist(),
-        finalized.n_transfers.tolist()))
+        finalized.n_transfers.tolist(), strict=True))
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +115,7 @@ def test_finish_matches_batch_sessionizer(logs):
     client, start, end, count = sessions.session_columns()
     batch_rows = sorted(zip(
         (trace.clients.player_ids[k] for k in client.tolist()),
-        start.tolist(), end.tolist(), count.tolist()))
+        start.tolist(), end.tolist(), count.tolist(), strict=True))
     assert session_rows(worker.intern_table(), finalized) == batch_rows
     assert worker.late_drops == 0
 

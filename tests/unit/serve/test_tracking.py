@@ -35,7 +35,7 @@ def test_concurrency_matches_brute_force_within_window():
     tracker.observe(start, end)
     bins, counts = tracker.curve(last_bins=32)
     assert bins.size == counts.size
-    for b, c in zip(bins.tolist(), counts.tolist()):
+    for b, c in zip(bins.tolist(), counts.tolist(), strict=True):
         assert c == brute_force_concurrency(start, end, 1.0, int(b))
     frontier_bin = int(np.floor(end.max())) + 1
     assert tracker.current() == brute_force_concurrency(
@@ -121,7 +121,7 @@ def test_gap_moments_match_batch_interarrivals(small_trace):
     displays = np.floor(np.maximum(gaps, 0.0)).astype(np.int64) + 1
     reference = _OnlineLogMoments()
     values, counts = np.unique(displays, return_counts=True)
-    for value, count in zip(values.tolist(), counts.tolist()):
+    for value, count in zip(values.tolist(), counts.tolist(), strict=True):
         reference.counts[value] = count
 
     live = GapMoments(trace.n_clients, timeout=timeout)

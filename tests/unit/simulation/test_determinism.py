@@ -30,7 +30,8 @@ def event_firing_order(seed):
     priorities = rng.integers(0, 3, size=200)
     queue = EventQueue()
     fired = []
-    for label, (time, priority) in enumerate(zip(times, priorities)):
+    for label, (time, priority) in enumerate(zip(times, priorities,
+                                                 strict=True)):
         queue.at(float(time), fired.append, (float(time), label),
                  priority=int(priority))
     queue.run()
@@ -52,7 +53,8 @@ class TestEventOrdering:
         tie_times = rng.integers(0, 50, size=200) / 4.0
         tie_priorities = rng.integers(0, 3, size=200)
         groups = {}
-        for label, key in enumerate(zip(tie_times, tie_priorities)):
+        for label, key in enumerate(zip(tie_times, tie_priorities,
+                                        strict=True)):
             groups.setdefault(key, []).append(label)
         order = {label: pos for pos, (_, label) in enumerate(fired)}
         for labels in groups.values():

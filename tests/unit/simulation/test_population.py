@@ -65,7 +65,8 @@ class TestTopology:
     def test_ips_unique_across_ases(self, population):
         # An IP string never appears under two different AS numbers.
         pairs = {}
-        for ip, asn in zip(population.ips, population.as_numbers):
+        for ip, asn in zip(population.ips, population.as_numbers,
+                           strict=True):
             assert pairs.setdefault(str(ip), int(asn)) == int(asn)
 
     def test_access_speeds_from_tiers(self, population):

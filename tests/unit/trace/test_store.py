@@ -127,7 +127,7 @@ class TestBatchExport:
                              (0, 0, 1.5, 3.25)], n_clients=3)
         rows = trace.to_rows()
         assert len(rows) == len(trace)
-        for row, record in zip(rows, trace):
+        for row, record in zip(rows, trace, strict=True):
             (client_index, object_id, start, duration, bandwidth,
              loss, cpu, status) = row
             assert trace.clients.record(client_index).player_id == \

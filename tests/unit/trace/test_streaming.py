@@ -57,7 +57,8 @@ class TestAgreementWithBatch:
     def test_feed_counts_match(self, streamed, log_text):
         batch = read_wms_log(io.StringIO(log_text))
         expected = {int(k): int(v) for k, v in
-                    zip(*np.unique(batch.object_id, return_counts=True))}
+                    zip(*np.unique(batch.object_id, return_counts=True),
+                        strict=True)}
         assert streamed.summary().feed_counts == expected
 
     def test_interest_profile_matches(self, streamed, log_text):
