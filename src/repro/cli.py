@@ -119,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="client population when using default model "
                           "(default: 50000)")
     gen.add_argument("--seed", type=int, default=None, help="random seed")
+    gen.add_argument("--scenario", default=None, metavar="SPEC",
+                     help="workload perturbation scenario: a registered "
+                          "name with optional parameters, '+'-composed "
+                          "(e.g. 'flash-crowd', "
+                          "'flash-crowd(peak=6.0)+zapping'); the output "
+                          "is identical across --shards/--jobs/--stream")
     gen.add_argument("--shards", type=int, default=1,
                      help="split generation into this many shards; the "
                           "merged trace is identical for any value "
@@ -202,6 +208,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="skip the cross-pipeline differential oracle")
     con.add_argument("--no-mutation", action="store_true",
                      help="skip the mutation self-check")
+    con.add_argument("--no-scenarios", action="store_true",
+                     help="skip the scenario sensitivity gates, scenario "
+                          "oracles, and the inert-scenario self-check")
     con.add_argument("--boot", type=int, default=None,
                      help="bootstrap replicates per parameter "
                           "(default: 200)")
@@ -310,6 +319,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: 2000)")
     pln.add_argument("--seed", type=int, default=None,
                      help="random seed for the generated workload")
+    pln.add_argument("--scenario", default=None, metavar="SPEC",
+                     help="perturbation scenario for the generated "
+                          "workload (e.g. 'flash-crowd'); incompatible "
+                          "with --trace")
     pln.add_argument("--policy", default="as-hash",
                      help="client->edge assignment policy: as-hash, "
                           "sticky, or least-loaded (default: as-hash)")
@@ -461,6 +474,9 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from .errors import ScenarioError
+    from .scenarios import get_scenario
+
     if args.model is not None:
         model = LiveWorkloadModel.from_dict(
             json.loads(args.model.read_text()))
@@ -470,6 +486,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.chunk_size is not None and args.chunk_size < 1:
         print(f"--chunk-size must be at least 1, got {args.chunk_size}",
               file=sys.stderr)
+        return 2
+    try:
+        get_scenario(args.scenario)  # fail fast, before any generation
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
         return 2
     if args.stream:
         return _cmd_generate_stream(args, model)
@@ -485,18 +506,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         print("--resume/--no-sessions only apply with --stream",
               file=sys.stderr)
         return 2
-    workload = LiveWorkloadGenerator(model).generate_sharded(
-        args.days, seed=args.seed, shards=args.shards, jobs=args.jobs)
+    try:
+        workload = LiveWorkloadGenerator(model).generate_sharded(
+            args.days, seed=args.seed, shards=args.shards, jobs=args.jobs,
+            scenario=args.scenario)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
     workload.trace.save_npz(args.out)
+    scenario_note = (f" [scenario {args.scenario}]"
+                     if args.scenario is not None else "")
     print(f"generated {workload.trace.n_transfers} transfers in "
-          f"{workload.n_sessions} sessions over {args.days} days "
-          f"-> {args.out}")
+          f"{workload.n_sessions} sessions over {args.days} days"
+          f"{scenario_note} -> {args.out}")
     return 0
 
 
 def _cmd_generate_stream(args: argparse.Namespace,
                          model: LiveWorkloadModel) -> int:
-    from .errors import CheckpointError
+    from .errors import CheckpointError, ScenarioError
     from .stream import DEFAULT_CHUNK_SIZE, run_streaming_generation
 
     try:
@@ -508,9 +536,13 @@ def _cmd_generate_stream(args: argparse.Namespace,
             sessionize=not args.no_sessions, collect_sessions=False,
             checkpoint_path=args.checkpoint, resume=args.resume,
             max_blocks=args.max_blocks,
+            scenario=args.scenario,
             codec=args.codec if args.codec is not None else "text")
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
         return 2
     state = "complete" if result.completed else "interrupted"
     sessions = ("sessions off" if result.n_sessions is None
@@ -581,6 +613,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             update=args.update,
             run_oracle=not args.no_oracle,
             run_mutation=not args.no_mutation,
+            run_scenarios=not args.no_scenarios,
             n_boot=DEFAULT_N_BOOT if args.boot is None else args.boot,
             registry_path=(REGISTRY_PATH if args.registry is None
                            else args.registry))
@@ -751,20 +784,34 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     # worker processes see the exact same bytes as the inline path and
     # the report is identical for any --jobs value.
     if args.trace is not None:
+        if args.scenario is not None:
+            print("--scenario applies to the generated workload; it is "
+                  "incompatible with --trace (pre-recorded traces carry "
+                  "no model to perturb)", file=sys.stderr)
+            return 2
         trace_path, cleanup = args.trace, None
     else:
+        from .errors import ScenarioError
+
         model = LiveWorkloadModel.paper_defaults(
             mean_session_rate=args.rate, n_clients=args.clients)
-        workload = LiveWorkloadGenerator(model).generate(
-            args.days, seed=args.seed)
+        try:
+            workload = LiveWorkloadGenerator(model).generate(
+                args.days, seed=args.seed, scenario=args.scenario)
+        except ScenarioError as exc:
+            print(f"scenario error: {exc}", file=sys.stderr)
+            return 2
         handle = tempfile.NamedTemporaryFile(
             suffix=".npz", delete=False)
         handle.close()
         workload.trace.save_npz(handle.name)
         trace_path, cleanup = Path(handle.name), Path(handle.name)
+        scenario_note = ("" if args.scenario is None
+                         else f", scenario={args.scenario}")
         print(f"generated {workload.trace.n_transfers} transfers over "
               f"{args.days} days (rate={args.rate}, "
-              f"clients={args.clients}, seed={args.seed})")
+              f"clients={args.clients}, seed={args.seed}"
+              f"{scenario_note})")
     try:
         report = plan_deployment(
             trace_path, policy=args.policy, slo=args.slo,

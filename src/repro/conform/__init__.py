@@ -19,6 +19,10 @@ machine-checked gates:
   (core vs parallel vs stream, incl. a mid-run checkpoint/resume split).
 * :mod:`repro.conform.mutation` — the self-check proving a 2% parameter
   perturbation is caught.
+* :mod:`repro.conform.scenarios` — per-scenario golden envelopes and the
+  two-sided sensitivity gates (every registered scenario must be
+  statistically distinguishable from baseline *and* reproduce its own
+  pinned envelope), plus the inert-scenario self-check.
 * :mod:`repro.conform.runner` — one-call orchestration +
   ``CONFORMANCE.json`` emission (the ``repro conform`` CLI verb).
 
@@ -64,6 +68,17 @@ from .runner import (
     render_summary,
     run_conformance,
 )
+from .scenarios import (
+    ORACLE_SCENARIOS,
+    SCENARIO_WORKLOAD,
+    SENSITIVITY_SCENARIOS,
+    InertScenarioReport,
+    inert_scenario_self_check,
+    measure_scenario,
+    scenario_gates,
+    scenario_key,
+    scenario_registry_entry,
+)
 
 __all__ = [
     "CANONICAL_MATRIX",
@@ -71,19 +86,25 @@ __all__ = [
     "GATED_DISTANCES",
     "GATED_PARAMETERS",
     "GateRecord",
+    "InertScenarioReport",
     "MUTATION_WORKLOAD",
     "MutationReport",
+    "ORACLE_SCENARIOS",
     "OracleComparison",
     "OracleReport",
     "PAPER_REFERENCES",
     "REGISTRY_PATH",
     "SCALES",
+    "SCENARIO_WORKLOAD",
+    "SENSITIVITY_SCENARIOS",
     "WorkloadMeasurement",
     "WorkloadSpec",
     "conformance_document",
     "derive_tolerances",
     "evaluate_gates",
+    "inert_scenario_self_check",
     "load_registry",
+    "measure_scenario",
     "measure_workload",
     "mutation_self_check",
     "registry_entry",
@@ -93,6 +114,9 @@ __all__ = [
     "run_differential_oracle",
     "save_registry",
     "scale_specs",
+    "scenario_gates",
+    "scenario_key",
+    "scenario_registry_entry",
     "serialize_registry",
     "statistical_failures",
     "updated_registry",

@@ -229,7 +229,8 @@ def run_differential_oracle(
         chunk_sizes: tuple[int, ...] = DEFAULT_CHUNK_SIZES,
         resume_split: bool = True,
         binary_codec: bool = True,
-        reference: GismoWorkload | None = None) -> OracleReport:
+        reference: GismoWorkload | None = None,
+        scenario: str | None = None) -> OracleReport:
     """Run the full differential matrix for one canonical workload.
 
     Parameters
@@ -253,6 +254,10 @@ def run_differential_oracle(
         against the text log, and binary kill/resume byte identity.
     reference:
         Reuse an already generated batch workload.
+    scenario:
+        Optional scenario spec applied to *every* leg of the matrix —
+        the scenario determinism contract says the perturbed workload
+        must stay bit-identical across engines too.
     """
     workdir = Path(workdir)
     model = spec.model()
@@ -260,21 +265,22 @@ def run_differential_oracle(
 
     if reference is None:
         reference = LiveWorkloadGenerator(model).generate(
-            spec.days, seed=spec.seed)
+            spec.days, seed=spec.seed, scenario=scenario)
     ref_log = workdir / "reference.log"
     write_wms_log(reference.trace, ref_log)
     ref_sessions = sessionize(reference.trace).session_columns()
 
     for shards, jobs in shard_configs:
         candidate = generate_sharded(model, spec.days, seed=spec.seed,
-                                     shards=shards, jobs=jobs)
+                                     shards=shards, jobs=jobs,
+                                     scenario=scenario)
         comparisons.append(_compare_trace(
             f"parallel[shards={shards},jobs={jobs}].trace",
             reference, candidate))
 
     min_chunk = min(chunk_sizes)
     probe = GenerationStream(model, spec.days, seed=spec.seed,
-                             chunk_size=min_chunk)
+                             chunk_size=min_chunk, scenario=scenario)
     splits = max(len(step) for step in probe.block_steps())
     comparisons.append(OracleComparison(
         f"stream[chunk={min_chunk}].splits-blocks", splits > 1,
@@ -285,7 +291,7 @@ def run_differential_oracle(
         log_path = workdir / f"stream_chunk{chunk}.log"
         result = run_streaming_generation(
             model, spec.days, seed=spec.seed, log_path=log_path,
-            chunk_size=chunk)
+            chunk_size=chunk, scenario=scenario)
         comparisons.append(_compare_files(
             f"stream[chunk={chunk}].log", ref_log, log_path))
         comparisons.append(_compare_sessions(
@@ -301,14 +307,15 @@ def run_differential_oracle(
         first = run_streaming_generation(
             model, spec.days, seed=spec.seed, log_path=log_path,
             chunk_size=chunk, checkpoint_path=ck_path, resume=True,
-            max_blocks=split)
+            max_blocks=split, scenario=scenario)
         comparisons.append(OracleComparison(
             f"stream[resume@{split}].interrupted", not first.completed,
             f"first leg stopped after {first.blocks_run} of "
             f"{probe.n_blocks} blocks"))
         second = run_streaming_generation(
             model, spec.days, seed=spec.seed, log_path=log_path,
-            chunk_size=chunk, checkpoint_path=ck_path, resume=True)
+            chunk_size=chunk, checkpoint_path=ck_path, resume=True,
+            scenario=scenario)
         comparisons.append(OracleComparison(
             f"stream[resume@{split}].completed", second.completed,
             "resumed leg ran to the end of the window"))
@@ -324,7 +331,7 @@ def run_differential_oracle(
         bin_path = workdir / f"binary_chunk{chunk}.rtb"
         bin_result = run_streaming_generation(
             model, spec.days, seed=spec.seed, log_path=bin_path,
-            chunk_size=chunk, codec="binary")
+            chunk_size=chunk, codec="binary", scenario=scenario)
         comparisons.append(_compare_sessions(
             f"binary[chunk={chunk}].sessions", ref_sessions,
             (bin_result.sessions.client_index, bin_result.sessions.start,
@@ -342,7 +349,7 @@ def run_differential_oracle(
             first = run_streaming_generation(
                 model, spec.days, seed=spec.seed, log_path=resume_path,
                 chunk_size=chunk, codec="binary", checkpoint_path=ck_path,
-                resume=True, max_blocks=split)
+                resume=True, max_blocks=split, scenario=scenario)
             comparisons.append(OracleComparison(
                 f"binary[resume@{split}].interrupted", not first.completed,
                 f"first leg stopped after {first.blocks_run} of "
@@ -350,7 +357,7 @@ def run_differential_oracle(
             run_streaming_generation(
                 model, spec.days, seed=spec.seed, log_path=resume_path,
                 chunk_size=chunk, codec="binary", checkpoint_path=ck_path,
-                resume=True)
+                resume=True, scenario=scenario)
             comparisons.append(_compare_files(
                 f"binary[resume@{split}].file", bin_path, resume_path))
 

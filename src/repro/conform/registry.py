@@ -14,6 +14,15 @@ Schema (version 1)::
                         "paper_reference": ..., "paper_tol": ...}},
           "distances": {"<name>": {"value": ..., "max": ...}}
         }
+      },
+      "scenarios": {                        # optional (scenario envelopes)
+        "<workload>@<scenario>": {
+          "workload": "<workload>",
+          "scenario": "<canonical scenario spec>",
+          "hashes": {...}, "counts": {...},
+          "parameters": {...}, "distances": {...},
+          "distinguishers": ["param:...", ...]   # gates tripped vs baseline
+        }
       }
     }
 
@@ -98,18 +107,32 @@ def load_registry(path: str | Path = REGISTRY_PATH) -> dict:
                 raise ConfigError(
                     f"golden registry entry {name!r} lacks {key!r}; "
                     "regenerate with `make conform-update`")
+    # Deferred import: scenario validation needs repro.scenarios, which
+    # some registry consumers (plain load/update paths) never touch.
+    from .scenarios import validate_scenario_table
+    validate_scenario_table(registry, path)
     return registry
 
 
 def updated_registry(measurements: list[WorkloadMeasurement],
-                     base: dict | None = None) -> dict:
+                     base: dict | None = None,
+                     scenario_entries: dict | None = None) -> dict:
     """A registry with ``measurements`` (re-)pinned.
 
     Entries of workloads not re-measured are carried over from ``base``,
     so updating at smoke scale does not discard the paper-scale pin.
+    ``scenario_entries`` maps scenario keys
+    (``<workload>@<scenario>``) to blocks built by
+    :func:`repro.conform.scenarios.scenario_registry_entry`; keys not
+    re-pinned carry over from ``base`` the same way.
     """
     workloads = dict((base or {}).get("workloads", {}))
     for measurement in measurements:
         workloads[measurement.spec.name] = registry_entry(measurement)
-    return {"version": REGISTRY_VERSION,
-            "workloads": dict(sorted(workloads.items()))}
+    scenarios = dict((base or {}).get("scenarios", {}))
+    scenarios.update(scenario_entries or {})
+    registry = {"version": REGISTRY_VERSION,
+                "workloads": dict(sorted(workloads.items()))}
+    if scenarios:
+        registry["scenarios"] = dict(sorted(scenarios.items()))
+    return registry

@@ -13,14 +13,15 @@ gate closes.
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from pathlib import Path
 
 from ..core.gismo import LiveWorkloadGenerator
 from .cdn import cdn_reconciliation_comparisons
 from .fingerprint import DEFAULT_N_BOOT, WorkloadMeasurement, measure_workload
 from .gates import GateRecord, evaluate_gates
-from .matrix import MUTATION_WORKLOAD, WorkloadSpec, scale_specs
+from .matrix import MUTATION_WORKLOAD, WorkloadSpec, scale_specs, workload_spec
 from .mutation import MutationReport, mutation_self_check
 from .oracle import (
     DEFAULT_CHUNK_SIZES,
@@ -29,6 +30,17 @@ from .oracle import (
     run_differential_oracle,
 )
 from .registry import REGISTRY_PATH, load_registry, save_registry, updated_registry
+from .scenarios import (
+    ORACLE_SCENARIOS,
+    SCENARIO_WORKLOAD,
+    SENSITIVITY_SCENARIOS,
+    InertScenarioReport,
+    inert_scenario_self_check,
+    measure_scenario,
+    scenario_gates,
+    scenario_key,
+    scenario_registry_entry,
+)
 
 #: Differential-oracle shapes per workload.  The paper-scale workload
 #: uses chunk sizes that still split the ~38 k-transfer canonical blocks
@@ -50,13 +62,16 @@ class ConformanceResult:
     gates: tuple[GateRecord, ...]
     oracles: tuple[OracleReport, ...]
     mutation: MutationReport | None
+    scenarios: dict[str, WorkloadMeasurement] = field(default_factory=dict)
+    inert: InertScenarioReport | None = None
 
     @property
     def passed(self) -> bool:
         gates_ok = all(g.passed for g in self.gates)
         oracles_ok = all(o.passed for o in self.oracles)
         mutation_ok = self.mutation is None or self.mutation.caught
-        return gates_ok and oracles_ok and mutation_ok
+        inert_ok = self.inert is None or self.inert.caught
+        return gates_ok and oracles_ok and mutation_ok and inert_ok
 
 
 def _oracle_shape(spec: WorkloadSpec) -> dict:
@@ -70,6 +85,7 @@ def run_conformance(scale: str = "smoke", *,
                     update: bool = False,
                     run_oracle: bool = True,
                     run_mutation: bool = True,
+                    run_scenarios: bool = True,
                     n_boot: int = DEFAULT_N_BOOT,
                     registry_path: str | Path = REGISTRY_PATH,
                     workdir: str | Path | None = None) -> ConformanceResult:
@@ -88,6 +104,10 @@ def run_conformance(scale: str = "smoke", *,
         with a broken harness.
     run_oracle, run_mutation:
         Toggles for the differential oracle and the mutation self-check.
+    run_scenarios:
+        Toggle for the scenario leg: per-scenario envelope measurement,
+        the two-sided sensitivity gates, the scenario differential
+        oracles, and the inert-scenario self-check.
     n_boot:
         Bootstrap replicates per measurement.
     registry_path:
@@ -106,12 +126,30 @@ def run_conformance(scale: str = "smoke", *,
                                     workload=references[spec.name])
         for spec in specs}
 
+    scenario_measurements: dict[str, WorkloadMeasurement] = {}
+    if run_scenarios:
+        base_spec = workload_spec(SCENARIO_WORKLOAD)
+        for name in SENSITIVITY_SCENARIOS:
+            scenario_measurements[name] = measure_scenario(
+                base_spec, name, n_boot=n_boot)
+
     registry_path = Path(registry_path)
     if update:
         base = None
         if registry_path.exists():
             base = load_registry(registry_path)
-        registry = updated_registry(list(measurements.values()), base=base)
+        scenario_entries = None
+        if scenario_measurements:
+            # Distinguishers are recorded against the *fresh* baseline
+            # entry, so pin the workloads first, then the scenarios.
+            fresh = updated_registry(list(measurements.values()), base=base)
+            baseline_entry = fresh["workloads"][SCENARIO_WORKLOAD]
+            scenario_entries = {
+                scenario_key(SCENARIO_WORKLOAD, name): scenario_registry_entry(
+                    measurement, baseline_entry, SCENARIO_WORKLOAD, name)
+                for name, measurement in scenario_measurements.items()}
+        registry = updated_registry(list(measurements.values()), base=base,
+                                    scenario_entries=scenario_entries)
         save_registry(registry, registry_path)
     else:
         registry = load_registry(registry_path)
@@ -126,6 +164,9 @@ def run_conformance(scale: str = "smoke", *,
                         "run `make conform-update`")))
             continue
         gates.extend(evaluate_gates(measurements[spec.name], entry))
+    for name, measurement in scenario_measurements.items():
+        gates.extend(scenario_gates(measurement, registry,
+                                    SCENARIO_WORKLOAD, name))
 
     oracles: list[OracleReport] = []
     if run_oracle:
@@ -147,6 +188,15 @@ def run_conformance(scale: str = "smoke", *,
                     comparisons=report.comparisons
                     + cdn_reconciliation_comparisons(
                         references[spec.name])))
+            if run_scenarios:
+                small = workload_spec("small")
+                for idx, name in enumerate(ORACLE_SCENARIOS):
+                    scratch = Path(workdir) / f"scenario{idx}"
+                    scratch.mkdir(parents=True, exist_ok=True)
+                    keyed = dc_replace(small,
+                                       name=scenario_key("small", name))
+                    oracles.append(run_differential_oracle(
+                        keyed, scratch, scenario=name))
         finally:
             if own_tmp is not None:
                 own_tmp.cleanup()
@@ -155,6 +205,10 @@ def run_conformance(scale: str = "smoke", *,
     if run_mutation and MUTATION_WORKLOAD in registry["workloads"]:
         mutation = mutation_self_check(registry)
 
+    inert = None
+    if run_scenarios and SCENARIO_WORKLOAD in registry["workloads"]:
+        inert = inert_scenario_self_check(registry, n_boot=n_boot)
+
     return ConformanceResult(
         scale=scale,
         updated=update,
@@ -162,26 +216,33 @@ def run_conformance(scale: str = "smoke", *,
         gates=tuple(gates),
         oracles=tuple(oracles),
         mutation=mutation,
+        scenarios=scenario_measurements,
+        inert=inert,
     )
+
+
+def _measurement_block(m: WorkloadMeasurement) -> dict:
+    return {
+        "spec": m.spec.to_dict(),
+        "hashes": {"trace": m.trace_sha256,
+                   "sessions": m.sessions_sha256,
+                   "log": m.log_sha256},
+        "counts": {"n_transfers": m.n_transfers,
+                   "n_sessions": m.n_sessions},
+        "parameters": {
+            p: {"value": m.parameters[p],
+                "ci_halfwidth": m.ci_halfwidth[p]}
+            for p in sorted(m.parameters)},
+        "distances": dict(sorted(m.distances.items())),
+    }
 
 
 def conformance_document(result: ConformanceResult) -> dict:
     """The ``CONFORMANCE.json`` document for ``result``."""
-    workloads = {}
-    for name, m in sorted(result.measurements.items()):
-        workloads[name] = {
-            "spec": m.spec.to_dict(),
-            "hashes": {"trace": m.trace_sha256,
-                       "sessions": m.sessions_sha256,
-                       "log": m.log_sha256},
-            "counts": {"n_transfers": m.n_transfers,
-                       "n_sessions": m.n_sessions},
-            "parameters": {
-                p: {"value": m.parameters[p],
-                    "ci_halfwidth": m.ci_halfwidth[p]}
-                for p in sorted(m.parameters)},
-            "distances": dict(sorted(m.distances.items())),
-        }
+    workloads = {name: _measurement_block(m)
+                 for name, m in sorted(result.measurements.items())}
+    scenarios = {name: _measurement_block(m)
+                 for name, m in sorted(result.scenarios.items())}
     return {
         "scale": result.scale,
         "updated_registry": result.updated,
@@ -208,6 +269,14 @@ def conformance_document(result: ConformanceResult) -> dict:
             "failing_gates": [r.gate
                               for r in result.mutation.failing_gates],
         }),
+        "scenarios": scenarios,
+        "inert_scenario": (None if result.inert is None else {
+            "workload": result.inert.workload,
+            "scenario": result.inert.scenario,
+            "bit_identical": result.inert.bit_identical,
+            "tripped_gates": list(result.inert.tripped_gates),
+            "caught": result.inert.caught,
+        }),
     }
 
 
@@ -222,6 +291,8 @@ def render_failures(result: ConformanceResult) -> str:
             lines.append(f"ORACLE  {o.workload}/{c.name}: {c.detail}")
     if result.mutation is not None and not result.mutation.caught:
         lines.append(f"MUTATION  {result.mutation.summary()}")
+    if result.inert is not None and not result.inert.caught:
+        lines.append(f"INERT  {result.inert.summary()}")
     return "\n".join(lines)
 
 
@@ -233,6 +304,9 @@ def render_summary(result: ConformanceResult) -> str:
         lines.append(f"  {name:<8} {m.n_transfers} transfers, "
                      f"{m.n_sessions} sessions, trace "
                      f"{m.trace_sha256[:12]}…")
+    for name, m in sorted(result.scenarios.items()):
+        lines.append(f"  scenario {name}: {m.n_transfers} transfers, "
+                     f"trace {m.trace_sha256[:12]}…")
     n_gates = len(result.gates)
     n_fail = sum(1 for g in result.gates if not g.passed)
     lines.append(f"  gates    {n_gates - n_fail}/{n_gates} passed")
@@ -243,5 +317,7 @@ def render_summary(result: ConformanceResult) -> str:
                      "bit-identical")
     if result.mutation is not None:
         lines.append(f"  mutation {result.mutation.summary()}")
+    if result.inert is not None:
+        lines.append(f"  inert    {result.inert.summary()}")
     lines.append(f"  verdict  {'PASS' if result.passed else 'FAIL'}")
     return "\n".join(lines)

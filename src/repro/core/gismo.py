@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .._typing import FloatArray, IntArray, SeedLike
 from ..trace.store import ClientTable
 from .model import LiveWorkloadModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..scenarios import Scenario
 
 
 @dataclass(frozen=True)
@@ -114,7 +119,8 @@ class LiveWorkloadGenerator:
     def __init__(self, model: LiveWorkloadModel) -> None:
         self.model = model
 
-    def generate(self, days: float, seed: SeedLike = None) -> GismoWorkload:
+    def generate(self, days: float, seed: SeedLike = None, *,
+                 scenario: "str | Scenario | None" = None) -> GismoWorkload:
         """Generate a workload spanning ``days`` days.
 
         Transfers whose start would fall past the window are discarded and
@@ -123,18 +129,25 @@ class LiveWorkloadGenerator:
 
         Generation runs through the :mod:`repro.parallel` engine as a
         single inline shard, so this serial path is bit-for-bit identical
-        to :meth:`generate_sharded` at any shard/worker count.
+        to :meth:`generate_sharded` at any shard/worker count.  An
+        optional ``scenario`` (spec string or
+        :class:`~repro.scenarios.Scenario`) perturbs the workload; see
+        :mod:`repro.scenarios`.
 
         Raises
         ------
         GenerationError
             If ``days`` is non-positive.
+        ScenarioError
+            If ``scenario`` is an unknown name or a malformed spec.
         """
-        return self.generate_sharded(days, seed=seed)
+        return self.generate_sharded(days, seed=seed, scenario=scenario)
 
     def generate_sharded(self, days: float, *, seed: SeedLike = None,
                          shards: int = 1, jobs: int = 1,
-                         strategy: str = "sessions") -> GismoWorkload:
+                         strategy: str = "sessions",
+                         scenario: "str | Scenario | None" = None
+                         ) -> GismoWorkload:
         """Generate a workload in ``shards`` parts across ``jobs`` processes.
 
         Convenience front end to
@@ -143,4 +156,5 @@ class LiveWorkloadGenerator:
         """
         from ..parallel.engine import generate_sharded
         return generate_sharded(self.model, days, seed=seed, shards=shards,
-                                jobs=jobs, strategy=strategy)
+                                jobs=jobs, strategy=strategy,
+                                scenario=scenario)

@@ -20,10 +20,11 @@ Rate-profile estimation for the piecewise-stationary Poisson arrival model
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from .._typing import ArrayLike, FloatArray, as_float_array
+from .._typing import ArrayLike, FloatArray, SeedLike, as_float_array
 from ..errors import FittingError
 from ..units import DAY
 from .diurnal import DiurnalProfile
@@ -457,8 +458,10 @@ class BootstrapInterval:
         return self.upper - self.lower
 
 
-def bootstrap_ci(values: ArrayLike, estimator, *, n_resamples: int = 200,
-                 confidence: float = 0.95, seed=None) -> BootstrapInterval:
+def bootstrap_ci(values: ArrayLike,
+                 estimator: Callable[[FloatArray], float], *,
+                 n_resamples: int = 200, confidence: float = 0.95,
+                 seed: SeedLike = None) -> BootstrapInterval:
     """Percentile-bootstrap confidence interval for any scalar estimator.
 
     The paper reports fit uncertainties as asymptotic-error percentages

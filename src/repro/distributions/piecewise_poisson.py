@@ -28,11 +28,14 @@ class RateProfile(Protocol):
 
     period: float
 
-    def rate(self, t):  # pragma: no cover - protocol signature
+    def rate(self, t: float | FloatArray
+             ) -> float | FloatArray:  # pragma: no cover - protocol signature
         """Evaluate the rate at times ``t`` (vectorized)."""
+        ...
 
     def max_rate(self) -> float:  # pragma: no cover - protocol signature
         """Upper bound on the rate (used for thinning)."""
+        ...
 
 
 class PiecewiseStationaryPoissonProcess:

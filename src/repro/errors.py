@@ -102,6 +102,16 @@ class CdnError(ReproError):
     """
 
 
+class ScenarioError(ReproError):
+    """A workload scenario spec is unknown, malformed, or out of range.
+
+    Raised when parsing a scenario spec string (unknown scenario name,
+    bad composition syntax, non-numeric or unknown parameters) and when
+    a scenario's parameters fail validation (e.g. a blackout fraction
+    outside ``[0, 1]``).
+    """
+
+
 class LintError(ReproError):
     """The static-analysis pass was invoked with bad inputs.
 

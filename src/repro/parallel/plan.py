@@ -29,8 +29,9 @@ import numpy as np
 
 from .._typing import FloatArray, IntArray, SeedLike
 from ..core.model import LiveWorkloadModel
-from ..errors import GenerationError
+from ..errors import GenerationError, ScenarioError
 from ..rng import make_rng, spawn, spawn_sequences
+from ..scenarios import Scenario, TraceEdit, get_scenario
 from ..units import DAY
 
 #: Number of canonical blocks a generation request is decomposed into.
@@ -55,6 +56,10 @@ class BlockSpec:
         Global session-index range ``[lo, hi)`` covered by the block.
     arrivals:
         Arrival times of the block's sessions (global trace time).
+    session_client:
+        Client index of each of the block's sessions (same length as
+        ``arrivals``); lets workers resolve per-transfer clients for
+        client-targeted scenario edits without the global table.
     seed_seq:
         The block's spawned seed sequence; workers derive the behaviour
         and bandwidth streams from it statelessly.
@@ -64,6 +69,7 @@ class BlockSpec:
     session_lo: int
     session_hi: int
     arrivals: FloatArray = field(repr=False)
+    session_client: IntArray = field(repr=False)
     seed_seq: np.random.SeedSequence = field(repr=False)
 
     @property
@@ -86,12 +92,18 @@ class ShardSpec:
         Observation-window length in seconds; transfers are clipped to it.
     blocks:
         The canonical blocks this shard executes, in order.
+    edits:
+        Scenario trace edits to apply to every block's transfers, in
+        order.  Row-local and start-preserving (see
+        :class:`repro.scenarios.TraceEdit`), so applying them per block
+        leaves the merged trace independent of the shard grouping.
     """
 
     index: int
     model: LiveWorkloadModel
     duration: float
     blocks: tuple[BlockSpec, ...]
+    edits: tuple[TraceEdit, ...] = ()
 
     @property
     def n_sessions(self) -> int:
@@ -163,7 +175,9 @@ def _shard_cuts(bounds: IntArray, n_blocks: int, shards: int,
 
 def plan_block_stream(model: LiveWorkloadModel, days: float, *,
                       seed: SeedLike = None,
-                      blocks: int = DEFAULT_BLOCKS) -> GenerationPlan:
+                      blocks: int = DEFAULT_BLOCKS,
+                      scenario: str | Scenario | None = None
+                      ) -> GenerationPlan:
     """Plan a generation request as one shard per canonical block.
 
     The streaming entry point (:class:`repro.stream.GenerationStream`)
@@ -174,7 +188,8 @@ def plan_block_stream(model: LiveWorkloadModel, days: float, *,
     seed, blocks)`` as every other execution mode.
     """
     return plan_generation(model, days, seed=seed, shards=blocks,
-                           strategy="windows", blocks=blocks)
+                           strategy="windows", blocks=blocks,
+                           scenario=scenario)
 
 
 def emit_horizons(plan: GenerationPlan) -> FloatArray:
@@ -203,13 +218,16 @@ def emit_horizons(plan: GenerationPlan) -> FloatArray:
 def plan_generation(model: LiveWorkloadModel, days: float, *,
                     seed: SeedLike = None, shards: int = 1,
                     strategy: str = "sessions",
-                    blocks: int = DEFAULT_BLOCKS) -> GenerationPlan:
+                    blocks: int = DEFAULT_BLOCKS,
+                    scenario: str | Scenario | None = None
+                    ) -> GenerationPlan:
     """Plan a generation request as shard specs over canonical blocks.
 
     Runs the serial planning stages (arrival times, client interest) and
     splits the remaining work into ``shards`` picklable specs.  The
     resulting workload is a pure function of ``(model, days, seed,
-    blocks)`` — never of ``shards``, ``strategy``, or worker count.
+    blocks, scenario)`` — never of ``shards``, ``strategy``, or worker
+    count.
 
     Parameters
     ----------
@@ -227,11 +245,21 @@ def plan_generation(model: LiveWorkloadModel, days: float, *,
         (balance time windows).
     blocks:
         Canonical block count (see :data:`DEFAULT_BLOCKS`).
+    scenario:
+        Optional workload perturbation: a spec string
+        (``"flash-crowd+zapping"``), a
+        :class:`~repro.scenarios.Scenario`, or ``None`` for the
+        baseline.  The scenario's model perturbation is applied here,
+        before arrival planning, and its trace edits ride along in the
+        shard specs — so every execution mode generates the identical
+        perturbed workload.
 
     Raises
     ------
     GenerationError
         If ``days`` is non-positive.
+    ScenarioError
+        If ``scenario`` is an unknown name or a malformed spec.
     ValueError
         If ``shards``, ``blocks``, or ``strategy`` is invalid.
     """
@@ -245,7 +273,23 @@ def plan_generation(model: LiveWorkloadModel, days: float, *,
         raise ValueError(
             f"strategy must be one of {STRATEGIES}, got {strategy!r}")
 
+    resolved = get_scenario(scenario)
+    if resolved is not None:
+        perturbed = resolved.perturb_model(model)
+        if perturbed.n_clients != model.n_clients:
+            # Downstream consumers (client tables, online sessionizers)
+            # size state from the request model; population changes are
+            # expressed as trace edits (e.g. blackout), never by
+            # resizing the client universe mid-plan.
+            raise ScenarioError(
+                f"scenario {resolved.spec_string()!r} changed n_clients "
+                f"({model.n_clients} -> {perturbed.n_clients}); scenarios "
+                "must preserve the client universe")
+        model = perturbed
+
     duration = days * DAY
+    edits = (resolved.trace_edits(model, duration)
+             if resolved is not None else ())
     rng = make_rng(seed)
     arrival_rng, identity_rng = spawn(rng, 2)
     arrivals = model.arrival_process().generate(duration, arrival_rng)
@@ -265,13 +309,15 @@ def plan_generation(model: LiveWorkloadModel, days: float, *,
         BlockSpec(index=b, session_lo=int(bounds[b]),
                   session_hi=int(bounds[b + 1]),
                   arrivals=arrivals[bounds[b]:bounds[b + 1]],
+                  session_client=session_client[bounds[b]:bounds[b + 1]],
                   seed_seq=block_seqs[b])
         for b in range(blocks)
     ]
     cuts = _shard_cuts(bounds, blocks, shards, strategy)
     shard_specs = tuple(
         ShardSpec(index=k, model=model, duration=duration,
-                  blocks=tuple(block_specs[cuts[k]:cuts[k + 1]]))
+                  blocks=tuple(block_specs[cuts[k]:cuts[k + 1]]),
+                  edits=edits)
         for k in range(shards)
     )
     return GenerationPlan(model=model, duration=duration, arrivals=arrivals,

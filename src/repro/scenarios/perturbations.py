@@ -1,0 +1,397 @@
+"""The built-in scenario families.
+
+Each scenario here perturbs the Table 2 baseline toward a regime the
+related-work papers describe but the single reality-show trace cannot
+express (ROADMAP item 1):
+
+* :class:`FlashCrowd` — an unscheduled event: arrival-rate surge with a
+  linear ramp, hold, and decay, plus an interest-profile flattening
+  (surge audiences are less concentrated on the usual top clients).
+* :class:`Zapping` — P2P-television channel surfing (Biernacki &
+  Krieger): a sub-population of short-lived, rapidly switching sessions
+  blended into the ON/OFF session model.
+* :class:`Blackout` — a regional dropout: a deterministic
+  pseudo-randomly chosen client fraction contributes nothing during an
+  interval (transfers spanning the boundary are truncated at entry).
+* :class:`BimodalShift` — a bandwidth-class mix rotation toward a
+  broadband-heavy population (KhudaBukhsh et al.'s heterogeneous client
+  classes), with broadband stickiness lengthening transfers.
+* :class:`LongtailMix` — a live-vs-VoD-like blend: a share of transfers
+  follows a heavier, longer on-demand-style duration law.
+
+All parameter perturbations are *moment-matched blends in log space*
+where a mixture is being approximated: the perturbed lognormal keeps
+the mixture's exact log-mean and log-variance, so the perturbation is a
+smooth, invertible function of the mix weight and composes predictably
+(and, deliberately, non-commutatively — the second blend sees the
+first's output).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray
+from ..core.model import LiveWorkloadModel
+from ..distributions.diurnal import DiurnalProfile
+from ..errors import ScenarioError
+from ..units import DAY, HOUR, WEEK
+from .base import BoolArray, Scenario, TraceEdit
+
+#: Resolution of the rebuilt arrival profile: 15-minute bins over a week.
+_SURGE_BINS = 672
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+def _blend_lognormal(mu0: float, sigma0: float, mu1: float, sigma1: float,
+                     weight: float) -> tuple[float, float]:
+    """Moment-matched lognormal approximation of a two-lognormal mixture.
+
+    Matches the mixture's mean and variance *of the log values* (i.e.
+    the underlying normals): the blend keeps the log-domain first two
+    moments exact, which is the natural geometry for Table 2's
+    log-parameterized laws.  Returns ``(mu, sigma)``.
+    """
+    mu = (1.0 - weight) * mu0 + weight * mu1
+    second = ((1.0 - weight) * (sigma0 * sigma0 + mu0 * mu0)
+              + weight * (sigma1 * sigma1 + mu1 * mu1))
+    variance = max(second - mu * mu, 1e-12)
+    return mu, math.sqrt(variance)
+
+
+def _uniform_hash(values: IntArray, salt: int) -> FloatArray:
+    """Deterministic uniform-[0,1) hash of integer identifiers.
+
+    SplitMix64 finalizer — the same avalanche mix the CDN assignment
+    policies use, reimplemented locally so scenarios do not depend on
+    :mod:`repro.cdn`.  Seed-independent: the blackout population is a
+    fixed pseudo-random property of the client identifier and salt.
+    """
+    with np.errstate(over="ignore"):
+        x = values.astype(np.uint64) + np.uint64(salt) * np.uint64(
+            0x9E3779B97F4A7C15)
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class FlashCrowd(Scenario):
+    """Arrival-rate surge: linear ramp up, hold at peak, linear decay.
+
+    The surge multiplies the baseline diurnal profile by a piecewise
+    linear envelope (1 → ``peak`` over ``ramp_hours``, held for
+    ``hold_hours``, back to 1 over ``decay_hours``) starting at
+    ``start_day`` days into the trace.  The profile is rebuilt on a
+    fixed 15-minute weekly grid, sampling the base profile at bin
+    centers — exact for the paper's own 15-minute-bin profiles.
+
+    ``dilution`` flattens the client interest Zipf (``interest_alpha``
+    scaled by ``1 - dilution``): a flash crowd brings an atypical
+    audience whose interest is less concentrated, which is also what
+    makes the scenario statistically distinguishable (the arrival
+    surge alone moves only counts, which the statistical gate families
+    deliberately ignore).
+    """
+
+    slug = "flash-crowd"
+
+    peak: float = 4.0
+    start_day: float = 2.0
+    ramp_hours: float = 2.0
+    hold_hours: float = 1.0
+    decay_hours: float = 6.0
+    dilution: float = 0.35
+
+    def __post_init__(self) -> None:
+        _require(self.peak >= 1.0,
+                 f"flash-crowd peak must be >= 1, got {self.peak}")
+        _require(self.start_day >= 0.0,
+                 f"flash-crowd start_day must be >= 0, got {self.start_day}")
+        _require(self.ramp_hours > 0.0 and self.decay_hours > 0.0,
+                 "flash-crowd ramp_hours and decay_hours must be positive, "
+                 f"got {self.ramp_hours} and {self.decay_hours}")
+        _require(self.hold_hours >= 0.0,
+                 f"flash-crowd hold_hours must be >= 0, got {self.hold_hours}")
+        _require(0.0 <= self.dilution < 1.0,
+                 f"flash-crowd dilution must be in [0, 1), "
+                 f"got {self.dilution}")
+
+    def _surge_factor(self, t: FloatArray) -> FloatArray:
+        """The surge envelope evaluated at absolute times ``t``."""
+        t0 = self.start_day * DAY
+        ramp = self.ramp_hours * HOUR
+        hold = self.hold_hours * HOUR
+        decay = self.decay_hours * HOUR
+        up = np.clip((t - t0) / ramp, 0.0, 1.0)
+        down = np.clip((t - (t0 + ramp + hold)) / decay, 0.0, 1.0)
+        return 1.0 + (self.peak - 1.0) * (up - down)
+
+    def perturb_model(self, model: LiveWorkloadModel) -> LiveWorkloadModel:
+        base = model.arrival_profile
+        centers = (np.arange(_SURGE_BINS, dtype=np.float64) + 0.5) * (
+            WEEK / _SURGE_BINS)
+        rates = base.rate(centers) * self._surge_factor(centers)
+        profile = DiurnalProfile(rates, period=WEEK)
+        return replace(
+            model,
+            arrival_profile=profile,
+            interest_alpha=model.interest_alpha * (1.0 - self.dilution))
+
+
+@dataclass(frozen=True)
+class Zapping(Scenario):
+    """Channel-surfing mixture: short, rapidly switching sessions.
+
+    A fraction ``mix`` of session activity behaves like P2P-TV zapping:
+    very short transfers (``zap_length_*``), very short gaps
+    (``zap_gap_*``), and near-certain feed switching on return
+    (``switch_prob``).  The gap/length laws become moment-matched
+    log-space blends of the baseline and zapping components, the feed
+    switch probability interpolates toward ``switch_prob``, and the
+    arrival rate scales by ``1 + mix`` (surfers initiate more
+    sessions).  Because the blend reads the *current* model parameters,
+    composing ``zapping`` after another duration-shaping scenario gives
+    a different (still deterministic) workload than the reverse order.
+    """
+
+    slug = "zapping"
+
+    mix: float = 0.35
+    zap_gap_log_mu: float = 2.0
+    zap_gap_log_sigma: float = 0.8
+    zap_length_log_mu: float = 2.3
+    zap_length_log_sigma: float = 0.9
+    switch_prob: float = 0.85
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.mix < 1.0,
+                 f"zapping mix must be in [0, 1), got {self.mix}")
+        _require(self.zap_gap_log_sigma > 0.0
+                 and self.zap_length_log_sigma > 0.0,
+                 "zapping log-sigmas must be positive, got "
+                 f"{self.zap_gap_log_sigma} and {self.zap_length_log_sigma}")
+        _require(0.0 <= self.switch_prob <= 1.0,
+                 f"zapping switch_prob must be in [0, 1], "
+                 f"got {self.switch_prob}")
+
+    def perturb_model(self, model: LiveWorkloadModel) -> LiveWorkloadModel:
+        gap_mu, gap_sigma = _blend_lognormal(
+            model.gap_log_mu, model.gap_log_sigma,
+            self.zap_gap_log_mu, self.zap_gap_log_sigma, self.mix)
+        length_mu, length_sigma = _blend_lognormal(
+            model.length_log_mu, model.length_log_sigma,
+            self.zap_length_log_mu, self.zap_length_log_sigma, self.mix)
+        switch = ((1.0 - self.mix) * model.feed_switch_prob
+                  + self.mix * self.switch_prob)
+        profile = model.arrival_profile.scaled_to_mean(
+            model.arrival_profile.mean_rate() * (1.0 + self.mix))
+        return replace(
+            model,
+            arrival_profile=profile,
+            gap_log_mu=gap_mu, gap_log_sigma=gap_sigma,
+            length_log_mu=length_mu, length_log_sigma=length_sigma,
+            feed_switch_prob=switch)
+
+
+@dataclass(frozen=True)
+class BlackoutEdit(TraceEdit):
+    """Suppress a client subset's activity inside ``[t0, t1)``.
+
+    Row-local and start-preserving.  Affected clients split into two
+    deterministic sub-populations: *leavers* (their transfers starting
+    inside the window are dropped — they went away and came back after
+    restoration) and *retriers* (their in-window transfers survive but
+    are clipped to at most ``stub_seconds`` — aborted reconnect
+    attempts that die almost immediately).  Everyone affected has
+    in-flight transfers truncated at ``t0``, and transfers starting at
+    or after ``t1`` are untouched (the region comes back).  Membership
+    is a pure hash of the client index, so the same clients black out
+    in every engine and every block grouping.
+    """
+
+    fraction: float
+    retry_share: float
+    stub_seconds: float
+    t0: float
+    t1: float
+    salt: int
+
+    def apply(self, start: FloatArray, duration: FloatArray,
+              client_index: IntArray) -> tuple[BoolArray, FloatArray]:
+        affected = _uniform_hash(client_index, self.salt) < self.fraction
+        retrier = affected & (
+            _uniform_hash(client_index, self.salt + 1) < self.retry_share)
+        in_window = (start >= self.t0) & (start < self.t1)
+        keep = ~(affected & ~retrier & in_window)
+        end = start + duration
+        truncate = affected & (start < self.t0) & (end > self.t0)
+        new_duration = np.where(truncate, self.t0 - start, duration)
+        new_duration = np.where(retrier & in_window,
+                                np.minimum(new_duration, self.stub_seconds),
+                                new_duration)
+        return keep, new_duration.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class Blackout(Scenario):
+    """Regional dropout: a client fraction goes dark for an interval.
+
+    ``fraction`` of clients (chosen by a deterministic hash with
+    ``salt``) lose the stream from ``start_day`` days into the trace
+    for ``duration_hours``; their in-flight transfers truncate at the
+    boundary.  ``retry_share`` of the affected clients keep retrying
+    through the outage, leaving transfers clipped to ``stub_seconds``
+    — the short aborted connections a real delivery failure strews
+    across a log.  The retry stubs are what make the outage visible to
+    the duration-law gates: unbiased row *drops* alone leave every
+    fitted marginal untouched.
+    """
+
+    slug = "blackout"
+
+    fraction: float = 0.4
+    start_day: float = 1.5
+    duration_hours: float = 12.0
+    retry_share: float = 0.5
+    stub_seconds: float = 20.0
+    salt: int = 11
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.fraction <= 1.0,
+                 f"blackout fraction must be in [0, 1], got {self.fraction}")
+        _require(self.start_day >= 0.0,
+                 f"blackout start_day must be >= 0, got {self.start_day}")
+        _require(self.duration_hours > 0.0,
+                 f"blackout duration_hours must be positive, "
+                 f"got {self.duration_hours}")
+        _require(0.0 <= self.retry_share <= 1.0,
+                 f"blackout retry_share must be in [0, 1], "
+                 f"got {self.retry_share}")
+        _require(self.stub_seconds > 0.0,
+                 f"blackout stub_seconds must be positive, "
+                 f"got {self.stub_seconds}")
+        _require(self.salt >= 0,
+                 f"blackout salt must be >= 0, got {self.salt}")
+
+    def trace_edits(self, model: LiveWorkloadModel,
+                    duration: float) -> tuple[TraceEdit, ...]:
+        t0 = self.start_day * DAY
+        t1 = t0 + self.duration_hours * HOUR
+        return (BlackoutEdit(fraction=self.fraction,
+                             retry_share=self.retry_share,
+                             stub_seconds=self.stub_seconds,
+                             t0=t0, t1=t1, salt=self.salt),)
+
+
+#: Bandwidth classes for the bimodal shift, in bytes/second: a
+#: narrowband (modem/ISDN-like, 28.8–56 kbit/s) and a broadband
+#: (250–350 kbit/s stream-rate-limited) population, expressed at the
+#: byte level the trace records.
+_NARROWBAND_LO = 28_800.0 / 8.0
+_NARROWBAND_HI = 56_000.0 / 8.0
+_BROADBAND_LO = 250_000.0 / 8.0
+_BROADBAND_HI = 350_000.0 / 8.0
+
+#: Quantile grid matching the model's serialized bandwidth resolution.
+_N_QUANTILES = 512
+
+
+@dataclass(frozen=True)
+class BimodalShift(Scenario):
+    """Rotate the client population toward a broadband-heavy mix.
+
+    Installs a two-class bandwidth distribution (``broadband_share`` of
+    probability mass uniform on the broadband band, the rest on the
+    narrowband band), stored as the model's 512-point quantile curve —
+    pure arithmetic, no special functions.  Broadband clients also stay
+    longer: ``length_log_mu`` shifts by ``stickiness_gain *
+    (broadband_share - 0.5)``, and the feed preference rotates one step
+    (the broadband audience skews to the secondary feed), which keeps
+    the scenario visible to the duration-law gates even though raw
+    bandwidth is not itself a gated statistic.
+    """
+
+    slug = "bimodal-shift"
+
+    broadband_share: float = 0.85
+    stickiness_gain: float = 0.9
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.broadband_share <= 1.0,
+                 f"bimodal-shift broadband_share must be in [0, 1], "
+                 f"got {self.broadband_share}")
+        _require(self.stickiness_gain >= 0.0,
+                 f"bimodal-shift stickiness_gain must be >= 0, "
+                 f"got {self.stickiness_gain}")
+
+    def _quantiles(self) -> tuple[float, ...]:
+        probs = (np.arange(_N_QUANTILES, dtype=np.float64) + 0.5
+                 ) / _N_QUANTILES
+        narrow_mass = 1.0 - self.broadband_share
+        values = np.empty(_N_QUANTILES, dtype=np.float64)
+        if narrow_mass > 0.0:
+            low = probs < narrow_mass
+            values[low] = _NARROWBAND_LO + (probs[low] / narrow_mass) * (
+                _NARROWBAND_HI - _NARROWBAND_LO)
+        else:
+            low = np.zeros(_N_QUANTILES, dtype=np.bool_)
+        if self.broadband_share > 0.0:
+            u = (probs[~low] - narrow_mass) / self.broadband_share
+            values[~low] = _BROADBAND_LO + u * (_BROADBAND_HI - _BROADBAND_LO)
+        return tuple(float(v) for v in values)
+
+    def perturb_model(self, model: LiveWorkloadModel) -> LiveWorkloadModel:
+        preference = model.feed_preference[1:] + model.feed_preference[:1]
+        shift = self.stickiness_gain * (self.broadband_share - 0.5)
+        return replace(
+            model,
+            bandwidth_quantiles=self._quantiles(),
+            feed_preference=preference,
+            length_log_mu=model.length_log_mu + shift)
+
+
+@dataclass(frozen=True)
+class LongtailMix(Scenario):
+    """Blend a VoD-like long-tail component into the duration law.
+
+    A ``vod_share`` fraction of transfers behaves like on-demand
+    playback of archived content: much longer, moderately dispersed
+    lognormal durations (``vod_log_mu``/``vod_log_sigma``).  The
+    transfer-length law becomes the moment-matched log-space blend —
+    the "long-tail mix" regime where a live system also serves
+    time-shifted viewing.  Like :class:`Zapping`, the blend reads the
+    current parameters, so composition order matters and is pinned by
+    the spec string.
+    """
+
+    slug = "longtail-mix"
+
+    vod_share: float = 0.3
+    vod_log_mu: float = 6.55
+    vod_log_sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.vod_share < 1.0,
+                 f"longtail-mix vod_share must be in [0, 1), "
+                 f"got {self.vod_share}")
+        _require(self.vod_log_sigma > 0.0,
+                 f"longtail-mix vod_log_sigma must be positive, "
+                 f"got {self.vod_log_sigma}")
+
+    def perturb_model(self, model: LiveWorkloadModel) -> LiveWorkloadModel:
+        length_mu, length_sigma = _blend_lognormal(
+            model.length_log_mu, model.length_log_sigma,
+            self.vod_log_mu, self.vod_log_sigma, self.vod_share)
+        return replace(
+            model, length_log_mu=length_mu, length_log_sigma=length_sigma)

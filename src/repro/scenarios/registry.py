@@ -1,0 +1,70 @@
+"""The scenario registry: name → scenario family, spec → instance.
+
+:data:`SCENARIO_TYPES` maps every parseable scenario name to its class;
+:data:`REGISTERED_SCENARIOS` is the subset that carries conformance
+envelopes and must pass the two-sided sensitivity gate (``identity`` is
+parseable — it is the inert scenario the self-check injects — but
+deliberately *not* registered, because it is indistinguishable from
+baseline by construction).
+"""
+
+from __future__ import annotations
+
+from ..errors import ScenarioError
+from .base import IdentityScenario, Scenario
+from .perturbations import (
+    BimodalShift,
+    Blackout,
+    FlashCrowd,
+    LongtailMix,
+    Zapping,
+)
+from .spec import parse_spec
+
+#: Every parseable scenario family, by registry name.
+SCENARIO_TYPES: dict[str, type[Scenario]] = {
+    FlashCrowd.slug: FlashCrowd,
+    Zapping.slug: Zapping,
+    Blackout.slug: Blackout,
+    BimodalShift.slug: BimodalShift,
+    LongtailMix.slug: LongtailMix,
+    IdentityScenario.slug: IdentityScenario,
+}
+
+#: Scenario names that carry golden envelopes and sensitivity gates.
+REGISTERED_SCENARIOS: tuple[str, ...] = (
+    FlashCrowd.slug,
+    Zapping.slug,
+    Blackout.slug,
+    BimodalShift.slug,
+    LongtailMix.slug,
+)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All parseable scenario names, sorted."""
+    return tuple(sorted(SCENARIO_TYPES))
+
+
+def get_scenario(spec: str | Scenario | None) -> Scenario | None:
+    """Resolve a scenario spec to a :class:`Scenario` instance.
+
+    Accepts a spec string (``"flash-crowd(peak=3.0)+zapping"``), an
+    already-built :class:`Scenario` (returned as-is), or ``None``
+    (returned as ``None`` — the unperturbed baseline).  Raises
+    :class:`~repro.errors.ScenarioError` on unknown names, malformed
+    specs, and out-of-range parameters.
+    """
+    if spec is None or isinstance(spec, Scenario):
+        return spec
+    if not isinstance(spec, str):
+        raise ScenarioError(
+            f"scenario spec must be a string or Scenario, "
+            f"got {type(spec).__name__}")
+    return parse_spec(spec, SCENARIO_TYPES)
+
+
+def scenario_spec_string(scenario: str | Scenario | None) -> str:
+    """Canonical spec string for fingerprints: ``""`` for no scenario."""
+    resolved = get_scenario(scenario)
+    return "" if resolved is None else resolved.spec_string()

@@ -1,0 +1,161 @@
+"""Scenario spec grammar: parse ``name(k=v,...)+name(...)`` strings.
+
+The grammar is deliberately tiny::
+
+    spec        := scenario ("+" scenario)*
+    scenario    := NAME | NAME "(" params? ")"
+    params      := param ("," param)*
+    param       := KEY "=" NUMBER
+
+``NAME`` and ``KEY`` are ``[a-z0-9-]+`` / ``[a-z_][a-z0-9_]*``;
+``NUMBER`` is anything :func:`float` accepts (integers stay integers for
+int-typed parameters).  Whitespace is allowed around every token.  The
+``+`` separator is only recognized at parenthesis depth zero, so future
+parameter syntax inside ``(...)`` can never be mis-split.
+
+Every failure raises :class:`~repro.errors.ScenarioError` with a message
+that names the offending fragment and, for unknown names/keys, lists the
+valid choices — these surface verbatim on the CLI (exit 2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import fields
+from typing import TYPE_CHECKING
+
+from ..errors import ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .base import Scenario
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+_KEY_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+def split_composition(spec: str) -> list[str]:
+    """Split a spec string on ``+`` at parenthesis depth zero.
+
+    ``"flash-crowd(peak=3)+zapping"`` → ``["flash-crowd(peak=3)",
+    "zapping"]``.  Raises :class:`ScenarioError` on unbalanced
+    parentheses or empty terms (``"a++b"``, ``"+a"``, ``"a+"``).
+    """
+    text = spec.strip()
+    if not text:
+        raise ScenarioError(
+            "empty scenario spec; expected 'name' or 'name(key=value,...)', "
+            "optionally joined with '+'")
+    parts: list[str] = []
+    depth = 0
+    term_start = 0
+    for pos, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ScenarioError(
+                    f"unbalanced ')' at position {pos} in scenario spec "
+                    f"{text!r}")
+        elif char == "+" and depth == 0:
+            parts.append(text[term_start:pos])
+            term_start = pos + 1
+    if depth != 0:
+        raise ScenarioError(
+            f"unbalanced '(' in scenario spec {text!r}")
+    parts.append(text[term_start:])
+    terms = [part.strip() for part in parts]
+    if any(not term for term in terms):
+        raise ScenarioError(
+            f"empty term in scenario composition {text!r}; "
+            "did you write a stray '+'?")
+    return terms
+
+
+def parse_term(term: str) -> tuple[str, dict[str, float]]:
+    """Parse one ``name`` / ``name(key=value,...)`` term.
+
+    Returns the scenario name and its raw parameter dict (values as
+    floats; conversion to each field's declared type happens against
+    the registry in :func:`build_scenario`).
+    """
+    text = term.strip()
+    paren = text.find("(")
+    if paren < 0:
+        name, body = text, None
+    else:
+        if not text.endswith(")"):
+            raise ScenarioError(
+                f"malformed scenario term {text!r}: expected "
+                "'name(key=value,...)' with a closing ')'")
+        name, body = text[:paren].strip(), text[paren + 1:-1]
+    if not _NAME_RE.match(name):
+        raise ScenarioError(
+            f"invalid scenario name {name!r} in term {text!r}; names are "
+            "lower-case words joined by '-'")
+    params: dict[str, float] = {}
+    if body is not None and body.strip():
+        for raw in body.split(","):
+            item = raw.strip()
+            if "=" not in item:
+                raise ScenarioError(
+                    f"malformed parameter {item!r} in scenario term "
+                    f"{text!r}; expected 'key=value'")
+            key, _, value = item.partition("=")
+            key = key.strip()
+            if not _KEY_RE.match(key):
+                raise ScenarioError(
+                    f"invalid parameter name {key!r} in scenario term "
+                    f"{text!r}")
+            if key in params:
+                raise ScenarioError(
+                    f"duplicate parameter {key!r} in scenario term {text!r}")
+            try:
+                params[key] = float(value.strip())
+            except ValueError:
+                raise ScenarioError(
+                    f"non-numeric value {value.strip()!r} for parameter "
+                    f"{key!r} in scenario term {text!r}") from None
+    return name, params
+
+
+def build_scenario(name: str, params: dict[str, float],
+                   types: dict[str, type["Scenario"]]) -> "Scenario":
+    """Instantiate a scenario from a parsed term against a type table.
+
+    Unknown names and unknown parameter keys raise
+    :class:`ScenarioError` listing the valid choices; out-of-range
+    values propagate the constructor's own :class:`ScenarioError`.
+    """
+    cls = types.get(name)
+    if cls is None:
+        known = ", ".join(sorted(types))
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available scenarios: {known}")
+    declared = {f.name: f for f in fields(cls)}  # type: ignore[arg-type]
+    kwargs: dict[str, float | int] = {}
+    for key, value in params.items():
+        field = declared.get(key)
+        if field is None:
+            valid = ", ".join(sorted(declared)) or "(none)"
+            raise ScenarioError(
+                f"unknown parameter {key!r} for scenario {name!r}; "
+                f"valid parameters: {valid}")
+        if field.type in ("int", int):
+            if value != int(value):
+                raise ScenarioError(
+                    f"parameter {key!r} of scenario {name!r} must be an "
+                    f"integer, got {value!r}")
+            kwargs[key] = int(value)
+        else:
+            kwargs[key] = value
+    return cls(**kwargs)  # type: ignore[call-arg]
+
+
+def parse_spec(spec: str, types: dict[str, type["Scenario"]]) -> "Scenario":
+    """Parse a full (possibly composed) spec string into a Scenario."""
+    from .base import compose
+
+    terms = split_composition(spec)
+    scenarios = [build_scenario(*parse_term(term), types) for term in terms]
+    return compose(*scenarios)

@@ -44,6 +44,7 @@ from ..core.model import LiveWorkloadModel
 from ..errors import CheckpointError
 from ..parallel.engine import generate_shard
 from ..parallel.plan import DEFAULT_BLOCKS, emit_horizons, plan_block_stream
+from ..scenarios import Scenario, get_scenario
 
 #: Default number of transfers per emitted batch.
 DEFAULT_CHUNK_SIZE = 100_000
@@ -117,12 +118,18 @@ class GenerationStream:
     blocks:
         Canonical block count; part of the workload's identity (see
         :data:`repro.parallel.plan.DEFAULT_BLOCKS`).
+    scenario:
+        Optional workload perturbation (spec string or
+        :class:`~repro.scenarios.Scenario`); part of the workload's
+        identity.  Applied at plan time, so the streamed columns stay
+        bit-identical to the batch engine's scenario trace.
     """
 
     def __init__(self, model: LiveWorkloadModel, days: float, *,
                  seed: SeedLike = None,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 blocks: int = DEFAULT_BLOCKS) -> None:
+                 blocks: int = DEFAULT_BLOCKS,
+                 scenario: str | Scenario | None = None) -> None:
         if chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be at least 1, got {chunk_size}")
@@ -130,7 +137,9 @@ class GenerationStream:
         self.days = float(days)
         self.chunk_size = int(chunk_size)
         self.blocks = int(blocks)
-        self._plan = plan_block_stream(model, days, seed=seed, blocks=blocks)
+        self.scenario = get_scenario(scenario)
+        self._plan = plan_block_stream(model, days, seed=seed, blocks=blocks,
+                                       scenario=self.scenario)
         self._horizons = emit_horizons(self._plan)
         self._next_block = 0
         self._n_emitted = 0

@@ -33,6 +33,7 @@ from .._typing import SeedLike
 from ..core.gismo import synthetic_client_identity
 from ..core.model import LiveWorkloadModel
 from ..errors import CheckpointError
+from ..scenarios import Scenario, get_scenario, scenario_spec_string
 from ..trace.codecs import get_codec
 from ..trace.wms_log import StreamingTraceWriter
 from ..units import DEFAULT_SESSION_TIMEOUT
@@ -90,7 +91,7 @@ class StreamRunResult:
 
 def _workload_fingerprint(model: LiveWorkloadModel, days: float,
                           seed: int, blocks: int, timeout: float,
-                          codec: str) -> dict[str, Any]:
+                          codec: str, scenario: str = "") -> dict[str, Any]:
     return {
         "model": model.to_dict(),
         "days": float(days),
@@ -98,6 +99,7 @@ def _workload_fingerprint(model: LiveWorkloadModel, days: float,
         "blocks": int(blocks),
         "timeout": float(timeout),
         "codec": str(codec),
+        "scenario": str(scenario),
     }
 
 
@@ -115,7 +117,8 @@ def run_streaming_generation(
         checkpoint_every: int = 1,
         max_blocks: int | None = None,
         codec: str = "text",
-        software: str = "Windows Media Services 4.1") -> StreamRunResult:
+        software: str = "Windows Media Services 4.1",
+        scenario: str | Scenario | None = None) -> StreamRunResult:
     """Generate a workload end to end in bounded memory.
 
     Parameters
@@ -163,6 +166,11 @@ def run_streaming_generation(
     software:
         Log ``#Software`` header value (recorded in the binary header
         too).
+    scenario:
+        Optional workload perturbation (spec string or
+        :class:`~repro.scenarios.Scenario`).  Part of the workload's
+        identity and of the checkpoint fingerprint: a run cannot resume
+        under a different scenario.
 
     Raises
     ------
@@ -179,7 +187,9 @@ def run_streaming_generation(
             f"checkpoint_every must be at least 1, got {checkpoint_every}")
     codec_impl = get_codec(codec)
 
+    resolved_scenario = get_scenario(scenario)
     stream = GenerationStream(model, days, seed=seed, chunk_size=chunk_size,
+                              scenario=resolved_scenario,
                               **({} if blocks is None
                                  else {"blocks": blocks}))
     sessionizer = (OnlineSessionizer(model.n_clients, timeout=timeout)
@@ -187,8 +197,9 @@ def run_streaming_generation(
     fingerprint: dict[str, Any] | None = None
     if checkpoint_path is not None:
         assert isinstance(seed, int)  # enforced above
-        fingerprint = _workload_fingerprint(model, days, seed, stream.blocks,
-                                            timeout, codec)
+        fingerprint = _workload_fingerprint(
+            model, days, seed, stream.blocks, timeout, codec,
+            scenario_spec_string(resolved_scenario))
 
     collected: list[FinalizedSessions] = []
     restored: tuple[dict[str, Any], dict[str, NDArray[Any]]] | None = None

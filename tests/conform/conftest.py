@@ -53,3 +53,20 @@ def measured():
         return cache[name]
 
     return _measure
+
+
+@pytest.fixture(scope="session")
+def scenario_measured():
+    """Session-cached scenario measurement factory (on the pinned
+    scenario workload, ``n_boot=0`` for the same reason as ``measured``)."""
+    from repro.conform.scenarios import SCENARIO_WORKLOAD, measure_scenario
+
+    cache = {}
+
+    def _measure(scenario: str):
+        if scenario not in cache:
+            cache[scenario] = measure_scenario(
+                workload_spec(SCENARIO_WORKLOAD), scenario, n_boot=0)
+        return cache[scenario]
+
+    return _measure

@@ -8,9 +8,14 @@ per workload (the acceptance surface of the determinism contract).
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
+
+import pytest
+
 from repro.conform import run_differential_oracle, workload_spec
 from repro.conform.oracle import DEFAULT_CHUNK_SIZES, DEFAULT_SHARD_CONFIGS
 from repro.conform.runner import _ORACLE_SHAPES
+from repro.conform.scenarios import ORACLE_SCENARIOS, scenario_key
 
 
 def test_differential_oracle_bit_identity(tmp_path, conform_workload):
@@ -42,3 +47,34 @@ def test_oracle_covers_two_shard_counts_at_smoke():
     """The default differential matrix covers >= 2 shard counts."""
     assert len({shards for shards, _ in DEFAULT_SHARD_CONFIGS}) >= 2
     assert len(set(DEFAULT_CHUNK_SIZES)) >= 2
+
+
+@pytest.mark.parametrize("scenario", ORACLE_SCENARIOS)
+def test_scenario_differential_oracle_bit_identity(tmp_path, scenario):
+    """Scenarios flow through every engine bit-identically.
+
+    The oracle matrix covers at least two scenario atoms with different
+    mechanisms (a model perturbation and a trace edit) plus one
+    composition, each across batch vs sharded (two shard configs) vs
+    streaming (two chunk sizes and a mid-run checkpoint/resume split).
+    """
+    spec = dc_replace(workload_spec("small"),
+                      name=scenario_key("small", scenario))
+    report = run_differential_oracle(spec, tmp_path, scenario=scenario)
+
+    names = [c.name for c in report.comparisons]
+    assert sum(1 for n in names if n.startswith("parallel[")) >= 2
+    assert len({n for n in names
+                if n.startswith("stream[chunk=") and n.endswith(".log")}) >= 2
+    assert any(n.startswith("stream[resume@") for n in names)
+
+    failures = [f"{c.name}: {c.detail}" for c in report.failures()]
+    assert not failures, (
+        f"scenario {scenario!r} broke cross-pipeline determinism:\n"
+        + "\n".join(failures))
+
+
+def test_oracle_scenarios_cover_both_mechanisms_and_a_composition():
+    assert "flash-crowd" in ORACLE_SCENARIOS   # model perturbation
+    assert "blackout" in ORACLE_SCENARIOS      # trace edit
+    assert any("+" in name for name in ORACLE_SCENARIOS)

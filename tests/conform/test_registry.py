@@ -15,7 +15,7 @@ from repro.conform import (
 )
 from repro.conform.fingerprint import GATED_DISTANCES, GATED_PARAMETERS
 from repro.conform.registry import REGISTRY_PATH, REGISTRY_VERSION
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ScenarioError
 
 
 def test_all_canonical_workloads_are_pinned(golden_registry):
@@ -84,3 +84,48 @@ def test_update_preserves_unmeasured_entries(golden_registry):
     registry = updated_registry([], base=golden_registry)
     assert registry["workloads"] == golden_registry["workloads"]
     assert registry["version"] == REGISTRY_VERSION
+
+
+def test_update_preserves_scenario_entries(golden_registry):
+    registry = updated_registry([], base=golden_registry)
+    assert registry["scenarios"] == golden_registry["scenarios"]
+
+
+def test_scenario_table_covers_sensitivity_matrix(golden_registry):
+    from repro.conform.scenarios import (SCENARIO_WORKLOAD,
+                                         SENSITIVITY_SCENARIOS,
+                                         scenario_key)
+
+    expected = {scenario_key(SCENARIO_WORKLOAD, name)
+                for name in SENSITIVITY_SCENARIOS}
+    assert expected <= set(golden_registry["scenarios"])
+
+
+def test_scenario_entry_with_bad_spec_rejected(tmp_path, golden_registry):
+    doc = json.loads(json.dumps(golden_registry))
+    key = next(iter(doc["scenarios"]))
+    doc["scenarios"][key]["scenario"] = "not a scenario!!"
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ScenarioError):
+        load_registry(path)
+
+
+def test_scenario_entry_missing_fields_rejected(tmp_path, golden_registry):
+    doc = json.loads(json.dumps(golden_registry))
+    key = next(iter(doc["scenarios"]))
+    del doc["scenarios"][key]["distinguishers"]
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ConfigError, match="distinguishers"):
+        load_registry(path)
+
+
+def test_scenario_entry_without_identity_rejected(tmp_path, golden_registry):
+    doc = json.loads(json.dumps(golden_registry))
+    key = next(iter(doc["scenarios"]))
+    del doc["scenarios"][key]["workload"]
+    path = tmp_path / "golden.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ConfigError, match="identity"):
+        load_registry(path)

@@ -1,0 +1,163 @@
+"""Scenario sensitivity matrix: the two-sided distinguishability gates.
+
+For every registered scenario (plus the pinned composition) this suite
+asserts both sides of the sensitivity claim on the canonical scenario
+workload:
+
+* the scenario's trace **trips** at least one statistical gate against
+  the *baseline* golden envelope (it is distinguishable), and
+* the same trace **passes** every gate family — ``param``,
+  ``envelope``, ``distance`` (and hashes) — against its *own* pinned
+  envelope (it is reproducible).
+
+``make test`` runs the smoke subset (``flash-crowd``, ``zapping``, and
+the ``flash-crowd+zapping`` composition); the remaining scenarios ride
+the ``slow`` marker and run under ``make test-all``.  The inert
+injection tests prove the trips-baseline side has teeth: a
+deliberately perturbation-free scenario must fail it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conform import evaluate_gates, statistical_failures, workload_spec
+from repro.conform.scenarios import (
+    SCENARIO_WORKLOAD,
+    SENSITIVITY_SCENARIOS,
+    inert_scenario_self_check,
+    measure_scenario,
+    scenario_gates,
+    scenario_key,
+    scenario_registry_entry,
+)
+from repro.errors import ConfigError
+
+#: Scenarios exercised on every `make test` run; the rest are `slow`.
+SMOKE_SCENARIOS = ("flash-crowd", "zapping", "flash-crowd+zapping")
+
+#: The statistical gate families every scenario envelope must carry.
+GATE_FAMILIES = ("param", "envelope", "distance")
+
+
+def _scenario_params():
+    return [
+        pytest.param(name, marks=([] if name in SMOKE_SCENARIOS
+                                  else [pytest.mark.slow]))
+        for name in SENSITIVITY_SCENARIOS]
+
+
+def test_sensitivity_matrix_covers_every_registered_scenario():
+    from repro.scenarios import REGISTERED_SCENARIOS
+
+    assert set(REGISTERED_SCENARIOS) <= set(SENSITIVITY_SCENARIOS)
+    assert any("+" in name for name in SENSITIVITY_SCENARIOS), (
+        "at least one composition must be conformance-pinned")
+
+
+@pytest.mark.parametrize("scenario", _scenario_params())
+class TestTwoSidedSensitivity:
+    def test_scenario_trips_baseline_envelope(self, golden_registry,
+                                              scenario_measured, scenario):
+        baseline = golden_registry["workloads"][SCENARIO_WORKLOAD]
+        tripped = statistical_failures(
+            evaluate_gates(scenario_measured(scenario), baseline))
+        assert tripped, (
+            f"scenario {scenario!r} is statistically indistinguishable "
+            f"from baseline {SCENARIO_WORKLOAD!r} — an inert perturbation")
+
+    def test_scenario_passes_its_own_envelope(self, golden_registry,
+                                              scenario_measured, scenario):
+        records = scenario_gates(scenario_measured(scenario),
+                                 golden_registry, SCENARIO_WORKLOAD,
+                                 scenario)
+        failures = [f"{r.gate}: {r.detail}" for r in records if not r.passed]
+        assert not failures, (
+            f"scenario {scenario!r} violates its pinned envelope:\n"
+            + "\n".join(failures))
+
+    @pytest.mark.parametrize("family", GATE_FAMILIES)
+    def test_gate_family_present_and_green(self, golden_registry,
+                                           scenario_measured, scenario,
+                                           family):
+        entry = golden_registry["scenarios"][
+            scenario_key(SCENARIO_WORKLOAD, scenario)]
+        records = [r for r in evaluate_gates(scenario_measured(scenario),
+                                             entry)
+                   if r.gate.startswith(f"{family}:")]
+        assert records, (
+            f"scenario {scenario!r} evaluates no {family!r} gates — "
+            "the envelope lost a gate family")
+        failures = [f"{r.gate}: {r.detail}" for r in records if not r.passed]
+        assert not failures, "\n".join(failures)
+
+    def test_registry_records_nonempty_distinguishers(self, golden_registry,
+                                                      scenario):
+        entry = golden_registry["scenarios"][
+            scenario_key(SCENARIO_WORKLOAD, scenario)]
+        assert entry["distinguishers"], (
+            f"scenario {scenario!r} was pinned with zero distinguishers")
+        assert all(g.split(":", 1)[0] in GATE_FAMILIES
+                   for g in entry["distinguishers"])
+
+
+class TestInertScenarioIsCaught:
+    """Mutation-style proof that the sensitivity gate can fail."""
+
+    def test_self_check_catches_identity(self, golden_registry):
+        report = inert_scenario_self_check(golden_registry, n_boot=0)
+        assert report.scenario == "identity"
+        assert report.bit_identical, (
+            "the identity scenario changed the trace: " + report.summary())
+        assert report.tripped_gates == ()
+        assert report.caught, report.summary()
+
+    def test_registered_inert_scenario_would_fail_ci(self, golden_registry):
+        """Pin ``identity`` as if it were registered: CI must go red.
+
+        The own-envelope side passes (the pin comes from the identical
+        measurement), so the *only* thing standing between an inert
+        scenario and a green CI is the trips-baseline gate — assert it
+        is the one that fails.
+        """
+        spec = workload_spec(SCENARIO_WORKLOAD)
+        measurement = measure_scenario(spec, "identity", n_boot=0)
+        baseline = golden_registry["workloads"][SCENARIO_WORKLOAD]
+        fake_pin = scenario_registry_entry(
+            measurement, baseline, SCENARIO_WORKLOAD, "identity")
+        assert fake_pin["distinguishers"] == []
+        registry = dict(golden_registry)
+        registry["scenarios"] = {
+            **golden_registry.get("scenarios", {}),
+            scenario_key(SCENARIO_WORKLOAD, "identity"): fake_pin}
+
+        records = scenario_gates(measurement, registry,
+                                 SCENARIO_WORKLOAD, "identity")
+        sensitivity = [r for r in records
+                       if r.gate == "sensitivity:trips-baseline"]
+        assert len(sensitivity) == 1
+        assert not sensitivity[0].passed
+        assert "inert" in sensitivity[0].detail
+        others = [r for r in records
+                  if r.gate != "sensitivity:trips-baseline"]
+        assert others and all(r.passed for r in others), (
+            "the own-envelope side should be green for a self-pinned "
+            "measurement")
+
+    def test_unpinned_workload_rejected(self, golden_registry):
+        registry = {"version": golden_registry["version"], "workloads": {}}
+        with pytest.raises(ConfigError):
+            inert_scenario_self_check(registry, n_boot=0)
+
+
+class TestMissingPinFailsClosed:
+    def test_unpinned_scenario_yields_failing_record(self, golden_registry,
+                                                     scenario_measured):
+        registry = dict(golden_registry)
+        registry["scenarios"] = {}
+        records = scenario_gates(scenario_measured("flash-crowd"),
+                                 registry, SCENARIO_WORKLOAD, "flash-crowd")
+        assert len(records) == 1
+        assert not records[0].passed
+        assert records[0].gate == "registry:present"
+        assert "conform-update" in records[0].detail

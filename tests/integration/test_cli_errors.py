@@ -81,6 +81,104 @@ class TestGenerateConflicts:
         assert "checkpoint_path" in err
 
 
+class TestScenarioErrors:
+    """Every invalid ``--scenario`` invocation exits 2 with a pointer."""
+
+    def test_unknown_scenario_lists_available(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1",
+                     "--scenario", "meteor-strike",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err
+        assert "unknown scenario 'meteor-strike'" in err
+        assert "available scenarios" in err
+        assert "flash-crowd" in err
+
+    def test_malformed_composition_exits_2(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1",
+                     "--scenario", "flash-crowd++zapping",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err
+        assert "stray '+'" in err
+
+    def test_unbalanced_parens_exit_2(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1",
+                     "--scenario", "flash-crowd(peak=3.0",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        assert "scenario error" in capsys.readouterr().err
+
+    def test_out_of_range_parameter_exits_2(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1",
+                     "--scenario", "flash-crowd(peak=0.2)",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err
+        assert "peak must be >= 1" in err
+
+    def test_unknown_parameter_lists_valid_ones(self, tmp_path, capsys):
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1",
+                     "--scenario", "zapping(bogus=1.0)",
+                     "--out", str(tmp_path / "w.npz")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "scenario error" in err
+        assert "valid parameters" in err
+
+    def test_stream_rejects_bad_scenario_before_generating(self, tmp_path,
+                                                           capsys):
+        out = tmp_path / "w.log"
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1", "--stream",
+                     "--scenario", "nope", "--out", str(out)])
+        assert code == 2
+        assert "scenario error" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_resume_with_different_scenario_exits_2(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.json"
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1", "--stream",
+                     "--scenario", "blackout",
+                     "--checkpoint", str(checkpoint), "--max-blocks", "4",
+                     "--out", str(tmp_path / "w.log")])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["generate", "--days", "1", "--rate", "0.01",
+                     "--clients", "100", "--seed", "1", "--stream",
+                     "--scenario", "zapping",
+                     "--checkpoint", str(checkpoint), "--resume",
+                     "--out", str(tmp_path / "w.log")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err
+        assert "blackout" in err
+        assert "zapping" in err
+
+    def test_plan_scenario_with_trace_exits_2(self, tmp_path, capsys):
+        code = main(["plan", "--trace", str(tmp_path / "t.npz"),
+                     "--scenario", "flash-crowd"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--scenario" in err
+        assert "--trace" in err
+
+    def test_plan_bad_scenario_exits_2(self, capsys):
+        code = main(["plan", "--days", "0.1", "--clients", "50",
+                     "--seed", "1", "--scenario", "nope"])
+        assert code == 2
+        assert "scenario error" in capsys.readouterr().err
+
+
 class TestConformErrors:
     def test_unknown_scale_exits_2(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

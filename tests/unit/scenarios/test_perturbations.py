@@ -1,0 +1,276 @@
+"""Scenario transforms: model perturbations, trace edits, composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LiveWorkloadModel
+from repro.errors import ScenarioError
+from repro.rng import make_rng
+from repro.scenarios import (
+    BimodalShift,
+    Blackout,
+    BlackoutEdit,
+    ComposedScenario,
+    FlashCrowd,
+    IdentityScenario,
+    LongtailMix,
+    Zapping,
+    compose,
+    get_scenario,
+)
+from repro.units import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LiveWorkloadModel.paper_defaults(
+        mean_session_rate=0.02, n_clients=500)
+
+
+class TestFlashCrowd:
+    def test_surge_raises_peak_rate(self, model):
+        perturbed = FlashCrowd(peak=4.0).perturb_model(model)
+        t_peak = (2.0 * DAY + 2.0 * HOUR + 0.5 * HOUR) % (7 * DAY)
+        assert perturbed.arrival_profile.rate(t_peak) > (
+            model.arrival_profile.rate(t_peak) * 2.0)
+
+    def test_rate_untouched_before_ramp(self, model):
+        perturbed = FlashCrowd(peak=4.0, start_day=2.0).perturb_model(model)
+        assert perturbed.arrival_profile.rate(1.0 * DAY) == pytest.approx(
+            model.arrival_profile.rate(1.0 * DAY), rel=0.05)
+
+    def test_dilution_flattens_interest(self, model):
+        perturbed = FlashCrowd(dilution=0.35).perturb_model(model)
+        assert perturbed.interest_alpha == pytest.approx(
+            model.interest_alpha * 0.65)
+
+    def test_no_trace_edits(self, model):
+        assert FlashCrowd().trace_edits(model, 7 * DAY) == ()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"peak": 0.5}, {"ramp_hours": -1.0}, {"dilution": 1.5},
+        {"start_day": -0.1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            FlashCrowd(**kwargs)
+
+
+class TestZapping:
+    def test_blend_shortens_sessions_and_gaps(self, model):
+        perturbed = Zapping(mix=0.5).perturb_model(model)
+        assert perturbed.length_log_mu < model.length_log_mu
+        assert perturbed.gap_log_mu < model.gap_log_mu
+        assert perturbed.feed_switch_prob > model.feed_switch_prob
+
+    def test_mix_zero_changes_nothing_numerically(self, model):
+        perturbed = Zapping(mix=0.0).perturb_model(model)
+        assert perturbed.length_log_mu == pytest.approx(model.length_log_mu)
+        assert perturbed.gap_log_mu == pytest.approx(model.gap_log_mu)
+
+    def test_arrival_rate_scales_with_mix(self, model):
+        perturbed = Zapping(mix=0.25).perturb_model(model)
+        assert perturbed.arrival_profile.mean_rate() == pytest.approx(
+            model.arrival_profile.mean_rate() * 1.25)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mix": -0.1}, {"mix": 1.1}, {"switch_prob": 2.0}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            Zapping(**kwargs)
+
+
+class TestBlackoutEdit:
+    def edit(self, **kwargs):
+        defaults = dict(fraction=1.0, retry_share=0.0, stub_seconds=20.0,
+                        t0=100.0, t1=200.0, salt=11)
+        defaults.update(kwargs)
+        return BlackoutEdit(**defaults)
+
+    def test_leaver_rows_in_window_are_dropped(self):
+        edit = self.edit()
+        start = np.array([50.0, 120.0, 250.0])
+        duration = np.array([10.0, 10.0, 10.0])
+        clients = np.array([0, 1, 2], dtype=np.int64)
+        keep, new_duration = edit.apply(start, duration, clients)
+        assert keep.tolist() == [True, False, True]
+        np.testing.assert_array_equal(new_duration, duration)
+
+    def test_spanning_rows_truncate_at_t0(self):
+        edit = self.edit()
+        start = np.array([80.0])
+        duration = np.array([300.0])
+        keep, new_duration = edit.apply(
+            start, duration, np.array([3], dtype=np.int64))
+        assert keep.tolist() == [True]
+        assert new_duration[0] == pytest.approx(20.0)
+
+    def test_retriers_keep_stub_rows(self):
+        edit = self.edit(retry_share=1.0, stub_seconds=5.0)
+        start = np.array([120.0, 150.0])
+        duration = np.array([60.0, 2.0])
+        keep, new_duration = edit.apply(
+            start, duration, np.array([4, 5], dtype=np.int64))
+        assert keep.tolist() == [True, True]
+        assert new_duration[0] == pytest.approx(5.0)  # clipped
+        assert new_duration[1] == pytest.approx(2.0)  # already shorter
+
+    def test_unaffected_clients_untouched(self):
+        edit = self.edit(fraction=0.0)
+        start = np.array([120.0, 80.0])
+        duration = np.array([60.0, 300.0])
+        keep, new_duration = edit.apply(
+            start, duration, np.array([0, 1], dtype=np.int64))
+        assert keep.all()
+        np.testing.assert_array_equal(new_duration, duration)
+
+    def test_durations_never_grow(self):
+        rng = make_rng(7)
+        start = rng.uniform(0.0, 400.0, size=200)
+        duration = rng.uniform(0.0, 500.0, size=200)
+        clients = rng.integers(0, 50, size=200)
+        edit = self.edit(fraction=0.6, retry_share=0.5)
+        _, new_duration = edit.apply(start, duration, clients)
+        assert (new_duration <= duration + 1e-12).all()
+
+    def test_membership_is_row_local(self):
+        """The same (start, client) row gets the same fate in any batch."""
+        edit = self.edit(fraction=0.5, retry_share=0.5)
+        start = np.linspace(90.0, 210.0, 40)
+        duration = np.full(40, 30.0)
+        clients = np.arange(40, dtype=np.int64)
+        keep_all, dur_all = edit.apply(start, duration, clients)
+        keep_a, dur_a = edit.apply(start[:17], duration[:17], clients[:17])
+        keep_b, dur_b = edit.apply(start[17:], duration[17:], clients[17:])
+        np.testing.assert_array_equal(
+            keep_all, np.concatenate([keep_a, keep_b]))
+        np.testing.assert_array_equal(
+            dur_all, np.concatenate([dur_a, dur_b]))
+
+
+class TestBlackout:
+    def test_edit_window_matches_parameters(self, model):
+        (edit,) = Blackout(start_day=1.5,
+                           duration_hours=12.0).trace_edits(model, 3 * DAY)
+        assert edit.t0 == pytest.approx(1.5 * DAY)
+        assert edit.t1 == pytest.approx(1.5 * DAY + 12.0 * HOUR)
+
+    def test_model_is_unperturbed(self, model):
+        assert Blackout().perturb_model(model) is model
+
+    @pytest.mark.parametrize("kwargs", [
+        {"fraction": 1.5}, {"duration_hours": 0.0}, {"retry_share": -0.1},
+        {"stub_seconds": 0.0}, {"salt": -1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            Blackout(**kwargs)
+
+
+class TestBimodalShift:
+    def test_bandwidth_becomes_two_class(self, model):
+        perturbed = BimodalShift(broadband_share=0.85).perturb_model(model)
+        quantiles = np.asarray(perturbed.bandwidth_quantiles)
+        assert quantiles.min() >= 28_800.0 / 8.0 - 1.0
+        assert quantiles.max() <= 350_000.0 / 8.0 + 1.0
+        # ~15% of mass narrowband, the rest broadband: a visible gap.
+        assert (quantiles < 56_000.0 / 8.0 + 1.0).mean() == pytest.approx(
+            0.15, abs=0.05)
+
+    def test_stickiness_lengthens_sessions(self, model):
+        perturbed = BimodalShift(broadband_share=0.85,
+                                 stickiness_gain=0.9).perturb_model(model)
+        assert perturbed.length_log_mu == pytest.approx(
+            model.length_log_mu + 0.9 * 0.35)
+
+    def test_feed_preference_rotates(self, model):
+        perturbed = BimodalShift().perturb_model(model)
+        assert perturbed.feed_preference == (
+            model.feed_preference[1:] + model.feed_preference[:1])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"broadband_share": -0.1}, {"broadband_share": 1.1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            BimodalShift(**kwargs)
+
+
+class TestLongtailMix:
+    def test_vod_blend_lengthens_transfers(self, model):
+        perturbed = LongtailMix(vod_share=0.3).perturb_model(model)
+        assert perturbed.length_log_mu > model.length_log_mu
+
+    def test_share_zero_is_numerically_inert(self, model):
+        perturbed = LongtailMix(vod_share=0.0).perturb_model(model)
+        assert perturbed.length_log_mu == pytest.approx(model.length_log_mu)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"vod_share": -0.1}, {"vod_share": 1.1}, {"vod_log_sigma": 0.0}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            LongtailMix(**kwargs)
+
+
+class TestComposition:
+    def test_compose_flattens_nested_compositions(self):
+        inner = compose(FlashCrowd(), Zapping())
+        outer = compose(inner, LongtailMix())
+        assert [atom.slug for atom in outer.atoms()] == [
+            "flash-crowd", "zapping", "longtail-mix"]
+
+    def test_plus_operator_matches_compose(self):
+        assert FlashCrowd() + Zapping() == compose(FlashCrowd(), Zapping())
+
+    def test_single_scenario_composes_to_itself(self):
+        scenario = FlashCrowd()
+        assert compose(scenario) is scenario
+
+    def test_empty_compose_rejected(self):
+        with pytest.raises(ScenarioError):
+            compose()
+
+    def test_composed_requires_two_parts(self):
+        with pytest.raises(ScenarioError):
+            ComposedScenario([FlashCrowd()])
+
+    def test_model_perturbations_fold_left_to_right(self, model):
+        composed = compose(Zapping(mix=0.4), LongtailMix(vod_share=0.3))
+        by_hand = LongtailMix(vod_share=0.3).perturb_model(
+            Zapping(mix=0.4).perturb_model(model))
+        result = composed.perturb_model(model)
+        assert result.length_log_mu == by_hand.length_log_mu
+        assert result.length_log_sigma == by_hand.length_log_sigma
+        assert result.gap_log_mu == by_hand.gap_log_mu
+        np.testing.assert_array_equal(
+            result.arrival_profile.bin_rates,
+            by_hand.arrival_profile.bin_rates)
+
+    def test_order_sensitivity_is_real(self, model):
+        """Lognormal moment-matching does not commute — documented."""
+        forward = get_scenario("zapping+longtail-mix").perturb_model(model)
+        reverse = get_scenario("longtail-mix+zapping").perturb_model(model)
+        assert forward.length_log_mu != reverse.length_log_mu
+
+    def test_identity_composes_transparently(self, model):
+        composed = compose(IdentityScenario(), Zapping(mix=0.4))
+        result = composed.perturb_model(model)
+        direct = Zapping(mix=0.4).perturb_model(model)
+        assert result.length_log_mu == direct.length_log_mu
+        assert result.gap_log_mu == direct.gap_log_mu
+        np.testing.assert_array_equal(
+            result.arrival_profile.bin_rates,
+            direct.arrival_profile.bin_rates)
+
+    def test_trace_edits_concatenate(self, model):
+        composed = compose(Blackout(), FlashCrowd())
+        edits = composed.trace_edits(model, 7 * DAY)
+        assert len(edits) == 1
+        assert isinstance(edits[0], BlackoutEdit)
+
+
+class TestIdentity:
+    def test_identity_is_a_complete_no_op(self, model):
+        scenario = IdentityScenario()
+        assert scenario.perturb_model(model) is model
+        assert scenario.trace_edits(model, DAY) == ()
+        assert scenario.spec_string() == "identity"

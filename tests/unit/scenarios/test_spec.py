@@ -1,0 +1,147 @@
+"""Scenario spec grammar: parsing, rendering, and error messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    REGISTERED_SCENARIOS,
+    SCENARIO_TYPES,
+    ComposedScenario,
+    FlashCrowd,
+    IdentityScenario,
+    Zapping,
+    get_scenario,
+    parse_term,
+    scenario_names,
+    scenario_spec_string,
+    split_composition,
+)
+
+
+class TestSplitComposition:
+    def test_single_term(self):
+        assert split_composition("flash-crowd") == ["flash-crowd"]
+
+    def test_plus_at_depth_zero_splits(self):
+        assert split_composition("flash-crowd(peak=3.0)+zapping") == [
+            "flash-crowd(peak=3.0)", "zapping"]
+
+    def test_whitespace_is_tolerated(self):
+        assert split_composition("  flash-crowd + zapping ") == [
+            "flash-crowd", "zapping"]
+
+    @pytest.mark.parametrize("bad", ["", "   ", "a++b", "+a", "a+"])
+    def test_empty_specs_and_terms_rejected(self, bad):
+        with pytest.raises(ScenarioError):
+            split_composition(bad)
+
+    @pytest.mark.parametrize("bad", ["flash-crowd(peak=3", "a)b("])
+    def test_unbalanced_parens_rejected(self, bad):
+        with pytest.raises(ScenarioError, match="unbalanced"):
+            split_composition(bad)
+
+
+class TestParseTerm:
+    def test_bare_name(self):
+        assert parse_term("zapping") == ("zapping", {})
+
+    def test_empty_parens(self):
+        assert parse_term("zapping()") == ("zapping", {})
+
+    def test_params_parse_as_floats(self):
+        name, params = parse_term("flash-crowd(peak=3.5, start_day=1)")
+        assert name == "flash-crowd"
+        assert params == {"peak": 3.5, "start_day": 1.0}
+
+    def test_missing_close_paren_rejected(self):
+        with pytest.raises(ScenarioError, match="closing"):
+            parse_term("flash-crowd(peak=3.5")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ScenarioError, match="invalid scenario name"):
+            parse_term("Flash_Crowd")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            parse_term("flash-crowd(peak=2.0,peak=3.0)")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ScenarioError, match="non-numeric"):
+            parse_term("flash-crowd(peak=huge)")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ScenarioError, match="key=value"):
+            parse_term("flash-crowd(peak)")
+
+
+class TestGetScenario:
+    def test_none_passes_through(self):
+        assert get_scenario(None) is None
+
+    def test_scenario_instance_passes_through(self):
+        scenario = FlashCrowd(peak=3.0)
+        assert get_scenario(scenario) is scenario
+
+    def test_registered_name_resolves(self):
+        assert isinstance(get_scenario("zapping"), Zapping)
+
+    def test_identity_is_parseable_but_not_registered(self):
+        assert isinstance(get_scenario("identity"), IdentityScenario)
+        assert "identity" not in REGISTERED_SCENARIOS
+        assert "identity" in scenario_names()
+
+    def test_composition_resolves_left_to_right(self):
+        scenario = get_scenario("flash-crowd+zapping")
+        assert isinstance(scenario, ComposedScenario)
+        assert [atom.slug for atom in scenario.atoms()] == [
+            "flash-crowd", "zapping"]
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            get_scenario("nope")
+        message = str(excinfo.value)
+        for name in scenario_names():
+            assert name in message
+
+    def test_unknown_parameter_lists_valid_ones(self):
+        with pytest.raises(ScenarioError, match="valid parameters"):
+            get_scenario("zapping(bogus=1.0)")
+
+    def test_out_of_range_parameter_rejected(self):
+        with pytest.raises(ScenarioError, match="peak must be >= 1"):
+            get_scenario("flash-crowd(peak=0.5)")
+
+    def test_int_field_rejects_fractional_value(self):
+        with pytest.raises(ScenarioError, match="must be an integer"):
+            get_scenario("blackout(salt=1.5)")
+
+    def test_int_field_accepts_integral_float(self):
+        assert get_scenario("blackout(salt=7)").salt == 7
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", REGISTERED_SCENARIOS)
+    def test_registered_scenarios_round_trip(self, name):
+        scenario = get_scenario(name)
+        canonical = scenario.spec_string()
+        assert get_scenario(canonical) == scenario
+        assert get_scenario(canonical).spec_string() == canonical
+
+    def test_composition_round_trips(self):
+        scenario = get_scenario("flash-crowd(peak=6.0)+zapping(mix=0.5)")
+        canonical = scenario.spec_string()
+        assert get_scenario(canonical) == scenario
+        assert canonical.count("+") == 1
+
+    def test_spec_string_of_none_is_empty(self):
+        assert scenario_spec_string(None) == ""
+
+    def test_spec_string_accepts_strings(self):
+        assert scenario_spec_string("zapping") == (
+            get_scenario("zapping").spec_string())
+
+    def test_all_types_are_registered_consistently(self):
+        for name, cls in SCENARIO_TYPES.items():
+            assert cls.slug == name
