@@ -10,43 +10,47 @@ per-segment values to per-element ones.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 from ._typing import FloatArray, IntArray
 
 
-def segment_starts(lengths: np.ndarray) -> IntArray:
+def segment_starts(lengths: npt.ArrayLike) -> IntArray:
     """Start index of each segment in the flattened element array.
 
     ``lengths`` holds the element count of each segment; the result has the
     same length, with ``result[0] == 0``.
     """
-    lengths = np.asarray(lengths, dtype=np.int64)
-    if lengths.ndim != 1:
+    lens = np.asarray(lengths, dtype=np.int64)
+    if lens.ndim != 1:
         raise ValueError("lengths must be one-dimensional")
-    if lengths.size and lengths.min() < 0:
+    if lens.size and lens.min() < 0:
         raise ValueError("segment lengths must be non-negative")
-    starts = np.zeros(lengths.size, dtype=np.int64)
-    if lengths.size > 1:
-        np.cumsum(lengths[:-1], out=starts[1:])
+    starts = np.zeros(lens.size, dtype=np.int64)
+    if lens.size > 1:
+        np.cumsum(lens[:-1], out=starts[1:])
     return starts
 
 
-def expand_by_segment(per_segment: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+def expand_by_segment(per_segment: npt.ArrayLike,
+                      lengths: npt.ArrayLike) -> npt.NDArray[Any]:
     """Repeat each per-segment value by its segment length.
 
     Equivalent to ``np.repeat(per_segment, lengths)`` with shape checking.
     """
-    per_segment = np.asarray(per_segment)
-    lengths = np.asarray(lengths, dtype=np.int64)
-    if per_segment.shape[0] != lengths.size:
+    seg = np.asarray(per_segment)
+    lens = np.asarray(lengths, dtype=np.int64)
+    if seg.shape[0] != lens.size:
         raise ValueError(
-            f"per_segment has {per_segment.shape[0]} entries, "
-            f"expected {lengths.size}")
-    return np.repeat(per_segment, lengths)
+            f"per_segment has {seg.shape[0]} entries, "
+            f"expected {lens.size}")
+    return np.repeat(seg, lens)
 
 
-def segmented_cumsum(values: np.ndarray, lengths: np.ndarray, *,
+def segmented_cumsum(values: npt.ArrayLike, lengths: npt.ArrayLike, *,
                      exclusive: bool = False) -> FloatArray:
     """Cumulative sum restarting at every segment boundary.
 
@@ -80,20 +84,21 @@ def segmented_cumsum(values: np.ndarray, lengths: np.ndarray, *,
         raise ValueError(
             f"values length ({vals.size}) must equal lengths.sum() ({total})")
     if vals.size == 0:
-        return np.empty(0)
+        return np.empty(0, dtype=np.float64)
     running = np.cumsum(vals)
     nonempty = lens > 0
     starts = segment_starts(lens)[nonempty]
     # Total accumulated before each (non-empty) segment begins.
     base_per_segment = running[starts] - vals[starts]
     base = np.repeat(base_per_segment, lens[nonempty])
-    inclusive = running - base
+    inclusive: FloatArray = running - base
     if exclusive:
         return inclusive - vals
     return inclusive
 
 
-def segmented_running_max(values: np.ndarray, lengths: np.ndarray) -> FloatArray:
+def segmented_running_max(values: npt.ArrayLike,
+                          lengths: npt.ArrayLike) -> FloatArray:
     """Running maximum restarting at every segment boundary.
 
     The segmented counterpart of ``np.maximum.accumulate``: element ``i``
@@ -191,8 +196,9 @@ def _scan_running_max(values: FloatArray, first_positions: IntArray, *,
     return out
 
 
-def alternate_on_switch(switch: np.ndarray, lengths: np.ndarray, *,
-                        first_value: np.ndarray, n_choices: int = 2) -> IntArray:
+def alternate_on_switch(switch: npt.ArrayLike, lengths: npt.ArrayLike, *,
+                        first_value: npt.ArrayLike,
+                        n_choices: int = 2) -> IntArray:
     """Track a per-segment state that flips between ``n_choices`` values.
 
     Models feed selection within a session: each segment (session) starts in

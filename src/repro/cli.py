@@ -29,6 +29,7 @@ import json
 import logging
 import sys
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .core.calibrate import calibrate_model
 from .core.characterize import characterize
@@ -43,6 +44,9 @@ from .trace.sanitize import sanitize_trace
 from .trace.store import Trace
 from .trace.wms_log import write_wms_log
 from .units import DEFAULT_SESSION_TIMEOUT
+
+if TYPE_CHECKING:
+    from .trace.streaming import StreamingSummary
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -221,8 +225,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lnt.add_argument("paths", type=Path, nargs="*",
                      help="files or directories to lint "
                           "(default: src/ tests/)")
-    lnt.add_argument("--format", choices=("text", "json"), default="text",
-                     help="report format (default: text)")
+    lnt.add_argument("--format", choices=("text", "json", "sarif"),
+                     default="text",
+                     help="report format (default: text); sarif feeds "
+                          "GitHub code scanning")
     lnt.add_argument("--select", action="append", default=None,
                      metavar="RLxxx[,RLxxx...]",
                      help="run only these rule IDs (repeatable)")
@@ -231,6 +237,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="skip these rule IDs (repeatable)")
     lnt.add_argument("--out", type=Path, default=None,
                      help="also write the report to this file")
+    lnt.add_argument("--cache-file", type=Path,
+                     default=Path(".reprolint-cache.json"),
+                     help="incremental analysis cache keyed by file "
+                          "content hashes (default: "
+                          ".reprolint-cache.json)")
+    lnt.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the analysis cache")
 
     srv = sub.add_parser("serve",
                          help="live characterization service: TCP/HTTP "
@@ -381,7 +394,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render_streaming_summary(summary) -> str:
+def _render_streaming_summary(summary: StreamingSummary) -> str:
     """Render a :class:`~repro.trace.streaming.StreamingSummary` as text."""
     lines = [
         "streaming characterization",
@@ -642,18 +655,24 @@ def _split_rule_ids(values: list[str] | None) -> list[str] | None:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .errors import LintError
-    from .lint import lint_paths, render_json, render_text
+    from .lint import lint_paths, render_json, render_sarif, render_text
 
     paths = [str(p) for p in args.paths] or ["src", "tests"]
+    cache_file = None if args.no_cache else args.cache_file
     try:
         result = lint_paths(paths,
                             select=_split_rule_ids(args.select),
-                            ignore=_split_rule_ids(args.ignore))
+                            ignore=_split_rule_ids(args.ignore),
+                            cache_path=cache_file)
     except LintError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
-    report = (render_json(result) if args.format == "json"
-              else render_text(result) + "\n")
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result) + "\n"
     print(report, end="")
     if args.out is not None:
         args.out.write_text(report)

@@ -1,9 +1,18 @@
-"""File discovery, per-file rule applicability, and orchestration.
+"""File discovery, rule applicability, caching, and orchestration.
 
 The engine turns paths into a deterministic file list (sorted recursive
 walk — the linter obeys its own ordering rules), classifies each file as
 ``library`` or ``test`` context, applies the per-rule package and
-exemption filters, runs the AST pass, and folds in suppression handling.
+exemption filters, runs the per-file AST pass, runs the whole-program
+flow pass (:mod:`repro.lint.flow`) over the library files, and folds
+both streams through suppression handling.
+
+Two cache granularities (:mod:`repro.lint.cache`) make no-op reruns
+cheap: per-file outputs are keyed by content hash + applicable rules,
+and the flow pass — whose output depends on *every* library file — is
+keyed by the hash of all of them.  Suppression *application* always
+reruns (it depends on the active rule set), but on a warm cache no file
+is parsed or tokenized at all.
 """
 
 from __future__ import annotations
@@ -14,9 +23,13 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..errors import LintError
-from .rules import RULES, Violation, active_rule_ids, check_tree, rule
-from .rules import LIBRARY, TEST
-from .suppressions import apply_suppressions, extract_suppressions
+from .cache import (FileEntry, LintCache, content_hash, load_cache,
+                    project_key, save_cache)
+from .flow import analyze_project
+from .rules import (FLOW_RULE_IDS, LIBRARY, RULES, TEST, Violation,
+                    active_rule_ids, check_tree, rule)
+from .suppressions import (Suppression, apply_suppressions,
+                           extract_suppressions)
 
 _KNOWN_IDS = frozenset(r.id for r in RULES)
 
@@ -27,6 +40,11 @@ class LintResult:
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
+    #: Per-file cache statistics (both zero when no cache is in play).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: True when the whole-program flow pass was served from cache.
+    flow_from_cache: bool = False
 
     @property
     def clean(self) -> bool:
@@ -85,13 +103,151 @@ def _applicable_ids(path: Path, context: str,
             continue
         if any(posix.endswith(suffix) for suffix in spec.exempt):
             continue
-        if spec.packages is not None:
-            if module is None or not any(
+        if spec.packages is not None and (
+                module is None or not any(
                     module == pkg or module.startswith(pkg + ".")
-                    for pkg in spec.packages):
-                continue
+                    for pkg in spec.packages)):
+            continue
         applicable.add(rule_id)
     return frozenset(applicable)
+
+
+# --------------------------------------------------------------------------
+# Per-file bookkeeping
+# --------------------------------------------------------------------------
+
+@dataclass
+class _FileState:
+    """Everything the run needs to remember about one file."""
+
+    path: Path
+    posix: str
+    context: str
+    module: str | None
+    applicable: frozenset[str]
+    source: str
+    hash: str
+    raw: list[Violation] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    tree: ast.Module | None = None
+    parse_failed: bool = False
+
+
+def _per_file_pass(state: _FileState, cache: LintCache,
+                   result: LintResult) -> None:
+    """Raw violations + suppressions for one file, via cache when warm."""
+    per_file_ids = tuple(sorted(state.applicable - FLOW_RULE_IDS))
+    entry = cache.lookup(state.posix, state.hash, per_file_ids)
+    if entry is not None:
+        state.raw = list(entry.violations)
+        state.suppressions = list(entry.suppressions)
+        result.cache_hits += 1
+        return
+    result.cache_misses += 1
+    applicable = frozenset(per_file_ids)
+    try:
+        state.tree = ast.parse(state.source, filename=state.posix)
+    except SyntaxError as exc:
+        state.parse_failed = True
+        if "RL000" in applicable:
+            state.raw = [Violation(
+                state.posix, exc.lineno or 1, (exc.offset or 0) + 1,
+                "RL000", f"syntax error: {exc.msg}")]
+    else:
+        state.raw = [v for v in check_tree(state.tree, state.posix)
+                     if v.rule_id in applicable]
+        state.suppressions = extract_suppressions(state.source, state.posix)
+    cache.store(state.posix, FileEntry(
+        hash=state.hash, ids=per_file_ids,
+        violations=list(state.raw),
+        suppressions=list(state.suppressions)))
+
+
+def _flow_pass(states: list[_FileState], flow_ids: frozenset[str],
+               cache: LintCache, result: LintResult) -> list[Violation]:
+    """Whole-program violations over the library files, via cache."""
+    members = [s for s in states
+               if s.context == LIBRARY and s.module is not None]
+    if not members or not flow_ids:
+        return []
+    key = project_key([(s.module, s.hash) for s in members
+                       if s.module is not None], flow_ids)
+    cached = cache.lookup_flow(key)
+    if cached is not None:
+        result.flow_from_cache = True
+        return cached
+    trees: dict[str, tuple[str, ast.Module]] = {}
+    for state in members:
+        if state.parse_failed:
+            continue
+        if state.tree is None:
+            try:
+                state.tree = ast.parse(state.source, filename=state.posix)
+            except SyntaxError:
+                state.parse_failed = True
+                continue
+        trees[state.module or ""] = (state.posix, state.tree)
+    violations = [v for v in analyze_project(trees)
+                  if v.rule_id in flow_ids]
+    cache.store_flow(key, violations)
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+def lint_paths(paths: Sequence[Path | str], *,
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None,
+               cache_path: Path | None = None) -> LintResult:
+    """Lint files and directories; the library/CLI entry point.
+
+    ``cache_path`` enables the incremental cache (the CLI defaults it to
+    ``.reprolint-cache.json``; the library default is off so test
+    fixtures stay hermetic).
+    """
+    selected = active_rule_ids(select, ignore)
+    files = discover_files([Path(p) for p in paths])
+    cache = load_cache(cache_path) if cache_path is not None else LintCache()
+    result = LintResult()
+
+    states: list[_FileState] = []
+    for file_path in files:
+        posix = file_path.as_posix()
+        context = classify_context(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        states.append(_FileState(
+            path=file_path, posix=posix, context=context,
+            module=module_path(file_path),
+            applicable=_applicable_ids(file_path, context, selected),
+            source=source, hash=content_hash(source)))
+
+    for state in states:
+        _per_file_pass(state, cache, result)
+        result.files_checked += 1
+
+    flow_violations = _flow_pass(states, selected & FLOW_RULE_IDS,
+                                 cache, result)
+    by_path: dict[str, list[Violation]] = {}
+    for violation in flow_violations:
+        by_path.setdefault(violation.path, []).append(violation)
+
+    for state in states:
+        merged = state.raw + [
+            v for v in by_path.get(state.posix, [])
+            if v.rule_id in state.applicable]
+        merged.sort(key=lambda v: (v.line, v.col, v.rule_id))
+        outcome = apply_suppressions(merged, state.suppressions,
+                                     active_ids=state.applicable,
+                                     known_ids=_KNOWN_IDS)
+        result.violations.extend(outcome.kept + outcome.hygiene)
+
+    result.violations.sort(
+        key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    if cache_path is not None and cache.dirty:
+        save_cache(cache_path, cache)
+    return result
 
 
 def lint_source(source: str, *, path: str = "<string>",
@@ -103,7 +259,10 @@ def lint_source(source: str, *, path: str = "<string>",
 
     ``context`` is ``library`` or ``test``; ``module`` is the dotted
     module path used for package-scoped rules (defaults to a guess from
-    ``path`` when it contains a ``repro`` component).
+    ``path`` when it contains a ``repro`` component).  Flow rules run
+    over a single-module project, so interprocedural findings *within*
+    the string are reported; cross-module resolution needs
+    :func:`lint_paths`.
     """
     selected = active_rule_ids(select, ignore)
     fake = Path(path if path != "<string>" else "string.py")
@@ -111,38 +270,21 @@ def lint_source(source: str, *, path: str = "<string>",
         # Honour an explicit module path by faking a file location for it.
         fake = Path("/".join(module.split("."))).with_suffix(".py")
     applicable = _applicable_ids(fake, context, selected)
-    return _lint_text(source, path, applicable)
-
-
-def lint_paths(paths: Sequence[Path | str], *,
-               select: Iterable[str] | None = None,
-               ignore: Iterable[str] | None = None) -> LintResult:
-    """Lint files and directories; the library/CLI entry point."""
-    selected = active_rule_ids(select, ignore)
-    files = discover_files([Path(p) for p in paths])
-    result = LintResult()
-    for file_path in files:
-        context = classify_context(file_path)
-        applicable = _applicable_ids(file_path, context, selected)
-        source = file_path.read_text(encoding="utf-8")
-        result.violations.extend(
-            _lint_text(source, file_path.as_posix(), applicable))
-        result.files_checked += 1
-    result.violations.sort(
-        key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    return result
-
-
-def _lint_text(source: str, path: str,
-               applicable: frozenset[str]) -> list[Violation]:
+    per_file = applicable - FLOW_RULE_IDS
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        if "RL000" not in applicable:
+        if "RL000" not in per_file:
             return []
         return [Violation(path, exc.lineno or 1, (exc.offset or 0) + 1,
                           "RL000", f"syntax error: {exc.msg}")]
-    raw = [v for v in check_tree(tree, path) if v.rule_id in applicable]
+    raw = [v for v in check_tree(tree, path) if v.rule_id in per_file]
+    flow_ids = applicable & FLOW_RULE_IDS
+    if flow_ids:
+        module_name = module or module_path(fake) or "fixture"
+        raw.extend(v for v in analyze_project(
+            {module_name: (path, tree)}) if v.rule_id in flow_ids)
+    raw.sort(key=lambda v: (v.line, v.col, v.rule_id))
     suppressions = extract_suppressions(source, path)
     outcome = apply_suppressions(raw, suppressions,
                                  active_ids=applicable,

@@ -1,0 +1,872 @@
+"""Interprocedural dataflow: RNG escape, dtype propagation, asyncio.
+
+Built on :mod:`repro.lint.graph`.  The analysis is *intraprocedural with
+function summaries*: each function is analyzed on its own AST with a
+small abstract-tag lattice (``rng``, ``f32``, ``f64``, ``executor``,
+``lock``, ``param:i``), and the effects that cross function boundaries —
+"returns an rng", "leaks parameter 2 to a module global", "blocks on
+file I/O" — are folded into a :class:`FunctionSummary`.  Summaries are
+iterated to a fixpoint (the lattice is finite and the transfer functions
+monotone, so cycles in the call graph converge), then a second pass
+walks every function with the final summaries and emits violations.
+
+Rule families (IDs are stable; see :mod:`repro.lint.rules`):
+
+RL020–RL023 (RNG flow)
+    A ``make_rng``/``spawn``-derived ``Generator`` must not be bound to
+    a module global (directly or through a callee), must not be drawn
+    from after ``spawn``/``spawn_sequences`` split it, and must not
+    cross a pickle/executor process boundary — SeedSequences are the
+    sanctioned cross-process currency.
+
+RL030–RL032 (dtype propagation)
+    float32/float64 mixing in arithmetic, and float32 values reaching a
+    serialization/codec sink (directly or through a callee).  The
+    artifact contract is float64 end to end.
+
+RL040–RL043 (asyncio discipline)
+    Blocking calls inside ``async def`` (reported at the *deepest*
+    project frame: a direct external call, or a call into a synchronous
+    project function whose summary blocks — calls into ``async``
+    project functions are never re-reported at the caller), bare
+    never-awaited coroutine calls, unbounded ``asyncio.Queue``
+    construction, and ``await`` of long-wait operations while a lock is
+    held.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from .graph import FunctionInfo, ModuleIndex, Project, shallow_walk
+from .rules import Violation
+
+# --------------------------------------------------------------------------
+# Abstract tags
+# --------------------------------------------------------------------------
+
+_RNG = "rng"          #: a numpy Generator derived from the seed tree
+_RNG_SEQ = "rng-seq"  #: a sequence of Generators (repro.rng.spawn result)
+_F32 = "f32"
+_F64 = "f64"
+_EXECUTOR = "executor"
+_LOCK = "lock"
+_PARAM = "param:"     #: prefix; ``param:2`` marks the owner's third arg
+
+
+def _param_indices(tags: set[str]) -> list[int]:
+    return sorted(int(t[len(_PARAM):]) for t in tags if t.startswith(_PARAM))
+
+
+# --------------------------------------------------------------------------
+# Name sets
+# --------------------------------------------------------------------------
+
+#: Calls that mint a Generator.  ``repro.rng.make_rng`` is also derived
+#: from its own summary; listing it keeps single-file fixture projects
+#: (where repro.rng is not indexed) honest.
+_RNG_FACTORIES = frozenset((
+    "numpy.random.default_rng", "repro.rng.make_rng",
+))
+
+#: Calls returning a list of child Generators / SeedSequences.  Their
+#: first argument is the parent, which must not be drawn from afterwards.
+_SPAWN_CALLS = frozenset(("repro.rng.spawn", "repro.rng.spawn_sequences"))
+
+#: Generator methods that consume bit-stream state.
+_DRAW_METHODS = frozenset((
+    "random", "integers", "choice", "shuffle", "permutation", "permuted",
+    "normal", "standard_normal", "uniform", "exponential", "lognormal",
+    "poisson", "pareto", "zipf", "binomial", "geometric", "beta", "gamma",
+    "weibull", "bytes",
+))
+
+#: External calls that synchronously block (I/O, sleeps, subprocesses).
+_BLOCKING_CALLS = frozenset((
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.fdopen", "os.replace", "os.rename", "os.remove", "os.makedirs",
+    "shutil.copy", "shutil.copyfile", "shutil.move", "shutil.rmtree",
+    "numpy.save", "numpy.savez", "numpy.savez_compressed", "numpy.savetxt",
+    "numpy.load", "numpy.loadtxt", "numpy.genfromtxt",
+    "socket.create_connection",
+))
+
+#: Blocking builtins (flagged only when not shadowed by an import/local).
+_BLOCKING_BUILTINS = frozenset(("open", "input"))
+
+#: pathlib-style I/O method names on unresolved receivers.
+_BLOCKING_METHODS = frozenset((
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "unlink", "mkdir", "touch",
+))
+
+#: Calls that move an object across a process/serialization boundary.
+_BOUNDARY_CALLS = frozenset((
+    "pickle.dump", "pickle.dumps",
+    "multiprocessing.Pool", "multiprocessing.Process",
+))
+
+#: Executor constructors; their instances' submit/map are boundaries.
+_EXECUTOR_CTORS = frozenset((
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "multiprocessing.Pool",
+))
+
+_EXECUTOR_METHODS = frozenset(("submit", "map"))
+
+#: External serialization sinks for the dtype rules.
+_DTYPE_SINK_CALLS = frozenset((
+    "numpy.save", "numpy.savez", "numpy.savez_compressed", "numpy.savetxt",
+    "pickle.dump", "pickle.dumps", "struct.pack",
+))
+
+#: Project modules whose public functions are codec/serialization sinks.
+_DTYPE_SINK_MODULES = (
+    "repro.trace.codecs", "repro.trace.store", "repro.trace.wms_log",
+    "repro.stream.checkpoint",
+)
+
+_LOCK_CTORS = frozenset((
+    "asyncio.Lock", "asyncio.Condition", "asyncio.Semaphore",
+    "asyncio.BoundedSemaphore", "threading.Lock", "threading.RLock",
+))
+
+_QUEUE_CTORS = frozenset((
+    "asyncio.Queue", "asyncio.LifoQueue", "asyncio.PriorityQueue",
+))
+
+#: Awaitables that can park the coroutine for a long time (RL043).
+_ASYNC_WAIT_CALLS = frozenset((
+    "asyncio.sleep", "asyncio.wait", "asyncio.wait_for", "asyncio.gather",
+))
+
+_ASYNC_WAIT_METHODS = frozenset((
+    "get", "put", "join", "wait", "wait_for", "acquire", "drain",
+))
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+              ast.Mod, ast.Pow, ast.MatMult)
+
+
+def _pretty(dotted: str) -> str:
+    return dotted.replace("numpy.", "np.")
+
+
+def _short(absname: str) -> str:
+    return absname.rsplit(".", 1)[-1]
+
+
+# --------------------------------------------------------------------------
+# Function summaries
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Boundary-crossing effects of one function, for its callers."""
+
+    returns_rng: bool = False
+    #: ``'f32'``/``'f64'`` when the return value has a known float dtype.
+    returns_dtype: str | None = None
+    #: Evidence string when calling this (sync) function blocks.
+    blocking: str | None = None
+    #: Parameter indices bound to a module global inside (RL023 at caller).
+    rng_leak_params: frozenset[int] = frozenset()
+    #: Parameter indices passed into a process boundary inside (RL022).
+    rng_boundary_params: frozenset[int] = frozenset()
+    #: Parameter indices reaching a serialization sink inside (RL032).
+    f32_sink_params: frozenset[int] = frozenset()
+
+
+class FlowAnalysis:
+    """Summary fixpoint plus the emission pass over one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.summaries: dict[str, FunctionSummary] = {}
+        #: class absname -> attribute name -> tags (``self.x = Lock()``).
+        self.class_attrs: dict[str, dict[str, frozenset[str]]] = {}
+
+    def run(self) -> list[Violation]:
+        """Compute summaries, then emit violations for every scope."""
+        self._collect_class_attrs()
+        self._fixpoint()
+        out: list[Violation] = []
+        for name in sorted(self.project.modules):
+            module = self.project.modules[name]
+            _Analyzer(self, module, None, out).run()
+        for info in self.project.functions():
+            _Analyzer(self, self.project.modules[info.module],
+                      info, out).run()
+        return out
+
+    # -- class attribute tags ---------------------------------------------
+
+    def _collect_class_attrs(self) -> None:
+        for module_name in sorted(self.project.modules):
+            module = self.project.modules[module_name]
+            for cls_qualname in sorted(module.classes):
+                absname = f"{module.name}.{cls_qualname}"
+                attrs: dict[str, frozenset[str]] = {}
+                for method in module.classes[cls_qualname]:
+                    info = module.functions.get(f"{cls_qualname}.{method}")
+                    if info is None:
+                        continue
+                    self._scan_self_assigns(module, info, attrs)
+                if attrs:
+                    self.class_attrs[absname] = attrs
+
+    def _scan_self_assigns(self, module: ModuleIndex, info: FunctionInfo,
+                           attrs: dict[str, frozenset[str]]) -> None:
+        for node in shallow_walk(info.node):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            resolved = self.project.resolve_call(module, info,
+                                                node.value.func)
+            tags = _ctor_tags(resolved)
+            if resolved in _RNG_FACTORIES \
+                    or self._returns_rng_name(resolved):
+                tags = tags | {_RNG}
+            if not tags:
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs[target.attr] = attrs.get(
+                        target.attr, frozenset()) | tags
+
+    def _returns_rng_name(self, resolved: str | None) -> bool:
+        if resolved is None:
+            return False
+        info = self.project.function(resolved)
+        if info is None:
+            return False
+        summary = self.summaries.get(info.name)
+        return summary is not None and summary.returns_rng
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        funcs = self.project.functions()
+        self.summaries = {info.name: FunctionSummary() for info in funcs}
+        # The lattice height bounds the iteration count far below this.
+        for _ in range(len(funcs) + 2):
+            changed = False
+            for info in funcs:
+                analyzer = _Analyzer(
+                    self, self.project.modules[info.module], info, None)
+                updated = analyzer.run()
+                if updated != self.summaries[info.name]:
+                    self.summaries[info.name] = updated
+                    changed = True
+            if not changed:
+                return
+
+
+def _ctor_tags(resolved: str | None) -> frozenset[str]:
+    if resolved is None:
+        return frozenset()
+    if resolved in _LOCK_CTORS:
+        return frozenset((_LOCK,))
+    if resolved in _EXECUTOR_CTORS:
+        return frozenset((_EXECUTOR,))
+    return frozenset()
+
+
+# --------------------------------------------------------------------------
+# Per-function abstract interpretation
+# --------------------------------------------------------------------------
+
+class _Analyzer:
+    """One pass over one scope (a function body or the module top level).
+
+    With ``out=None`` the pass only computes the scope's summary (the
+    fixpoint mode); with an output list it also emits violations using
+    the final summaries.
+    """
+
+    def __init__(self, flow: FlowAnalysis, module: ModuleIndex,
+                 owner: FunctionInfo | None,
+                 out: list[Violation] | None) -> None:
+        self.flow = flow
+        self.project = flow.project
+        self.module = module
+        self.owner = owner
+        self.out = out
+        self.path = owner.path if owner is not None else module.path
+        self.is_async = owner is not None and owner.is_async
+        self.tags: dict[str, set[str]] = {}
+        self.local_types: dict[str, str] = {}
+        self.spawned: set[str] = set()
+        self.globals_declared: set[str] = set()
+        self.lock_depth = 0
+        # Mutable summary fields, frozen on return.
+        self._returns_rng = False
+        self._returns_dtype: str | None = None
+        self._blocking: str | None = None
+        self._leak_params: set[int] = set()
+        self._boundary_params: set[int] = set()
+        self._sink_params: set[int] = set()
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        if self.owner is not None:
+            node = self.owner.node
+            params = [*node.args.posonlyargs, *node.args.args,
+                      *node.args.kwonlyargs]
+            for index, param in enumerate(params):
+                self.tags[param.arg] = {f"{_PARAM}{index}"}
+            self._stmts(node.body)
+        else:
+            self._stmts(self.module.tree.body)
+        return FunctionSummary(
+            returns_rng=self._returns_rng,
+            returns_dtype=self._returns_dtype,
+            blocking=self._blocking,
+            rng_leak_params=frozenset(self._leak_params),
+            rng_boundary_params=frozenset(self._boundary_params),
+            f32_sink_params=frozenset(self._sink_params),
+        )
+
+    def _emit(self, node: ast.AST, rule_id: str, message: str) -> None:
+        if self.out is None:
+            return
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        self.out.append(Violation(self.path, int(line), int(col) + 1,
+                                  rule_id, message))
+
+    # -- statements --------------------------------------------------------
+
+    def _stmts(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes get their own analyzer
+        if isinstance(node, ast.Global):
+            self.globals_declared.update(node.names)
+        elif isinstance(node, ast.Assign):
+            tags = self._expr(node.value)
+            for target in node.targets:
+                self._bind(target, tags, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind(node.target, self._expr(node.value), node.value)
+        elif isinstance(node, ast.AugAssign):
+            self._expr(node.value)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                tags = self._expr(node.value)
+                if _RNG in tags or _RNG_SEQ in tags:
+                    self._returns_rng = True
+                if _F32 in tags:
+                    self._returns_dtype = _F32
+                elif _F64 in tags and self._returns_dtype is None:
+                    self._returns_dtype = _F64
+        elif isinstance(node, ast.Expr):
+            self._check_unawaited(node.value)
+            self._expr(node.value)
+        elif isinstance(node, ast.If):
+            self._expr(node.test)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_tags = self._expr(node.iter)
+            element = {_RNG} if _RNG_SEQ in iter_tags else set()
+            self._bind(node.target, element, None)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, ast.While):
+            self._expr(node.test)
+            self._stmts(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with(node)
+        elif isinstance(node, ast.Try):
+            self._stmts(node.body)
+            for handler in node.handlers:
+                self._stmts(handler.body)
+            self._stmts(node.orelse)
+            self._stmts(node.finalbody)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+
+    def _with(self, node: ast.With | ast.AsyncWith) -> None:
+        locked = False
+        for item in node.items:
+            tags = self._expr(item.context_expr)
+            locked = locked or _LOCK in tags
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, tags, item.context_expr)
+        if locked:
+            self.lock_depth += 1
+        self._stmts(node.body)
+        if locked:
+            self.lock_depth -= 1
+
+    # -- binding -----------------------------------------------------------
+
+    def _bind(self, target: ast.expr, tags: set[str],
+              value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if _RNG in tags or _RNG_SEQ in tags:
+                if self.owner is None:
+                    self._emit(target, "RL020",
+                               f"Generator bound to module global '{name}'; "
+                               "generators must stay scoped to their seed "
+                               "block")
+                elif name in self.globals_declared:
+                    self._emit(target, "RL020",
+                               f"Generator bound to module global '{name}' "
+                               "via `global`; generators must stay scoped "
+                               "to their seed block")
+            if self.owner is not None and name in self.globals_declared:
+                for index in _param_indices(tags):
+                    self._leak_params.add(index)
+            self.tags[name] = set(tags)
+            self.spawned.discard(name)
+            self._bind_instance_type(name, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            element = {_RNG} if _RNG_SEQ in tags else set()
+            if isinstance(value, (ast.Tuple, ast.List)) \
+                    and len(value.elts) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts, value.elts,
+                                                 strict=True):
+                    self._bind(sub_target, self._expr(sub_value), sub_value)
+            else:
+                for sub_target in target.elts:
+                    self._bind(sub_target, set(element), None)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tags, None)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._expr(target.value)
+
+    def _bind_instance_type(self, name: str, value: ast.expr | None) -> None:
+        self.local_types.pop(name, None)
+        if not isinstance(value, ast.Call):
+            return
+        resolved = self.project.resolve_call(self.module, self.owner,
+                                             value.func, self.local_types)
+        if resolved is not None \
+                and self.project.class_of(resolved) is not None:
+            self.local_types[name] = resolved
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, node: ast.expr | None) -> set[str]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.tags.get(node.id, ()))
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Await):
+            if self.lock_depth > 0 and isinstance(node.value, ast.Call):
+                self._check_lock_wait(node.value)
+            return self._expr(node.value)
+        if isinstance(node, ast.BinOp):
+            left = self._expr(node.left)
+            right = self._expr(node.right)
+            if isinstance(node.op, _ARITH_OPS) and (
+                    (_F32 in left and _F64 in right)
+                    or (_F64 in left and _F32 in right)):
+                self._emit(node, "RL030",
+                           "float32/float64 operands mixed in arithmetic; "
+                           "the implicit upcast changes serialized bytes")
+            return left | right
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) \
+                    and node.value.id in ("self", "cls"):
+                return set(self._self_attr_tags(node.attr))
+            self._expr(node.value)
+            return set()
+        if isinstance(node, ast.Subscript):
+            base = self._expr(node.value)
+            self._expr(node.slice)
+            return {_RNG} if _RNG_SEQ in base else set()
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            combined: set[str] = set()
+            for elt in node.elts:
+                combined |= self._expr(elt)
+            return combined
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test)
+            return self._expr(node.body) | self._expr(node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            tags = self._expr(node.value)
+            self._bind(node.target, tags, node.value)
+            return tags
+        if isinstance(node, ast.Lambda):
+            return set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+            elif isinstance(child, ast.comprehension):
+                self._expr(child.iter)
+                for condition in child.ifs:
+                    self._expr(condition)
+        return set()
+
+    def _self_attr_tags(self, attr: str) -> frozenset[str]:
+        if self.owner is None or self.owner.class_name is None:
+            return frozenset()
+        absname = f"{self.owner.module}.{self.owner.class_name}"
+        return self.flow.class_attrs.get(absname, {}).get(attr, frozenset())
+
+    # -- calls -------------------------------------------------------------
+
+    def _call(self, node: ast.Call) -> set[str]:
+        resolved = self.project.resolve_call(self.module, self.owner,
+                                             node.func, self.local_types)
+        bound_method = self._is_bound_call(node.func)
+        arg_tags = [self._expr(arg) for arg in node.args]
+        kw_tags: dict[str, set[str]] = {
+            kw.arg: self._expr(kw.value)
+            for kw in node.keywords if kw.arg is not None}
+        for kw in node.keywords:
+            if kw.arg is None:
+                self._expr(kw.value)
+        receiver_tags: set[str] = set()
+        if isinstance(node.func, ast.Attribute):
+            receiver_tags = self._expr(node.func.value)
+
+        self._check_queue_ctor(node, resolved)
+        self._check_draw_after_spawn(node)
+        self._mark_spawn(node, resolved)
+        self._check_blocking(node, resolved)
+        self._check_boundary(node, resolved, receiver_tags,
+                             arg_tags, kw_tags)
+        self._check_dtype_sink(node, resolved, arg_tags, kw_tags)
+        self._check_callee_summary(node, resolved, bound_method,
+                                   arg_tags, kw_tags)
+        return self._result_tags(node, resolved, receiver_tags)
+
+    def _is_bound_call(self, func: ast.expr) -> bool:
+        return (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and (func.value.id in ("self", "cls")
+                     or func.value.id in self.local_types))
+
+    # RL042 ---------------------------------------------------------------
+
+    def _check_queue_ctor(self, node: ast.Call,
+                          resolved: str | None) -> None:
+        if resolved not in _QUEUE_CTORS:
+            return
+        for kw in node.keywords:
+            if kw.arg == "maxsize":
+                if isinstance(kw.value, ast.Constant) and kw.value.value == 0:
+                    break
+                return
+        else:
+            if node.args:
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant)
+                        and first.value == 0):
+                    return
+        self._emit(node, "RL042",
+                   f"{_pretty(resolved)}() without a maxsize bound; "
+                   "unbounded buffers defeat the load-shedding contract")
+
+    # RL021 ---------------------------------------------------------------
+
+    def _check_draw_after_spawn(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)):
+            return
+        name = func.value.id
+        if name in self.spawned and func.attr in _DRAW_METHODS:
+            self._emit(node, "RL021",
+                       f"draw from '{name}.{func.attr}()' after "
+                       f"spawn({name}, ...); drawing from a split parent "
+                       "reorders the seed-derivation tree")
+
+    def _mark_spawn(self, node: ast.Call, resolved: str | None) -> None:
+        if resolved in _SPAWN_CALLS and node.args:
+            parent = node.args[0]
+            if isinstance(parent, ast.Name):
+                self.spawned.add(parent.id)
+            return
+        # Generator.spawn(n) splits the receiver the same way.
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "spawn"
+                and isinstance(func.value, ast.Name)
+                and _RNG in self.tags.get(func.value.id, set())):
+            self.spawned.add(func.value.id)
+
+    # RL040 + blocking summaries ------------------------------------------
+
+    def _check_blocking(self, node: ast.Call, resolved: str | None) -> None:
+        evidence = self._blocking_evidence(node, resolved)
+        if evidence is None:
+            return
+        if self._blocking is None:
+            self._blocking = evidence
+        if self.is_async and self.owner is not None:
+            self._emit(node, "RL040",
+                       f"blocking call {evidence} inside async def "
+                       f"{self.owner.qualname}; it stalls the event loop")
+
+    def _blocking_evidence(self, node: ast.Call,
+                           resolved: str | None) -> str | None:
+        if resolved is not None and resolved in _BLOCKING_CALLS:
+            return f"{_pretty(resolved)}()"
+        func = node.func
+        if (isinstance(func, ast.Name)
+                and func.id in _BLOCKING_BUILTINS
+                and func.id not in self.module.imports
+                and func.id not in self.tags):
+            return f"{func.id}()"
+        if (resolved is None and isinstance(func, ast.Attribute)
+                and func.attr in _BLOCKING_METHODS):
+            return f".{func.attr}()"
+        return None
+
+    # RL022/RL031 direct sinks --------------------------------------------
+
+    def _check_boundary(self, node: ast.Call, resolved: str | None,
+                        receiver_tags: set[str],
+                        arg_tags: list[set[str]],
+                        kw_tags: dict[str, set[str]]) -> None:
+        if resolved is not None and resolved in _BOUNDARY_CALLS:
+            sink = f"{_pretty(resolved)}()"
+        elif (isinstance(node.func, ast.Attribute)
+              and node.func.attr in _EXECUTOR_METHODS
+              and _EXECUTOR in receiver_tags):
+            sink = f"executor.{node.func.attr}()"
+        else:
+            return
+        for tags in [*arg_tags, *kw_tags.values()]:
+            if _RNG in tags or _RNG_SEQ in tags:
+                self._emit(node, "RL022",
+                           f"Generator passed into {sink}; ship "
+                           "SeedSequences (repro.rng.spawn_sequences) "
+                           "across process boundaries")
+            for index in _param_indices(tags):
+                self._boundary_params.add(index)
+
+    def _check_dtype_sink(self, node: ast.Call, resolved: str | None,
+                          arg_tags: list[set[str]],
+                          kw_tags: dict[str, set[str]]) -> None:
+        sink = self._dtype_sink_name(resolved)
+        if sink is None:
+            return
+        for tags in [*arg_tags, *kw_tags.values()]:
+            if _F32 in tags:
+                self._emit(node, "RL031",
+                           f"float32 value reaches serialization sink "
+                           f"{sink}; the artifact contract is float64")
+            for index in _param_indices(tags):
+                self._sink_params.add(index)
+
+    def _dtype_sink_name(self, resolved: str | None) -> str | None:
+        if resolved is None:
+            return None
+        if resolved in _DTYPE_SINK_CALLS:
+            return f"{_pretty(resolved)}()"
+        for prefix in _DTYPE_SINK_MODULES:
+            if resolved.startswith(prefix + "."):
+                return f"{_short(resolved)}()"
+        return None
+
+    # Interprocedural effects via callee summaries ------------------------
+
+    def _check_callee_summary(self, node: ast.Call, resolved: str | None,
+                              bound_method: bool,
+                              arg_tags: list[set[str]],
+                              kw_tags: dict[str, set[str]]) -> None:
+        if resolved is None:
+            return
+        callee = self.project.function(resolved)
+        if callee is None:
+            return
+        summary = self.flow.summaries.get(callee.name)
+        if summary is None:
+            return
+        self._propagate_blocking(node, callee, summary)
+        if not (summary.rng_leak_params or summary.rng_boundary_params
+                or summary.f32_sink_params):
+            return
+        for param_index, tags in self._map_args(callee, bound_method,
+                                                arg_tags, kw_tags):
+            if param_index in summary.rng_leak_params \
+                    and (_RNG in tags or _RNG_SEQ in tags):
+                self._emit(node, "RL023",
+                           f"rng argument leaks to a module global inside "
+                           f"{_short(callee.name)}()")
+            if param_index in summary.rng_boundary_params \
+                    and (_RNG in tags or _RNG_SEQ in tags):
+                self._emit(node, "RL022",
+                           f"Generator crosses a process boundary inside "
+                           f"{_short(callee.name)}(); ship SeedSequences "
+                           "(repro.rng.spawn_sequences) instead")
+            if param_index in summary.f32_sink_params and _F32 in tags:
+                self._emit(node, "RL032",
+                           f"float32 argument reaches a serialization "
+                           f"sink inside {_short(callee.name)}()")
+            for own_index in _param_indices(tags):
+                if param_index in summary.rng_leak_params:
+                    self._leak_params.add(own_index)
+                if param_index in summary.rng_boundary_params:
+                    self._boundary_params.add(own_index)
+                if param_index in summary.f32_sink_params:
+                    self._sink_params.add(own_index)
+
+    def _propagate_blocking(self, node: ast.Call, callee: FunctionInfo,
+                            summary: FunctionSummary) -> None:
+        # Deepest-frame discipline: an async callee reports its own
+        # blocking sites; its callers never re-report them.
+        if callee.is_async or summary.blocking is None:
+            return
+        evidence = summary.blocking
+        if " via " not in evidence:
+            evidence = f"{evidence} via {_short(callee.name)}"
+        if self._blocking is None:
+            self._blocking = evidence
+        if self.is_async and self.owner is not None:
+            self._emit(node, "RL040",
+                       f"call into blocking {_short(callee.name)}() "
+                       f"[{summary.blocking}] inside async def "
+                       f"{self.owner.qualname}; it stalls the event loop")
+
+    def _map_args(self, callee: FunctionInfo, bound_method: bool,
+                  arg_tags: list[set[str]],
+                  kw_tags: dict[str, set[str]]
+                  ) -> list[tuple[int, set[str]]]:
+        offset = 1 if bound_method else 0
+        mapped = [(index + offset, tags)
+                  for index, tags in enumerate(arg_tags)]
+        params = [arg.arg for arg in (*callee.node.args.posonlyargs,
+                                      *callee.node.args.args,
+                                      *callee.node.args.kwonlyargs)]
+        for keyword, tags in kw_tags.items():
+            if keyword in params:
+                mapped.append((params.index(keyword), tags))
+        return mapped
+
+    # RL041 ---------------------------------------------------------------
+
+    def _check_unawaited(self, value: ast.expr) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        resolved = self.project.resolve_call(self.module, self.owner,
+                                             value.func, self.local_types)
+        if resolved is None:
+            return
+        callee = self.project.function(resolved)
+        if callee is not None and callee.is_async:
+            self._emit(value, "RL041",
+                       f"coroutine {_short(callee.name)}() is never "
+                       "awaited; wrap in await or asyncio.create_task")
+
+    # RL043 ---------------------------------------------------------------
+
+    def _check_lock_wait(self, call: ast.Call) -> None:
+        resolved = self.project.resolve_call(self.module, self.owner,
+                                             call.func, self.local_types)
+        what: str | None = None
+        if resolved is not None and resolved in _ASYNC_WAIT_CALLS:
+            what = f"{_pretty(resolved)}()"
+        elif (isinstance(call.func, ast.Attribute)
+              and call.func.attr in _ASYNC_WAIT_METHODS):
+            what = f".{call.func.attr}()"
+        if what is not None:
+            self._emit(call, "RL043",
+                       f"await of {what} while holding a lock; the lock "
+                       "is held across an unbounded wait")
+
+    # -- result tags -------------------------------------------------------
+
+    def _result_tags(self, node: ast.Call, resolved: str | None,
+                     receiver_tags: set[str]) -> set[str]:
+        if resolved is not None:
+            if resolved in _SPAWN_CALLS:
+                return ({_RNG_SEQ} if resolved.endswith(".spawn")
+                        else set())
+            if resolved in _RNG_FACTORIES:
+                return {_RNG}
+            ctor = _ctor_tags(resolved)
+            if ctor:
+                return set(ctor)
+            if resolved == "numpy.float32":
+                return {_F32}
+            if resolved == "numpy.float64":
+                return {_F64}
+            callee = self.project.function(resolved)
+            if callee is not None:
+                summary = self.flow.summaries.get(callee.name)
+                if summary is not None:
+                    tags: set[str] = set()
+                    if summary.returns_rng:
+                        tags.add(_RNG)
+                    if summary.returns_dtype is not None:
+                        tags.add(summary.returns_dtype)
+                    if tags:
+                        return tags
+        dtype = self._dtype_keyword(node)
+        if dtype is not None:
+            return {dtype}
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "astype" and node.args:
+            cast = self._dtype_of(node.args[0])
+            if cast is not None:
+                return {cast}
+            return set()
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("copy", "spawn") \
+                and _RNG in receiver_tags:
+            return {_RNG_SEQ} if node.func.attr == "spawn" else {_RNG}
+        return set()
+
+    def _dtype_keyword(self, node: ast.Call) -> str | None:
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return self._dtype_of(kw.value)
+        return None
+
+    def _dtype_of(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in ("float32", "f4", "<f4"):
+                return _F32
+            if node.value in ("float64", "f8", "<f8"):
+                return _F64
+            return None
+        resolved = self.project.resolve_call(self.module, self.owner, node,
+                                             self.local_types) \
+            if isinstance(node, (ast.Attribute, ast.Name)) else None
+        if resolved == "numpy.float32":
+            return _F32
+        if resolved == "numpy.float64":
+            return _F64
+        return None
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+def analyze_project(trees: dict[str, tuple[str, ast.Module]]
+                    ) -> list[Violation]:
+    """Run the flow pass over ``{module: (path, tree)}``; raw violations.
+
+    The caller (the engine) filters by per-file applicability and folds
+    the result into suppression handling alongside the per-file rules.
+    """
+    project = Project.from_trees(trees)
+    return FlowAnalysis(project).run()

@@ -1,0 +1,341 @@
+"""Project-wide module/symbol resolution and the call graph.
+
+The per-file pass in :mod:`repro.lint.rules` sees one AST at a time; the
+flow rules in :mod:`repro.lint.flow` need to know *what a call refers
+to* across the whole project — through aliased imports, package
+re-exports, relative imports, and ``self.method()`` dispatch.  This
+module builds that picture:
+
+:class:`ModuleIndex`
+    One parsed module: its import alias table (local name → absolute
+    dotted target, relative imports resolved against the module path),
+    its functions and methods (nested defs included, with
+    ``outer.<locals>.inner`` qualnames), and its classes.
+
+:class:`Project`
+    The module set plus name canonicalization.  ``canonical()`` chases
+    import chains across modules — ``repro.lint.lint_paths`` resolves to
+    ``repro.lint.engine.lint_paths`` through the package re-export — and
+    ``resolve_call()`` turns a call site into an absolute function name
+    where statically possible.  Resolution is deliberately conservative:
+    an unresolvable callee is ``None``, never a guess.
+
+``Project.call_graph()`` maps each project function to the project
+functions it calls; cycles are fine — consumers iterate summaries to a
+fixpoint rather than relying on a topological order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Sentinel path component for functions nested inside other functions
+#: (CPython's own qualname convention).
+_LOCALS = "<locals>"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method, addressable by absolute dotted name."""
+
+    name: str                 #: absolute: ``module.qualname``
+    module: str               #: dotted module path
+    qualname: str             #: e.g. ``FeedWorker.run`` or ``f.<locals>.g``
+    path: str                 #: source file (violation attribution)
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    class_name: str | None    #: immediately enclosing class, if a method
+
+
+@dataclass
+class ModuleIndex:
+    """Symbol tables for one parsed module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    is_package: bool
+    #: local alias -> absolute dotted target (imports only).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: qualname -> function (methods and nested functions included).
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> method names defined directly on it.
+    classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def shallow_children(node: ast.AST) -> list[ast.AST]:
+    """Child statements/expressions, not descending into nested scopes.
+
+    Function and class bodies introduce new scopes with their own
+    analyses; walking into them from the enclosing scope would blur,
+    e.g., an ``async def`` helper's awaits into its synchronous parent.
+    """
+    out: list[ast.AST] = []
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        out.append(child)
+    return out
+
+
+def shallow_walk(node: ast.AST) -> list[ast.AST]:
+    """Every node in ``node``'s own scope (nested scopes excluded)."""
+    out: list[ast.AST] = []
+    stack = shallow_children(node)
+    while stack:
+        cursor = stack.pop()
+        out.append(cursor)
+        stack.extend(shallow_children(cursor))
+    return out
+
+
+def _resolve_relative(package: str, level: int, module: str | None) -> str:
+    """Absolute module targeted by ``from <dots><module> import ...``."""
+    parts = package.split(".") if package else []
+    ascend = level - 1
+    if ascend:
+        parts = parts[:-ascend] if ascend < len(parts) else []
+    if module:
+        parts.extend(module.split("."))
+    return ".".join(parts)
+
+
+def index_module(name: str, path: str, tree: ast.Module) -> ModuleIndex:
+    """Build the symbol tables for one module."""
+    index = ModuleIndex(name=name, path=path, tree=tree,
+                        is_package=path.endswith("__init__.py"))
+    _collect_imports(index, tree)
+    _collect_defs(index, tree, prefix="", class_name=None)
+    return index
+
+
+def _collect_imports(index: ModuleIndex, tree: ast.Module) -> None:
+    # Imports anywhere in the file count (function-local imports are
+    # idiomatic in this repo for optional/lazy deps).
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                index.imports[local] = (alias.name if alias.asname
+                                        else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(index.package, node.level,
+                                         node.module)
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                index.imports[local] = f"{base}.{alias.name}"
+
+
+def _collect_defs(index: ModuleIndex, node: ast.AST, *, prefix: str,
+                  class_name: str | None) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{child.name}"
+            index.functions[qualname] = FunctionInfo(
+                name=f"{index.name}.{qualname}",
+                module=index.name,
+                qualname=qualname,
+                path=index.path,
+                node=child,
+                is_async=isinstance(child, ast.AsyncFunctionDef),
+                class_name=class_name,
+            )
+            _collect_defs(index, child,
+                          prefix=f"{qualname}.{_LOCALS}.",
+                          class_name=None)
+        elif isinstance(child, ast.ClassDef):
+            methods = tuple(
+                sub.name for sub in child.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)))
+            index.classes[f"{prefix}{child.name}"] = methods
+            _collect_defs(index, child, prefix=f"{prefix}{child.name}.",
+                          class_name=f"{prefix}{child.name}")
+        elif isinstance(child, (ast.If, ast.Try, ast.With)):
+            # Defs behind `if TYPE_CHECKING:` or try/except still count.
+            _collect_defs(index, child, prefix=prefix,
+                          class_name=class_name)
+
+
+class Project:
+    """All indexed modules plus cross-module name resolution."""
+
+    #: Chase at most this many import-alias hops (cycles terminate early
+    #: via the visited set; the bound is belt and braces).
+    _MAX_HOPS = 16
+
+    def __init__(self, modules: dict[str, ModuleIndex]) -> None:
+        self.modules = modules
+        self._functions: dict[str, FunctionInfo] = {}
+        for module in modules.values():
+            for info in module.functions.values():
+                self._functions[info.name] = info
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_trees(cls, trees: dict[str, tuple[str, ast.Module]]
+                   ) -> Project:
+        """Build a project from ``{module_name: (path, tree)}``."""
+        modules = {
+            name: index_module(name, path, tree)
+            for name, (path, tree) in sorted(trees.items())
+        }
+        return cls(modules)
+
+    # -- name canonicalization ---------------------------------------------
+
+    def canonical(self, dotted: str) -> str:
+        """Chase import aliases until ``dotted`` names a real symbol.
+
+        ``repro.lint.lint_paths`` → ``repro.lint.engine.lint_paths`` when
+        the package front re-exports the engine function.  Names that
+        leave the project (``numpy.random.default_rng``) come back
+        unchanged past the last resolvable hop.
+        """
+        seen: set[str] = set()
+        current = dotted
+        for _ in range(self._MAX_HOPS):
+            if current in seen:
+                return current
+            seen.add(current)
+            step = self._canonical_step(current)
+            if step is None or step == current:
+                return current
+            current = step
+        return current
+
+    def _canonical_step(self, dotted: str) -> str | None:
+        module = self._longest_module_prefix(dotted)
+        if module is None:
+            return None
+        rest = dotted[len(module.name):].lstrip(".")
+        if not rest:
+            return dotted
+        head, _, tail = rest.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            return dotted  # locally defined symbol: already canonical
+        return f"{target}.{tail}" if tail else target
+
+    def _longest_module_prefix(self, dotted: str) -> ModuleIndex | None:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            module = self.modules.get(candidate)
+            if module is not None:
+                return module
+        return None
+
+    # -- lookup ------------------------------------------------------------
+
+    def function(self, absname: str) -> FunctionInfo | None:
+        """The project function with this canonical name, if any."""
+        return self._functions.get(self.canonical(absname))
+
+    def functions(self) -> list[FunctionInfo]:
+        """Every project function, in deterministic name order."""
+        return [self._functions[name] for name in sorted(self._functions)]
+
+    def class_of(self, absname: str) -> str | None:
+        """Canonical name when ``absname`` names a project class."""
+        canonical = self.canonical(absname)
+        module = self._longest_module_prefix(canonical)
+        if module is None:
+            return None
+        rest = canonical[len(module.name):].lstrip(".")
+        return canonical if rest in module.classes else None
+
+    # -- call-site resolution ----------------------------------------------
+
+    def resolve_call(self, module: ModuleIndex, owner: FunctionInfo | None,
+                     func: ast.expr,
+                     local_types: dict[str, str] | None = None
+                     ) -> str | None:
+        """Absolute dotted name of a call target, or ``None``.
+
+        ``owner`` is the enclosing function (``self.x()`` dispatches into
+        its class); ``local_types`` optionally maps local variable names
+        to class absnames for one-hop instance dispatch
+        (``w = Worker(); w.run()``).
+        """
+        parts: list[str] = []
+        cursor = func
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        parts.reverse()
+        root = cursor.id
+
+        if root in ("self", "cls") and owner is not None \
+                and owner.class_name is not None and len(parts) == 1:
+            return self.canonical(
+                f"{owner.module}.{owner.class_name}.{parts[0]}")
+
+        if local_types is not None and root in local_types \
+                and len(parts) == 1:
+            return self.canonical(f"{local_types[root]}.{parts[0]}")
+
+        if not parts and owner is not None:
+            nested = self._resolve_nested(owner, root)
+            if nested is not None:
+                return nested
+
+        target = module.imports.get(root)
+        if target is not None:
+            suffix = ".".join(parts)
+            return self.canonical(f"{target}.{suffix}" if suffix else target)
+
+        # A bare local definition in the same module.
+        qualname = ".".join([root, *parts])
+        if qualname in module.functions or root in module.classes:
+            return self.canonical(f"{module.name}.{qualname}")
+        return None
+
+    def _resolve_nested(self, owner: FunctionInfo, name: str) -> str | None:
+        """A bare name called inside ``owner`` may be its nested def."""
+        module = self.modules.get(owner.module)
+        if module is None:
+            return None
+        qualname = f"{owner.qualname}.{_LOCALS}.{name}"
+        if qualname in module.functions:
+            return f"{owner.module}.{qualname}"
+        return None
+
+    # -- call graph ---------------------------------------------------------
+
+    def call_graph(self) -> dict[str, tuple[str, ...]]:
+        """``{function absname: called project-function absnames}``.
+
+        Only edges to *project* functions appear; external calls are the
+        flow pass's business (it needs their names, not graph edges).
+        """
+        graph: dict[str, tuple[str, ...]] = {}
+        for info in self.functions():
+            module = self.modules[info.module]
+            callees: set[str] = set()
+            for node in shallow_walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = self.resolve_call(module, info, node.func)
+                if resolved is not None and resolved in self._functions:
+                    callees.add(resolved)
+            graph[info.name] = tuple(sorted(callees))
+        return graph

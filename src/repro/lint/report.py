@@ -7,8 +7,9 @@ import json
 from .engine import LintResult
 from .rules import RULES
 
-#: Bumped when the JSON schema changes shape.
-JSON_SCHEMA_VERSION = 1
+#: Bumped when the JSON schema changes shape.  v2 added the ``cache``
+#: block (hits/misses/flow_from_cache) alongside the incremental cache.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
@@ -31,6 +32,11 @@ def render_json(result: LintResult) -> str:
         "version": JSON_SCHEMA_VERSION,
         "files_checked": result.files_checked,
         "clean": result.clean,
+        "cache": {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+            "flow_from_cache": result.flow_from_cache,
+        },
         "rules": {rule.id: {"name": rule.name, "summary": rule.summary}
                   for rule in RULES},
         "violations": [

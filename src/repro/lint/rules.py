@@ -43,6 +43,15 @@ class Rule:
     #: POSIX path suffixes exempt from the rule (e.g. ``repro/rng.py``,
     #: the one module allowed to construct generators).
     exempt: tuple[str, ...] = ()
+    #: Flow rules are evaluated by the whole-program pass in
+    #: :mod:`repro.lint.flow`, not by the per-file :class:`LintVisitor`.
+    flow: bool = False
+
+
+#: Bumped whenever rule *logic* changes in a way that alters findings on
+#: unchanged source.  Part of the incremental-cache key, so a version
+#: bump invalidates every cached entry.
+RULES_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -104,7 +113,57 @@ RULES: tuple[Rule, ...] = (
     Rule("RL012", "unstable-argsort",
          "argsort without kind='stable' breaks ties in a platform- and "
          "version-dependent order"),
+    # RL013–RL019 reserved for future per-file rules; the flow families
+    # below start at RL020 so each family owns a decade.
+    Rule("RL020", "rng-module-global",
+         "make_rng/spawn-derived Generator bound to a module global "
+         "outlives its seed block; pass generators down the call tree",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL021", "draw-after-spawn",
+         "drawing from a parent Generator after spawn()/spawn_sequences() "
+         "reorders the seed-derivation tree",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL022", "rng-process-boundary",
+         "Generator crosses a pickle/executor process boundary; "
+         "SeedSequences (spawn_sequences) are the sanctioned currency",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL023", "rng-leak-via-callee",
+         "rng argument leaks to a module global inside the callee "
+         "(tracked interprocedurally via function summaries)",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL030", "dtype-mixing",
+         "float32/float64 operands mixed in arithmetic; the implicit "
+         "upcast changes serialized bytes",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL031", "f32-serialization-sink",
+         "float32 value reaches a serialization/codec sink; the artifact "
+         "contract is float64 end to end",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL032", "f32-sink-via-callee",
+         "float32 argument reaches a serialization sink inside the "
+         "callee (tracked interprocedurally via function summaries)",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL040", "blocking-in-async",
+         "blocking call (sleep, sync file I/O, subprocess) inside "
+         "async def stalls the event loop; reported at the deepest "
+         "project frame",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL041", "unawaited-coroutine",
+         "bare call to an async def; the coroutine is created but never "
+         "awaited or scheduled",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL042", "unbounded-asyncio-queue",
+         "asyncio.Queue() without a maxsize bound; unbounded buffers "
+         "defeat the load-shedding contract",
+         contexts=frozenset((LIBRARY,)), flow=True),
+    Rule("RL043", "await-under-lock",
+         "await of a long-wait operation (queue get/put, sleep, join) "
+         "while holding a lock serializes the event loop",
+         contexts=frozenset((LIBRARY,)), flow=True),
 )
+
+#: IDs evaluated by the whole-program flow pass (repro.lint.flow).
+FLOW_RULE_IDS = frozenset(r.id for r in RULES if r.flow)
 
 _RULES_BY_ID = {rule.id: rule for rule in RULES}
 
@@ -122,6 +181,9 @@ def active_rule_ids(select: Iterable[str] | None = None,
     """
     from ..errors import LintError
 
+    # The registry has deliberate gaps (RL013–RL019), so the error lists
+    # every valid ID instead of rendering a misleading RLxxx..RLyyy range.
+    valid = ", ".join(sorted(_RULES_BY_ID))
     chosen = set(_RULES_BY_ID)
     if select is not None:
         requested = set(select)
@@ -129,7 +191,7 @@ def active_rule_ids(select: Iterable[str] | None = None,
         if unknown:
             raise LintError(
                 f"unknown rule id in --select: {', '.join(sorted(unknown))} "
-                f"(known: RL000..{RULES[-1].id})")
+                f"(valid ids: {valid})")
         chosen = requested
     if ignore is not None:
         dropped = set(ignore)
@@ -137,7 +199,7 @@ def active_rule_ids(select: Iterable[str] | None = None,
         if unknown:
             raise LintError(
                 f"unknown rule id in --ignore: {', '.join(sorted(unknown))} "
-                f"(known: RL000..{RULES[-1].id})")
+                f"(valid ids: {valid})")
         chosen -= dropped
     return frozenset(chosen)
 

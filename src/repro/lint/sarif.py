@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 output for GitHub code-scanning annotations.
+
+The document is the minimal valid shape code scanning consumes: one run,
+a ``tool.driver`` carrying the full rule registry (so every ``ruleId``
+in ``results`` resolves), and one ``result`` per violation with a
+physical location.  Paths are emitted exactly as linted (repo-relative
+when the CLI was invoked from the repo root, which is how CI runs it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import LintResult
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_sarif(result: LintResult) -> str:
+    """The SARIF document for ``result`` as an indented JSON string."""
+    rules: list[dict[str, Any]] = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in RULES
+    ]
+    results: list[dict[str, Any]] = [
+        {
+            "ruleId": violation.rule_id,
+            "ruleIndex": _RULE_INDEX[violation.rule_id],
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in result.violations
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri":
+                            "https://example.invalid/repro/docs/LINTING.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+_RULE_INDEX = {rule.id: index for index, rule in enumerate(RULES)}

@@ -715,7 +715,8 @@ class TextTraceCodec(TraceCodec):
         return open(path, "w", encoding="ascii")
 
     def reopen_stream(self, path: str | Path, offset: int) -> IO[Any]:
-        stream = open(path, "r+", encoding="ascii")
+        # noqa-justified: ownership of the open stream passes to the caller.
+        stream = open(path, "r+", encoding="ascii")  # noqa: SIM115
         stream.truncate(offset)
         stream.seek(offset)
         return stream
@@ -753,7 +754,8 @@ class BinaryTraceCodec(TraceCodec):
         return open(path, "wb")
 
     def reopen_stream(self, path: str | Path, offset: int) -> IO[Any]:
-        stream = open(path, "r+b")
+        # noqa-justified: ownership of the open stream passes to the caller.
+        stream = open(path, "r+b")  # noqa: SIM115
         stream.truncate(offset)
         stream.seek(offset)
         return stream

@@ -119,14 +119,14 @@ class TestLint:
     def test_clean_file_exits_0(self, tmp_path, capsys):
         good = tmp_path / "good.py"
         good.write_text("import numpy as np\nx = np.float64(1)\n")
-        code = main(["lint", str(good)])
+        code = main(["lint", str(good), "--no-cache"])
         assert code == 0
         assert "clean: 1 files checked" in capsys.readouterr().out
 
     def test_violation_exits_1_with_location(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nstamp = time.time()\n")
-        code = main(["lint", str(bad)])
+        code = main(["lint", str(bad), "--no-cache"])
         assert code == 1
         out = capsys.readouterr().out
         assert f"{bad.as_posix()}:2:9: RL004" in out
@@ -135,7 +135,7 @@ class TestLint:
         bad = tmp_path / "bad.py"
         bad.write_text("order = values.argsort()\n")
         report = tmp_path / "lint.json"
-        code = main(["lint", str(bad), "--format", "json",
+        code = main(["lint", str(bad), "--no-cache", "--format", "json",
                      "--out", str(report)])
         assert code == 1
         document = json.loads(report.read_text())
@@ -143,10 +143,23 @@ class TestLint:
         assert document["violations"][0]["rule"] == "RL012"
         assert json.loads(capsys.readouterr().out) == document
 
+    def test_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        report = tmp_path / "lint.sarif"
+        code = main(["lint", str(bad), "--no-cache", "--format", "sarif",
+                     "--out", str(report)])
+        assert code == 1
+        document = json.loads(report.read_text())
+        assert document["version"] == "2.1.0"
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "RL004"
+        assert json.loads(capsys.readouterr().out) == document
+
     def test_select_narrows_rules(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nkey = hash(time.time())\n")
-        code = main(["lint", str(bad), "--select", "RL011"])
+        code = main(["lint", str(bad), "--no-cache", "--select", "RL011"])
         assert code == 1
         out = capsys.readouterr().out
         assert "RL011" in out
@@ -155,6 +168,23 @@ class TestLint:
     def test_ignore_drops_rules(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nstamp = time.time()\n")
-        code = main(["lint", str(bad), "--ignore", "RL004"])
+        code = main(["lint", str(bad), "--no-cache", "--ignore", "RL004"])
         assert code == 0
         assert "clean" in capsys.readouterr().out
+
+    def test_cache_file_round_trip(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        cache = tmp_path / "cache.json"
+        cold = main(["lint", str(bad), "--cache-file", str(cache),
+                     "--format", "json"])
+        cold_doc = json.loads(capsys.readouterr().out)
+        warm = main(["lint", str(bad), "--cache-file", str(cache),
+                     "--format", "json"])
+        warm_doc = json.loads(capsys.readouterr().out)
+        assert cold == warm == 1
+        assert cache.exists()
+        assert cold_doc["cache"] == {"hits": 0, "misses": 1,
+                                     "flow_from_cache": False}
+        assert warm_doc["cache"]["hits"] == 1
+        assert warm_doc["violations"] == cold_doc["violations"]

@@ -201,10 +201,24 @@ class TestLintErrors:
         assert "lint error" in err
         assert "RL999" in err
 
+    def test_unknown_select_rule_lists_valid_ids(self, capsys):
+        code = main(["lint", "src", "--select", "RL999"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "valid ids:" in err
+        # The roll call names real IDs from every family, so the user can
+        # fix the invocation without opening the docs.
+        for known in ("RL000", "RL012", "RL020", "RL031", "RL043"):
+            assert known in err
+        assert "RL013" not in err  # reserved gap stays unadvertised
+
     def test_unknown_ignore_rule_exits_2(self, capsys):
         code = main(["lint", "src", "--ignore", "RL007,BOGUS"])
         assert code == 2
-        assert "unknown rule id" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err
+        assert "BOGUS" in err
+        assert "valid ids:" in err
 
     def test_nonexistent_path_exits_2(self, tmp_path, capsys):
         code = main(["lint", str(tmp_path / "missing_dir")])

@@ -1,0 +1,204 @@
+"""Project-wide resolution: imports, aliases, dispatch, call graph."""
+
+import ast
+
+from repro.lint.graph import (Project, index_module, shallow_walk)
+
+
+def build(modules):
+    """``{module: source}`` (or ``{module: (path, source)}``) → Project."""
+    trees = {}
+    for name, value in modules.items():
+        if isinstance(value, tuple):
+            path, source = value
+        else:
+            path = "/".join(name.split(".")) + ".py"
+            source = value
+        trees[name] = (path, ast.parse(source))
+    return Project.from_trees(trees)
+
+
+class TestModuleIndex:
+    def test_import_aliases(self):
+        index = index_module("m", "m.py", ast.parse(
+            "import numpy as np\n"
+            "import os.path\n"
+            "from concurrent.futures import ProcessPoolExecutor as Pool\n"))
+        assert index.imports["np"] == "numpy"
+        assert index.imports["os"] == "os"
+        assert index.imports["Pool"] == \
+            "concurrent.futures.ProcessPoolExecutor"
+
+    def test_function_local_imports_count(self):
+        index = index_module("m", "m.py", ast.parse(
+            "def f():\n    import pickle\n    return pickle\n"))
+        assert index.imports["pickle"] == "pickle"
+
+    def test_relative_import_resolves_against_package(self):
+        index = index_module("pkg.mod", "pkg/mod.py", ast.parse(
+            "from .util import helper\nfrom . import sibling\n"))
+        assert index.imports["helper"] == "pkg.util.helper"
+        assert index.imports["sibling"] == "pkg.sibling"
+
+    def test_package_init_relative_base(self):
+        index = index_module("pkg", "pkg/__init__.py", ast.parse(
+            "from .engine import run\n"))
+        assert index.is_package
+        assert index.imports["run"] == "pkg.engine.run"
+
+    def test_nested_defs_get_locals_qualnames(self):
+        index = index_module("m", "m.py", ast.parse(
+            "def outer():\n    def inner():\n        pass\n"))
+        assert "outer" in index.functions
+        assert "outer.<locals>.inner" in index.functions
+
+    def test_methods_and_classes(self):
+        index = index_module("m", "m.py", ast.parse(
+            "class Worker:\n"
+            "    def run(self):\n        pass\n"
+            "    async def poll(self):\n        pass\n"))
+        assert index.classes["Worker"] == ("run", "poll")
+        assert index.functions["Worker.run"].class_name == "Worker"
+        assert index.functions["Worker.poll"].is_async
+
+
+class TestCanonical:
+    def test_chases_package_reexport(self):
+        project = build({
+            "pkg": ("pkg/__init__.py", "from .engine import run\n"),
+            "pkg.engine": "def run():\n    pass\n",
+        })
+        assert project.canonical("pkg.run") == "pkg.engine.run"
+        assert project.function("pkg.run").name == "pkg.engine.run"
+
+    def test_external_names_pass_through(self):
+        project = build({"m": "import numpy as np\n"})
+        assert project.canonical("numpy.random.default_rng") == \
+            "numpy.random.default_rng"
+
+    def test_import_cycle_terminates(self):
+        # a re-exports from b and b from a: canonical() must not spin.
+        project = build({
+            "a": "from b import thing\n",
+            "b": "from a import thing\n",
+        })
+        result = project.canonical("a.thing")
+        assert result in ("a.thing", "b.thing")
+
+    def test_local_symbol_is_already_canonical(self):
+        project = build({"m": "def f():\n    pass\n"})
+        assert project.canonical("m.f") == "m.f"
+
+
+class TestResolveCall:
+    def _call(self, source):
+        """The func expr of the first Call in ``source``."""
+        tree = ast.parse(source, mode="eval")
+        assert isinstance(tree.body, ast.Call)
+        return tree.body.func
+
+    def test_aliased_import_call(self):
+        project = build({
+            "m": "import numpy as np\n",
+            "util": "def helper():\n    pass\n",
+        })
+        module = project.modules["m"]
+        assert project.resolve_call(module, None,
+                                    self._call("np.random.default_rng(0)")) \
+            == "numpy.random.default_rng"
+
+    def test_from_import_aliased_function(self):
+        project = build({
+            "m": "from util import helper as h\n",
+            "util": "def helper():\n    pass\n",
+        })
+        module = project.modules["m"]
+        assert project.resolve_call(module, None, self._call("h()")) == \
+            "util.helper"
+
+    def test_self_method_dispatch(self):
+        project = build({
+            "m": ("m.py",
+                  "class W:\n"
+                  "    def run(self):\n        self.step()\n"
+                  "    def step(self):\n        pass\n"),
+        })
+        module = project.modules["m"]
+        owner = module.functions["W.run"]
+        assert project.resolve_call(module, owner,
+                                    self._call("self.step()")) == "m.W.step"
+
+    def test_typed_local_dispatch(self):
+        project = build({
+            "m": "class W:\n    def run(self):\n        pass\n",
+        })
+        module = project.modules["m"]
+        resolved = project.resolve_call(module, None, self._call("w.run()"),
+                                        local_types={"w": "m.W"})
+        assert resolved == "m.W.run"
+
+    def test_nested_def_resolution(self):
+        project = build({
+            "m": "def outer():\n"
+                 "    def inner():\n        pass\n"
+                 "    inner()\n",
+        })
+        module = project.modules["m"]
+        owner = module.functions["outer"]
+        assert project.resolve_call(module, owner, self._call("inner()")) \
+            == "m.outer.<locals>.inner"
+
+    def test_unresolvable_is_none_not_a_guess(self):
+        project = build({"m": "x = 1\n"})
+        module = project.modules["m"]
+        assert project.resolve_call(module, None,
+                                    self._call("mystery()")) is None
+        assert project.resolve_call(module, None,
+                                    self._call("obj.attr.method()")) is None
+
+
+class TestCallGraph:
+    def test_edges_only_to_project_functions(self):
+        project = build({
+            "a": "from b import g\n"
+                 "def f():\n    g()\n    print('x')\n",
+            "b": "def g():\n    pass\n",
+        })
+        graph = project.call_graph()
+        assert graph["a.f"] == ("b.g",)
+        assert graph["b.g"] == ()
+
+    def test_recursion_and_cycles_are_representable(self):
+        project = build({
+            "m": "def f():\n    g()\n"
+                 "def g():\n    f()\n",
+        })
+        graph = project.call_graph()
+        assert graph["m.f"] == ("m.g",)
+        assert graph["m.g"] == ("m.f",)
+
+    def test_method_edges_via_self(self):
+        project = build({
+            "m": "class W:\n"
+                 "    def run(self):\n        self.step()\n"
+                 "    def step(self):\n        pass\n",
+        })
+        graph = project.call_graph()
+        assert graph["m.W.run"] == ("m.W.step",)
+
+
+class TestShallowWalk:
+    def test_does_not_descend_into_nested_scopes(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    a = 1\n"
+            "    def inner():\n"
+            "        b = 2\n"
+            "    class C:\n"
+            "        c = 3\n")
+        outer = tree.body[0]
+        names = {node.id for node in shallow_walk(outer)
+                 if isinstance(node, ast.Name)}
+        assert "a" in names
+        assert "b" not in names
+        assert "c" not in names

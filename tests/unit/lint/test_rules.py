@@ -32,8 +32,10 @@ class TestRL001StdlibRandom:
 
 class TestRL002GlobalNumpyRng:
     def test_default_rng_fires(self):
+        # Layered coverage: the per-file pattern (RL002) and the flow
+        # pass's module-global binding rule (RL020) both see this.
         src = "import numpy as np\nrng = np.random.default_rng(3)\n"
-        assert ids_of(src) == ["RL002"]
+        assert ids_of(src) == ["RL020", "RL002"]
 
     def test_legacy_global_seed_fires(self):
         src = "import numpy as np\nnp.random.seed(0)\n"
@@ -42,7 +44,7 @@ class TestRL002GlobalNumpyRng:
     def test_from_import_alias_fires(self):
         src = ("from numpy.random import default_rng as mk\n"
                "rng = mk(1)\n")
-        assert ids_of(src) == ["RL002"]
+        assert ids_of(src) == ["RL020", "RL002"]
 
     def test_import_numpy_random_as_fires(self):
         src = "import numpy.random as nr\nnr.shuffle(x)\n"
@@ -55,13 +57,20 @@ class TestRL002GlobalNumpyRng:
         assert ids_of(src) == []
 
     def test_rng_module_is_exempt(self):
+        # The exemption silences the per-file pattern only; the flow
+        # pass still refuses a module-global Generator even in repro.rng.
         src = "import numpy as np\nrng = np.random.default_rng(3)\n"
-        assert ids_of(src, path="src/repro/rng.py") == []
+        assert ids_of(src, path="src/repro/rng.py") == ["RL020"]
 
     def test_make_rng_is_silent(self):
+        # make_rng is the sanctioned factory (no RL002), but binding its
+        # result to a module global is still an RL020 escape.
         src = ("from repro.rng import make_rng\n"
                "rng = make_rng(3)\n")
-        assert ids_of(src) == []
+        assert ids_of(src) == ["RL020"]
+        assert ids_of("from repro.rng import make_rng\n"
+                      "def f():\n"
+                      "    return make_rng(3)\n") == []
 
 
 class TestRL003RngConstruction:
@@ -259,7 +268,7 @@ class TestRL012UnstableArgsort:
 class TestLocations:
     def test_line_and_column_are_precise(self):
         src = "import numpy as np\n\n\nrng = np.random.default_rng(3)\n"
-        (violation,) = lint_source(src)
+        (violation,) = lint_source(src, select=["RL002"])
         assert violation.line == 4
         assert violation.col == 7
         assert "default_rng" in violation.message

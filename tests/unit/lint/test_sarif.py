@@ -1,0 +1,63 @@
+"""SARIF rendering: the minimal shape GitHub code scanning consumes."""
+
+import json
+
+from repro.lint import RULES, lint_paths, render_sarif
+from repro.lint.sarif import SARIF_VERSION
+
+
+def document_for(tmp_path, source):
+    f = tmp_path / "f.py"
+    f.write_text(source)
+    return json.loads(render_sarif(lint_paths([f])))
+
+
+class TestDocumentShape:
+    def test_envelope(self, tmp_path):
+        document = document_for(tmp_path, "x = 1\n")
+        assert document["version"] == SARIF_VERSION
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert run["columnKind"] == "unicodeCodePoints"
+
+    def test_full_rule_registry_is_embedded(self, tmp_path):
+        document = document_for(tmp_path, "x = 1\n")
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == [r.id for r in RULES]
+        assert all(r["shortDescription"]["text"] for r in rules)
+        assert all(r["defaultConfiguration"]["level"] == "error"
+                   for r in rules)
+
+    def test_clean_run_has_no_results(self, tmp_path):
+        document = document_for(tmp_path, "x = 1\n")
+        assert document["runs"][0]["results"] == []
+
+
+class TestResults:
+    def test_violation_maps_to_result_with_location(self, tmp_path):
+        document = document_for(tmp_path,
+                                "import time\nstamp = time.time()\n")
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "RL004"
+        assert result["level"] == "error"
+        assert "time.time" in result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("f.py")
+        assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert location["region"]["startLine"] == 2
+        assert location["region"]["startColumn"] == 9
+
+    def test_rule_index_resolves_into_the_embedded_registry(self, tmp_path):
+        document = document_for(tmp_path,
+                                "import time\nstamp = time.time()\n")
+        run = document["runs"][0]
+        (result,) = run["results"]
+        indexed = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert indexed["id"] == result["ruleId"]
+
+    def test_deterministic_serialization(self, tmp_path):
+        f = tmp_path / "f.py"
+        f.write_text("import time\nstamp = time.time()\n")
+        result = lint_paths([f])
+        assert render_sarif(result) == render_sarif(result)
